@@ -1,0 +1,99 @@
+//===- bench/Fig2Correlation.cpp - Reproduces Figure 2, graph 4 ------------===//
+//
+// The paper's fourth graph: the probability of creating a deadlock as a
+// function of the number of thrashings in the run. We aggregate every
+// (cycle, repetition) execution across all five variants and the four
+// Figure 2 benchmarks, bucket them by thrash count, and print the fraction
+// of executions in each bucket that created the target deadlock. The
+// paper's claim: probability decreases as thrashing increases.
+//
+// Knobs: DLF_BENCH_REPS (default 10).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzer/ActiveTester.h"
+#include "substrates/BenchmarkRegistry.h"
+#include "support/Env.h"
+#include "support/Table.h"
+
+#include <array>
+#include <iostream>
+#include <map>
+
+using namespace dlf;
+
+int main() {
+  const unsigned Reps = static_cast<unsigned>(envUInt("DLF_BENCH_REPS", 10));
+  constexpr std::array<const char *, 4> Benchmarks = {"collections",
+                                                      "logging", "dbcp",
+                                                      "swing"};
+  struct VariantConfig {
+    AbstractionKind Kind;
+    bool UseContext;
+    bool UseYields;
+  };
+  constexpr std::array<VariantConfig, 5> Variants = {{
+      {AbstractionKind::KObjectSensitive, true, true},
+      {AbstractionKind::ExecutionIndex, true, true},
+      {AbstractionKind::Trivial, true, true},
+      {AbstractionKind::ExecutionIndex, false, true},
+      {AbstractionKind::ExecutionIndex, true, false},
+  }};
+
+  // thrash-count bucket -> (executions, target deadlocks)
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> Buckets;
+
+  for (const VariantConfig &V : Variants) {
+    for (const char *BenchName : Benchmarks) {
+      const BenchmarkInfo *Info = findBenchmark(BenchName);
+      ActiveTesterConfig Config;
+      Config.PhaseTwoReps = Reps;
+      Config.Base.Kind = V.Kind;
+      Config.Base.UseContext = V.UseContext;
+      Config.Base.UseYields = V.UseYields;
+      ActiveTester Tester(Info->Entry, Config);
+
+      PhaseOneResult P1 = Tester.runPhaseOne();
+      for (const AbstractCycle &Cycle : P1.Cycles) {
+        for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+          ExecutionResult R =
+              Tester.runOnce(Cycle, Config.PhaseTwoSeedBase + Rep);
+          bool Hit = R.DeadlockFound && R.Witness &&
+                     ActiveTester::witnessMatchesCycle(
+                         *R.Witness, Cycle, Config.Base.Kind,
+                         Config.Base.UseContext);
+          // Bucket thrash counts: 0, 1, 2, 3, 4, 5-8, 9-16, 17+.
+          uint64_t Bucket = R.Thrashes;
+          if (Bucket > 16)
+            Bucket = 17;
+          else if (Bucket > 8)
+            Bucket = 9;
+          else if (Bucket > 4)
+            Bucket = 5;
+          auto &[Total, Hits] = Buckets[Bucket];
+          ++Total;
+          Hits += Hit ? 1 : 0;
+        }
+      }
+    }
+  }
+
+  std::cout << "Figure 2 (graph 4): thrashings vs probability, aggregated "
+               "over all variants and benchmarks (reps="
+            << Reps << ")\n\n";
+  Table Out({"Thrashings", "Executions", "Deadlocks", "Probability"});
+  for (const auto &[Bucket, Counts] : Buckets) {
+    std::string Name = Bucket == 17  ? std::string("17+")
+                       : Bucket == 9 ? std::string("9-16")
+                       : Bucket == 5 ? std::string("5-8")
+                                     : std::to_string(Bucket);
+    Out.addRow({Name, Table::fmt(Counts.first), Table::fmt(Counts.second),
+                Table::fmt(static_cast<double>(Counts.second) /
+                               std::max<uint64_t>(Counts.first, 1),
+                           2)});
+  }
+  Out.print(std::cout);
+  std::cout << "\nPaper reference: the probability of creating a deadlock "
+               "goes down as the number of thrashings increases.\n";
+  return 0;
+}

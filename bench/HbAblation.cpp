@@ -1,0 +1,71 @@
+//===- bench/HbAblation.cpp - §1 precision vs predictive power --------------===//
+//
+// Reproduces the paper's §1 discussion of happens-before-precise dynamic
+// analysis: "it reduces the predictive power of dynamic techniques — it
+// fails to report deadlocks that could happen in a significantly different
+// thread schedule." For each deadlock-prone benchmark the harness runs
+// Phase I three times — no HB tracking, fork/join edges only, and the full
+// synchronization order — and reports how many potential cycles survive,
+// alongside how many of the unfiltered cycles DeadlockFuzzer can actually
+// confirm.
+//
+// Expected shape: fork/join filtering removes only the infeasible cycles
+// (jigsaw's §5.4 class) and never a confirmable one; full-sync filtering
+// collapses most reports — including real deadlocks — because the observed
+// execution ordered their critical sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzer/ActiveTester.h"
+#include "substrates/BenchmarkRegistry.h"
+#include "support/Env.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace dlf;
+
+namespace {
+
+size_t cyclesUnder(const BenchmarkInfo &Info, HbMode Mode) {
+  ActiveTesterConfig Config;
+  Config.Base.HappensBefore = Mode;
+  Config.Goodlock.FilterByHappensBefore = (Mode != HbMode::Off);
+  ActiveTester Tester(Info.Entry, Config);
+  return Tester.runPhaseOne().Cycles.size();
+}
+
+} // namespace
+
+int main() {
+  const unsigned Reps = static_cast<unsigned>(envUInt("DLF_BENCH_REPS", 10));
+  std::cout << "Happens-before ablation (§1): potential cycles surviving "
+               "each tracking mode (confirm reps=" << Reps << ")\n\n";
+
+  Table Out({"Benchmark", "No HB", "Fork/join HB", "Full-sync HB",
+             "Confirmed (no HB)"});
+  for (const char *Name : {"logging", "swing", "dbcp", "collections-lists",
+                           "collections-maps", "jigsaw"}) {
+    const BenchmarkInfo *Info = findBenchmark(Name);
+
+    size_t Plain = cyclesUnder(*Info, HbMode::Off);
+    size_t ForkJoin = cyclesUnder(*Info, HbMode::ForkJoin);
+    size_t FullSync = cyclesUnder(*Info, HbMode::FullSync);
+
+    ActiveTesterConfig Config;
+    Config.PhaseTwoReps = Reps;
+    ActiveTester Tester(Info->Entry, Config);
+    ActiveTesterReport Report = Tester.run();
+
+    Out.addRow({Name, Table::fmt(static_cast<uint64_t>(Plain)),
+                Table::fmt(static_cast<uint64_t>(ForkJoin)),
+                Table::fmt(static_cast<uint64_t>(FullSync)),
+                Table::fmt(static_cast<uint64_t>(Report.confirmedCycles()))});
+  }
+  Out.print(std::cout);
+  std::cout << "\nReading: fork/join HB prunes only provably infeasible "
+               "reports (never below the confirmed count); full-sync HB is "
+               "precise for the observed run but discards real deadlocks — "
+               "the paper's reason for not using it.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- bench/MicroAbstraction.cpp - Abstraction engine micro-benchmarks ----===//
+//
+// Measures the per-event cost of the two abstraction schemes (§2.4): the
+// execution-indexing Call/Return/New updates and the k-object-sensitivity
+// CreationMap walk — the runtime tax every instrumented event pays, which
+// feeds Table 1's overhead columns.
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstraction/AbstractionEngine.h"
+#include "abstraction/CreationMap.h"
+#include "abstraction/ExecutionIndex.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+using namespace dlf;
+
+namespace {
+
+void BM_IndexCallReturn(benchmark::State &State) {
+  const int Depth = static_cast<int>(State.range(0));
+  std::vector<Label> Sites;
+  for (int I = 0; I != Depth; ++I)
+    Sites.push_back(Label::intern("call:" + std::to_string(I)));
+  IndexingState Index;
+  for (auto _ : State) {
+    for (Label Site : Sites)
+      Index.onCall(Site);
+    for (int I = 0; I != Depth; ++I)
+      Index.onReturn();
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * Depth);
+}
+BENCHMARK(BM_IndexCallReturn)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_IndexOnNew(benchmark::State &State) {
+  const int Depth = static_cast<int>(State.range(0));
+  IndexingState Index;
+  for (int I = 0; I != Depth; ++I)
+    Index.onCall(Label::intern("call:" + std::to_string(I)));
+  Label Site = Label::intern("new:site");
+  for (auto _ : State) {
+    Abstraction Abs = Index.onNew(Site, 8);
+    benchmark::DoNotOptimize(Abs);
+  }
+}
+BENCHMARK(BM_IndexOnNew)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CreationMapWalk(benchmark::State &State) {
+  const unsigned ChainLength = static_cast<unsigned>(State.range(0));
+  CreationMap Map;
+  for (unsigned I = 1; I <= ChainLength; ++I)
+    Map.recordCreation(ObjectId(I), ObjectId(I + 1),
+                       Label::intern("alloc:" + std::to_string(I)));
+  for (auto _ : State) {
+    Abstraction Abs = Map.computeAbsO(ObjectId(1), ChainLength);
+    benchmark::DoNotOptimize(Abs);
+  }
+}
+BENCHMARK(BM_CreationMapWalk)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_EngineRegisterCreation(benchmark::State &State) {
+  Label Site = Label::intern("engine:alloc");
+  std::vector<char> Objects(4096);
+  for (auto _ : State) {
+    State.PauseTiming();
+    AbstractionEngine Engine(/*KObjectDepth=*/4, /*IndexDepth=*/8);
+    IndexingState Index;
+    State.ResumeTiming();
+    const void *Parent = nullptr;
+    for (size_t I = 0; I != Objects.size(); ++I) {
+      auto [Id, Abs] = Engine.registerCreation(&Objects[I], Parent, Site,
+                                               Index);
+      benchmark::DoNotOptimize(Abs);
+      Parent = &Objects[I];
+    }
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Objects.size()));
+}
+BENCHMARK(BM_EngineRegisterCreation);
+
+} // namespace
+
+BENCHMARK_MAIN();

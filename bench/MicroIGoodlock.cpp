@@ -1,0 +1,144 @@
+//===- bench/MicroIGoodlock.cpp - iGoodlock closure micro-benchmarks -------===//
+//
+// Measures the iterative transitive closure (Algorithm 1) on synthetic
+// lock dependency relations: cost vs. relation size, and cost vs. cycle
+// length (iterative deepening). This is the ablation for DESIGN.md's
+// decision 5 (closure instead of the classical Goodlock DFS lock graph:
+// more memory, better runtime).
+//
+//===----------------------------------------------------------------------===//
+
+#include "igoodlock/ClassicGoodlock.h"
+#include "igoodlock/IGoodlock.h"
+#include "runtime/Records.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace dlf;
+
+namespace {
+
+/// Fabricates one dependency event: thread Tid acquires lock Acq while
+/// holding Held.
+void addEntry(LockDependencyLog &Log, uint64_t Tid,
+              const std::vector<uint64_t> &Held, uint64_t Acq) {
+  ThreadRecord T;
+  T.Id = ThreadId(Tid);
+  T.Name = "t" + std::to_string(Tid);
+  Log.onThreadCreated(T);
+
+  LockRecord L;
+  L.Id = LockId(Acq);
+  L.Name = "l" + std::to_string(Acq);
+  Log.onLockCreated(L);
+
+  std::vector<LockStackEntry> Stack;
+  for (uint64_t H : Held) {
+    LockRecord HeldLock;
+    HeldLock.Id = LockId(H);
+    HeldLock.Name = "l" + std::to_string(H);
+    Log.onLockCreated(HeldLock);
+    Stack.push_back(
+        {LockId(H), Label::intern("site:" + std::to_string(H))});
+  }
+  Log.onAcquireExecuted(T, L, Stack,
+                        Label::intern("site:" + std::to_string(Acq)));
+}
+
+/// T threads, each acquiring a private inner lock while holding a shared
+/// outer lock plus pairwise inversions: a relation with many chains but few
+/// cycles, sized by the benchmark argument.
+void buildScaledRelation(LockDependencyLog &Log, uint64_t Threads) {
+  for (uint64_t T = 1; T <= Threads; ++T) {
+    // Ordered (benign) pairs.
+    addEntry(Log, T, {100 + T}, 200 + T);
+    addEntry(Log, T, {100 + T, 200 + T}, 300 + T);
+    // One inversion pair per adjacent thread: a cycle between T and T+1.
+    addEntry(Log, T, {10 + T}, 10 + T + 1);
+  }
+  // Close the ring.
+  addEntry(Log, Threads + 1, {10 + Threads + 1}, 11);
+}
+
+void BM_ClosureScaling(benchmark::State &State) {
+  LockDependencyLog Log;
+  buildScaledRelation(Log, static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    IGoodlockStats Stats;
+    auto Cycles = runIGoodlock(Log, {}, &Stats);
+    benchmark::DoNotOptimize(Cycles);
+  }
+  State.SetLabel(std::to_string(Log.entries().size()) + " entries");
+}
+BENCHMARK(BM_ClosureScaling)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+/// A single ring of N threads (one cycle of length N): the closure must
+/// iterate to depth N, measuring the cost of deepening.
+void BM_RingDeepening(benchmark::State &State) {
+  const uint64_t N = static_cast<uint64_t>(State.range(0));
+  LockDependencyLog Log;
+  for (uint64_t T = 1; T <= N; ++T)
+    addEntry(Log, T, {T}, (T % N) + 1);
+  IGoodlockOptions Opts;
+  Opts.MaxCycleLength = static_cast<unsigned>(N) + 1;
+  for (auto _ : State) {
+    auto Cycles = runIGoodlock(Log, Opts);
+    benchmark::DoNotOptimize(Cycles);
+  }
+}
+BENCHMARK(BM_RingDeepening)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+/// Duplicate-heavy input: the same acquisition pattern repeated (a loop),
+/// measuring the dedup path of the recorder.
+void BM_RecorderDedup(benchmark::State &State) {
+  ThreadRecord T;
+  T.Id = ThreadId(1);
+  LockRecord L;
+  L.Id = LockId(7);
+  std::vector<LockStackEntry> Stack = {{LockId(3), Label::intern("s3")}};
+  Label Site = Label::intern("s7");
+  for (auto _ : State) {
+    LockDependencyLog Log;
+    Log.onThreadCreated(T);
+    Log.onLockCreated(L);
+    for (int I = 0; I != State.range(0); ++I)
+      Log.onAcquireExecuted(T, L, Stack, Site);
+    benchmark::DoNotOptimize(Log.entries().size());
+  }
+}
+BENCHMARK(BM_RecorderDedup)->Arg(100)->Arg(1000);
+
+/// The paper's §2.2 trade, measured: the classical DFS Goodlock on the
+/// same relations as BM_ClosureScaling (compare wall time; the DFS's peak
+/// memory is a single chain while the closure materializes levels).
+void BM_ClassicGoodlockScaling(benchmark::State &State) {
+  LockDependencyLog Log;
+  buildScaledRelation(Log, static_cast<uint64_t>(State.range(0)));
+  ClassicGoodlockStats Stats;
+  for (auto _ : State) {
+    auto Cycles = runClassicGoodlock(Log, {}, &Stats);
+    benchmark::DoNotOptimize(Cycles);
+  }
+  State.SetLabel("peak depth " + std::to_string(Stats.PeakDepth));
+}
+BENCHMARK(BM_ClassicGoodlockScaling)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ClassicGoodlockRing(benchmark::State &State) {
+  const uint64_t N = static_cast<uint64_t>(State.range(0));
+  LockDependencyLog Log;
+  for (uint64_t T = 1; T <= N; ++T)
+    addEntry(Log, T, {T}, (T % N) + 1);
+  IGoodlockOptions Opts;
+  Opts.MaxCycleLength = static_cast<unsigned>(N) + 1;
+  for (auto _ : State) {
+    auto Cycles = runClassicGoodlock(Log, Opts);
+    benchmark::DoNotOptimize(Cycles);
+  }
+}
+BENCHMARK(BM_ClassicGoodlockRing)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+//===- examples/bank_transfer.cpp - Find it, confirm it, then fix it -------===//
+//
+// The classic transfer deadlock: transfer(from, to) locks the two account
+// monitors in argument order, so concurrent transfer(a, b) and
+// transfer(b, a) can deadlock. This example:
+//
+//   1. runs the two-phase pipeline on the buggy bank and confirms the
+//      deadlock;
+//   2. runs it again on the fixed bank (locks ordered by account id) and
+//      shows iGoodlock reports nothing — the developer workflow the paper
+//      envisions.
+//
+// Build & run:  ./build/examples/bank_transfer
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzer/ActiveTester.h"
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+using namespace dlf;
+
+namespace {
+
+/// A bank whose transfer() can be built with or without the lock-ordering
+/// discipline.
+class Bank {
+public:
+  Bank(unsigned Accounts, bool Ordered) : Ordered(Ordered) {
+    DLF_NEW_OBJECT(this, nullptr);
+    for (unsigned I = 0; I != Accounts; ++I) {
+      Balances.push_back(100);
+      Monitors.push_back(std::make_unique<Mutex>(
+          "account" + std::to_string(I), DLF_NAMED_SITE("bank:newAccount"),
+          this));
+    }
+  }
+
+  void transfer(unsigned From, unsigned To, int Amount) {
+    DLF_SCOPE("Bank::transfer");
+    unsigned First = From, Second = To;
+    if (Ordered && First > Second)
+      std::swap(First, Second); // the fix: global lock order
+    MutexGuard A(*Monitors[First], DLF_NAMED_SITE("bank:lockFirst"));
+    MutexGuard B(*Monitors[Second], DLF_NAMED_SITE("bank:lockSecond"));
+    Balances[From] -= Amount;
+    Balances[To] += Amount;
+  }
+
+  int balance(unsigned Account) const {
+    DLF_SCOPE("Bank::balance");
+    MutexGuard Guard(*Monitors[Account], DLF_NAMED_SITE("bank:balance"));
+    return Balances[Account];
+  }
+
+private:
+  bool Ordered;
+  std::vector<int> Balances;
+  std::vector<std::unique_ptr<Mutex>> Monitors;
+};
+
+void bankProgram(bool Ordered) {
+  DLF_SCOPE("bank::program");
+  Bank TheBank(/*Accounts=*/3, Ordered);
+  Thread Alice(
+      [&] {
+        DLF_SCOPE("bank::alice");
+        TheBank.transfer(0, 1, 10);
+        TheBank.transfer(1, 2, 5);
+      },
+      "alice", DLF_NAMED_SITE("bank:spawnAlice"));
+  Thread Bob(
+      [&] {
+        DLF_SCOPE("bank::bob");
+        for (int I = 0; I != 6; ++I)
+          yieldNow(); // audit paperwork first
+        TheBank.transfer(1, 0, 20);
+      },
+      "bob", DLF_NAMED_SITE("bank:spawnBob"));
+  Alice.join();
+  Bob.join();
+  (void)TheBank.balance(0);
+}
+
+void report(const char *Title, bool Ordered) {
+  ActiveTesterConfig Config;
+  Config.PhaseTwoReps = 10;
+  ActiveTester Tester([Ordered] { bankProgram(Ordered); }, Config);
+  ActiveTesterReport Result = Tester.run();
+
+  std::cout << "== " << Title << " ==\n";
+  std::cout << "potential cycles: " << Result.PhaseOne.Cycles.size() << "\n";
+  for (const CycleFuzzStats &Stats : Result.PerCycle)
+    std::cout << "  confirmed " << Stats.ReproducedTarget << "/" << Stats.Runs
+              << ":\n"
+              << Stats.Cycle.toString();
+  std::cout << "\n";
+}
+
+} // namespace
+
+int main() {
+  report("buggy bank (argument-order locking)", /*Ordered=*/false);
+  report("fixed bank (id-order locking)", /*Ordered=*/true);
+  return 0;
+}

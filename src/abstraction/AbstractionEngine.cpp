@@ -1,0 +1,47 @@
+//===- abstraction/AbstractionEngine.cpp - Object abstraction facade -------===//
+
+#include "abstraction/AbstractionEngine.h"
+
+#include <cassert>
+
+using namespace dlf;
+
+std::pair<ObjectId, AbstractionSet>
+AbstractionEngine::registerCreation(const void *Obj, const void *Parent,
+                                    Label Site, IndexingState &Index) {
+  assert(Obj && "cannot register a null object");
+  // The execution-indexing abstraction is computed against the creating
+  // thread's private state; only the shared maps need the mutex.
+  AbstractionSet Abs;
+  Abs.Index = Index.onNew(Site, IndexDepth);
+
+  std::lock_guard<std::mutex> Guard(Mu);
+  ObjectId Id(NextObjectId++);
+  AddressToId[Obj] = Id;
+
+  ObjectId ParentId;
+  if (Parent) {
+    auto It = AddressToId.find(Parent);
+    if (It != AddressToId.end())
+      ParentId = It->second;
+  }
+  Creations.recordCreation(Id, ParentId, Site);
+  Abs.KObject = Creations.computeAbsO(Id, KObjectDepth);
+  return {Id, Abs};
+}
+
+void AbstractionEngine::forgetAddress(const void *Obj) {
+  std::lock_guard<std::mutex> Guard(Mu);
+  AddressToId.erase(Obj);
+}
+
+ObjectId AbstractionEngine::lookup(const void *Obj) const {
+  std::lock_guard<std::mutex> Guard(Mu);
+  auto It = AddressToId.find(Obj);
+  return It == AddressToId.end() ? ObjectId() : It->second;
+}
+
+size_t AbstractionEngine::creationCount() const {
+  std::lock_guard<std::mutex> Guard(Mu);
+  return Creations.size();
+}

@@ -1,0 +1,71 @@
+//===- abstraction/AbstractionEngine.h - Object abstraction facade -*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the two abstraction schemes together. The engine assigns ObjectIds
+/// to registered heap objects, maintains the CreationMap, and — at each
+/// creation event — computes the full AbstractionSet (k-object-sensitive
+/// and execution-indexing values) for the new object. Computing all schemes
+/// eagerly lets one Phase I run feed every Phase II variant of Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_ABSTRACTION_ABSTRACTIONENGINE_H
+#define DLF_ABSTRACTION_ABSTRACTIONENGINE_H
+
+#include "abstraction/CreationMap.h"
+#include "abstraction/ExecutionIndex.h"
+#include "event/Abstraction.h"
+#include "event/Ids.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace dlf {
+
+/// Process-wide (per-Runtime) registry of object creations. Thread-safe:
+/// creations may race in Record mode.
+class AbstractionEngine {
+public:
+  AbstractionEngine(unsigned KObjectDepth, unsigned IndexDepth)
+      : KObjectDepth(KObjectDepth), IndexDepth(IndexDepth) {}
+
+  /// Registers a creation event for the object at address \p Obj, allocated
+  /// at \p Site inside a method of the object at \p Parent (nullptr for
+  /// top-level allocations). \p Index is the *creating* thread's indexing
+  /// state. Returns the new ObjectId and the object's abstractions.
+  ///
+  /// If \p Parent has not itself been registered, the k-object chain simply
+  /// ends at this object's own site.
+  std::pair<ObjectId, AbstractionSet>
+  registerCreation(const void *Obj, const void *Parent, Label Site,
+                   IndexingState &Index);
+
+  /// Forgets the address mapping for \p Obj (call from destructors so a
+  /// recycled address cannot alias a dead object). CreationMap entries are
+  /// kept: they are keyed by ObjectId and may appear in parent chains.
+  void forgetAddress(const void *Obj);
+
+  /// Looks up the ObjectId previously registered for \p Obj; invalid id if
+  /// unknown.
+  ObjectId lookup(const void *Obj) const;
+
+  /// Number of creations registered so far.
+  size_t creationCount() const;
+
+private:
+  unsigned KObjectDepth;
+  unsigned IndexDepth;
+
+  mutable std::mutex Mu;
+  uint64_t NextObjectId = 1;
+  std::unordered_map<const void *, ObjectId> AddressToId;
+  CreationMap Creations;
+};
+
+} // namespace dlf
+
+#endif // DLF_ABSTRACTION_ABSTRACTIONENGINE_H

@@ -1,0 +1,22 @@
+//===- abstraction/CreationMap.cpp - k-object-sensitive abstraction --------===//
+
+#include "abstraction/CreationMap.h"
+
+using namespace dlf;
+
+void CreationMap::recordCreation(ObjectId Obj, ObjectId Parent, Label Site) {
+  Entries[Obj] = {Parent, Site};
+}
+
+Abstraction CreationMap::computeAbsO(ObjectId Obj, unsigned K) const {
+  Abstraction Result;
+  ObjectId Cursor = Obj;
+  for (unsigned Step = 0; Step < K && Cursor.isValid(); ++Step) {
+    auto It = Entries.find(Cursor);
+    if (It == Entries.end())
+      break; // absO_k(o) = () when CreationMap[o] is undefined
+    Result.Elements.push_back(It->second.Site.raw());
+    Cursor = It->second.Parent;
+  }
+  return Result;
+}

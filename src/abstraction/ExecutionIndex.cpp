@@ -1,0 +1,42 @@
+//===- abstraction/ExecutionIndex.cpp - Light-weight execution indexing ----===//
+
+#include "abstraction/ExecutionIndex.h"
+
+#include <cassert>
+
+using namespace dlf;
+
+void IndexingState::onCall(Label Site) {
+  assert(!Counters.empty() && "counter stack invariant broken");
+  uint32_t Count = ++Counters.back()[Site.raw()];
+  Stack.push_back({Site.raw(), Count});
+  // Descend: fresh counters for the new depth.
+  Counters.emplace_back();
+}
+
+void IndexingState::onReturn() {
+  if (Stack.empty())
+    return; // tolerate unmatched returns from partially instrumented code
+  Counters.pop_back();
+  Stack.pop_back();
+  assert(Counters.size() == Stack.size() + 1 &&
+         "call/counter stacks out of sync");
+}
+
+Abstraction IndexingState::onNew(Label Site, unsigned K) {
+  // The creation statement itself is frame c1/q1: bump its counter at the
+  // current depth, but do not descend (a `new` is not a call).
+  uint32_t Count = ++Counters.back()[Site.raw()];
+
+  Abstraction Result;
+  Result.Elements.reserve(2 * K);
+  Result.Elements.push_back(Site.raw());
+  Result.Elements.push_back(Count);
+  // Then the innermost K-1 call frames, inner to outer.
+  for (size_t Taken = 1; Taken < K && Taken <= Stack.size(); ++Taken) {
+    const Frame &F = Stack[Stack.size() - Taken];
+    Result.Elements.push_back(F.Site);
+    Result.Elements.push_back(F.Count);
+  }
+  return Result;
+}

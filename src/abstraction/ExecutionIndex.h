@@ -1,0 +1,77 @@
+//===- abstraction/ExecutionIndex.h - Light-weight execution indexing -----===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread light-weight execution indexing (paper §2.4.2, after Xin,
+/// Sumner & Zhang's execution indexing but ignoring branches and loops).
+/// Each thread maintains a depth counter `d`, a CallStack of
+/// (site, occurrence-count) pairs, and per-depth occurrence Counters. The
+/// abstraction of an object created at site `c` is absI_k(o) =
+/// [c1, q1, ..., ck, qk]: the innermost k frames of the call stack at the
+/// creation, each with how many times that site had executed at its depth.
+///
+/// For the paper's example program (main calling foo() five times, foo
+/// calling bar() twice, bar allocating three objects), the first object has
+/// absI_3 = [11,1, 6,1, 3,1] and the last has absI_3 = [11,3, 7,1, 3,5].
+/// tests/AbstractionTest.cpp reproduces that example literally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_ABSTRACTION_EXECUTIONINDEX_H
+#define DLF_ABSTRACTION_EXECUTIONINDEX_H
+
+#include "event/Abstraction.h"
+#include "event/Label.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dlf {
+
+/// Mutable per-thread state for execution indexing. Owned by the thread's
+/// ThreadRecord and only ever touched by that thread, so it needs no
+/// locking.
+class IndexingState {
+public:
+  /// Processes `c : Call(m)`: bumps the occurrence counter of \p Site at the
+  /// current depth, pushes the (site, count) frame, and descends.
+  void onCall(Label Site);
+
+  /// Processes `c : Return(m)`: ascends and pops the frame. Tolerates
+  /// underflow (returns without matching calls are ignored) so that
+  /// partially instrumented code cannot corrupt the index.
+  void onReturn();
+
+  /// Processes `c : o = new(o', T)`: returns absI_k for the created object,
+  /// i.e. the innermost \p K (site, count) frames including the creation
+  /// site itself, flattened as [c1, q1, ..., ck, qk]. If the stack is
+  /// shallower than K, the full stack is returned (paper: "if the call
+  /// stack has fewer elements, absI_k(o) returns the full call stack").
+  Abstraction onNew(Label Site, unsigned K);
+
+  /// Current call depth (tests / diagnostics).
+  size_t depth() const { return Stack.size(); }
+
+private:
+  struct Frame {
+    uint32_t Site;
+    uint32_t Count;
+  };
+
+  /// Occurrence counters for the *current* depth levels; Counters[d][c] is
+  /// the number of times site c executed at depth d in the current context.
+  /// Entering a depth clears its counters (paper's initialization step on
+  /// Call).
+  std::vector<std::unordered_map<uint32_t, uint32_t>> Counters =
+      std::vector<std::unordered_map<uint32_t, uint32_t>>(1);
+
+  std::vector<Frame> Stack;
+};
+
+} // namespace dlf
+
+#endif // DLF_ABSTRACTION_EXECUTIONINDEX_H

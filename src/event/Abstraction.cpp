@@ -1,0 +1,52 @@
+//===- event/Abstraction.cpp - Object abstraction values -------------------===//
+
+#include "event/Abstraction.h"
+
+#include <sstream>
+
+using namespace dlf;
+
+const char *dlf::abstractionKindName(AbstractionKind Kind) {
+  switch (Kind) {
+  case AbstractionKind::Trivial:
+    return "trivial";
+  case AbstractionKind::KObjectSensitive:
+    return "k-object";
+  case AbstractionKind::ExecutionIndex:
+    return "exec-index";
+  }
+  return "unknown";
+}
+
+std::string Abstraction::toString(bool PairedCounts) const {
+  std::ostringstream OS;
+  OS << '[';
+  if (PairedCounts) {
+    for (size_t I = 0; I + 1 < Elements.size(); I += 2) {
+      if (I)
+        OS << ", ";
+      OS << Label::textByRaw(Elements[I]) << " x" << Elements[I + 1];
+    }
+  } else {
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Label::textByRaw(Elements[I]);
+    }
+  }
+  OS << ']';
+  return OS.str();
+}
+
+const Abstraction &AbstractionSet::select(AbstractionKind Kind) const {
+  static const Abstraction Empty;
+  switch (Kind) {
+  case AbstractionKind::Trivial:
+    return Empty;
+  case AbstractionKind::KObjectSensitive:
+    return KObject;
+  case AbstractionKind::ExecutionIndex:
+    return Index;
+  }
+  return Empty;
+}

@@ -1,0 +1,93 @@
+//===- event/Abstraction.h - Object abstraction values ---------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value type for object abstractions (paper §2.4). An abstraction
+/// identifies "the same" object across executions by static program
+/// information: if two dynamic objects in different executions are the same,
+/// they must have equal abstractions. Three schemes are supported:
+///
+///  * Trivial          — every object has the empty abstraction.
+///  * KObjectSensitive — absO_k(o) = the chain of allocation-site labels
+///                       (c1, ..., ck) walking the CreationMap (§2.4.1).
+///  * ExecutionIndex   — absI_k(o) = the top 2k elements of the creating
+///                       thread's (site, count) call stack (§2.4.2).
+///
+/// An AbstractionSet carries all three for one object so that the fuzzer can
+/// be configured per-variant without re-running Phase I.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_EVENT_ABSTRACTION_H
+#define DLF_EVENT_ABSTRACTION_H
+
+#include "event/Label.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlf {
+
+/// Which abstraction scheme a variant of DeadlockFuzzer matches on.
+enum class AbstractionKind {
+  Trivial,          ///< paper variant 3: "ignore abstraction"
+  KObjectSensitive, ///< paper variant 1: k-object-sensitivity
+  ExecutionIndex,   ///< paper variant 2: light-weight execution indexing
+};
+
+/// Returns a human-readable name for \p Kind.
+const char *abstractionKindName(AbstractionKind Kind);
+
+/// One abstraction value: an opaque sequence of 32-bit elements.
+///
+/// For KObjectSensitive the elements are raw label ids (c1..ck); for
+/// ExecutionIndex they alternate label ids and occurrence counts
+/// [c1, q1, ..., ck, qk]; for Trivial the sequence is empty. Equality is
+/// element-wise, which is all the matching in Phase II needs.
+struct Abstraction {
+  std::vector<uint32_t> Elements;
+
+  friend bool operator==(const Abstraction &A, const Abstraction &B) {
+    return A.Elements == B.Elements;
+  }
+  friend bool operator!=(const Abstraction &A, const Abstraction &B) {
+    return !(A == B);
+  }
+
+  /// Renders e.g. "[f.cpp:11 x3, f.cpp:6 x1]" for debugging and reports.
+  /// \p PairedCounts selects the execution-indexing rendering.
+  std::string toString(bool PairedCounts) const;
+};
+
+/// All three abstraction values for one dynamic object, computed eagerly at
+/// its creation event.
+struct AbstractionSet {
+  Abstraction KObject;
+  Abstraction Index;
+
+  /// Selects the value used by the given scheme; Trivial yields a reference
+  /// to a shared empty abstraction.
+  const Abstraction &select(AbstractionKind Kind) const;
+};
+
+} // namespace dlf
+
+namespace std {
+template <> struct hash<dlf::Abstraction> {
+  size_t operator()(const dlf::Abstraction &A) const {
+    // FNV-1a over the element words.
+    size_t H = 1469598103934665603ULL;
+    for (uint32_t E : A.Elements) {
+      H ^= E;
+      H *= 1099511628211ULL;
+    }
+    return H;
+  }
+};
+} // namespace std
+
+#endif // DLF_EVENT_ABSTRACTION_H

@@ -1,0 +1,76 @@
+//===- event/Ids.h - Strongly typed runtime identifiers --------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strong identifier types for the dynamic entities the analysis tracks:
+/// threads, locks, and generic heap objects. The paper calls these the
+/// "unique ids" of objects (typically the object address in the Java
+/// implementation); they are only meaningful within one execution, which is
+/// exactly why Phase II matches on abstractions instead (see
+/// abstraction/AbstractionEngine.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_EVENT_IDS_H
+#define DLF_EVENT_IDS_H
+
+#include <cstdint>
+#include <functional>
+
+namespace dlf {
+
+namespace detail {
+
+/// CRTP-free strong wrapper over a uint64_t with total ordering and hashing.
+/// \p Tag distinguishes otherwise-identical id spaces at compile time.
+template <typename Tag> struct StrongId {
+  uint64_t Raw = 0;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(uint64_t Raw) : Raw(Raw) {}
+
+  /// Ids start at 1; 0 means "invalid / not assigned".
+  constexpr bool isValid() const { return Raw != 0; }
+
+  friend constexpr bool operator==(StrongId A, StrongId B) {
+    return A.Raw == B.Raw;
+  }
+  friend constexpr bool operator!=(StrongId A, StrongId B) {
+    return A.Raw != B.Raw;
+  }
+  friend constexpr bool operator<(StrongId A, StrongId B) {
+    return A.Raw < B.Raw;
+  }
+  friend constexpr bool operator>(StrongId A, StrongId B) {
+    return A.Raw > B.Raw;
+  }
+};
+
+} // namespace detail
+
+struct ThreadIdTag {};
+struct LockIdTag {};
+struct ObjectIdTag {};
+
+/// Identifies one dynamic thread within a single execution.
+using ThreadId = detail::StrongId<ThreadIdTag>;
+/// Identifies one dynamic lock object within a single execution.
+using LockId = detail::StrongId<LockIdTag>;
+/// Identifies one dynamic heap object within a single execution (used by the
+/// k-object-sensitivity CreationMap).
+using ObjectId = detail::StrongId<ObjectIdTag>;
+
+} // namespace dlf
+
+namespace std {
+template <typename Tag> struct hash<dlf::detail::StrongId<Tag>> {
+  size_t operator()(dlf::detail::StrongId<Tag> Id) const {
+    return std::hash<uint64_t>()(Id.Raw);
+  }
+};
+} // namespace std
+
+#endif // DLF_EVENT_IDS_H

@@ -1,0 +1,49 @@
+//===- event/Label.cpp - Interned statement labels -------------------------===//
+
+#include "event/Label.h"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+using namespace dlf;
+
+namespace {
+
+/// Process-global intern table. Uses a deque so interned strings have stable
+/// addresses; text() can hand out references without holding the mutex.
+struct InternTable {
+  std::mutex Mu;
+  std::unordered_map<std::string, uint32_t> Index;
+  std::deque<std::string> Texts;
+
+  InternTable() { Texts.push_back("<none>"); } // slot 0 = invalid label
+
+  static InternTable &get() {
+    static InternTable Table;
+    return Table;
+  }
+};
+
+} // namespace
+
+Label Label::intern(const std::string &Text) {
+  InternTable &Table = InternTable::get();
+  std::lock_guard<std::mutex> Guard(Table.Mu);
+  auto [It, Inserted] =
+      Table.Index.try_emplace(Text, static_cast<uint32_t>(Table.Texts.size()));
+  if (Inserted)
+    Table.Texts.push_back(Text);
+  return Label(It->second);
+}
+
+const std::string &Label::text() const { return textByRaw(Raw); }
+
+const std::string &Label::textByRaw(uint32_t Raw) {
+  InternTable &Table = InternTable::get();
+  std::lock_guard<std::mutex> Guard(Table.Mu);
+  if (Raw >= Table.Texts.size())
+    Raw = 0;
+  return Table.Texts[Raw];
+}

@@ -1,0 +1,91 @@
+//===- event/Label.h - Interned statement labels ----------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement labels. The paper identifies every dynamic instance of a
+/// labeled program statement (`c : Acquire(l)`, `c : Call(m)`, ...) by its
+/// static label `c`. In the Java implementation labels come from bytecode
+/// instrumentation; here they are interned strings produced either by the
+/// DLF_SITE() macro (file:line) or chosen by the substrate code
+/// ("SyncList::addAll/outer"). Labels are stable across executions, which is
+/// the property every abstraction scheme builds on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_EVENT_LABEL_H
+#define DLF_EVENT_LABEL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dlf {
+
+/// An interned statement label; equality and hashing are O(1).
+///
+/// Label 0 is the invalid/unknown label. Interning is process-global and
+/// thread-safe: the same string always maps to the same Label in one
+/// process, so labels recorded in Phase I compare equal to labels observed
+/// in Phase II.
+class Label {
+public:
+  constexpr Label() = default;
+
+  /// Interns \p Text and returns its label. Thread-safe.
+  static Label intern(const std::string &Text);
+
+  /// Returns the interned text for this label ("<none>" for the invalid
+  /// label). Thread-safe.
+  const std::string &text() const;
+
+  /// Returns the text for a raw label id (used when abstraction values carry
+  /// raw ids). Thread-safe; returns "<none>" for out-of-range ids.
+  static const std::string &textByRaw(uint32_t Raw);
+
+  /// Rebuilds a Label from a raw id previously obtained via raw(). The id
+  /// must come from this process's intern table.
+  static Label fromRaw(uint32_t Raw) { return Label(Raw); }
+
+  constexpr bool isValid() const { return Raw != 0; }
+  constexpr uint32_t raw() const { return Raw; }
+
+  friend constexpr bool operator==(Label A, Label B) { return A.Raw == B.Raw; }
+  friend constexpr bool operator!=(Label A, Label B) { return A.Raw != B.Raw; }
+  friend constexpr bool operator<(Label A, Label B) { return A.Raw < B.Raw; }
+
+private:
+  constexpr explicit Label(uint32_t Raw) : Raw(Raw) {}
+  uint32_t Raw = 0;
+};
+
+} // namespace dlf
+
+namespace std {
+template <> struct hash<dlf::Label> {
+  size_t operator()(dlf::Label L) const {
+    return std::hash<uint32_t>()(L.raw());
+  }
+};
+} // namespace std
+
+/// Expands to a Label naming the current source location. The text embeds
+/// file and line, so two acquires on different lines get distinct labels.
+#define DLF_SITE()                                                             \
+  ([] {                                                                        \
+    static const ::dlf::Label CachedSite =                                     \
+        ::dlf::Label::intern(std::string(__FILE__) + ":" +                     \
+                             std::to_string(__LINE__));                        \
+    return CachedSite;                                                         \
+  }())
+
+/// Expands to a Label with explicit \p Name text (interned once).
+#define DLF_NAMED_SITE(Name)                                                   \
+  ([] {                                                                        \
+    static const ::dlf::Label CachedSite = ::dlf::Label::intern(Name);         \
+    return CachedSite;                                                         \
+  }())
+
+#endif // DLF_EVENT_LABEL_H

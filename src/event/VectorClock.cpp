@@ -1,0 +1,36 @@
+//===- event/VectorClock.cpp - Happens-before timestamps --------------------===//
+
+#include "event/VectorClock.h"
+
+#include <algorithm>
+
+using namespace dlf;
+
+void dlf::vcTick(VectorClock &Clock, ThreadId Self) {
+  size_t Index = static_cast<size_t>(Self.Raw) - 1;
+  if (Clock.size() <= Index)
+    Clock.resize(Index + 1, 0);
+  ++Clock[Index];
+}
+
+void dlf::vcJoin(VectorClock &Clock, const VectorClock &Other) {
+  if (Clock.size() < Other.size())
+    Clock.resize(Other.size(), 0);
+  for (size_t I = 0; I != Other.size(); ++I)
+    Clock[I] = std::max(Clock[I], Other[I]);
+}
+
+bool dlf::vcLeq(const VectorClock &A, const VectorClock &B) {
+  for (size_t I = 0; I != A.size(); ++I) {
+    uint32_t BVal = I < B.size() ? B[I] : 0;
+    if (A[I] > BVal)
+      return false;
+  }
+  return true;
+}
+
+bool dlf::vcConcurrent(const VectorClock &A, const VectorClock &B) {
+  if (A.empty() || B.empty())
+    return true; // no information: assume concurrent
+  return !vcLeq(A, B) && !vcLeq(B, A);
+}

@@ -1,0 +1,51 @@
+//===- event/VectorClock.h - Happens-before timestamps -----------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks for the happens-before relation (Lamport). The paper's §1
+/// discusses making dynamic deadlock detection precise by "taking the
+/// happens-before relation into account" — at the cost of predictive
+/// power. This implementation lets that trade be *measured*: the runtime
+/// can track fork/join edges only (pruning provably infeasible cycles like
+/// the §5.4 CachedThread pattern) or the full synchronization order
+/// (release→acquire edges, which also orders away deadlocks that merely
+/// *happened* not to overlap in the observed run).
+///
+/// A clock is a dense vector indexed by ThreadId (ids are small and
+/// sequential per execution); missing entries read as zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_EVENT_VECTORCLOCK_H
+#define DLF_EVENT_VECTORCLOCK_H
+
+#include "event/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlf {
+
+/// Component i holds the last-observed event count of thread id (i+1).
+using VectorClock = std::vector<uint32_t>;
+
+/// Advances \p Clock's own component for \p Self.
+void vcTick(VectorClock &Clock, ThreadId Self);
+
+/// Merges \p Other into \p Clock (pointwise maximum).
+void vcJoin(VectorClock &Clock, const VectorClock &Other);
+
+/// True when \p A ≤ \p B pointwise (A happens-before-or-equals B).
+bool vcLeq(const VectorClock &A, const VectorClock &B);
+
+/// True when neither clock is ordered before the other — the events are
+/// concurrent. Empty clocks carry no information and are treated as
+/// concurrent with everything.
+bool vcConcurrent(const VectorClock &A, const VectorClock &B);
+
+} // namespace dlf
+
+#endif // DLF_EVENT_VECTORCLOCK_H

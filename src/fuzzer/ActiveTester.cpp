@@ -1,0 +1,240 @@
+//===- fuzzer/ActiveTester.cpp - Two-phase driver ---------------------------===//
+
+#include "fuzzer/ActiveTester.h"
+
+#include "fuzzer/CycleSpec.h"
+#include "fuzzer/DeadlockFuzzerStrategy.h"
+#include "fuzzer/RandomStrategy.h"
+#include "runtime/Runtime.h"
+#include "support/Debug.h"
+
+#include <cassert>
+#include <chrono>
+#include <sstream>
+#include <unordered_set>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dlf;
+
+ActiveTester::ActiveTester(Program P, ActiveTesterConfig Config)
+    : TheProgram(std::move(P)), Config(std::move(Config)) {}
+
+PhaseOneResult ActiveTester::runPhaseOne() {
+  // Observe an execution with the simple random scheduler and recording
+  // enabled. A random execution can itself deadlock (rarely, by workload
+  // construction): its partial log is still a valid observation, so we
+  // union the abstract cycles of every attempt and stop early as soon as
+  // one attempt completes — a completed attempt has observed the whole
+  // program.
+  if (Config.PhaseOneMode == RunMode::Record) {
+    // Observe a real concurrent execution (no schedule control).
+    PhaseOneResult R;
+    Options Opts = Config.Base;
+    Opts.Mode = RunMode::Record;
+    Opts.RecordDependencies = true;
+    Runtime RT(Opts, nullptr, &R.Log);
+    R.Exec = RT.run(TheProgram);
+    R.Cycles = runIGoodlock(R.Log, Config.Goodlock, &R.Stats);
+    return R;
+  }
+
+  PhaseOneResult Best;
+  bool HaveAny = false;
+  std::vector<AbstractCycle> Union;
+  std::unordered_set<std::string> UnionKeys;
+  auto Merge = [&](std::vector<AbstractCycle> Cycles) {
+    for (AbstractCycle &C : Cycles) {
+      std::string Key =
+          C.key(AbstractionKind::ExecutionIndex, /*UseContext=*/true);
+      if (UnionKeys.insert(Key).second)
+        Union.push_back(std::move(C));
+    }
+  };
+
+  for (unsigned Attempt = 0; Attempt <= Config.PhaseOneRetries; ++Attempt) {
+    PhaseOneResult R;
+    Options Opts = Config.Base;
+    Opts.Mode = RunMode::Active;
+    Opts.Seed = Config.PhaseOneSeed + Attempt;
+    Opts.RecordDependencies = true;
+
+    SimpleRandomStrategy Random;
+    Runtime RT(Opts, &Random, &R.Log);
+    R.Exec = RT.run(TheProgram);
+
+    if (R.Exec.Completed) {
+      // A full observation: its own cycles are authoritative.
+      R.Cycles = runIGoodlock(R.Log, Config.Goodlock, &R.Stats);
+      return R;
+    }
+    DLF_DEBUG_LOG("phase-one attempt " << Attempt << " stalled; retrying");
+    Merge(runIGoodlock(R.Log, Config.Goodlock, &R.Stats));
+    if (!HaveAny) {
+      Best = std::move(R);
+      HaveAny = true;
+    }
+  }
+  Best.Cycles = std::move(Union);
+  return Best;
+}
+
+ExecutionResult ActiveTester::runOnce(const AbstractCycle &Cycle,
+                                      uint64_t Seed) {
+  Options Opts = Config.Base;
+  Opts.Mode = RunMode::Active;
+  Opts.Seed = Seed;
+  Opts.RecordDependencies = false;
+
+  CycleSpec Spec(Cycle, Opts.Kind, Opts.UseContext);
+  DeadlockFuzzerStrategy Strategy(std::move(Spec));
+  Runtime RT(Opts, &Strategy, nullptr);
+  return RT.run(TheProgram);
+}
+
+CycleFuzzStats ActiveTester::fuzzCycle(const AbstractCycle &Cycle) {
+  CycleFuzzStats Stats;
+  Stats.Cycle = Cycle;
+  for (unsigned Rep = 0; Rep != Config.PhaseTwoReps; ++Rep) {
+    ExecutionResult R = runOnce(Cycle, Config.PhaseTwoSeedBase + Rep);
+    ++Stats.Runs;
+    Stats.TotalThrashes += R.Thrashes;
+    Stats.TotalForcedUnpauses += R.ForcedUnpauses;
+    Stats.TotalWallMs += R.WallMs;
+    if (R.DeadlockFound && R.Witness) {
+      if (witnessMatchesCycle(*R.Witness, Cycle, Config.Base.Kind,
+                              Config.Base.UseContext))
+        ++Stats.ReproducedTarget;
+      else
+        ++Stats.OtherDeadlocks;
+    } else if (R.Stalled) {
+      ++Stats.Stalls;
+    } else {
+      ++Stats.CleanRuns;
+    }
+  }
+  return Stats;
+}
+
+ActiveTesterReport ActiveTester::run() {
+  ActiveTesterReport Report;
+  Report.PhaseOne = runPhaseOne();
+  for (const AbstractCycle &Cycle : Report.PhaseOne.Cycles)
+    Report.PerCycle.push_back(fuzzCycle(Cycle));
+  return Report;
+}
+
+ExecutionResult ActiveTester::runPassthrough() {
+  Options Opts = Config.Base;
+  Opts.Mode = RunMode::Passthrough;
+  Runtime RT(Opts);
+  return RT.run(TheProgram);
+}
+
+ExecutionResult
+ActiveTester::runWithImmunity(const std::vector<CycleSpec> &Immunity,
+                              uint64_t Seed) {
+  Options Opts = Config.Base;
+  Opts.Mode = RunMode::Active;
+  Opts.Seed = Seed;
+  SimpleRandomStrategy Random;
+  Runtime RT(Opts, &Random, nullptr, &Immunity);
+  return RT.run(TheProgram);
+}
+
+std::vector<CycleSpec>
+ActiveTester::buildImmunity(const ActiveTesterReport &Report,
+                            AbstractionKind Kind) {
+  std::vector<CycleSpec> Immunity;
+  for (const CycleFuzzStats &Stats : Report.PerCycle)
+    if (Stats.ReproducedTarget > 0)
+      Immunity.emplace_back(Stats.Cycle, Kind, /*UseContext=*/true);
+  return Immunity;
+}
+
+bool ActiveTester::witnessMatchesCycle(const DeadlockWitness &Witness,
+                                       const AbstractCycle &Cycle,
+                                       AbstractionKind Kind, bool UseContext) {
+  if (Witness.Edges.size() != Cycle.Components.size())
+    return false;
+  // Render the witness as an abstract cycle and compare canonical keys.
+  AbstractCycle FromWitness;
+  for (const DeadlockWitness::Edge &E : Witness.Edges) {
+    CycleComponent C;
+    C.Thread = E.Thread;
+    C.ThreadName = E.ThreadName;
+    C.ThreadAbs = E.ThreadAbs;
+    C.Lock = E.WaitLock;
+    C.LockName = E.WaitLockName;
+    C.LockAbs = E.WaitLockAbs;
+    C.Context = E.Context;
+    FromWitness.Components.push_back(std::move(C));
+  }
+  return FromWitness.key(Kind, UseContext) == Cycle.key(Kind, UseContext);
+}
+
+unsigned ActiveTesterReport::confirmedCycles() const {
+  unsigned Count = 0;
+  for (const CycleFuzzStats &S : PerCycle)
+    if (S.ReproducedTarget > 0)
+      ++Count;
+  return Count;
+}
+
+std::string ActiveTesterReport::toString() const {
+  std::ostringstream OS;
+  OS << "iGoodlock: " << PhaseOne.Cycles.size()
+     << " potential deadlock cycle(s) from " << PhaseOne.Log.entries().size()
+     << " dependency entries\n";
+  for (size_t I = 0; I != PerCycle.size(); ++I) {
+    const CycleFuzzStats &S = PerCycle[I];
+    OS << "cycle #" << I << ": reproduced " << S.ReproducedTarget << "/"
+       << S.Runs << " (p=" << S.probability() << ", other deadlocks "
+       << S.OtherDeadlocks << ", stalls " << S.Stalls << ", avg thrashes "
+       << S.avgThrashes() << ")\n";
+    OS << S.Cycle.toString();
+  }
+  return OS.str();
+}
+
+ForkedOutcome dlf::runForkedWithTimeout(const Program &P, uint64_t TimeoutMs,
+                                        double *WallMsOut) {
+  auto Start = std::chrono::steady_clock::now();
+  pid_t Child = fork();
+  if (Child == 0) {
+    // Child: run the program uninstrumented and exit without running any
+    // atexit handlers (the parent's state must stay untouched).
+    P();
+    _exit(0);
+  }
+  if (Child < 0)
+    return ForkedOutcome::Crashed;
+
+  const uint64_t PollUs = 500;
+  uint64_t WaitedUs = 0;
+  for (;;) {
+    int Status = 0;
+    pid_t Done = waitpid(Child, &Status, WNOHANG);
+    if (Done == Child) {
+      if (WallMsOut)
+        *WallMsOut = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+      if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+        return ForkedOutcome::Completed;
+      return ForkedOutcome::Crashed;
+    }
+    if (WaitedUs >= TimeoutMs * 1000) {
+      kill(Child, SIGKILL);
+      waitpid(Child, &Status, 0);
+      if (WallMsOut)
+        *WallMsOut = static_cast<double>(TimeoutMs);
+      return ForkedOutcome::Hung;
+    }
+    usleep(PollUs);
+    WaitedUs += PollUs;
+  }
+}

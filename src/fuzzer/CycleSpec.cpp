@@ -1,0 +1,108 @@
+//===- fuzzer/CycleSpec.cpp - Phase II matching target ----------------------===//
+
+#include "fuzzer/CycleSpec.h"
+
+#include <cassert>
+
+using namespace dlf;
+
+CycleSpec::CycleSpec(const AbstractCycle &Cycle, AbstractionKind Kind,
+                     bool UseContext)
+    : Kind(Kind), UseContext(UseContext) {
+  for (const CycleComponent &C : Cycle.Components) {
+    assert(!C.Context.empty() && "cycle component without a context");
+    Component Comp;
+    Comp.ThreadAbs = C.ThreadAbs.select(Kind);
+    Comp.LockAbs = C.LockAbs.select(Kind);
+    Comp.Context = C.Context;
+    Components.push_back(std::move(Comp));
+  }
+}
+
+bool CycleSpec::matchesComponent(
+    const AbstractionSet &ThreadAbs, const AbstractionSet &LockAbs,
+    const std::vector<LockStackEntry> &Tentative) const {
+  return matchingComponentIndex(ThreadAbs, LockAbs, Tentative) !=
+         static_cast<size_t>(-1);
+}
+
+size_t CycleSpec::matchingComponentIndex(
+    const AbstractionSet &ThreadAbs, const AbstractionSet &LockAbs,
+    const std::vector<LockStackEntry> &Tentative) const {
+  const Abstraction &TA = ThreadAbs.select(Kind);
+  const Abstraction &LA = LockAbs.select(Kind);
+  for (size_t Idx = 0; Idx != Components.size(); ++Idx) {
+    const Component &C = Components[Idx];
+    if (C.ThreadAbs != TA || C.LockAbs != LA)
+      continue;
+    if (!UseContext) {
+      // Variant 4: compare the pending acquire's site only.
+      if (!Tentative.empty() && Tentative.back().Site == C.Context.back())
+        return Idx;
+      continue;
+    }
+    if (Tentative.size() != C.Context.size())
+      continue;
+    bool Equal = true;
+    for (size_t I = 0; I != Tentative.size() && Equal; ++I)
+      Equal = (Tentative[I].Site == C.Context[I]);
+    if (Equal)
+      return Idx;
+  }
+  return static_cast<size_t>(-1);
+}
+
+size_t CycleSpec::enteringComponentIndex(
+    const AbstractionSet &ThreadAbs,
+    const std::vector<LockStackEntry> &Tentative) const {
+  if (Tentative.empty())
+    return static_cast<size_t>(-1);
+  const Abstraction &TA = ThreadAbs.select(Kind);
+  for (size_t Idx = 0; Idx != Components.size(); ++Idx) {
+    const Component &C = Components[Idx];
+    if (C.ThreadAbs != TA || Tentative.size() > C.Context.size())
+      continue;
+    bool Prefix = true;
+    for (size_t I = 0; I != Tentative.size() && Prefix; ++I)
+      Prefix = (Tentative[I].Site == C.Context[I]);
+    if (Prefix)
+      return Idx;
+  }
+  return static_cast<size_t>(-1);
+}
+
+bool CycleSpec::otherComponentInProgress(
+    size_t ExcludeIndex, const AbstractionSet &ThreadAbs,
+    const std::vector<LockStackEntry> &Held) const {
+  if (Held.empty())
+    return false;
+  const Abstraction &TA = ThreadAbs.select(Kind);
+  for (size_t Idx = 0; Idx != Components.size(); ++Idx) {
+    if (Idx == ExcludeIndex)
+      continue;
+    const Component &C = Components[Idx];
+    if (C.ThreadAbs != TA)
+      continue;
+    // "In progress": the held sites are a non-empty prefix of the
+    // component's context. A full-length match also counts: a blocked
+    // thread's stack includes its pending (final) acquire, and such a
+    // thread is exactly one grant away from closing the cycle.
+    if (Held.size() > C.Context.size())
+      continue;
+    bool Prefix = true;
+    for (size_t I = 0; I != Held.size() && Prefix; ++I)
+      Prefix = (Held[I].Site == C.Context[I]);
+    if (Prefix)
+      return true;
+  }
+  return false;
+}
+
+bool CycleSpec::matchesYieldPoint(const AbstractionSet &ThreadAbs,
+                                  Label Site) const {
+  const Abstraction &TA = ThreadAbs.select(Kind);
+  for (const Component &C : Components)
+    if (C.ThreadAbs == TA && C.Context.front() == Site)
+      return true;
+  return false;
+}

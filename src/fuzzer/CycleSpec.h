@@ -1,0 +1,87 @@
+//===- fuzzer/CycleSpec.h - Phase II matching target -------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CycleSpec is an abstract deadlock cycle compiled for Phase II matching
+/// under one configuration (abstraction scheme + context use). It answers
+/// the two questions Algorithm 3 and the §4 optimization ask about every
+/// acquire:
+///
+///  * is (abs(t), abs(l), Context[t]) a component of the cycle?  -> pause
+///  * is t (by abstraction) about to execute the *outermost* acquire of a
+///    component's context?                                       -> yield
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_FUZZER_CYCLESPEC_H
+#define DLF_FUZZER_CYCLESPEC_H
+
+#include "event/Abstraction.h"
+#include "igoodlock/Report.h"
+#include "runtime/Records.h"
+
+#include <vector>
+
+namespace dlf {
+
+/// Compiled matching target for one abstract cycle.
+class CycleSpec {
+public:
+  /// Compiles \p Cycle for matching with \p Kind abstractions; when
+  /// \p UseContext is false only the final acquire site of each component
+  /// is compared (paper variant 4).
+  CycleSpec(const AbstractCycle &Cycle, AbstractionKind Kind, bool UseContext);
+
+  /// Algorithm 3 line 12: (abs(t), abs(l), Context[t]) ∈ Cycle, where
+  /// \p Tentative is t's lock stack including the pending push.
+  bool matchesComponent(const AbstractionSet &ThreadAbs,
+                        const AbstractionSet &LockAbs,
+                        const std::vector<LockStackEntry> &Tentative) const;
+
+  /// §4: does a thread with \p ThreadAbs yield before the acquire at
+  /// \p Site (the bottommost element of some component's context)?
+  bool matchesYieldPoint(const AbstractionSet &ThreadAbs, Label Site) const;
+
+  /// Like matchesComponent, but identifies *which* component matched
+  /// (npos when none). Used by the avoidance extension.
+  size_t matchingComponentIndex(
+      const AbstractionSet &ThreadAbs, const AbstractionSet &LockAbs,
+      const std::vector<LockStackEntry> &Tentative) const;
+
+  /// Index of a component whose context the thread is *entering*: the
+  /// tentative stack's sites are a non-empty prefix of the component's
+  /// context and the thread abstraction matches (npos when none). The
+  /// avoidance extension defers at entry — before the thread holds any
+  /// component lock — so deferral itself can never deadlock.
+  size_t enteringComponentIndex(
+      const AbstractionSet &ThreadAbs,
+      const std::vector<LockStackEntry> &Tentative) const;
+
+  /// True when a thread with \p ThreadAbs whose held-lock sites are
+  /// \p HeldSites has entered (a non-empty prefix of) some component other
+  /// than \p ExcludeIndex — i.e. another cycle participant is already on
+  /// its way. Used by the avoidance extension.
+  bool otherComponentInProgress(size_t ExcludeIndex,
+                                const AbstractionSet &ThreadAbs,
+                                const std::vector<LockStackEntry> &Held) const;
+
+  size_t size() const { return Components.size(); }
+
+private:
+  struct Component {
+    Abstraction ThreadAbs;
+    Abstraction LockAbs;
+    std::vector<Label> Context;
+  };
+
+  std::vector<Component> Components;
+  AbstractionKind Kind;
+  bool UseContext;
+};
+
+} // namespace dlf
+
+#endif // DLF_FUZZER_CYCLESPEC_H

@@ -1,0 +1,6 @@
+//===- fuzzer/DeadlockFuzzerStrategy.cpp - Algorithm 3 ----------------------===//
+
+#include "fuzzer/DeadlockFuzzerStrategy.h"
+
+// All behaviour is in the header; this file exists for one-cpp-per-header
+// symmetry and future out-of-line growth.

@@ -1,0 +1,50 @@
+//===- fuzzer/DeadlockFuzzerStrategy.h - Algorithm 3 -------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The active random deadlock-checking strategy (paper Algorithm 3): random
+/// scheduling biased by an abstract cycle from iGoodlock. A thread about to
+/// execute an acquire whose (abs(t), abs(l), Context[t]) is a cycle
+/// component is paused, giving the other participants time to reach their
+/// own components; checkRealDeadlock runs at every acquire; thrashing and
+/// the livelock monitor are handled by the scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_FUZZER_DEADLOCKFUZZERSTRATEGY_H
+#define DLF_FUZZER_DEADLOCKFUZZERSTRATEGY_H
+
+#include "fuzzer/CycleSpec.h"
+#include "runtime/Strategy.h"
+
+namespace dlf {
+
+/// Algorithm 3: biased random scheduling toward one target cycle.
+class DeadlockFuzzerStrategy : public SchedulerStrategy {
+public:
+  explicit DeadlockFuzzerStrategy(CycleSpec Spec) : Spec(std::move(Spec)) {}
+
+  const char *name() const override { return "deadlock-fuzzer"; }
+
+  bool wantsDeadlockCheck() const override { return true; }
+
+  bool shouldPause(const ThreadRecord &T, const LockRecord &L,
+                   const std::vector<LockStackEntry> &Tentative) override {
+    return Spec.matchesComponent(T.Abs, L.Abs, Tentative);
+  }
+
+  bool shouldYield(const ThreadRecord &T, const LockRecord &L,
+                   Label Site) override {
+    return Spec.matchesYieldPoint(T.Abs, Site);
+  }
+
+private:
+  CycleSpec Spec;
+};
+
+} // namespace dlf
+
+#endif // DLF_FUZZER_DEADLOCKFUZZERSTRATEGY_H

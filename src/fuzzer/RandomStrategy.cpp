@@ -1,0 +1,6 @@
+//===- fuzzer/RandomStrategy.cpp - Algorithm 2 ------------------------------===//
+
+#include "fuzzer/RandomStrategy.h"
+
+// SimpleRandomStrategy is fully defined by the base class defaults; this
+// file anchors nothing but exists to keep one .cpp per module header.

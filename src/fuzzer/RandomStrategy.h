@@ -1,0 +1,32 @@
+//===- fuzzer/RandomStrategy.h - Algorithm 2 --------------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simple random checker (paper Algorithm 2): at every state pick a
+/// uniformly random enabled thread and execute its next statement; report a
+/// system stall when no thread is enabled but some are alive. It never
+/// pauses, never yields, and does not run checkRealDeadlock — deadlocks
+/// manifest as stalls. Phase I uses this strategy (with recording enabled)
+/// to observe a random serialized execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_FUZZER_RANDOMSTRATEGY_H
+#define DLF_FUZZER_RANDOMSTRATEGY_H
+
+#include "runtime/Strategy.h"
+
+namespace dlf {
+
+/// Algorithm 2: uniformly random scheduling, stall detection only.
+class SimpleRandomStrategy : public SchedulerStrategy {
+public:
+  const char *name() const override { return "simple-random"; }
+};
+
+} // namespace dlf
+
+#endif // DLF_FUZZER_RANDOMSTRATEGY_H

@@ -1,0 +1,133 @@
+//===- fuzzer/RealDeadlockChecker.cpp - Algorithm 4 -------------------------===//
+
+#include "fuzzer/RealDeadlockChecker.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+using namespace dlf;
+
+namespace {
+
+/// Depth-first search for a lock-order cycle with pairwise-distinct threads
+/// and locks. An edge (A -> B via thread t) exists when A appears before B
+/// in t's lock stack. Thread counts are small (the paper's benchmarks use a
+/// handful), so the brute-force search is cheap; the scheduler additionally
+/// only calls this at acquire commits.
+class CycleSearch {
+public:
+  explicit CycleSearch(const std::vector<ThreadStackView> &Views)
+      : Views(Views) {}
+
+  /// Finds one cycle; fills Path with (view index, position of the "later"
+  /// lock in that view's stack) per edge.
+  bool find(std::vector<std::pair<size_t, size_t>> &Path) {
+    for (size_t V = 0; V != Views.size(); ++V) {
+      const auto &Stack = *Views[V].Stack;
+      for (size_t From = 0; From != Stack.size(); ++From) {
+        for (size_t To = From + 1; To != Stack.size(); ++To) {
+          // Edge Stack[From].Lock -> Stack[To].Lock via thread V starts a
+          // candidate chain.
+          UsedThreads.clear();
+          UsedLocks.clear();
+          Path.clear();
+          StartLock = Stack[From].Lock;
+          UsedThreads.insert(V);
+          UsedLocks.insert(StartLock.Raw);
+          Path.push_back({V, To});
+          if (Stack[To].Lock == StartLock)
+            continue; // degenerate; locks in one stack are distinct anyway
+          UsedLocks.insert(Stack[To].Lock.Raw);
+          if (extend(Stack[To].Lock, Path))
+            return true;
+        }
+      }
+    }
+    return false;
+  }
+
+private:
+  bool extend(LockId Current, std::vector<std::pair<size_t, size_t>> &Path) {
+    for (size_t V = 0; V != Views.size(); ++V) {
+      if (UsedThreads.count(V))
+        continue;
+      const auto &Stack = *Views[V].Stack;
+      // Find Current in this stack, then try every lock after it.
+      for (size_t From = 0; From != Stack.size(); ++From) {
+        if (Stack[From].Lock != Current)
+          continue;
+        for (size_t To = From + 1; To != Stack.size(); ++To) {
+          LockId Next = Stack[To].Lock;
+          if (Next == StartLock) {
+            Path.push_back({V, To});
+            return true; // closed the cycle
+          }
+          if (UsedLocks.count(Next.Raw))
+            continue;
+          UsedThreads.insert(V);
+          UsedLocks.insert(Next.Raw);
+          Path.push_back({V, To});
+          if (extend(Next, Path))
+            return true;
+          Path.pop_back();
+          UsedLocks.erase(Next.Raw);
+          UsedThreads.erase(V);
+        }
+        break; // locks within one stack are distinct; Current occurs once
+      }
+    }
+    return false;
+  }
+
+  const std::vector<ThreadStackView> &Views;
+  LockId StartLock;
+  std::unordered_set<size_t> UsedThreads;
+  std::unordered_set<uint64_t> UsedLocks;
+};
+
+} // namespace
+
+std::optional<DeadlockWitness> dlf::findRealDeadlock(
+    const std::vector<ThreadStackView> &Views,
+    const std::function<const LockRecord &(LockId)> &LockById) {
+  std::vector<std::pair<size_t, size_t>> Path;
+  CycleSearch Search(Views);
+  if (!Search.find(Path))
+    return std::nullopt;
+
+  DeadlockWitness Witness;
+  for (auto [ViewIdx, WaitPos] : Path) {
+    const ThreadStackView &View = Views[ViewIdx];
+    const std::vector<LockStackEntry> &Stack = *View.Stack;
+    assert(WaitPos < Stack.size() && "cycle path out of range");
+
+    DeadlockWitness::Edge Edge;
+    Edge.Thread = View.Thread->Id;
+    Edge.ThreadName = View.Thread->Name;
+    Edge.ThreadAbs = View.Thread->Abs;
+    const LockRecord &Wait = LockById(Stack[WaitPos].Lock);
+    Edge.WaitLock = Wait.Id;
+    Edge.WaitLockName = Wait.Name;
+    Edge.WaitLockAbs = Wait.Abs;
+    Edge.WaitSite = Stack[WaitPos].Site;
+    for (size_t I = 0; I <= WaitPos; ++I)
+      Edge.Context.push_back(Stack[I].Site);
+    Witness.Edges.push_back(std::move(Edge));
+  }
+  return Witness;
+}
+
+std::string DeadlockWitness::toString() const {
+  std::ostringstream OS;
+  OS << "real deadlock cycle of length " << Edges.size() << ":\n";
+  for (const Edge &E : Edges) {
+    OS << "  thread " << E.ThreadName << " (t" << E.Thread.Raw
+       << ") waits for lock " << E.WaitLockName << " (l" << E.WaitLock.Raw
+       << ") at " << E.WaitSite.text() << "; context:";
+    for (Label Site : E.Context)
+      OS << ' ' << Site.text();
+    OS << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,16 @@
+//===- fuzzer/Strategy.cpp - Strategy & recorder interface anchors ---------===//
+
+#include "runtime/Strategy.h"
+
+#include "runtime/Recorder.h"
+
+using namespace dlf;
+
+SchedulerStrategy::~SchedulerStrategy() = default;
+
+size_t SchedulerStrategy::pickIndex(
+    const std::vector<const ThreadRecord *> &Candidates, Rng &R) {
+  return R.nextIndex(Candidates.size());
+}
+
+DependencyRecorder::~DependencyRecorder() = default;

@@ -1,0 +1,75 @@
+//===- fuzzer/Systematic.cpp - Stateless systematic exploration -------------===//
+
+#include "fuzzer/Systematic.h"
+
+#include "runtime/Runtime.h"
+
+#include <cassert>
+
+using namespace dlf;
+
+size_t SystematicStrategy::pickIndex(
+    const std::vector<const ThreadRecord *> &Candidates, Rng &R) {
+  (void)R;
+  uint32_t Arity = static_cast<uint32_t>(Candidates.size());
+  uint32_t Chosen = 0;
+  if (Step < Prefix.size()) {
+    Chosen = Prefix[Step];
+    // The tree's arity can differ slightly between runs at the frontier
+    // (a forced earlier choice changes which threads are announced);
+    // clamp defensively — the explorer re-reads the recorded arity.
+    if (Chosen >= Arity)
+      Chosen = Arity - 1;
+  }
+  Trace.push_back({Chosen, Arity});
+  ++Step;
+  return Chosen;
+}
+
+SystematicResult dlf::exploreSystematically(const Program &P,
+                                            uint64_t MaxExecutions,
+                                            size_t MaxDepth) {
+  SystematicResult Result;
+  std::vector<uint32_t> Prefix;
+
+  for (;;) {
+    if (Result.Executions >= MaxExecutions)
+      return Result;
+    ++Result.Executions;
+
+    SystematicStrategy Strategy(Prefix);
+    Options Opts;
+    Opts.Mode = RunMode::Active;
+    Opts.Seed = 1; // thrash/monitor randomness is unused: nothing pauses
+    Runtime RT(Opts, &Strategy);
+    ExecutionResult R = RT.run(P);
+
+    if (R.Stalled || R.DeadlockFound) {
+      Result.DeadlockFound = true;
+      Result.Witness = R.Witness;
+      return Result;
+    }
+
+    // Backtrack: advance the deepest choice point (within the depth
+    // bound) that still has unexplored siblings.
+    const auto &Trace = Strategy.trace();
+    size_t Limit = std::min(Trace.size(), MaxDepth);
+    bool Advanced = false;
+    for (size_t Pos = Limit; Pos-- > 0;) {
+      auto [Chosen, Arity] = Trace[Pos];
+      if (Chosen + 1 < Arity) {
+        Prefix.clear();
+        Prefix.reserve(Pos + 1);
+        for (size_t I = 0; I != Pos; ++I)
+          Prefix.push_back(Trace[I].first);
+        Prefix.push_back(Chosen + 1);
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced) {
+      Result.Exhausted = true;
+      return Result;
+    }
+  }
+}

@@ -1,0 +1,85 @@
+//===- fuzzer/Systematic.h - Stateless systematic exploration ----*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stateless systematic schedule explorer (Verisoft-style), implementing
+/// the baseline the paper's introduction argues against: "model checking
+/// fails to scale for large multi-threaded programs due to the exponential
+/// increase in the number of thread schedules with execution length."
+///
+/// The explorer drives the active scheduler with an explicit choice
+/// prefix: every scheduling decision up to the prefix length is forced,
+/// later decisions take the first candidate. After each execution the
+/// deepest non-exhausted choice point is advanced (depth-first search over
+/// the schedule tree), re-executing the program from scratch each time.
+/// A deadlock manifests as a stall.
+///
+/// `bench/motivation_systematic` races this against the two-phase
+/// DeadlockFuzzer on the Figure 1 program as the deadlock window narrows:
+/// the systematic search needs exponentially more executions while the
+/// two-phase approach stays at "one observation + a handful of biased
+/// runs".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_FUZZER_SYSTEMATIC_H
+#define DLF_FUZZER_SYSTEMATIC_H
+
+#include "fuzzer/ActiveTester.h"
+#include "runtime/Strategy.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlf {
+
+/// Strategy that follows a forced choice prefix and records the branching
+/// structure it encounters (one entry per scheduling decision: the index
+/// taken and the number of candidates that were available).
+class SystematicStrategy : public SchedulerStrategy {
+public:
+  explicit SystematicStrategy(std::vector<uint32_t> Prefix)
+      : Prefix(std::move(Prefix)) {}
+
+  const char *name() const override { return "systematic"; }
+
+  size_t pickIndex(const std::vector<const ThreadRecord *> &Candidates,
+                   Rng &R) override;
+
+  /// The decision trace of the last run: (chosen index, arity) pairs.
+  const std::vector<std::pair<uint32_t, uint32_t>> &trace() const {
+    return Trace;
+  }
+
+private:
+  std::vector<uint32_t> Prefix;
+  std::vector<std::pair<uint32_t, uint32_t>> Trace;
+  size_t Step = 0;
+};
+
+/// Outcome of a bounded systematic search.
+struct SystematicResult {
+  /// Executions performed (including the deadlocking one, if any).
+  uint64_t Executions = 0;
+  /// True when a stall/deadlock was found within the bounds.
+  bool DeadlockFound = false;
+  /// The witness of the deadlocking execution, when found.
+  std::optional<DeadlockWitness> Witness;
+  /// True when the search space was exhausted without a deadlock.
+  bool Exhausted = false;
+};
+
+/// Depth-first search over the schedule tree of \p P. Stops at the first
+/// deadlock, after \p MaxExecutions runs, or when the bounded tree (choice
+/// points beyond \p MaxDepth follow the default policy and are not
+/// expanded) is exhausted.
+SystematicResult exploreSystematically(const Program &P,
+                                       uint64_t MaxExecutions,
+                                       size_t MaxDepth = 512);
+
+} // namespace dlf
+
+#endif // DLF_FUZZER_SYSTEMATIC_H

@@ -1,0 +1,175 @@
+//===- igoodlock/ClassicGoodlock.cpp - DFS Goodlock baseline ----------------===//
+
+#include "igoodlock/ClassicGoodlock.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace dlf;
+
+namespace {
+
+/// DFS context over the dependency relation, viewed as a lock-order graph:
+/// an edge exists from entry e to entry e' when e.Acquired ∈ e'.Held (the
+/// chain-link condition of Definition 2).
+class DfsSearch {
+public:
+  DfsSearch(const LockDependencyLog &Log, const IGoodlockOptions &Opts,
+            ClassicGoodlockStats &Stats)
+      : D(Log.entries()), Log(Log), Opts(Opts), Stats(Stats) {
+    for (uint32_t I = 0; I != D.size(); ++I)
+      for (LockId Held : D[I].Held)
+        HeldIndex[Held.Raw].push_back(I);
+  }
+
+  std::vector<AbstractCycle> run() {
+    for (uint32_t I = 0; I != D.size(); ++I) {
+      if (D[I].Held.empty())
+        continue; // cannot close a cycle (Definition 3 needs l_m ∈ L_1)
+      pushEntry(I);
+      dfs();
+      popEntry();
+    }
+    return std::move(Cycles);
+  }
+
+private:
+  void pushEntry(uint32_t Idx) {
+    const DependencyEntry &E = D[Idx];
+    Chain.push_back(Idx);
+    Threads.push_back(E.Thread);
+    Acquired.push_back(E.Acquired);
+    HeldUnion.insert(HeldUnion.end(), E.Held.begin(), E.Held.end());
+    HeldSizes.push_back(E.Held.size());
+    ++Stats.ChainsExplored;
+    Stats.PeakDepth = std::max(Stats.PeakDepth, Chain.size());
+  }
+
+  void popEntry() {
+    const DependencyEntry &E = D[Chain.back()];
+    HeldUnion.resize(HeldUnion.size() - E.Held.size());
+    HeldSizes.pop_back();
+    Acquired.pop_back();
+    Threads.pop_back();
+    Chain.pop_back();
+  }
+
+  static bool contains(const std::vector<LockId> &Haystack, LockId Needle) {
+    return std::find(Haystack.begin(), Haystack.end(), Needle) !=
+           Haystack.end();
+  }
+
+  bool canExtend(const DependencyEntry &E) const {
+    // Distinct threads + minimal-first-thread duplicate suppression.
+    if (E.Thread < Threads.front())
+      return false;
+    for (ThreadId T : Threads)
+      if (T == E.Thread)
+        return false;
+    // Distinct acquired locks.
+    if (contains(Acquired, E.Acquired))
+      return false;
+    // Pairwise-disjoint guard sets.
+    for (LockId Held : E.Held)
+      if (contains(HeldUnion, Held))
+        return false;
+    return true;
+  }
+
+  void dfs() {
+    if (Chain.size() >= Opts.MaxCycleLength)
+      return;
+    auto CandIt = HeldIndex.find(Acquired.back().Raw);
+    if (CandIt == HeldIndex.end())
+      return;
+    for (uint32_t Next : CandIt->second) {
+      const DependencyEntry &E = D[Next];
+      if (!canExtend(E))
+        continue;
+      if (contains(D[Chain.front()].Held, E.Acquired)) {
+        // Cycle closed; report, do not extend (no complex cycles).
+        if (!hbFeasible(E))
+          ++Stats.FilteredByHb;
+        else if (Cycles.size() < Opts.MaxCycles)
+          report(E);
+        else
+          Stats.Truncated = true;
+        continue;
+      }
+      pushEntry(Next);
+      dfs();
+      popEntry();
+    }
+  }
+
+  bool hbFeasible(const DependencyEntry &Closing) const {
+    if (!Opts.FilterByHappensBefore)
+      return true;
+    for (size_t I = 0; I != Chain.size(); ++I) {
+      if (!vcConcurrent(D[Chain[I]].Clock, Closing.Clock))
+        return false;
+      for (size_t J = I + 1; J != Chain.size(); ++J)
+        if (!vcConcurrent(D[Chain[I]].Clock, D[Chain[J]].Clock))
+          return false;
+    }
+    return true;
+  }
+
+  void report(const DependencyEntry &Closing) {
+    AbstractCycle Cycle;
+    auto Add = [&](const DependencyEntry &E) {
+      CycleComponent Comp;
+      Comp.Thread = E.Thread;
+      Comp.ThreadName = Log.threadInfo(E.Thread).Name;
+      Comp.ThreadAbs = Log.threadInfo(E.Thread).Abs;
+      Comp.Lock = E.Acquired;
+      Comp.LockName = Log.lockInfo(E.Acquired).Name;
+      Comp.LockAbs = Log.lockInfo(E.Acquired).Abs;
+      Comp.Context = E.Context;
+      Cycle.Components.push_back(std::move(Comp));
+    };
+    for (uint32_t Idx : Chain)
+      Add(D[Idx]);
+    Add(Closing);
+
+    std::string Key =
+        Cycle.key(AbstractionKind::ExecutionIndex, /*UseContext=*/true);
+    auto [It, Inserted] = KeyToIdx.try_emplace(Key, Cycles.size());
+    if (!Inserted) {
+      ++Cycles[It->second].Multiplicity;
+      return;
+    }
+    Cycles.push_back(std::move(Cycle));
+  }
+
+  const std::vector<DependencyEntry> &D;
+  const LockDependencyLog &Log;
+  const IGoodlockOptions &Opts;
+  ClassicGoodlockStats &Stats;
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> HeldIndex;
+
+  // The single live chain (the DFS memory story).
+  std::vector<uint32_t> Chain;
+  std::vector<ThreadId> Threads;
+  std::vector<LockId> Acquired;
+  std::vector<LockId> HeldUnion;
+  std::vector<size_t> HeldSizes;
+
+  std::vector<AbstractCycle> Cycles;
+  std::unordered_map<std::string, size_t> KeyToIdx;
+};
+
+} // namespace
+
+std::vector<AbstractCycle>
+dlf::runClassicGoodlock(const LockDependencyLog &Log,
+                        const IGoodlockOptions &Opts,
+                        ClassicGoodlockStats *Stats) {
+  ClassicGoodlockStats LocalStats;
+  DfsSearch Search(Log, Opts, LocalStats);
+  std::vector<AbstractCycle> Cycles = Search.run();
+  if (Stats)
+    *Stats = LocalStats;
+  return Cycles;
+}

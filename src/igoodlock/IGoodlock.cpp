@@ -1,0 +1,178 @@
+//===- igoodlock/IGoodlock.cpp - Algorithm 1 --------------------------------===//
+
+#include "igoodlock/IGoodlock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dlf;
+
+namespace {
+
+/// A dependency chain: just the entry indices (kept light because the
+/// closure materializes whole levels of these — the paper's memory-for-
+/// runtime trade). The Definition-2 checks scan the chain's entries
+/// through the relation, which keeps per-extension copying to one short
+/// index vector.
+struct Chain {
+  std::vector<uint32_t> EntryIdx;
+  /// Last entry's acquired lock (chain-link check: must be held by next).
+  LockId LastAcquired;
+};
+
+bool contains(const std::vector<LockId> &Haystack, LockId Needle) {
+  return std::find(Haystack.begin(), Haystack.end(), Needle) != Haystack.end();
+}
+
+/// Definition 2 for appending \p E to \p C, including the §2.2.3 duplicate
+/// suppression (the chain's first thread id is minimal).
+bool canExtend(const std::vector<DependencyEntry> &D, const Chain &C,
+               const DependencyEntry &E) {
+  // 1. distinct threads; duplicate suppression: first thread is minimal.
+  if (E.Thread < D[C.EntryIdx.front()].Thread)
+    return false;
+  for (uint32_t Idx : C.EntryIdx) {
+    const DependencyEntry &Prev = D[Idx];
+    if (Prev.Thread == E.Thread)
+      return false;
+    // 2. acquired locks pairwise distinct.
+    if (Prev.Acquired == E.Acquired)
+      return false;
+    // 4. held sets pairwise disjoint.
+    for (LockId Held : E.Held)
+      if (contains(Prev.Held, Held))
+        return false;
+  }
+  // 3. the previous acquired lock must be held by this entry's thread.
+  if (!contains(E.Held, C.LastAcquired))
+    return false;
+  return true;
+}
+
+} // namespace
+
+std::vector<AbstractCycle> dlf::runIGoodlock(const LockDependencyLog &Log,
+                                             const IGoodlockOptions &Opts,
+                                             IGoodlockStats *Stats) {
+  const std::vector<DependencyEntry> &D = Log.entries();
+
+  // Index: lock id -> entries whose held set contains it (extension
+  // candidates for a chain whose last acquired lock is that lock). Entries
+  // holding nothing can never appear past position 1 of a cycle chain, and
+  // entries are only *started* from (see below), so the index is the hot
+  // path of the closure.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> HeldIndex;
+  for (uint32_t I = 0; I != D.size(); ++I)
+    for (LockId Held : D[I].Held)
+      HeldIndex[Held.Raw].push_back(I);
+
+  IGoodlockStats LocalStats;
+  std::vector<AbstractCycle> Cycles;
+
+  // Happens-before feasibility: every pair of component acquires must be
+  // concurrent (entries with no clock carry no information).
+  auto HbFeasible = [&](const Chain &C, const DependencyEntry &Closing) {
+    if (!Opts.FilterByHappensBefore)
+      return true;
+    std::vector<const DependencyEntry *> Members;
+    for (uint32_t Idx : C.EntryIdx)
+      Members.push_back(&D[Idx]);
+    Members.push_back(&Closing);
+    for (size_t I = 0; I != Members.size(); ++I)
+      for (size_t J = I + 1; J != Members.size(); ++J)
+        if (!vcConcurrent(Members[I]->Clock, Members[J]->Clock))
+          return false;
+    return true;
+  };
+  // Collapse abstract duplicates; keyed by the most precise configuration.
+  std::unordered_map<std::string, size_t> CycleKeyToIdx;
+
+  auto ReportCycle = [&](const Chain &C, const DependencyEntry &Closing) {
+    AbstractCycle Cycle;
+    auto AddComponent = [&](const DependencyEntry &E) {
+      CycleComponent Comp;
+      Comp.Thread = E.Thread;
+      Comp.ThreadName = Log.threadInfo(E.Thread).Name;
+      Comp.ThreadAbs = Log.threadInfo(E.Thread).Abs;
+      Comp.Lock = E.Acquired;
+      Comp.LockName = Log.lockInfo(E.Acquired).Name;
+      Comp.LockAbs = Log.lockInfo(E.Acquired).Abs;
+      Comp.Context = E.Context;
+      Cycle.Components.push_back(std::move(Comp));
+    };
+    for (uint32_t Idx : C.EntryIdx)
+      AddComponent(D[Idx]);
+    AddComponent(Closing);
+
+    std::string Key =
+        Cycle.key(AbstractionKind::ExecutionIndex, /*UseContext=*/true);
+    auto [It, Inserted] = CycleKeyToIdx.try_emplace(Key, Cycles.size());
+    if (!Inserted) {
+      ++Cycles[It->second].Multiplicity;
+      return;
+    }
+    Cycles.push_back(std::move(Cycle));
+  };
+
+  // D_1 = D, restricted to entries that can be the head of a cycle chain:
+  // the head's held set must eventually contain the closing lock, so an
+  // empty held set can never close (Definition 3 needs l_m ∈ L_1).
+  std::vector<Chain> Current;
+  for (uint32_t I = 0; I != D.size(); ++I) {
+    if (D[I].Held.empty())
+      continue;
+    Chain C;
+    C.EntryIdx = {I};
+    C.LastAcquired = D[I].Acquired;
+    Current.push_back(std::move(C));
+  }
+  LocalStats.ChainsExplored += Current.size();
+
+  // Iterate: find all cycles of length k before any of length k+1.
+  for (unsigned Len = 1; Len < Opts.MaxCycleLength && !Current.empty();
+       ++Len) {
+    ++LocalStats.Iterations;
+    std::vector<Chain> Next;
+    for (const Chain &C : Current) {
+      auto CandIt = HeldIndex.find(C.LastAcquired.Raw);
+      if (CandIt == HeldIndex.end())
+        continue;
+      for (uint32_t EIdx : CandIt->second) {
+        const DependencyEntry &E = D[EIdx];
+        if (!canExtend(D, C, E))
+          continue;
+        // Definition 3: cycle when the new acquired lock is held by the
+        // chain's first thread. Cycles are reported, not extended
+        // (no complex cycles, §2.2.2).
+        if (contains(D[C.EntryIdx.front()].Held, E.Acquired)) {
+          if (!HbFeasible(C, E))
+            ++LocalStats.FilteredByHb;
+          else if (Cycles.size() < Opts.MaxCycles)
+            ReportCycle(C, E);
+          else
+            LocalStats.Truncated = true;
+          continue;
+        }
+        if (Next.size() >= Opts.MaxChains) {
+          LocalStats.Truncated = true;
+          break;
+        }
+        Chain Extended;
+        Extended.EntryIdx.reserve(C.EntryIdx.size() + 1);
+        Extended.EntryIdx = C.EntryIdx;
+        Extended.EntryIdx.push_back(EIdx);
+        Extended.LastAcquired = E.Acquired;
+        Next.push_back(std::move(Extended));
+      }
+    }
+    LocalStats.ChainsExplored += Next.size();
+    Current = std::move(Next);
+  }
+
+  if (Stats)
+    *Stats = LocalStats;
+  return Cycles;
+}

@@ -1,0 +1,74 @@
+//===- igoodlock/IGoodlock.h - Algorithm 1 ----------------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// iGoodlock (informative Goodlock), paper §2.2: computes potential
+/// deadlock cycles from the lock dependency relation by iterative closure —
+/// D_{k+1} is built by extending each chain in D_k with compatible entries
+/// of D — instead of the lock-graph DFS of classical Goodlock. All cycles
+/// of length k are found before any cycle of length k+1, so a bounded run
+/// (MaxCycleLength = 2) matches the paper's limited-budget mode.
+///
+/// Chain validity (Definition 2): pairwise-distinct threads, pairwise-
+/// distinct acquired locks, l_i ∈ L_{i+1}, and pairwise-disjoint held sets.
+/// A chain is a potential cycle (Definition 3) when l_m ∈ L_1. Duplicates
+/// are suppressed by requiring the first thread's id to be minimal in the
+/// chain (§2.2.3), and cycles are not extended further, so no "complex"
+/// cycles are reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_IGOODLOCK_IGOODLOCK_H
+#define DLF_IGOODLOCK_IGOODLOCK_H
+
+#include "igoodlock/LockDependency.h"
+#include "igoodlock/Report.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlf {
+
+/// Tuning for the closure.
+struct IGoodlockOptions {
+  /// Maximum cycle length searched (the paper's iteration bound; all real
+  /// deadlocks in the paper's benchmarks have length 2).
+  unsigned MaxCycleLength = 6;
+  /// Safety cap on the number of live chains per iteration.
+  size_t MaxChains = 1u << 20;
+  /// Safety cap on reported cycles.
+  size_t MaxCycles = 4096;
+
+  /// When true, a cycle is reported only if its components' acquire events
+  /// are pairwise *concurrent* under the recorded happens-before
+  /// timestamps (paper §1's precision refinement). With fork/join-only
+  /// tracking this prunes provably infeasible cycles (the §5.4
+  /// CachedThread class); with full-sync tracking it also prunes real
+  /// deadlocks that happened not to overlap in the observed run — the
+  /// "reduces the predictive power" cost the paper warns about. No-op when
+  /// the runtime recorded no clocks.
+  bool FilterByHappensBefore = false;
+};
+
+/// Statistics a run of the analysis can report (tests & benches).
+struct IGoodlockStats {
+  uint64_t ChainsExplored = 0;
+  unsigned Iterations = 0;
+  bool Truncated = false;
+  /// Cycles suppressed by the happens-before filter.
+  uint64_t FilteredByHb = 0;
+};
+
+/// Runs Algorithm 1 over \p Log and returns the abstract potential deadlock
+/// cycles, deduplicated up to rotation and abstraction equality (with
+/// Multiplicity counting collapsed chains). \p Stats may be null.
+std::vector<AbstractCycle> runIGoodlock(const LockDependencyLog &Log,
+                                        const IGoodlockOptions &Opts = {},
+                                        IGoodlockStats *Stats = nullptr);
+
+} // namespace dlf
+
+#endif // DLF_IGOODLOCK_IGOODLOCK_H

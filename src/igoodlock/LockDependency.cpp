@@ -1,0 +1,59 @@
+//===- igoodlock/LockDependency.cpp - The lock dependency relation ---------===//
+
+#include "igoodlock/LockDependency.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace dlf;
+
+void LockDependencyLog::onThreadCreated(const ThreadRecord &T) {
+  ThreadMeta[T.Id] = {T.Name, T.Abs};
+}
+
+void LockDependencyLog::onLockCreated(const LockRecord &L) {
+  LockMeta[L.Id] = {L.Name, L.Abs};
+}
+
+void LockDependencyLog::onAcquireExecuted(
+    const ThreadRecord &T, const LockRecord &L,
+    const std::vector<LockStackEntry> &HeldBefore, Label Site) {
+  ++AcquireEvents;
+
+  DependencyEntry Entry;
+  Entry.Thread = T.Id;
+  Entry.Acquired = L.Id;
+  Entry.Held.reserve(HeldBefore.size());
+  Entry.Context.reserve(HeldBefore.size() + 1);
+  for (const LockStackEntry &E : HeldBefore) {
+    Entry.Held.push_back(E.Lock);
+    Entry.Context.push_back(E.Site);
+  }
+  Entry.Context.push_back(Site);
+  Entry.Clock = T.Clock;
+
+  // Deduplicate: D is a relation, and loops re-acquiring the same locks in
+  // the same context would otherwise flood the closure.
+  std::ostringstream Key;
+  Key << Entry.Thread.Raw << '|' << Entry.Acquired.Raw << '|';
+  for (LockId Held : Entry.Held)
+    Key << Held.Raw << ',';
+  Key << '|';
+  for (Label C : Entry.Context)
+    Key << C.raw() << ',';
+  if (!Seen.insert(Key.str()).second)
+    return;
+  Entries.push_back(std::move(Entry));
+}
+
+const ObjectInfo &LockDependencyLog::threadInfo(ThreadId Id) const {
+  auto It = ThreadMeta.find(Id);
+  assert(It != ThreadMeta.end() && "unknown thread in dependency log");
+  return It->second;
+}
+
+const ObjectInfo &LockDependencyLog::lockInfo(LockId Id) const {
+  auto It = LockMeta.find(Id);
+  assert(It != LockMeta.end() && "unknown lock in dependency log");
+  return It->second;
+}

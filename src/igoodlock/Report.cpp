@@ -1,0 +1,73 @@
+//===- igoodlock/Report.cpp - Abstract deadlock cycle reports --------------===//
+
+#include "igoodlock/Report.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace dlf;
+
+std::string AbstractCycle::toString() const {
+  std::ostringstream OS;
+  OS << "potential deadlock cycle of length " << Components.size();
+  if (Multiplicity > 1)
+    OS << " (x" << Multiplicity << ")";
+  OS << ":\n";
+  for (const CycleComponent &C : Components) {
+    OS << "  thread " << C.ThreadName << " absI=" << C.ThreadAbs.Index.toString(true)
+       << " acquires lock " << C.LockName
+       << " absI=" << C.LockAbs.Index.toString(true) << "\n    context:";
+    for (Label Site : C.Context)
+      OS << ' ' << Site.text();
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+/// Serializes one component under the matching configuration.
+static std::string componentKey(const CycleComponent &C, AbstractionKind Kind,
+                                bool UseContext) {
+  std::ostringstream OS;
+  OS << 'T';
+  for (uint32_t E : C.ThreadAbs.select(Kind).Elements)
+    OS << '.' << E;
+  OS << 'L';
+  for (uint32_t E : C.LockAbs.select(Kind).Elements)
+    OS << '.' << E;
+  OS << 'C';
+  if (UseContext) {
+    for (Label Site : C.Context)
+      OS << '.' << Site.raw();
+  } else if (!C.Context.empty()) {
+    OS << '.' << C.Context.back().raw();
+  }
+  return OS.str();
+}
+
+std::string AbstractCycle::key(AbstractionKind Kind, bool UseContext) const {
+  std::vector<std::string> Parts;
+  Parts.reserve(Components.size());
+  for (const CycleComponent &C : Components)
+    Parts.push_back(componentKey(C, Kind, UseContext));
+
+  // Canonicalize under rotation: start at the lexicographically smallest
+  // component (cycles have no distinguished first element).
+  size_t Best = 0;
+  auto RotationLess = [&](size_t A, size_t B) {
+    for (size_t I = 0; I != Parts.size(); ++I) {
+      const std::string &PA = Parts[(A + I) % Parts.size()];
+      const std::string &PB = Parts[(B + I) % Parts.size()];
+      if (PA != PB)
+        return PA < PB;
+    }
+    return false;
+  };
+  for (size_t I = 1; I != Parts.size(); ++I)
+    if (RotationLess(I, Best))
+      Best = I;
+
+  std::ostringstream OS;
+  for (size_t I = 0; I != Parts.size(); ++I)
+    OS << Parts[(Best + I) % Parts.size()] << '|';
+  return OS.str();
+}

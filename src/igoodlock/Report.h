@@ -1,0 +1,65 @@
+//===- igoodlock/Report.h - Abstract deadlock cycle reports -----*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What iGoodlock reports: abstract deadlock cycles. For a potential cycle
+/// ((t1,L1,l1,C1), ..., (tm,Lm,lm,Cm)) the report is
+/// ((abs(t1), abs(l1), C1), ..., (abs(tm), abs(lm), Cm)) — the abstractions
+/// of the thread and lock objects plus the acquire contexts, which is all
+/// Phase II needs to re-create the deadlock in a different execution
+/// (concrete ids change between executions; abstractions do not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_IGOODLOCK_REPORT_H
+#define DLF_IGOODLOCK_REPORT_H
+
+#include "event/Abstraction.h"
+#include "event/Ids.h"
+#include "event/Label.h"
+
+#include <string>
+#include <vector>
+
+namespace dlf {
+
+/// One component (abs(t_i), abs(l_i), C_i) of an abstract cycle, plus the
+/// concrete ids/names from the observing execution for debugging.
+struct CycleComponent {
+  ThreadId Thread; ///< concrete id in the *observed* execution (debug only)
+  std::string ThreadName;
+  AbstractionSet ThreadAbs;
+
+  LockId Lock; ///< concrete id in the observed execution (debug only)
+  std::string LockName;
+  AbstractionSet LockAbs;
+
+  /// C_i: acquire-site labels, outermost first; the last element is the
+  /// site of the acquire of l_i itself.
+  std::vector<Label> Context;
+};
+
+/// An abstract potential deadlock cycle as reported by iGoodlock.
+struct AbstractCycle {
+  std::vector<CycleComponent> Components;
+
+  /// How many distinct dependency chains collapsed onto this abstract cycle.
+  unsigned Multiplicity = 1;
+
+  /// Human-readable multi-line rendering.
+  std::string toString() const;
+
+  /// A canonical, rotation-invariant key for this cycle under the given
+  /// matching configuration. Two cycles with equal keys are
+  /// indistinguishable to a Phase II variant using \p Kind / \p UseContext,
+  /// which is exactly the equivalence the tester deduplicates and the
+  /// witness matcher compares by.
+  std::string key(AbstractionKind Kind, bool UseContext) const;
+};
+
+} // namespace dlf
+
+#endif // DLF_IGOODLOCK_REPORT_H

@@ -1,0 +1,256 @@
+//===- igoodlock/Serialize.cpp - Cycle report (de)serialization -------------===//
+
+#include "igoodlock/Serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace dlf;
+
+namespace {
+
+/// Percent-escapes the field separators and line breaks.
+std::string escapeField(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '%' || C == '|' || C == '\n' || C == '\r') {
+      static const char Hex[] = "0123456789ABCDEF";
+      Out += '%';
+      Out += Hex[(static_cast<unsigned char>(C) >> 4) & 0xF];
+      Out += Hex[static_cast<unsigned char>(C) & 0xF];
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+bool unescapeField(const std::string &Text, std::string &Out) {
+  Out.clear();
+  Out.reserve(Text.size());
+  for (size_t I = 0; I != Text.size(); ++I) {
+    if (Text[I] != '%') {
+      Out += Text[I];
+      continue;
+    }
+    if (I + 2 >= Text.size())
+      return false;
+    auto HexVal = [](char C) -> int {
+      if (C >= '0' && C <= '9')
+        return C - '0';
+      if (C >= 'A' && C <= 'F')
+        return C - 'A' + 10;
+      return -1;
+    };
+    int Hi = HexVal(Text[I + 1]), Lo = HexVal(Text[I + 2]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out += static_cast<char>(Hi * 16 + Lo);
+    I += 2;
+  }
+  return true;
+}
+
+std::vector<std::string> splitFields(const std::string &Line) {
+  std::vector<std::string> Fields;
+  size_t Pos = 0;
+  while (Pos <= Line.size()) {
+    size_t Bar = Line.find('|', Pos);
+    if (Bar == std::string::npos) {
+      Fields.push_back(Line.substr(Pos));
+      break;
+    }
+    Fields.push_back(Line.substr(Pos, Bar - Pos));
+    Pos = Bar + 1;
+  }
+  return Fields;
+}
+
+/// Writes an abstraction: "TAG|text|count|..." for paired (exec-index)
+/// layouts, "TAG|text|..." for label-only (k-object) layouts.
+void writeAbstraction(std::ostringstream &OS, const char *Tag,
+                      const Abstraction &Abs, bool Paired) {
+  OS << Tag;
+  if (Paired) {
+    for (size_t I = 0; I + 1 < Abs.Elements.size(); I += 2)
+      OS << '|' << escapeField(Label::textByRaw(Abs.Elements[I])) << '|'
+         << Abs.Elements[I + 1];
+  } else {
+    for (uint32_t E : Abs.Elements)
+      OS << '|' << escapeField(Label::textByRaw(E));
+  }
+  OS << '\n';
+}
+
+bool readAbstraction(const std::vector<std::string> &Fields, bool Paired,
+                     Abstraction &Abs, std::string *Error) {
+  Abs.Elements.clear();
+  if (Paired) {
+    if ((Fields.size() - 1) % 2 != 0) {
+      if (Error)
+        *Error = "odd paired-abstraction field count";
+      return false;
+    }
+    for (size_t I = 1; I + 1 < Fields.size(); I += 2) {
+      std::string Text;
+      if (!unescapeField(Fields[I], Text)) {
+        if (Error)
+          *Error = "bad escape in abstraction";
+        return false;
+      }
+      Abs.Elements.push_back(Label::intern(Text).raw());
+      Abs.Elements.push_back(
+          static_cast<uint32_t>(std::strtoul(Fields[I + 1].c_str(),
+                                             nullptr, 10)));
+    }
+  } else {
+    for (size_t I = 1; I != Fields.size(); ++I) {
+      std::string Text;
+      if (!unescapeField(Fields[I], Text)) {
+        if (Error)
+          *Error = "bad escape in abstraction";
+        return false;
+      }
+      Abs.Elements.push_back(Label::intern(Text).raw());
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::string dlf::serializeCycles(const std::vector<AbstractCycle> &Cycles) {
+  std::ostringstream OS;
+  OS << "# dlf cycles v1\n";
+  for (const AbstractCycle &Cycle : Cycles) {
+    OS << "CYCLE|" << Cycle.Multiplicity << '\n';
+    for (const CycleComponent &C : Cycle.Components) {
+      OS << "C|" << escapeField(C.ThreadName) << '|'
+         << escapeField(C.LockName) << '|' << C.Thread.Raw << '|'
+         << C.Lock.Raw << '\n';
+      writeAbstraction(OS, "TI", C.ThreadAbs.Index, /*Paired=*/true);
+      writeAbstraction(OS, "TK", C.ThreadAbs.KObject, /*Paired=*/false);
+      writeAbstraction(OS, "LI", C.LockAbs.Index, /*Paired=*/true);
+      writeAbstraction(OS, "LK", C.LockAbs.KObject, /*Paired=*/false);
+      OS << 'X';
+      for (Label Site : C.Context)
+        OS << '|' << escapeField(Site.text());
+      OS << '\n';
+    }
+  }
+  return OS.str();
+}
+
+bool dlf::deserializeCycles(const std::string &Text,
+                            std::vector<AbstractCycle> &Out,
+                            std::string *Error) {
+  Out.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  AbstractCycle *Cycle = nullptr;
+  CycleComponent *Component = nullptr;
+  size_t LineNo = 0;
+
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Message;
+    Out.clear();
+    return false;
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::vector<std::string> Fields = splitFields(Line);
+    const std::string &Tag = Fields[0];
+
+    if (Tag == "CYCLE") {
+      if (Fields.size() != 2)
+        return Fail("CYCLE needs a multiplicity");
+      Out.emplace_back();
+      Cycle = &Out.back();
+      Cycle->Multiplicity = static_cast<unsigned>(
+          std::strtoul(Fields[1].c_str(), nullptr, 10));
+      Component = nullptr;
+      continue;
+    }
+    if (!Cycle)
+      return Fail("component data before any CYCLE");
+
+    if (Tag == "C") {
+      if (Fields.size() != 5)
+        return Fail("C needs thread|lock|tid|lid");
+      Cycle->Components.emplace_back();
+      Component = &Cycle->Components.back();
+      std::string ThreadName, LockName;
+      if (!unescapeField(Fields[1], ThreadName) ||
+          !unescapeField(Fields[2], LockName))
+        return Fail("bad escape in names");
+      Component->ThreadName = ThreadName;
+      Component->LockName = LockName;
+      Component->Thread =
+          ThreadId(std::strtoull(Fields[3].c_str(), nullptr, 10));
+      Component->Lock =
+          LockId(std::strtoull(Fields[4].c_str(), nullptr, 10));
+      continue;
+    }
+    if (!Component)
+      return Fail("abstraction data before any component");
+
+    if (Tag == "TI" || Tag == "LI" || Tag == "TK" || Tag == "LK") {
+      bool Paired = (Tag[1] == 'I');
+      Abstraction &Target =
+          Tag[0] == 'T'
+              ? (Paired ? Component->ThreadAbs.Index
+                        : Component->ThreadAbs.KObject)
+              : (Paired ? Component->LockAbs.Index
+                        : Component->LockAbs.KObject);
+      if (!readAbstraction(Fields, Paired, Target, Error))
+        return Fail(Error ? *Error : "bad abstraction");
+      continue;
+    }
+    if (Tag == "X") {
+      Component->Context.clear();
+      for (size_t I = 1; I != Fields.size(); ++I) {
+        std::string Site;
+        if (!unescapeField(Fields[I], Site))
+          return Fail("bad escape in context");
+        Component->Context.push_back(Label::intern(Site));
+      }
+      if (Component->Context.empty())
+        return Fail("component with empty context");
+      continue;
+    }
+    return Fail("unknown tag '" + Tag + "'");
+  }
+
+  for (const AbstractCycle &Parsed : Out)
+    if (Parsed.Components.size() < 2)
+      return Fail("cycle with fewer than two components");
+  return true;
+}
+
+bool dlf::saveCyclesToFile(const std::string &Path,
+                           const std::vector<AbstractCycle> &Cycles) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << serializeCycles(Cycles);
+  return Out.good();
+}
+
+bool dlf::loadCyclesFromFile(const std::string &Path,
+                             std::vector<AbstractCycle> &Out,
+                             std::string *Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return false;
+  }
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  return deserializeCycles(Text, Out, Error);
+}

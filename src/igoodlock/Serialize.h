@@ -1,0 +1,54 @@
+//===- igoodlock/Serialize.h - Cycle report (de)serialization ----*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for abstract deadlock cycles, enabling the
+/// cross-process workflow the paper's tool supports: run Phase I once,
+/// save the report, and fuzz individual cycles later (or on another
+/// machine running the same binary).
+///
+/// Abstractions are serialized by *label text*, not raw label id: label
+/// ids are a process-local interning artifact, while the texts are the
+/// stable cross-execution identity (they encode sites and counts). On
+/// load, texts are re-interned, so the reconstructed cycles match fresh
+/// executions exactly like the originals did.
+///
+/// The element layout conventions of Abstraction are honored: k-object
+/// values are label sequences; execution-indexing values alternate
+/// (label, count).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_IGOODLOCK_SERIALIZE_H
+#define DLF_IGOODLOCK_SERIALIZE_H
+
+#include "igoodlock/Report.h"
+
+#include <string>
+#include <vector>
+
+namespace dlf {
+
+/// Renders \p Cycles in the "dlf cycles v1" text format.
+std::string serializeCycles(const std::vector<AbstractCycle> &Cycles);
+
+/// Parses a "dlf cycles v1" document. Returns false (and sets \p Error
+/// when non-null) on malformed input; \p Out is cleared first and is only
+/// valid on success.
+bool deserializeCycles(const std::string &Text,
+                       std::vector<AbstractCycle> &Out,
+                       std::string *Error = nullptr);
+
+/// File helpers; return false on I/O or parse failure.
+bool saveCyclesToFile(const std::string &Path,
+                      const std::vector<AbstractCycle> &Cycles);
+bool loadCyclesFromFile(const std::string &Path,
+                        std::vector<AbstractCycle> &Out,
+                        std::string *Error = nullptr);
+
+} // namespace dlf
+
+#endif // DLF_IGOODLOCK_SERIALIZE_H

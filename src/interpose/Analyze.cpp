@@ -1,0 +1,158 @@
+//===- interpose/Analyze.cpp - Offline iGoodlock for preload traces ---------===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// dlf-analyze: reads a trace written by libdlf_preload.so (Phase I of the
+// LD_PRELOAD workflow), rebuilds the lock dependency relation, runs
+// iGoodlock, and prints each potential deadlock cycle both human-readably
+// and as a machine spec line
+//
+//   cycle-spec: <threadAbs>|<lockAbs>|<ctx,...>;<component>;...
+//
+// suitable for DLF_PRELOAD_CYCLE in Phase II.
+//
+// Usage: dlf-analyze <trace-file> [--max-cycle-length N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "igoodlock/IGoodlock.h"
+#include "runtime/Records.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace dlf;
+
+namespace {
+
+struct TraceThread {
+  ThreadRecord Record;
+  std::vector<LockStackEntry> Stack;
+};
+
+/// Builds an Abstraction whose single element is the interned label of the
+/// preload abstraction string ("site#n"): equality of strings is equality
+/// of abstractions, which is all the closure needs.
+AbstractionSet absFromString(const std::string &Text) {
+  AbstractionSet Abs;
+  uint32_t Raw = Label::intern(Text).raw();
+  Abs.Index.Elements = {Raw, 1};
+  Abs.KObject.Elements = {Raw};
+  return Abs;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::cerr << "usage: dlf-analyze <trace-file> [--max-cycle-length N]\n";
+    return 1;
+  }
+  IGoodlockOptions Opts;
+  for (int I = 2; I + 1 < Argc; ++I)
+    if (std::string(Argv[I]) == "--max-cycle-length")
+      Opts.MaxCycleLength = static_cast<unsigned>(std::atoi(Argv[I + 1]));
+
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    std::cerr << "error: cannot open trace file " << Argv[1] << "\n";
+    return 1;
+  }
+
+  LockDependencyLog Log;
+  std::unordered_map<uint64_t, TraceThread> Threads;
+  std::unordered_map<uint64_t, LockRecord> Locks;
+
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Fields(Line);
+    char Kind = 0;
+    Fields >> Kind;
+    if (Kind == 'T') {
+      uint64_t Tid;
+      std::string Abs;
+      Fields >> Tid >> Abs;
+      TraceThread &T = Threads[Tid];
+      T.Record.Id = ThreadId(Tid);
+      T.Record.Name = Abs;
+      T.Record.Abs = absFromString(Abs);
+      Log.onThreadCreated(T.Record);
+    } else if (Kind == 'M') {
+      uint64_t Lid;
+      std::string Abs;
+      Fields >> Lid >> Abs;
+      LockRecord &L = Locks[Lid];
+      L.Id = LockId(Lid);
+      L.Name = Abs;
+      L.Abs = absFromString(Abs);
+      Log.onLockCreated(L);
+    } else if (Kind == 'A') {
+      uint64_t Tid, Lid;
+      std::string Site;
+      Fields >> Tid >> Lid >> Site;
+      auto ThreadIt = Threads.find(Tid);
+      auto LockIt = Locks.find(Lid);
+      if (ThreadIt == Threads.end() || LockIt == Locks.end()) {
+        std::cerr << "warning: line " << LineNo
+                  << ": acquire references unknown thread/lock\n";
+        continue;
+      }
+      TraceThread &T = ThreadIt->second;
+      Log.onAcquireExecuted(T.Record, LockIt->second, T.Stack,
+                            Label::intern(Site));
+      T.Stack.push_back({LockId(Lid), Label::intern(Site)});
+    } else if (Kind == 'R') {
+      uint64_t Tid, Lid;
+      Fields >> Tid >> Lid;
+      auto ThreadIt = Threads.find(Tid);
+      if (ThreadIt == Threads.end())
+        continue;
+      auto &Stack = ThreadIt->second.Stack;
+      for (size_t I = Stack.size(); I-- > 0;) {
+        if (Stack[I].Lock == LockId(Lid)) {
+          Stack.erase(Stack.begin() + static_cast<long>(I));
+          break;
+        }
+      }
+    } else {
+      std::cerr << "warning: line " << LineNo << ": unknown event '" << Kind
+                << "'\n";
+    }
+  }
+
+  IGoodlockStats Stats;
+  std::vector<AbstractCycle> Cycles = runIGoodlock(Log, Opts, &Stats);
+
+  std::cout << "dlf-analyze: " << Log.entries().size()
+            << " dependency entries, " << Log.acquireEvents()
+            << " acquire events, " << Cycles.size()
+            << " potential deadlock cycle(s)\n\n";
+  for (size_t I = 0; I != Cycles.size(); ++I) {
+    const AbstractCycle &Cycle = Cycles[I];
+    std::cout << "#" << I << " " << Cycle.toString();
+    std::cout << "cycle-spec: ";
+    for (size_t C = 0; C != Cycle.Components.size(); ++C) {
+      const CycleComponent &Comp = Cycle.Components[C];
+      if (C)
+        std::cout << ';';
+      std::cout << Comp.ThreadName << '|' << Comp.LockName << '|';
+      for (size_t S = 0; S != Comp.Context.size(); ++S) {
+        if (S)
+          std::cout << ',';
+        std::cout << Comp.Context[S].text();
+      }
+    }
+    std::cout << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,713 @@
+//===- interpose/Preload.cpp - LD_PRELOAD pthread front end -----------------===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The pthread interposition front end: run *unmodified* pthreads programs
+// under the DeadlockFuzzer workflow.
+//
+//   Phase I:  LD_PRELOAD=libdlf_preload.so DLF_PRELOAD_TRACE=/tmp/t ./app
+//             -> writes an event trace; analyze with `dlf-analyze /tmp/t`.
+//   Phase II: LD_PRELOAD=libdlf_preload.so DLF_PRELOAD_CYCLE='<spec>' ./app
+//             -> pauses threads before cycle-component acquires; when the
+//             wait-for graph closes a cycle, prints the witness and exits
+//             with code 42 *before* physically wedging the process.
+//
+// Unlike the managed runtime (src/runtime), this front end cannot serialize
+// the schedule; it biases a real concurrent execution by sleeping matched
+// threads, the closest LD_PRELOAD analogue of Algorithm 3's Paused set
+// (pauses expire after DLF_PRELOAD_PAUSE_MS, playing the role of the
+// thrash handler / livelock monitor). Interposed: pthread_mutex_lock /
+// trylock / unlock / destroy, pthread_cond_wait / timedwait, and
+// pthread_create.
+//
+// This file is deliberately self-contained (no dependency on libdlf): a
+// preload library must not drag in anything that might initialize before
+// the dynamic linker is ready.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interpose/TraceFormat.h"
+
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <dlfcn.h>
+#include <pthread.h>
+#include <time.h>
+#include <unistd.h>
+
+namespace {
+
+// -- Real function pointers ----------------------------------------------------
+
+using MutexLockFn = int (*)(pthread_mutex_t *);
+using MutexUnlockFn = int (*)(pthread_mutex_t *);
+using MutexTrylockFn = int (*)(pthread_mutex_t *);
+using MutexDestroyFn = int (*)(pthread_mutex_t *);
+using CondWaitFn = int (*)(pthread_cond_t *, pthread_mutex_t *);
+using CondTimedwaitFn = int (*)(pthread_cond_t *, pthread_mutex_t *,
+                                const struct timespec *);
+using CreateFn = int (*)(pthread_t *, const pthread_attr_t *,
+                         void *(*)(void *), void *);
+
+MutexLockFn RealLock;
+MutexUnlockFn RealUnlock;
+MutexTrylockFn RealTrylock;
+MutexDestroyFn RealDestroy;
+CondWaitFn RealCondWait;
+CondTimedwaitFn RealCondTimedwait;
+CreateFn RealCreate;
+
+void resolveReals() {
+  // Called from the library constructor; dlsym(RTLD_NEXT) is safe by then.
+  RealLock = reinterpret_cast<MutexLockFn>(dlsym(RTLD_NEXT,
+                                                 "pthread_mutex_lock"));
+  RealUnlock = reinterpret_cast<MutexUnlockFn>(dlsym(RTLD_NEXT,
+                                                     "pthread_mutex_unlock"));
+  RealTrylock = reinterpret_cast<MutexTrylockFn>(
+      dlsym(RTLD_NEXT, "pthread_mutex_trylock"));
+  RealDestroy = reinterpret_cast<MutexDestroyFn>(
+      dlsym(RTLD_NEXT, "pthread_mutex_destroy"));
+  RealCondWait = reinterpret_cast<CondWaitFn>(dlsym(RTLD_NEXT,
+                                                    "pthread_cond_wait"));
+  RealCondTimedwait = reinterpret_cast<CondTimedwaitFn>(
+      dlsym(RTLD_NEXT, "pthread_cond_timedwait"));
+  RealCreate = reinterpret_cast<CreateFn>(dlsym(RTLD_NEXT, "pthread_create"));
+}
+
+// -- Site resolution -------------------------------------------------------------
+
+/// Resolves a return address to a stable "symbol+0xoff" site string.
+std::string resolveSite(void *Address) {
+  Dl_info Info;
+  if (dladdr(Address, &Info) && Info.dli_sname) {
+    char Buffer[256];
+    snprintf(Buffer, sizeof(Buffer), "%s+0x%" PRIxPTR, Info.dli_sname,
+             reinterpret_cast<uintptr_t>(Address) -
+                 reinterpret_cast<uintptr_t>(Info.dli_saddr));
+    return Buffer;
+  }
+  if (dladdr(Address, &Info) && Info.dli_fname) {
+    char Buffer[512];
+    snprintf(Buffer, sizeof(Buffer), "%s+0x%" PRIxPTR,
+             strrchr(Info.dli_fname, '/') ? strrchr(Info.dli_fname, '/') + 1
+                                          : Info.dli_fname,
+             reinterpret_cast<uintptr_t>(Address) -
+                 reinterpret_cast<uintptr_t>(Info.dli_fbase));
+    return Buffer;
+  }
+  char Buffer[32];
+  snprintf(Buffer, sizeof(Buffer), "addr:%p", Address);
+  return Buffer;
+}
+
+// -- Shared state ------------------------------------------------------------------
+
+constexpr unsigned MaxStackDepth = 64;
+
+struct HeldEntry {
+  uint64_t LockId;
+  std::string AcqSite;
+};
+
+struct ThreadSlot {
+  uint64_t Tid = 0;
+  std::string Abs; ///< "<site>#<n>"
+  bool Live = false;
+  std::vector<HeldEntry> Stack;
+  /// Lock this thread is blocked on / paused before; 0 when none.
+  uint64_t PendingLock = 0;
+  std::string PendingSite;
+};
+
+struct LockInfo {
+  uint64_t Id = 0;
+  std::string Abs; ///< "<site>#<n>"
+  uint64_t OwnerTid = 0;
+  unsigned Recursion = 0;
+};
+
+struct CycleComponentSpec {
+  std::string ThreadAbs;
+  std::string LockAbs;
+  std::vector<std::string> Context;
+};
+
+/// All global state; created by the library constructor. Internal locking
+/// uses RealLock directly, so the interposition never recurses.
+struct GlobalState {
+  pthread_mutex_t Mu = PTHREAD_MUTEX_INITIALIZER;
+  FILE *Trace = nullptr;
+  std::vector<CycleComponentSpec> Cycle;
+  unsigned PauseMs = 200;
+
+  uint64_t NextTid = 1;
+  uint64_t NextLockId = 1;
+  std::unordered_map<pthread_mutex_t *, LockInfo> Locks;
+  std::vector<ThreadSlot *> Threads;
+  std::unordered_map<std::string, uint64_t> SiteCounts;
+
+  void lock() { RealLock(&Mu); }
+  void unlock() { RealUnlock(&Mu); }
+};
+
+GlobalState *State;
+
+/// Per-thread slot pointer; the main thread gets one lazily.
+thread_local ThreadSlot *Self;
+
+/// The site string recorded for the next spawned thread (stashed by the
+/// pthread_create interposition for the trampoline).
+struct TrampolineArg {
+  void *(*Routine)(void *);
+  void *Arg;
+  std::string Abs;
+};
+
+std::string bumpSite(GlobalState &G, const std::string &Site) {
+  uint64_t N = ++G.SiteCounts[Site];
+  return Site + "#" + std::to_string(N);
+}
+
+ThreadSlot *selfSlot() {
+  if (Self)
+    return Self;
+  // Unregistered thread (the main thread, or one created before we were
+  // loaded): register with a synthetic site.
+  State->lock();
+  auto *Slot = new ThreadSlot();
+  Slot->Tid = State->NextTid++;
+  Slot->Abs = bumpSite(*State, Slot->Tid == 1 ? "main" : "unknown-thread");
+  Slot->Live = true;
+  State->Threads.push_back(Slot);
+  if (State->Trace)
+    fprintf(State->Trace, "T %" PRIu64 " %s\n", Slot->Tid, Slot->Abs.c_str());
+  State->unlock();
+  Self = Slot;
+  return Slot;
+}
+
+LockInfo &lockInfoLocked(pthread_mutex_t *M, const std::string &Site) {
+  auto It = State->Locks.find(M);
+  if (It != State->Locks.end())
+    return It->second;
+  LockInfo Info;
+  Info.Id = State->NextLockId++;
+  Info.Abs = bumpSite(*State, Site);
+  auto [NewIt, Inserted] = State->Locks.emplace(M, std::move(Info));
+  if (State->Trace)
+    fprintf(State->Trace, "M %" PRIu64 " %s\n", NewIt->second.Id,
+            NewIt->second.Abs.c_str());
+  return NewIt->second;
+}
+
+// -- Cycle matching (Phase II) -------------------------------------------------------
+
+bool matchesComponent(const ThreadSlot &T, const LockInfo &L,
+                      const std::string &PendingSite) {
+  for (const CycleComponentSpec &C : State->Cycle) {
+    if (C.ThreadAbs != T.Abs || C.LockAbs != L.Abs)
+      continue;
+    if (C.Context.size() != T.Stack.size() + 1)
+      continue;
+    bool Equal = true;
+    for (size_t I = 0; I != T.Stack.size() && Equal; ++I)
+      Equal = (T.Stack[I].AcqSite == C.Context[I]);
+    if (Equal && C.Context.back() == PendingSite)
+      return true;
+  }
+  return false;
+}
+
+/// Algorithm 4 over the global registry: looks for a wait-for cycle among
+/// held stacks + pending locks. Caller holds the state lock.
+bool findDeadlockLocked(std::string &Witness) {
+  // Build per-thread ordered lock lists: held locks then the pending one.
+  struct View {
+    const ThreadSlot *T;
+    std::vector<uint64_t> Locks;
+    std::vector<std::string> Sites;
+  };
+  std::vector<View> Views;
+  for (ThreadSlot *T : State->Threads) {
+    if (!T->Live || (T->Stack.empty() && !T->PendingLock))
+      continue;
+    View V;
+    V.T = T;
+    for (const HeldEntry &H : T->Stack) {
+      V.Locks.push_back(H.LockId);
+      V.Sites.push_back(H.AcqSite);
+    }
+    if (T->PendingLock) {
+      V.Locks.push_back(T->PendingLock);
+      V.Sites.push_back(T->PendingSite);
+    }
+    Views.push_back(std::move(V));
+  }
+
+  // Depth-first search for a cycle with distinct threads and locks.
+  struct Search {
+    const std::vector<View> &Views;
+    std::vector<bool> UsedThread;
+    std::vector<uint64_t> UsedLocks;
+    uint64_t StartLock = 0;
+    std::vector<std::pair<size_t, size_t>> Path;
+
+    explicit Search(const std::vector<View> &Views)
+        : Views(Views), UsedThread(Views.size(), false) {}
+
+    bool lockUsed(uint64_t L) const {
+      for (uint64_t U : UsedLocks)
+        if (U == L)
+          return true;
+      return false;
+    }
+
+    bool extend(uint64_t Current) {
+      for (size_t V = 0; V != Views.size(); ++V) {
+        if (UsedThread[V])
+          continue;
+        const auto &Locks = Views[V].Locks;
+        for (size_t From = 0; From != Locks.size(); ++From) {
+          if (Locks[From] != Current)
+            continue;
+          for (size_t To = From + 1; To != Locks.size(); ++To) {
+            if (Locks[To] == StartLock) {
+              Path.push_back({V, To});
+              return true;
+            }
+            if (lockUsed(Locks[To]))
+              continue;
+            UsedThread[V] = true;
+            UsedLocks.push_back(Locks[To]);
+            Path.push_back({V, To});
+            if (extend(Locks[To]))
+              return true;
+            Path.pop_back();
+            UsedLocks.pop_back();
+            UsedThread[V] = false;
+          }
+          break;
+        }
+      }
+      return false;
+    }
+
+    bool run() {
+      for (size_t V = 0; V != Views.size(); ++V) {
+        const auto &Locks = Views[V].Locks;
+        for (size_t From = 0; From != Locks.size(); ++From) {
+          for (size_t To = From + 1; To != Locks.size(); ++To) {
+            std::fill(UsedThread.begin(), UsedThread.end(), false);
+            UsedLocks.clear();
+            Path.clear();
+            StartLock = Locks[From];
+            UsedThread[V] = true;
+            UsedLocks.push_back(StartLock);
+            UsedLocks.push_back(Locks[To]);
+            Path.push_back({V, To});
+            if (Locks[To] == StartLock)
+              continue;
+            if (extend(Locks[To]))
+              return true;
+          }
+        }
+      }
+      return false;
+    }
+  };
+
+  Search S(Views);
+  if (!S.run())
+    return false;
+
+  Witness = "real deadlock cycle:";
+  for (auto [V, Pos] : S.Path) {
+    Witness += " [thread ";
+    Witness += Views[V].T->Abs;
+    Witness += " waits at ";
+    Witness += Views[V].Sites[Pos];
+    Witness += "]";
+  }
+  return true;
+}
+
+void reportDeadlockAndExit(const std::string &Witness) {
+  fprintf(stderr, "DLF-PRELOAD: %s\n", Witness.c_str());
+  fflush(nullptr);
+  _exit(dlf::interpose::DeadlockExitCode);
+}
+
+void sleepMs(unsigned Ms) {
+  struct timespec Ts;
+  Ts.tv_sec = Ms / 1000;
+  Ts.tv_nsec = static_cast<long>(Ms % 1000) * 1000000L;
+  nanosleep(&Ts, nullptr);
+}
+
+// -- Cycle spec parsing ----------------------------------------------------------
+
+void parseCycleSpec(const char *Spec) {
+  // "<threadAbs>|<lockAbs>|<ctx1>,<ctx2>;<component>;..."
+  std::string Text(Spec);
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find(';', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Component = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Component.empty())
+      continue;
+
+    size_t Bar1 = Component.find('|');
+    size_t Bar2 = Component.find('|', Bar1 + 1);
+    if (Bar1 == std::string::npos || Bar2 == std::string::npos)
+      continue;
+    CycleComponentSpec Parsed;
+    Parsed.ThreadAbs = Component.substr(0, Bar1);
+    Parsed.LockAbs = Component.substr(Bar1 + 1, Bar2 - Bar1 - 1);
+    std::string Ctx = Component.substr(Bar2 + 1);
+    size_t CtxPos = 0;
+    while (CtxPos < Ctx.size()) {
+      size_t Comma = Ctx.find(',', CtxPos);
+      if (Comma == std::string::npos)
+        Comma = Ctx.size();
+      Parsed.Context.push_back(Ctx.substr(CtxPos, Comma - CtxPos));
+      CtxPos = Comma + 1;
+    }
+    if (!Parsed.Context.empty())
+      State->Cycle.push_back(std::move(Parsed));
+  }
+}
+
+// -- Initialization -----------------------------------------------------------------
+
+__attribute__((constructor)) void dlfPreloadInit() {
+  resolveReals();
+  State = new GlobalState();
+  if (const char *Path = getenv(dlf::interpose::TraceEnvVar)) {
+    State->Trace = fopen(Path, "w");
+    if (State->Trace)
+      fprintf(State->Trace, "# dlf-preload trace v1\n");
+  }
+  if (const char *Spec = getenv(dlf::interpose::CycleEnvVar))
+    parseCycleSpec(Spec);
+  if (const char *Ms = getenv(dlf::interpose::PauseMsEnvVar))
+    State->PauseMs = static_cast<unsigned>(atoi(Ms));
+}
+
+__attribute__((destructor)) void dlfPreloadShutdown() {
+  if (State && State->Trace) {
+    fflush(State->Trace);
+    fclose(State->Trace);
+    State->Trace = nullptr;
+  }
+}
+
+// -- Event handlers ------------------------------------------------------------------
+
+/// Core acquire protocol shared by lock and cond_wait re-acquire.
+int acquireWithAnalysis(pthread_mutex_t *M, void *CallerAddr) {
+  ThreadSlot *T = selfSlot();
+  std::string Site = resolveSite(CallerAddr);
+
+  bool Reentrant = false;
+  bool ShouldPause = false;
+  {
+    State->lock();
+    LockInfo &L = lockInfoLocked(M, Site);
+    if (L.OwnerTid == T->Tid) {
+      ++L.Recursion;
+      Reentrant = true; // invisible to the analysis (footnote 2)
+    } else if (!State->Cycle.empty()) {
+      ShouldPause = matchesComponent(*T, L, Site);
+    }
+    State->unlock();
+  }
+  if (Reentrant)
+    return RealLock(M);
+
+  if (ShouldPause) {
+    // Algorithm 3's pause: sleep in slices, watching for the cycle to
+    // physically form around us; give up after the budget (thrash /
+    // livelock-monitor analogue).
+    State->lock();
+    T->PendingLock = State->Locks[M].Id;
+    T->PendingSite = Site;
+    std::string Witness;
+    bool Found = findDeadlockLocked(Witness);
+    State->unlock();
+    if (Found)
+      reportDeadlockAndExit(Witness);
+
+    unsigned Waited = 0;
+    const unsigned Slice = 2;
+    while (Waited < State->PauseMs) {
+      sleepMs(Slice);
+      Waited += Slice;
+      State->lock();
+      std::string SliceWitness;
+      bool SliceFound = findDeadlockLocked(SliceWitness);
+      State->unlock();
+      if (SliceFound)
+        reportDeadlockAndExit(SliceWitness);
+    }
+    State->lock();
+    T->PendingLock = 0;
+    T->PendingSite.clear();
+    State->unlock();
+  }
+
+  // Execute the acquire: try fast, else register the wait-for edge, check
+  // for a completed deadlock (the last edge is ours), then block for real.
+  if (RealTrylock(M) != 0) {
+    std::string Witness;
+    bool Found = false;
+    {
+      State->lock();
+      LockInfo &L = lockInfoLocked(M, Site);
+      T->PendingLock = L.Id;
+      T->PendingSite = Site;
+      Found = findDeadlockLocked(Witness);
+      State->unlock();
+    }
+    if (Found)
+      reportDeadlockAndExit(Witness);
+    int Rc = RealLock(M);
+    if (Rc != 0) {
+      State->lock();
+      T->PendingLock = 0;
+      State->unlock();
+      return Rc;
+    }
+  }
+
+  State->lock();
+  LockInfo &L = lockInfoLocked(M, Site);
+  L.OwnerTid = T->Tid;
+  L.Recursion = 1;
+  T->PendingLock = 0;
+  T->PendingSite.clear();
+  if (State->Trace)
+    fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+            Site.c_str());
+  T->Stack.push_back({L.Id, Site});
+  State->unlock();
+  return 0;
+}
+
+void releaseWithAnalysis(pthread_mutex_t *M, bool &Reentrant) {
+  ThreadSlot *T = selfSlot();
+  State->lock();
+  auto It = State->Locks.find(M);
+  if (It == State->Locks.end() || It->second.OwnerTid != T->Tid) {
+    // Never observed the acquire (pre-init lock) — pass through.
+    Reentrant = true;
+    State->unlock();
+    return;
+  }
+  LockInfo &L = It->second;
+  if (L.Recursion > 1) {
+    --L.Recursion;
+    Reentrant = true;
+    State->unlock();
+    return;
+  }
+  Reentrant = false;
+  L.OwnerTid = 0;
+  L.Recursion = 0;
+  for (size_t I = T->Stack.size(); I-- > 0;) {
+    if (T->Stack[I].LockId == L.Id) {
+      T->Stack.erase(T->Stack.begin() + static_cast<long>(I));
+      break;
+    }
+  }
+  if (State->Trace)
+    fprintf(State->Trace, "R %" PRIu64 " %" PRIu64 "\n", T->Tid, L.Id);
+  State->unlock();
+}
+
+void *threadTrampoline(void *Raw) {
+  auto *Arg = static_cast<TrampolineArg *>(Raw);
+  State->lock();
+  auto *Slot = new ThreadSlot();
+  Slot->Tid = State->NextTid++;
+  Slot->Abs = Arg->Abs;
+  Slot->Live = true;
+  State->Threads.push_back(Slot);
+  if (State->Trace)
+    fprintf(State->Trace, "T %" PRIu64 " %s\n", Slot->Tid, Slot->Abs.c_str());
+  State->unlock();
+  Self = Slot;
+
+  void *Result = Arg->Routine(Arg->Arg);
+
+  State->lock();
+  Slot->Live = false;
+  Slot->Stack.clear();
+  Slot->PendingLock = 0;
+  State->unlock();
+  delete Arg;
+  return Result;
+}
+
+} // namespace
+
+// -- Interposed entry points ----------------------------------------------------------
+
+extern "C" {
+
+int pthread_mutex_lock(pthread_mutex_t *M) {
+  if (!State || !RealLock) {
+    // Called before our constructor (e.g. by the dynamic linker itself):
+    // resolve lazily and pass through.
+    if (!RealLock)
+      RealLock = reinterpret_cast<MutexLockFn>(
+          dlsym(RTLD_NEXT, "pthread_mutex_lock"));
+    return RealLock(M);
+  }
+  if (!State->Trace && State->Cycle.empty())
+    return RealLock(M); // neither phase requested: pure passthrough
+  return acquireWithAnalysis(M, __builtin_return_address(0));
+}
+
+int pthread_mutex_trylock(pthread_mutex_t *M) {
+  if (!RealTrylock)
+    RealTrylock = reinterpret_cast<MutexTrylockFn>(
+        dlsym(RTLD_NEXT, "pthread_mutex_trylock"));
+  if (!State)
+    return RealTrylock(M);
+  int Rc = RealTrylock(M);
+  if (Rc != 0 || (!State->Trace && State->Cycle.empty()))
+    return Rc;
+  // Successful trylock: record the acquire (same bookkeeping, no pause).
+  ThreadSlot *T = selfSlot();
+  std::string Site = resolveSite(__builtin_return_address(0));
+  State->lock();
+  LockInfo &L = lockInfoLocked(M, Site);
+  if (L.OwnerTid == T->Tid) {
+    ++L.Recursion;
+  } else {
+    L.OwnerTid = T->Tid;
+    L.Recursion = 1;
+    if (State->Trace)
+      fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+              Site.c_str());
+    T->Stack.push_back({L.Id, Site});
+  }
+  State->unlock();
+  return 0;
+}
+
+int pthread_mutex_unlock(pthread_mutex_t *M) {
+  if (!State || !RealUnlock) {
+    if (!RealUnlock)
+      RealUnlock = reinterpret_cast<MutexUnlockFn>(
+          dlsym(RTLD_NEXT, "pthread_mutex_unlock"));
+    return RealUnlock(M);
+  }
+  if (!State->Trace && State->Cycle.empty())
+    return RealUnlock(M);
+  bool Reentrant = false;
+  releaseWithAnalysis(M, Reentrant);
+  (void)Reentrant;
+  return RealUnlock(M);
+}
+
+int pthread_mutex_destroy(pthread_mutex_t *M) {
+  if (State && RealDestroy) {
+    State->lock();
+    State->Locks.erase(M);
+    State->unlock();
+  }
+  return RealDestroy ? RealDestroy(M) : 0;
+}
+
+int pthread_cond_wait(pthread_cond_t *Cond, pthread_mutex_t *M) {
+  if (!RealCondWait)
+    RealCondWait = reinterpret_cast<CondWaitFn>(
+        dlsym(RTLD_NEXT, "pthread_cond_wait"));
+  if (!State || (!State->Trace && State->Cycle.empty()))
+    return RealCondWait(Cond, M);
+  // cond_wait releases and re-acquires the mutex: keep our model in sync.
+  bool Reentrant = false;
+  releaseWithAnalysis(M, Reentrant);
+  int Rc = RealCondWait(Cond, M);
+  if (!Reentrant) {
+    ThreadSlot *T = selfSlot();
+    State->lock();
+    LockInfo &L = lockInfoLocked(M, "cond-reacquire");
+    L.OwnerTid = T->Tid;
+    L.Recursion = 1;
+    if (State->Trace)
+      fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " cond-reacquire\n",
+              T->Tid, L.Id);
+    T->Stack.push_back({L.Id, "cond-reacquire"});
+    State->unlock();
+  }
+  return Rc;
+}
+
+int pthread_cond_timedwait(pthread_cond_t *Cond, pthread_mutex_t *M,
+                           const struct timespec *Abstime) {
+  if (!RealCondTimedwait)
+    RealCondTimedwait = reinterpret_cast<CondTimedwaitFn>(
+        dlsym(RTLD_NEXT, "pthread_cond_timedwait"));
+  if (!State || (!State->Trace && State->Cycle.empty()))
+    return RealCondTimedwait(Cond, M, Abstime);
+  bool Reentrant = false;
+  releaseWithAnalysis(M, Reentrant);
+  int Rc = RealCondTimedwait(Cond, M, Abstime);
+  if (!Reentrant) {
+    ThreadSlot *T = selfSlot();
+    State->lock();
+    LockInfo &L = lockInfoLocked(M, "cond-reacquire");
+    L.OwnerTid = T->Tid;
+    L.Recursion = 1;
+    if (State->Trace)
+      fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " cond-reacquire\n",
+              T->Tid, L.Id);
+    T->Stack.push_back({L.Id, "cond-reacquire"});
+    State->unlock();
+  }
+  return Rc;
+}
+
+int pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,
+                   void *(*Routine)(void *), void *Arg) {
+  if (!State || !RealCreate) {
+    if (!RealCreate)
+      RealCreate = reinterpret_cast<CreateFn>(dlsym(RTLD_NEXT,
+                                                    "pthread_create"));
+    return RealCreate(Thread, Attr, Routine, Arg);
+  }
+  if (!State->Trace && State->Cycle.empty())
+    return RealCreate(Thread, Attr, Routine, Arg);
+
+  (void)selfSlot(); // make sure the creator (e.g. main) is registered
+  std::string Site = resolveSite(__builtin_return_address(0));
+  State->lock();
+  std::string Abs = bumpSite(*State, Site);
+  State->unlock();
+
+  auto *Wrapped = new TrampolineArg{Routine, Arg, std::move(Abs)};
+  int Rc = RealCreate(Thread, Attr, threadTrampoline, Wrapped);
+  if (Rc != 0)
+    delete Wrapped;
+  return Rc;
+}
+
+} // extern "C"

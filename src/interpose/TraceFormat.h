@@ -1,0 +1,59 @@
+//===- interpose/TraceFormat.h - Preload trace format ------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The text trace format shared between the LD_PRELOAD runtime
+/// (libdlf_preload.so) and the offline analyzer (dlf-analyze). One event
+/// per line:
+///
+///   # comment
+///   T <tid> <site> <n>          thread created; abstraction = <site>#<n>
+///   M <lid> <site> <n>          lock first observed; abstraction = <site>#<n>
+///   A <tid> <lid> <acq-site>    acquire executed (0->1 transitions only)
+///   R <tid> <lid>               release (1->0 transitions only)
+///
+/// Sites are "symbol+0xoffset" strings resolved via dladdr, which are
+/// stable across executions of the same binary (unlike raw return
+/// addresses under ASLR). Because a preload library cannot observe
+/// allocations or calls/returns, object abstractions use the
+/// *first-event site + per-site occurrence count* scheme: the n-th thread
+/// created at call site S is S#n, and the n-th lock first acquired at site
+/// S is S#n. This is the preload analogue of the paper's abstractions —
+/// deterministic programs give stable values across runs — and the
+/// substitution is recorded in DESIGN.md.
+///
+/// The Phase II cycle specification (DLF_PRELOAD_CYCLE) is a ';'-separated
+/// list of components, each "threadAbs|lockAbs|ctxSite1,ctxSite2,...",
+/// where the context sites are the acquire sites of the held locks plus
+/// the pending acquire, outermost first — exactly the C_i of an iGoodlock
+/// report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_INTERPOSE_TRACEFORMAT_H
+#define DLF_INTERPOSE_TRACEFORMAT_H
+
+namespace dlf {
+namespace interpose {
+
+/// Environment variable: path of the Phase I trace to write.
+inline constexpr const char *TraceEnvVar = "DLF_PRELOAD_TRACE";
+
+/// Environment variable: Phase II cycle specification.
+inline constexpr const char *CycleEnvVar = "DLF_PRELOAD_CYCLE";
+
+/// Environment variable: total pause budget per matched acquire, in
+/// milliseconds (default 200).
+inline constexpr const char *PauseMsEnvVar = "DLF_PRELOAD_PAUSE_MS";
+
+/// Exit code the preload runtime uses when it confirms a real deadlock
+/// (chosen to be distinguishable from crashes and clean exits).
+inline constexpr int DeadlockExitCode = 42;
+
+} // namespace interpose
+} // namespace dlf
+
+#endif // DLF_INTERPOSE_TRACEFORMAT_H

@@ -1,0 +1,32 @@
+//===- runtime/Abort.h - Managed execution teardown -------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// When the active scheduler confirms a deadlock (or detects a stall or a
+/// livelock), the execution is torn down: every managed thread receives
+/// ExecutionAborted at its next scheduling point and unwinds out of its
+/// body. Substrate code must be exception-safe (RAII lock guards), which it
+/// is by construction since it uses dlf::MutexGuard.
+///
+/// This is a deliberate, documented deviation from the no-exceptions rule of
+/// the LLVM style guide (see DESIGN.md): the Java original unwinds threads
+/// with exceptions for exactly this purpose, and the exception never escapes
+/// the library boundary (dlf::Runtime::run catches it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_RUNTIME_ABORT_H
+#define DLF_RUNTIME_ABORT_H
+
+namespace dlf {
+
+/// Thrown at scheduling points of managed threads once a run has been
+/// aborted. Carries no state: the reason lives in the ExecutionResult.
+struct ExecutionAborted {};
+
+} // namespace dlf
+
+#endif // DLF_RUNTIME_ABORT_H

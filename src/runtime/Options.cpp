@@ -1,0 +1,29 @@
+//===- runtime/Options.cpp - Per-execution configuration -------------------===//
+
+#include "runtime/Options.h"
+
+using namespace dlf;
+
+const char *dlf::runModeName(RunMode Mode) {
+  switch (Mode) {
+  case RunMode::Passthrough:
+    return "passthrough";
+  case RunMode::Record:
+    return "record";
+  case RunMode::Active:
+    return "active";
+  }
+  return "unknown";
+}
+
+const char *dlf::hbModeName(HbMode Mode) {
+  switch (Mode) {
+  case HbMode::Off:
+    return "off";
+  case HbMode::ForkJoin:
+    return "fork-join";
+  case HbMode::FullSync:
+    return "full-sync";
+  }
+  return "unknown";
+}

@@ -1,0 +1,47 @@
+//===- runtime/Recorder.h - Event recorder interface ------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase I observes an execution through this interface. The runtime calls
+/// it at every executed Acquire event (the 0->1 re-entrancy transitions
+/// only) and at thread/lock creations; src/igoodlock implements it to build
+/// the lock dependency relation of Definition 1.
+///
+/// All calls are externally synchronized by the runtime (scheduler lock in
+/// Active mode, the record mutex in Record mode); implementations need no
+/// locking of their own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_RUNTIME_RECORDER_H
+#define DLF_RUNTIME_RECORDER_H
+
+#include "runtime/Records.h"
+
+namespace dlf {
+
+/// Observer for synchronization events of one execution.
+class DependencyRecorder {
+public:
+  virtual ~DependencyRecorder();
+
+  /// A thread was created (including the main thread).
+  virtual void onThreadCreated(const ThreadRecord &T) {}
+
+  /// A lock was created.
+  virtual void onLockCreated(const LockRecord &L) {}
+
+  /// Thread \p T executed `Site : Acquire(L)` while holding \p HeldBefore
+  /// (its lock stack before the push). This is the paper's
+  /// "add (t, LockSet[t], l, Context[t]) to D" step.
+  virtual void onAcquireExecuted(const ThreadRecord &T, const LockRecord &L,
+                                 const std::vector<LockStackEntry> &HeldBefore,
+                                 Label Site) {}
+};
+
+} // namespace dlf
+
+#endif // DLF_RUNTIME_RECORDER_H

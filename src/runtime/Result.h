@@ -1,0 +1,88 @@
+//===- runtime/Result.h - Outcome of one managed execution ------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The outcome record of one execution under the runtime, including the
+/// concrete deadlock witness when checkRealDeadlock (Algorithm 4) fired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_RUNTIME_RESULT_H
+#define DLF_RUNTIME_RESULT_H
+
+#include "event/Abstraction.h"
+#include "event/Ids.h"
+#include "event/Label.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlf {
+
+/// A concrete deadlock cycle found in one execution: thread i holds
+/// HeldLock and waits to acquire WaitLock, which is held by thread i+1
+/// (cyclically). Carries the abstractions and contexts so a witness can be
+/// matched against the abstract cycle Phase II was targeting.
+struct DeadlockWitness {
+  struct Edge {
+    ThreadId Thread;
+    std::string ThreadName;
+    AbstractionSet ThreadAbs;
+
+    LockId WaitLock; ///< the lock this thread is trying to acquire
+    std::string WaitLockName;
+    AbstractionSet WaitLockAbs;
+    Label WaitSite; ///< label of the blocking Acquire statement
+
+    /// Context[t] at the blocking acquire (including WaitSite as the last
+    /// element), mirroring the C_i of an iGoodlock cycle component.
+    std::vector<Label> Context;
+  };
+
+  std::vector<Edge> Edges;
+
+  /// Multi-line human-readable rendering.
+  std::string toString() const;
+};
+
+/// Everything one managed execution reports back.
+struct ExecutionResult {
+  /// All threads finished; no abort.
+  bool Completed = false;
+  /// checkRealDeadlock confirmed a cycle ("Real Deadlock Found!").
+  bool DeadlockFound = false;
+  /// Enabled(s) became empty with live threads ("System Stall!"); set by
+  /// the simple random checker and as a backstop in active mode.
+  bool Stalled = false;
+  /// The stall involves threads waiting on condition variables: a
+  /// communication deadlock, which the paper scopes out ("we only consider
+  /// resource deadlocks") but this implementation classifies.
+  bool CommunicationStall = false;
+  /// The MaxSteps safety net tripped.
+  bool LivelockAborted = false;
+
+  /// The concrete cycle, when DeadlockFound or when a stall's wait-for
+  /// cycle could be reconstructed.
+  std::optional<DeadlockWitness> Witness;
+
+  /// Number of thrashings (paper §2.3): times the scheduler had to remove a
+  /// random thread from Paused because every enabled thread was paused.
+  uint64_t Thrashes = 0;
+  /// Times the livelock monitor force-removed a long-paused thread.
+  uint64_t ForcedUnpauses = 0;
+  /// Scheduler transitions committed.
+  uint64_t Steps = 0;
+  /// Acquire events executed (0->1 transitions only).
+  uint64_t AcquireEvents = 0;
+  /// Wall-clock duration of the execution in milliseconds.
+  double WallMs = 0.0;
+};
+
+} // namespace dlf
+
+#endif // DLF_RUNTIME_RESULT_H

@@ -1,0 +1,623 @@
+//===- runtime/Scheduler.cpp - Cooperative serialized scheduler ------------===//
+
+#include "runtime/Scheduler.h"
+
+#include "fuzzer/CycleSpec.h"
+#include "fuzzer/RealDeadlockChecker.h"
+#include "runtime/Abort.h"
+#include "runtime/Recorder.h"
+#include "runtime/Runtime.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dlf;
+
+Scheduler::Scheduler(Runtime &RT, const Options &Opts, SchedulerStrategy &Strat,
+                     DependencyRecorder *Recorder)
+    : RT(RT), Opts(Opts), Strat(Strat), Recorder(Recorder),
+      Random(Opts.Seed) {}
+
+bool Scheduler::aborted() const {
+  std::lock_guard<std::mutex> Guard(Mu);
+  return AbortFlag;
+}
+
+void Scheduler::adoptMainThread(ThreadRecord &Main) {
+  std::lock_guard<std::mutex> Guard(Mu);
+  Main.State = ThreadState::Running;
+  Main.Pending = PendingOp();
+  RunningId = Main.Id;
+}
+
+void Scheduler::threadBodyBegin(ThreadRecord &Self) {
+  std::unique_lock<std::mutex> Lk(Mu);
+  Cv.wait(Lk, [&] { return AbortFlag || RunningId == Self.Id; });
+  if (AbortFlag)
+    throw ExecutionAborted();
+  assert(Self.State == ThreadState::Running && "token without Running state");
+}
+
+void Scheduler::threadBodyEnd(ThreadRecord &Self) {
+  std::unique_lock<std::mutex> Lk(Mu);
+  bool HadToken = (RunningId == Self.Id);
+  Self.State = ThreadState::Finished;
+  Self.Pending = PendingOp();
+  Self.Paused = false;
+  // A thread that unwound due to abort may still "hold" modeled locks whose
+  // guards were skipped by the teardown; everyone is unwinding, so clearing
+  // ownership is safe. On a normal exit the stack must already be empty.
+  assert((AbortFlag || Self.LockStack.empty()) &&
+         "thread finished while holding locks");
+  for (const LockStackEntry &E : Self.LockStack) {
+    LockRecord &L = RT.lockById(E.Lock);
+    if (L.Owner == Self.Id) {
+      L.Owner = ThreadId();
+      L.Recursion = 0;
+    }
+  }
+  Self.LockStack.clear();
+
+  if (AbortFlag) {
+    // Teardown path: no scheduling; just make sure waiters re-check state.
+    Cv.notify_all();
+    DoneCv.notify_all();
+    return;
+  }
+  if (HadToken) {
+    RunningId = ThreadId();
+    pickLoop();
+  }
+  Cv.notify_all();
+  DoneCv.notify_all();
+}
+
+void Scheduler::mainThreadDone(ThreadRecord &Main) {
+  threadBodyEnd(Main);
+  std::unique_lock<std::mutex> Lk(Mu);
+  DoneCv.wait(Lk, [&] { return Done; });
+  // All managed threads are finished (or unwinding past their last
+  // scheduling point); OS-level joins happen in dlf::Thread.
+}
+
+void Scheduler::acquire(ThreadRecord &Self, LockRecord &L, Label Site) {
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    if (AbortFlag)
+      throw ExecutionAborted();
+    assert(RunningId == Self.Id && "acquire outside of the thread's turn");
+    // Re-entrant acquires are invisible to the analysis (footnote 2).
+    if (L.Owner == Self.Id) {
+      ++L.Recursion;
+      return;
+    }
+  }
+  announceAndWait(Self, PendingOp::acquireAttempt(L.Id, Site));
+  assert(L.Owner == Self.Id && "acquire returned without ownership");
+}
+
+void Scheduler::release(ThreadRecord &Self, LockRecord &L, Label Site) {
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    if (AbortFlag)
+      return; // silent: called from RAII guards during unwinding
+    assert(RunningId == Self.Id && "release outside of the thread's turn");
+    assert(L.Owner == Self.Id && "releasing a lock we do not own");
+    if (L.Recursion > 1) {
+      --L.Recursion;
+      return;
+    }
+  }
+  announceAndWait(Self, PendingOp::release(L.Id, Site),
+                  /*NoThrowOnAbort=*/true);
+}
+
+bool Scheduler::tryAcquire(ThreadRecord &Self, LockRecord &L, Label Site) {
+  std::lock_guard<std::mutex> Guard(Mu);
+  if (AbortFlag)
+    throw ExecutionAborted();
+  assert(RunningId == Self.Id && "tryAcquire outside of the thread's turn");
+  if (L.Owner == Self.Id) {
+    ++L.Recursion;
+    return true;
+  }
+  if (L.Owner.isValid())
+    return false;
+  // A successful tryLock is an Acquire event like any other.
+  if (Opts.HappensBefore == HbMode::FullSync)
+    vcJoin(Self.Clock, L.Clock);
+  if (Opts.HappensBefore != HbMode::Off)
+    vcTick(Self.Clock, Self.Id);
+  if (Recorder)
+    Recorder->onAcquireExecuted(Self, L, Self.LockStack, Site);
+  ++Result.AcquireEvents;
+  Self.LockStack.push_back({L.Id, Site});
+  L.Owner = Self.Id;
+  L.Recursion = 1;
+  return true;
+}
+
+void Scheduler::condWait(ThreadRecord &Self, CondRecord &CV, LockRecord &M,
+                         Label ReacquireSite) {
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    if (AbortFlag)
+      throw ExecutionAborted();
+    assert(M.Owner == Self.Id && "condition wait without holding the lock");
+    assert(M.Recursion == 1 &&
+           "condition wait on a recursively held lock is unsupported");
+  }
+  announceAndWait(Self, PendingOp::condWait(M.Id, ReacquireSite, CV.Id));
+}
+
+void Scheduler::condNotify(ThreadRecord &Self, CondRecord &CV, bool All) {
+  announceAndWait(Self, PendingOp::notify(CV.Id, All));
+}
+
+void Scheduler::join(ThreadRecord &Self, ThreadRecord &Target) {
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    if (AbortFlag)
+      throw ExecutionAborted();
+    assert(&Self != &Target && "thread cannot join itself");
+    if (Target.State == ThreadState::Finished)
+      return;
+  }
+  announceAndWait(Self, PendingOp::join(Target.Id));
+}
+
+void Scheduler::yieldPoint(ThreadRecord &Self) {
+  announceAndWait(Self, PendingOp::yieldPoint());
+}
+
+void Scheduler::announceAndWait(ThreadRecord &Self, PendingOp Op,
+                                bool NoThrowOnAbort) {
+  std::unique_lock<std::mutex> Lk(Mu);
+  if (AbortFlag) {
+    if (NoThrowOnAbort)
+      return;
+    throw ExecutionAborted();
+  }
+  assert(RunningId == Self.Id && "announcing without the token");
+  Self.State = ThreadState::Announced;
+  Self.Pending = Op;
+  Self.YieldEval = -1;
+  Self.YieldsRemaining = 0;
+  RunningId = ThreadId();
+  pickLoop();
+  Cv.wait(Lk, [&] { return AbortFlag || RunningId == Self.Id; });
+  if (AbortFlag) {
+    if (NoThrowOnAbort)
+      return;
+    throw ExecutionAborted();
+  }
+  assert(Self.State == ThreadState::Running && "token without Running state");
+}
+
+bool Scheduler::isSchedulable(const ThreadRecord &T) const {
+  if (T.State == ThreadState::Finished)
+    return false;
+  assert(T.State != ThreadState::Running &&
+         "a thread cannot run while the scheduler picks");
+  switch (T.Pending.K) {
+  case PendingOp::Kind::None:
+  case PendingOp::Kind::CondBlocked:
+    // CondBlocked threads become ReacquireAfterWait via a notify commit.
+    return false;
+  case PendingOp::Kind::CompleteAcquire:
+  case PendingOp::Kind::ReacquireAfterWait:
+    // Disabled while "waiting to acquire a lock already held by some other
+    // thread" (paper §2.1).
+    return !RT.lockById(T.Pending.Lock).Owner.isValid();
+  case PendingOp::Kind::Join:
+    return RT.threadById(T.Pending.JoinTarget).State == ThreadState::Finished;
+  case PendingOp::Kind::ThreadStart:
+  case PendingOp::Kind::AcquireAttempt:
+  case PendingOp::Kind::Release:
+  case PendingOp::Kind::YieldPoint:
+  case PendingOp::Kind::ThreadExit:
+  case PendingOp::Kind::CondWait:
+  case PendingOp::Kind::Notify:
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::runLivelockMonitor() {
+  for (ThreadRecord &T : RT.threadRecords()) {
+    if (!T.Paused)
+      continue;
+    if (Result.Steps - T.PausedSinceStep <= Opts.MaxPausedSteps)
+      continue;
+    T.Paused = false;
+    T.HasPausedPending = false;
+    T.ForceExecute = true;
+    ++Result.ForcedUnpauses;
+    DLF_DEBUG_LOG("livelock monitor unpaused thread " << T.Name);
+  }
+}
+
+void Scheduler::giveToken(ThreadRecord &T) {
+  T.State = ThreadState::Running;
+  T.Pending = PendingOp();
+  RunningId = T.Id;
+  Cv.notify_all();
+}
+
+void Scheduler::abortAll() {
+  AbortFlag = true;
+  Done = true;
+  Cv.notify_all();
+  DoneCv.notify_all();
+}
+
+std::optional<DeadlockWitness>
+Scheduler::checkRealDeadlock(const ThreadRecord *For,
+                             const std::vector<LockStackEntry> *Tentative) {
+  std::vector<ThreadStackView> Views;
+  // Paused threads are committed to their pending acquire: extend their
+  // stacks with it so a cycle is confirmed as soon as it is inevitable
+  // (matching the paper's zero-thrash reproductions).
+  std::vector<std::vector<LockStackEntry>> PausedStacks;
+  PausedStacks.reserve(RT.threadRecords().size());
+  for (ThreadRecord &T : RT.threadRecords()) {
+    if (T.State == ThreadState::Finished)
+      continue;
+    const std::vector<LockStackEntry> *Stack =
+        (&T == For && Tentative) ? Tentative : &T.LockStack;
+    if (&T != For && T.Paused && T.HasPausedPending) {
+      PausedStacks.push_back(*Stack);
+      PausedStacks.back().push_back(T.PausedPending);
+      Stack = &PausedStacks.back();
+    }
+    if (Stack->empty())
+      continue;
+    Views.push_back({&T, Stack});
+  }
+  return findRealDeadlock(
+      Views, [this](LockId Id) -> const LockRecord & { return RT.lockById(Id); });
+}
+
+void Scheduler::pickLoop() {
+  // Invariant: called under Mu with no thread holding the token.
+  assert(!RunningId.isValid() && "pick loop while a thread runs");
+  uint64_t RoundsWithoutCommit = 0;
+  for (;;) {
+    if (AbortFlag || Done)
+      return;
+    runLivelockMonitor();
+
+    std::vector<ThreadRecord *> Enabled;
+    bool AnyUnfinished = false;
+    for (ThreadRecord &T : RT.threadRecords()) {
+      if (T.State == ThreadState::Finished)
+        continue;
+      AnyUnfinished = true;
+      if (isSchedulable(T))
+        Enabled.push_back(&T);
+    }
+
+    if (!AnyUnfinished) {
+      Result.Completed = true;
+      Done = true;
+      Cv.notify_all();
+      DoneCv.notify_all();
+      return;
+    }
+
+    if (Enabled.empty()) {
+      // "System Stall!" (Algorithms 2 and 3): every live thread is waiting
+      // on a lock, a join, or a condition. Reconstruct the wait-for cycle
+      // for the report and classify communication deadlocks (threads
+      // parked on never-notified conditions).
+      Result.Stalled = true;
+      for (ThreadRecord &T : RT.threadRecords())
+        if (T.State != ThreadState::Finished &&
+            T.Pending.K == PendingOp::Kind::CondBlocked)
+          Result.CommunicationStall = true;
+      if (!Result.Witness)
+        Result.Witness = checkRealDeadlock(nullptr, nullptr);
+      DLF_DEBUG_LOG("system stall after " << Result.Steps << " steps");
+      abortAll();
+      return;
+    }
+
+    // Candidates: Enabled \ Paused (Algorithm 3 line 6), minus threads the
+    // avoidance extension is deferring.
+    std::vector<ThreadRecord *> Candidates;
+    bool AnyDeferred = false;
+    for (ThreadRecord *T : Enabled) {
+      if (T->DeferredByAvoidance) {
+        AnyDeferred = true;
+        continue;
+      }
+      if (!T->Paused)
+        Candidates.push_back(T);
+    }
+
+    if (Candidates.empty()) {
+      // Thrashing (Algorithm 3 lines 26-28): every enabled thread is
+      // paused (or avoidance-deferred behind a paused participant);
+      // remove a random paused thread. It must then execute its pending
+      // acquire rather than re-pause, matching the resumed-past-the-
+      // instrumentation-point semantics of the Java implementation.
+      std::vector<ThreadRecord *> PausedEnabled;
+      for (ThreadRecord *T : Enabled)
+        if (T->Paused)
+          PausedEnabled.push_back(T);
+      if (!PausedEnabled.empty()) {
+        ThreadRecord *Victim =
+            PausedEnabled[Random.nextIndex(PausedEnabled.size())];
+        Victim->Paused = false;
+        Victim->HasPausedPending = false;
+        Victim->ForceExecute = true;
+        ++Result.Thrashes;
+        RoundsWithoutCommit = 0;
+        DLF_DEBUG_LOG("thrash #" << Result.Thrashes << ": unpaused "
+                                 << Victim->Name);
+        continue;
+      }
+      assert(AnyDeferred && "empty candidates without paused or deferred");
+      // Only avoidance deferrals remain: retry them (transient — the
+      // in-progress participant is otherwise runnable, so this branch
+      // cannot recur indefinitely).
+      for (ThreadRecord &T : RT.threadRecords())
+        T.DeferredByAvoidance = false;
+      continue;
+    }
+    (void)AnyDeferred;
+
+    // §4 yield filtering: threads entering a potential cycle defer to the
+    // other candidates for a bounded number of rounds.
+    std::vector<ThreadRecord *> Preferred;
+    if (Opts.UseYields) {
+      for (ThreadRecord *T : Candidates) {
+        if (T->Pending.K == PendingOp::Kind::AcquireAttempt &&
+            T->YieldEval < 0) {
+          bool Yields = Strat.shouldYield(*T, RT.lockById(T->Pending.Lock),
+                                          T->Pending.Site);
+          T->YieldEval = Yields ? 1 : 0;
+          T->YieldsRemaining = Yields ? Opts.YieldBudget : 0;
+        }
+        if (T->YieldsRemaining == 0)
+          Preferred.push_back(T);
+      }
+    }
+    std::vector<ThreadRecord *> &Pool =
+        (!Opts.UseYields || Preferred.empty()) ? Candidates : Preferred;
+
+    std::vector<const ThreadRecord *> PoolView(Pool.begin(), Pool.end());
+    size_t Idx = Strat.pickIndex(PoolView, Random);
+    assert(Idx < Pool.size() && "strategy picked out of range");
+    ThreadRecord *Picked = Pool[Idx];
+
+    // Consume one yield round from every deferring candidate we skipped.
+    if (Opts.UseYields && &Pool == &Preferred)
+      for (ThreadRecord *T : Candidates)
+        if (T->YieldsRemaining > 0)
+          --T->YieldsRemaining;
+
+    if (++RoundsWithoutCommit > 16 * RT.threadRecords().size() + 64) {
+      // Safety net: the pause/unpause dance must converge long before this.
+      Result.LivelockAborted = true;
+      abortAll();
+      return;
+    }
+    if (commitOp(*Picked))
+      return;
+  }
+}
+
+bool Scheduler::commitOp(ThreadRecord &T) {
+  switch (T.Pending.K) {
+  case PendingOp::Kind::ThreadStart:
+  case PendingOp::Kind::YieldPoint:
+    ++Result.Steps;
+    giveToken(T);
+    return true;
+
+  case PendingOp::Kind::AcquireAttempt:
+    return commitAcquireAttempt(T);
+
+  case PendingOp::Kind::CompleteAcquire: {
+    ++Result.Steps;
+    LockRecord &L = RT.lockById(T.Pending.Lock);
+    assert(!L.Owner.isValid() && "completing acquire of a held lock");
+    L.Owner = T.Id;
+    L.Recursion = 1;
+    giveToken(T);
+    return true;
+  }
+
+  case PendingOp::Kind::Release: {
+    ++Result.Steps;
+    LockRecord &L = RT.lockById(T.Pending.Lock);
+    assert(L.Owner == T.Id && "releasing an unowned lock");
+    // Pop the topmost matching entry; supports non-nested release orders
+    // (the paper's "can easily be extended" case).
+    for (size_t I = T.LockStack.size(); I-- > 0;) {
+      if (T.LockStack[I].Lock == L.Id) {
+        T.LockStack.erase(T.LockStack.begin() + static_cast<long>(I));
+        break;
+      }
+    }
+    L.Owner = ThreadId();
+    L.Recursion = 0;
+    if (Opts.HappensBefore == HbMode::FullSync) {
+      vcTick(T.Clock, T.Id);
+      L.Clock = T.Clock;
+    }
+    // A release can clear avoidance conflicts: let deferred threads retry.
+    for (ThreadRecord &U : RT.threadRecords())
+      U.DeferredByAvoidance = false;
+    giveToken(T);
+    return true;
+  }
+
+  case PendingOp::Kind::Join:
+    ++Result.Steps;
+    assert(RT.threadById(T.Pending.JoinTarget).State ==
+               ThreadState::Finished &&
+           "join committed before target finished");
+    if (Opts.HappensBefore != HbMode::Off)
+      vcJoin(T.Clock, RT.threadById(T.Pending.JoinTarget).Clock);
+    giveToken(T);
+    return true;
+
+  case PendingOp::Kind::CondWait: {
+    ++Result.Steps;
+    LockRecord &L = RT.lockById(T.Pending.Lock);
+    CondRecord &CV = RT.condById(T.Pending.Cond);
+    assert(L.Owner == T.Id && "condition wait without the lock");
+    // Atomically release the lock and park on the condition.
+    for (size_t I = T.LockStack.size(); I-- > 0;) {
+      if (T.LockStack[I].Lock == L.Id) {
+        T.LockStack.erase(T.LockStack.begin() + static_cast<long>(I));
+        break;
+      }
+    }
+    L.Owner = ThreadId();
+    L.Recursion = 0;
+    if (Opts.HappensBefore == HbMode::FullSync) {
+      vcTick(T.Clock, T.Id);
+      L.Clock = T.Clock;
+    }
+    for (ThreadRecord &U : RT.threadRecords())
+      U.DeferredByAvoidance = false;
+    T.State = ThreadState::Blocked;
+    T.Pending.K = PendingOp::Kind::CondBlocked;
+    CV.Waiting.push_back(T.Id);
+    return false;
+  }
+
+  case PendingOp::Kind::ReacquireAfterWait: {
+    ++Result.Steps;
+    LockRecord &L = RT.lockById(T.Pending.Lock);
+    assert(!L.Owner.isValid() && "reacquire of a held lock");
+    // The re-acquisition is an Acquire event (the wait's monitorexit /
+    // monitorenter pair in the Java model).
+    if (Opts.HappensBefore == HbMode::FullSync)
+      vcJoin(T.Clock, L.Clock);
+    if (Opts.HappensBefore != HbMode::Off)
+      vcTick(T.Clock, T.Id);
+    if (Recorder)
+      Recorder->onAcquireExecuted(T, L, T.LockStack, T.Pending.Site);
+    ++Result.AcquireEvents;
+    T.LockStack.push_back({L.Id, T.Pending.Site});
+    L.Owner = T.Id;
+    L.Recursion = 1;
+    giveToken(T);
+    return true;
+  }
+
+  case PendingOp::Kind::Notify: {
+    ++Result.Steps;
+    CondRecord &CV = RT.condById(T.Pending.Cond);
+    size_t WakeCount = T.Pending.NotifyAll ? CV.Waiting.size()
+                                           : std::min<size_t>(
+                                                 1, CV.Waiting.size());
+    for (size_t I = 0; I != WakeCount; ++I) {
+      ThreadRecord &Waiter = RT.threadById(CV.Waiting[I]);
+      assert(Waiter.Pending.K == PendingOp::Kind::CondBlocked &&
+             "waiter not parked");
+      Waiter.Pending.K = PendingOp::Kind::ReacquireAfterWait;
+    }
+    CV.Waiting.erase(CV.Waiting.begin(),
+                     CV.Waiting.begin() + static_cast<long>(WakeCount));
+    giveToken(T);
+    return true;
+  }
+
+  case PendingOp::Kind::ThreadExit:
+  case PendingOp::Kind::CondBlocked:
+  case PendingOp::Kind::None:
+    break;
+  }
+  assert(false && "unexpected pending operation");
+  return true;
+}
+
+bool Scheduler::commitAcquireAttempt(ThreadRecord &T) {
+  ++Result.Steps;
+  if (Result.Steps > Opts.MaxSteps) {
+    Result.LivelockAborted = true;
+    abortAll();
+    return true;
+  }
+  LockRecord &L = RT.lockById(T.Pending.Lock);
+  Label Site = T.Pending.Site;
+
+  // Algorithm 3 lines 9-11: push (tentatively), then checkRealDeadlock.
+  std::vector<LockStackEntry> Tentative = T.LockStack;
+  Tentative.push_back({L.Id, Site});
+  if (Strat.wantsDeadlockCheck()) {
+    if (auto Witness = checkRealDeadlock(&T, &Tentative)) {
+      Result.DeadlockFound = true;
+      Result.Witness = std::move(Witness);
+      DLF_DEBUG_LOG("real deadlock found:\n" << Result.Witness->toString());
+      abortAll();
+      return true;
+    }
+  }
+
+  // Avoidance extension (Dimmunix-style immunity, see DESIGN.md): defer
+  // this acquire when it closes in on a component of an avoided cycle
+  // while another thread is already inside a different component of the
+  // same cycle. Deferral re-arms at the next lock release.
+  if (const std::vector<CycleSpec> *Avoid = RT.avoidSpecs()) {
+    for (const CycleSpec &Spec : *Avoid) {
+      size_t Mine = Spec.enteringComponentIndex(T.Abs, Tentative);
+      if (Mine == static_cast<size_t>(-1))
+        continue;
+      for (ThreadRecord &U : RT.threadRecords()) {
+        if (&U == &T || U.State == ThreadState::Finished)
+          continue;
+        if (Spec.otherComponentInProgress(Mine, U.Abs, U.LockStack)) {
+          T.DeferredByAvoidance = true;
+          DLF_DEBUG_LOG("avoidance deferred " << T.Name << " before "
+                                              << L.Name);
+          return false;
+        }
+      }
+    }
+  }
+
+  // Algorithm 3 lines 12-18: pause if this acquire is a cycle component —
+  // unless the thread was force-resumed by thrash handling or the livelock
+  // monitor.
+  if (!T.ForceExecute && Strat.shouldPause(T, L, Tentative)) {
+    T.Paused = true;
+    ++T.TimesPaused;
+    T.PausedSinceStep = Result.Steps;
+    T.HasPausedPending = true;
+    T.PausedPending = Tentative.back();
+    DLF_DEBUG_LOG("paused " << T.Name << " before acquiring " << L.Name
+                            << " at " << Site.text());
+    return false;
+  }
+  T.ForceExecute = false;
+
+  // Execute the acquire: this is the event Phase I records (Definition 1).
+  if (Opts.HappensBefore == HbMode::FullSync)
+    vcJoin(T.Clock, L.Clock); // release -> acquire edge
+  if (Opts.HappensBefore != HbMode::Off)
+    vcTick(T.Clock, T.Id);
+  if (Recorder)
+    Recorder->onAcquireExecuted(T, L, T.LockStack, Site);
+  ++Result.AcquireEvents;
+  T.LockStack.push_back({L.Id, Site});
+
+  if (!L.Owner.isValid()) {
+    L.Owner = T.Id;
+    L.Recursion = 1;
+    giveToken(T);
+    return true;
+  }
+  // The lock is held: the thread is now disabled until the owner releases.
+  // Its pending lock stays in the stack, which is what lets Algorithm 4 see
+  // the wait-for edge.
+  T.State = ThreadState::Blocked;
+  T.Pending = PendingOp{PendingOp::Kind::CompleteAcquire, L.Id, Site, {}};
+  return false;
+}

@@ -1,0 +1,73 @@
+//===- runtime/Strategy.h - Scheduling strategy interface -------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision interface the active scheduler consults. The scheduler owns
+/// all mechanics (token passing, the Paused set, thrash handling, the
+/// livelock monitor); a strategy only answers the questions the paper's
+/// algorithms parameterize:
+///
+///  * which enabled, non-paused thread runs next        (Algorithms 2 & 3)
+///  * should the picked thread pause before an acquire  (Algorithm 3)
+///  * should a thread yield before an acquire           (§4 optimization)
+///  * should checkRealDeadlock run at acquires          (Algorithm 3 vs 2)
+///
+/// Concrete strategies live in src/fuzzer (SimpleRandomStrategy implements
+/// Algorithm 2; DeadlockFuzzerStrategy implements Algorithm 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_RUNTIME_STRATEGY_H
+#define DLF_RUNTIME_STRATEGY_H
+
+#include "runtime/Records.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace dlf {
+
+/// Scheduling policy consulted by the active scheduler. All methods are
+/// invoked with the scheduler lock held; implementations must not call back
+/// into the runtime.
+class SchedulerStrategy {
+public:
+  virtual ~SchedulerStrategy();
+
+  /// Short name used in reports ("simple-random", "deadlock-fuzzer").
+  virtual const char *name() const = 0;
+
+  /// Picks the next thread to run among \p Candidates (never empty).
+  /// Default: uniformly random, per the paper's schedulers.
+  virtual size_t pickIndex(const std::vector<const ThreadRecord *> &Candidates,
+                           Rng &R);
+
+  /// Whether the scheduler should run checkRealDeadlock at every acquire
+  /// (Algorithm 3 line 11). The simple random checker (Algorithm 2) detects
+  /// deadlocks as stalls instead.
+  virtual bool wantsDeadlockCheck() const { return false; }
+
+  /// Called when \p T was picked and is about to execute the acquire of
+  /// \p L; \p TentativeStack is T's lock stack *including* the pending
+  /// entry (Algorithm 3's push-before-check). Return true to move T to the
+  /// Paused set instead of executing.
+  virtual bool shouldPause(const ThreadRecord &T, const LockRecord &L,
+                           const std::vector<LockStackEntry> &TentativeStack) {
+    return false;
+  }
+
+  /// Called when \p T has announced an acquire of \p L at \p Site while
+  /// holding no relevant context yet. Return true to make T yield (be
+  /// deprioritized for a bounded number of rounds) per the §4 optimization.
+  virtual bool shouldYield(const ThreadRecord &T, const LockRecord &L,
+                           Label Site) {
+    return false;
+  }
+};
+
+} // namespace dlf
+
+#endif // DLF_RUNTIME_STRATEGY_H

@@ -1,0 +1,112 @@
+//===- runtime/Thread.cpp - Instrumented thread wrapper --------------------===//
+
+#include "runtime/Thread.h"
+
+#include "runtime/Abort.h"
+#include "runtime/Records.h"
+#include "runtime/Runtime.h"
+#include "runtime/Scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace dlf;
+
+Thread::Thread(std::function<void()> Fn, const std::string &Name, Label Site,
+               const void *Parent) {
+  Runtime *Current = Runtime::current();
+  if (!Current || Current->mode() == RunMode::Passthrough) {
+    Os = std::thread(std::move(Fn));
+    return;
+  }
+  RT = Current;
+  if (!Site.isValid())
+    Site = Label::intern("thread:" + Name);
+  Rec = &RT->createThreadRecord(Name, this, Parent, Site);
+  // The child announces ThreadStart via its record (set by
+  // createThreadRecord); in Active mode it will block until the scheduler
+  // commits that start. The creator keeps running: spawning is not a
+  // scheduling point in the paper's model. Capture the runtime and record
+  // by value: the Thread object itself may be moved while the body runs.
+  Os = std::thread([BoundRT = RT, BoundRec = Rec, Body = std::move(Fn)] {
+    body(*BoundRT, *BoundRec, Body);
+  });
+}
+
+void Thread::body(Runtime &RT, ThreadRecord &Rec,
+                  const std::function<void()> &Fn) {
+  RT.setSelfRecord(&Rec);
+  if (RT.mode() == RunMode::Active) {
+    Scheduler *Sched = RT.scheduler();
+    assert(Sched && "managed thread without a scheduler");
+    try {
+      Sched->threadBodyBegin(Rec);
+      Fn();
+    } catch (ExecutionAborted &) {
+      // Teardown of an aborted run; fall through to threadBodyEnd.
+    }
+    Sched->threadBodyEnd(Rec);
+  } else {
+    Fn();
+    std::lock_guard<std::mutex> Guard(RT.recordMu());
+    Rec.State = ThreadState::Finished;
+  }
+  RT.setSelfRecord(nullptr);
+}
+
+void Thread::join() {
+  if (!Os.joinable())
+    return;
+  if (RT && Rec && RT == Runtime::current() &&
+      RT->mode() == RunMode::Active && RT->scheduler()) {
+    ThreadRecord *Self = RT->selfRecord();
+    assert(Self && "managed join from an unmanaged thread");
+    try {
+      RT->scheduler()->join(*Self, *Rec);
+    } catch (ExecutionAborted &) {
+      // Complete the OS join before propagating so the object stays
+      // destructible: the target unwinds promptly once the run is aborted.
+      Os.join();
+      throw;
+    }
+  }
+  Os.join();
+  if (RT && Rec && RT == Runtime::current() &&
+      RT->mode() == RunMode::Record &&
+      RT->options().HappensBefore != HbMode::Off) {
+    // Join edge in Record mode (Active mode merges at the Join commit).
+    ThreadRecord *Self = RT->selfRecord();
+    if (Self) {
+      std::lock_guard<std::mutex> Guard(RT->recordMu());
+      vcJoin(Self->Clock, Rec->Clock);
+    }
+  }
+}
+
+Thread::~Thread() {
+  if (!Os.joinable())
+    return;
+  try {
+    join();
+  } catch (ExecutionAborted &) {
+    // Destructors must not throw; the OS join already happened.
+  }
+}
+
+Thread::Thread(Thread &&Other) noexcept
+    : RT(Other.RT), Rec(Other.Rec), Os(std::move(Other.Os)) {
+  Other.RT = nullptr;
+  Other.Rec = nullptr;
+}
+
+Thread &Thread::operator=(Thread &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  assert(!Os.joinable() && "assigning over a joinable thread");
+  RT = Other.RT;
+  Rec = Other.Rec;
+  Os = std::move(Other.Os);
+  Other.RT = nullptr;
+  Other.Rec = nullptr;
+  return *this;
+}

@@ -1,0 +1,51 @@
+//===- substrates/BenchmarkRegistry.cpp - Benchmark catalogue ---------------===//
+
+#include "substrates/BenchmarkRegistry.h"
+
+#include "substrates/collections/Harness.h"
+#include "substrates/dbcp/Dbcp.h"
+#include "substrates/jigsaw/Jigsaw.h"
+#include "substrates/logging/Logging.h"
+#include "substrates/swing/Swing.h"
+#include "substrates/workloads/Workloads.h"
+
+using namespace dlf;
+
+const std::vector<BenchmarkInfo> &dlf::allBenchmarks() {
+  static const std::vector<BenchmarkInfo> Registry = [] {
+    std::vector<BenchmarkInfo> List;
+    List.push_back({"cache4j", "thread-safe object cache (deadlock-free)",
+                    workloads::runCache4j, 0, true, 0});
+    List.push_back({"sor", "successive over-relaxation (deadlock-free)",
+                    workloads::runSor, 0, true, 0});
+    List.push_back({"hedc", "meta-crawler (deadlock-free)",
+                    workloads::runHedc, 0, true, 0});
+    List.push_back({"jspider", "web spider (deadlock-free)",
+                    workloads::runJSpider, 0, true, 0});
+    List.push_back({"jigsaw", "mini web server (many cycles, some false)",
+                    jigsaw::runJigsawHarness, -1, false, -1});
+    List.push_back({"logging", "java.util.logging analogue (3 cycles)",
+                    logging::runLoggingHarness, 3, false, 3});
+    List.push_back({"swing", "javax.swing analogue (1 cycle)",
+                    swing::runSwingHarness, 1, false, 1});
+    List.push_back({"dbcp", "connection pool analogue (2 cycles)",
+                    dbcp::runDbcpHarness, 2, false, 2});
+    List.push_back({"collections-lists",
+                    "synchronized lists (9+9+9 cycles)",
+                    collections::runListsHarness, 27, false, 27});
+    List.push_back({"collections-maps",
+                    "synchronized maps (4 cycles x 5 classes)",
+                    collections::runMapsHarness, 20, false, 20});
+    List.push_back({"collections", "lists + maps bundle (Figure 2)",
+                    collections::runCollectionsHarness, 47, false, 47});
+    return List;
+  }();
+  return Registry;
+}
+
+const BenchmarkInfo *dlf::findBenchmark(const std::string &Name) {
+  for (const BenchmarkInfo &Info : allBenchmarks())
+    if (Info.Name == Name)
+      return &Info;
+  return nullptr;
+}

@@ -1,0 +1,52 @@
+//===- substrates/BenchmarkRegistry.h - Benchmark catalogue -----*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The catalogue of benchmark workloads, mirroring the paper's Table 1
+/// rows. Each entry carries the expected iGoodlock outcome so the
+/// integration tests and the Table 1 harness can check/annotate results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_BENCHMARKREGISTRY_H
+#define DLF_SUBSTRATES_BENCHMARKREGISTRY_H
+
+#include "fuzzer/ActiveTester.h"
+
+#include <string>
+#include <vector>
+
+namespace dlf {
+
+/// One benchmark workload and its expectations.
+struct BenchmarkInfo {
+  std::string Name;
+  std::string Description;
+  Program Entry;
+
+  /// Expected number of potential cycles from a complete Phase I
+  /// observation; -1 when the count is schedule-dependent (jigsaw).
+  int ExpectedCycles = -1;
+
+  /// True for workloads whose lock discipline is clean (Table 1's
+  /// cache4j / sor / hedc / jspider rows).
+  bool DeadlockFree = false;
+
+  /// Expected number of cycles Phase II can actually confirm; -1 when
+  /// schedule-dependent. (ExpectedCycles - ExpectedReal > 0 demonstrates
+  /// iGoodlock false positives, the paper's §5.4.)
+  int ExpectedConfirmable = -1;
+};
+
+/// All registered benchmarks, in Table 1 order.
+const std::vector<BenchmarkInfo> &allBenchmarks();
+
+/// Finds a benchmark by name; null when unknown.
+const BenchmarkInfo *findBenchmark(const std::string &Name);
+
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_BENCHMARKREGISTRY_H

@@ -1,0 +1,34 @@
+//===- substrates/Stagger.h - Workload pacing helpers ------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pacing helpers for the benchmark substrates. The paper's deadlocks are
+/// rare under normal schedules because the racing critical sections are
+/// short and the threads reach them at different times (Figure 1 models
+/// this with "long running methods" f1..f4). stagger(N) plays that role: N
+/// scheduling points of separation, which makes the unbiased schedulers
+/// (simple random, passthrough) very unlikely to overlap the windows, while
+/// the biased Phase II scheduler pauses one participant and waits for the
+/// other, so reproduction stays easy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_STAGGER_H
+#define DLF_SUBSTRATES_STAGGER_H
+
+#include "runtime/Runtime.h"
+
+namespace dlf {
+
+/// Executes \p Points scheduling points of benign work.
+inline void stagger(unsigned Points) {
+  for (unsigned I = 0; I != Points; ++I)
+    yieldNow();
+}
+
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_STAGGER_H

@@ -1,0 +1,45 @@
+//===- substrates/collections/Harness.h - Collections workloads -*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-threaded harnesses for the synchronized-collections benchmarks,
+/// mirroring the paper's §5.1 ("to test the Java Collections in a
+/// concurrent setting, we used the synchronized wrappers in
+/// java.util.Collections"):
+///
+///  * runListsHarness — three "classes" (ArrayList, Stack, LinkedList),
+///    each exercising the 9 ordered combinations of
+///    {addAll, removeAll, retainAll} × {addAll, removeAll, retainAll} on
+///    two shared lists from isolated thread pairs: 9+9+9 potential cycles
+///    (paper Table 1), each reproducible with probability ≈ 1.
+///  * runMapsHarness — five "classes" (HashMap, TreeMap, WeakHashMap,
+///    LinkedHashMap, IdentityHashMap), each running four *concurrent*
+///    threads over two shared maps: 4 cycles per class. Because all four
+///    threads contend on the same two monitors, Phase II frequently creates
+///    a deadlock *other than* the target cycle — the effect behind the
+///    paper's 0.52 probability for the maps row.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_COLLECTIONS_HARNESS_H
+#define DLF_SUBSTRATES_COLLECTIONS_HARNESS_H
+
+namespace dlf {
+namespace collections {
+
+/// The synchronized-lists workload (27 potential cycles).
+void runListsHarness();
+
+/// The synchronized-maps workload (20 potential cycles).
+void runMapsHarness();
+
+/// Both, as one program (the paper's Figure 2 "Collections" bundle).
+void runCollectionsHarness();
+
+} // namespace collections
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_COLLECTIONS_HARNESS_H

@@ -1,0 +1,58 @@
+//===- substrates/collections/SyncList.cpp - synchronizedList analogue -----===//
+
+#include "substrates/collections/SyncList.h"
+
+#include <algorithm>
+
+using namespace dlf;
+using namespace dlf::collections;
+
+SyncList::SyncList(const std::string &Name, Label Site, const void *Parent)
+    : Monitor(Name, Site, Parent) {}
+
+void SyncList::add(int Value) {
+  DLF_SCOPE("SyncList::add");
+  MutexGuard Guard(Monitor, DLF_NAMED_SITE("SyncList::add/this"));
+  Data.push_back(Value);
+}
+
+size_t SyncList::size() const {
+  DLF_SCOPE("SyncList::size");
+  MutexGuard Guard(Monitor, DLF_NAMED_SITE("SyncList::size/this"));
+  return Data.size();
+}
+
+bool SyncList::contains(int Value) const {
+  DLF_SCOPE("SyncList::contains");
+  MutexGuard Guard(Monitor, DLF_NAMED_SITE("SyncList::contains/this"));
+  return std::find(Data.begin(), Data.end(), Value) != Data.end();
+}
+
+void SyncList::addAll(const SyncList &Other) {
+  DLF_SCOPE("SyncList::addAll");
+  MutexGuard This(Monitor, DLF_NAMED_SITE("SyncList::addAll/this"));
+  MutexGuard Arg(Other.Monitor, DLF_NAMED_SITE("SyncList::addAll/arg"));
+  Data.insert(Data.end(), Other.Data.begin(), Other.Data.end());
+}
+
+void SyncList::removeAll(const SyncList &Other) {
+  DLF_SCOPE("SyncList::removeAll");
+  MutexGuard This(Monitor, DLF_NAMED_SITE("SyncList::removeAll/this"));
+  MutexGuard Arg(Other.Monitor, DLF_NAMED_SITE("SyncList::removeAll/arg"));
+  auto IsInOther = [&](int V) {
+    return std::find(Other.Data.begin(), Other.Data.end(), V) !=
+           Other.Data.end();
+  };
+  Data.erase(std::remove_if(Data.begin(), Data.end(), IsInOther), Data.end());
+}
+
+void SyncList::retainAll(const SyncList &Other) {
+  DLF_SCOPE("SyncList::retainAll");
+  MutexGuard This(Monitor, DLF_NAMED_SITE("SyncList::retainAll/this"));
+  MutexGuard Arg(Other.Monitor, DLF_NAMED_SITE("SyncList::retainAll/arg"));
+  auto NotInOther = [&](int V) {
+    return std::find(Other.Data.begin(), Other.Data.end(), V) ==
+           Other.Data.end();
+  };
+  Data.erase(std::remove_if(Data.begin(), Data.end(), NotInOther), Data.end());
+}

@@ -1,0 +1,64 @@
+//===- substrates/collections/SyncList.h - synchronizedList analogue ------===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ analogue of java.util.Collections.synchronizedList: a list whose
+/// every operation locks the list monitor, and whose bulk operations
+/// (addAll / removeAll / retainAll) lock *both* monitors — this-first,
+/// argument-second. Running l1.addAll(l2) concurrently with
+/// l2.retainAll(l1) therefore deadlocks, exactly the benchmark the paper
+/// uses (§5.3: "three methods ... for a total of 9 combinations of deadlock
+/// cycles").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_COLLECTIONS_SYNCLIST_H
+#define DLF_SUBSTRATES_COLLECTIONS_SYNCLIST_H
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace collections {
+
+/// Synchronized list of ints (payload type is irrelevant to the locking
+/// discipline under study).
+class SyncList {
+public:
+  /// \p Name for reports; \p Site the creation site; \p Parent the owning
+  /// harness object (drives the k-object abstraction).
+  SyncList(const std::string &Name, Label Site, const void *Parent);
+
+  /// Appends one element (locks this).
+  void add(int Value);
+
+  /// Returns the element count (locks this).
+  size_t size() const;
+
+  /// Returns true if \p Value is present (locks this).
+  bool contains(int Value) const;
+
+  /// Appends every element of \p Other: locks this, then Other.
+  void addAll(const SyncList &Other);
+
+  /// Removes every element present in \p Other: locks this, then Other.
+  void removeAll(const SyncList &Other);
+
+  /// Keeps only elements present in \p Other: locks this, then Other.
+  void retainAll(const SyncList &Other);
+
+private:
+  mutable Mutex Monitor;
+  std::vector<int> Data;
+};
+
+} // namespace collections
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_COLLECTIONS_SYNCLIST_H

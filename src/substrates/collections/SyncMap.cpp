@@ -1,0 +1,53 @@
+//===- substrates/collections/SyncMap.cpp - synchronizedMap analogue -------===//
+
+#include "substrates/collections/SyncMap.h"
+
+using namespace dlf;
+using namespace dlf::collections;
+
+SyncMap::SyncMap(const std::string &Name, Label Site, const void *Parent)
+    : Monitor(Name, Site, Parent) {}
+
+void SyncMap::put(int Key, int Value) {
+  DLF_SCOPE("SyncMap::put");
+  MutexGuard Guard(Monitor, DLF_NAMED_SITE("SyncMap::put/this"));
+  Data[Key] = Value;
+}
+
+int SyncMap::get(int Key) const {
+  DLF_SCOPE("SyncMap::get");
+  MutexGuard Guard(Monitor, DLF_NAMED_SITE("SyncMap::get/this"));
+  auto It = Data.find(Key);
+  return It == Data.end() ? 0 : It->second;
+}
+
+size_t SyncMap::size() const {
+  DLF_SCOPE("SyncMap::size");
+  MutexGuard Guard(Monitor, DLF_NAMED_SITE("SyncMap::size/this"));
+  return Data.size();
+}
+
+bool SyncMap::equals(const SyncMap &Other) const {
+  DLF_SCOPE("SyncMap::equals");
+  MutexGuard This(Monitor, DLF_NAMED_SITE("SyncMap::equals/this"));
+  // Iterate this while point-querying Other: the inner acquire of Other's
+  // monitor is the JDK's synchronizedMap equals() pattern.
+  MutexGuard Arg(Other.Monitor, DLF_NAMED_SITE("SyncMap::equals/arg"));
+  if (Data.size() != Other.Data.size())
+    return false;
+  for (const auto &[Key, Value] : Data)
+    if (Other.Data.count(Key) == 0 || Other.Data.at(Key) != Value)
+      return false;
+  return true;
+}
+
+void SyncMap::getAll(const SyncMap &Other) {
+  DLF_SCOPE("SyncMap::getAll");
+  MutexGuard This(Monitor, DLF_NAMED_SITE("SyncMap::getAll/this"));
+  MutexGuard Arg(Other.Monitor, DLF_NAMED_SITE("SyncMap::getAll/arg"));
+  for (auto &[Key, Value] : Data) {
+    auto It = Other.Data.find(Key);
+    if (It != Other.Data.end())
+      Value = It->second;
+  }
+}

@@ -1,0 +1,58 @@
+//===- substrates/collections/SyncMap.h - synchronizedMap analogue --------===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ analogue of java.util.Collections.synchronizedMap. The deadlock-
+/// prone operations mirror the paper's §5.3 description ("the
+/// synchronizedMap classes have 4 combinations with the methods equals()
+/// and get()"): equals(other) locks this and then, while iterating, calls
+/// other.get() which locks other; getAll(other) bulk-reads other's keys
+/// with the same this-then-other order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_COLLECTIONS_SYNCMAP_H
+#define DLF_SUBSTRATES_COLLECTIONS_SYNCMAP_H
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+
+#include <map>
+#include <string>
+
+namespace dlf {
+namespace collections {
+
+/// Synchronized int->int map.
+class SyncMap {
+public:
+  SyncMap(const std::string &Name, Label Site, const void *Parent);
+
+  /// Inserts or overwrites (locks this).
+  void put(int Key, int Value);
+
+  /// Point lookup; returns 0 when absent (locks this).
+  int get(int Key) const;
+
+  size_t size() const;
+
+  /// Structural equality: locks this, then Other (via get() on Other while
+  /// iterating this — the JDK deadlock pattern).
+  bool equals(const SyncMap &Other) const;
+
+  /// Copies every entry of Other whose key exists in this: locks this, then
+  /// Other.
+  void getAll(const SyncMap &Other);
+
+private:
+  mutable Mutex Monitor;
+  std::map<int, int> Data;
+};
+
+} // namespace collections
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_COLLECTIONS_SYNCMAP_H

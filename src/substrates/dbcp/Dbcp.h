@@ -1,0 +1,98 @@
+//===- substrates/dbcp/Dbcp.h - Apache DBCP analogue -------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature database connection pool with the lock structure of Apache
+/// Commons DBCP, where the paper found 2 real deadlock cycles (§5.3): one
+/// thread creates a PreparedStatement while another closes one.
+///
+///   cycle 1: Connection::prepareStatement [connection -> pool]
+///         vs PreparedStatement close path [pool -> connection]
+///   cycle 2: Connection::close            [connection -> pool]
+///         vs ConnectionPool::evictIdle    [pool -> connection]
+///
+/// Connections are allocated by the pool's factory method (single
+/// allocation site), so the k-object abstraction cannot tell them apart —
+/// the DBCP bar of Figure 2's variant-1 vs variant-2 comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_DBCP_DBCP_H
+#define DLF_SUBSTRATES_DBCP_DBCP_H
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace dbcp {
+
+class ConnectionPool;
+
+/// A pooled connection with its own monitor (DelegatingConnection).
+class Connection {
+public:
+  Connection(const std::string &Name, Label Site, ConnectionPool &Pool);
+
+  /// Borrows a statement slot from the pool: locks connection, then pool
+  /// (the paper's PoolingConnection.prepareStatement path).
+  void prepareStatement(const std::string &Sql);
+
+  /// Returns the connection to the pool: locks connection, then pool.
+  void close();
+
+  /// Single-lock query (gate / benign traffic).
+  bool isClosed() const;
+
+private:
+  friend class ConnectionPool;
+  mutable Mutex Monitor;
+  ConnectionPool &Pool;
+  std::string Name;
+  bool Closed = false;
+  std::vector<std::string> Statements;
+};
+
+/// The KeyedObjectPool analogue: one pool monitor guarding shared state.
+class ConnectionPool {
+public:
+  explicit ConnectionPool(Label Site);
+
+  /// Factory: allocates a connection at a single site.
+  Connection &createConnection(const std::string &Name);
+
+  /// The paper's PoolablePreparedStatement.close path: locks pool, then the
+  /// statement's connection.
+  void closeStatement(Connection &Conn, const std::string &Sql);
+
+  /// Idle-object eviction: locks pool, then the connection.
+  void evictIdle(Connection &Conn);
+
+  /// Single-lock query (gate / benign traffic).
+  size_t activeCount() const;
+
+  /// Called by Connection methods with the connection monitor held.
+  void noteBorrow();
+  void noteReturn();
+
+private:
+  friend class Connection;
+  mutable Mutex Monitor;
+  std::vector<std::unique_ptr<Connection>> Connections;
+  size_t Active = 0;
+};
+
+/// The DBCP benchmark workload: two deadlock cycles with gates, plus benign
+/// traffic.
+void runDbcpHarness();
+
+} // namespace dbcp
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_DBCP_DBCP_H

@@ -1,0 +1,111 @@
+//===- substrates/jigsaw/Http.cpp - Minimal HTTP machinery ------------------===//
+
+#include "substrates/jigsaw/Http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+using namespace dlf;
+using namespace dlf::jigsaw;
+
+namespace {
+
+std::string toLower(std::string Text) {
+  std::transform(Text.begin(), Text.end(), Text.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return Text;
+}
+
+std::string trim(const std::string &Text) {
+  size_t Begin = Text.find_first_not_of(" \t\r");
+  if (Begin == std::string::npos)
+    return "";
+  size_t End = Text.find_last_not_of(" \t\r");
+  return Text.substr(Begin, End - Begin + 1);
+}
+
+} // namespace
+
+std::optional<HttpRequest> jigsaw::parseRequest(const std::string &Raw) {
+  std::istringstream In(Raw);
+  std::string Line;
+  if (!std::getline(In, Line))
+    return std::nullopt;
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+
+  HttpRequest Request;
+  {
+    std::istringstream First(Line);
+    if (!(First >> Request.Method >> Request.Path >> Request.Version))
+      return std::nullopt;
+    std::string Extra;
+    if (First >> Extra)
+      return std::nullopt; // junk after the version
+  }
+  if (Request.Method.empty() || Request.Path.empty() ||
+      Request.Path[0] != '/' || Request.Version.rfind("HTTP/", 0) != 0)
+    return std::nullopt;
+
+  while (std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      break; // end of headers
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos || Colon == 0)
+      return std::nullopt;
+    Request.Headers[toLower(trim(Line.substr(0, Colon)))] =
+        trim(Line.substr(Colon + 1));
+  }
+  return Request;
+}
+
+unsigned jigsaw::routeToResource(const std::string &Path,
+                                 unsigned ResourceCount) {
+  if (ResourceCount == 0)
+    return 0;
+  // Trailing numeric segment routes directly.
+  size_t Slash = Path.find_last_of('/');
+  if (Slash != std::string::npos && Slash + 1 < Path.size()) {
+    const std::string Tail = Path.substr(Slash + 1);
+    bool AllDigits = !Tail.empty() &&
+                     std::all_of(Tail.begin(), Tail.end(), [](unsigned char C) {
+                       return std::isdigit(C);
+                     });
+    if (AllDigits)
+      return static_cast<unsigned>(std::stoul(Tail)) % ResourceCount;
+  }
+  // Otherwise a stable FNV-1a hash of the path.
+  uint32_t Hash = 2166136261u;
+  for (unsigned char C : Path) {
+    Hash ^= C;
+    Hash *= 16777619u;
+  }
+  return Hash % ResourceCount;
+}
+
+HttpResponse jigsaw::makeResponse(const HttpRequest &Request,
+                                  const std::string &ResourcePayload) {
+  HttpResponse Response;
+  if (!Request.isRead()) {
+    Response.Status = 405;
+    Response.Reason = "Method Not Allowed";
+    Response.Headers["allow"] = "GET, HEAD";
+    return Response;
+  }
+  Response.Headers["content-type"] = "text/plain";
+  if (Request.Method == "GET")
+    Response.Body = ResourcePayload;
+  return Response;
+}
+
+std::string HttpResponse::serialize() const {
+  std::ostringstream Out;
+  Out << "HTTP/1.0 " << Status << ' ' << Reason << "\r\n";
+  for (const auto &[Name, Value] : Headers)
+    Out << Name << ": " << Value << "\r\n";
+  Out << "content-length: " << Body.size() << "\r\n\r\n" << Body;
+  return Out.str();
+}

@@ -1,0 +1,66 @@
+//===- substrates/jigsaw/Http.h - Minimal HTTP machinery ---------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response plumbing of the mini web server: a small HTTP/1.0
+/// parser and formatter. Pure logic — no locks — but it is what the client
+/// worker threads actually execute between synchronization events, giving
+/// the jigsaw benchmark realistic compute between its lock operations
+/// (and the Table 1 runtime columns something to measure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_JIGSAW_HTTP_H
+#define DLF_SUBSTRATES_JIGSAW_HTTP_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace dlf {
+namespace jigsaw {
+
+/// A parsed HTTP request line + headers.
+struct HttpRequest {
+  std::string Method;
+  std::string Path;
+  std::string Version;
+  std::map<std::string, std::string> Headers;
+
+  /// True for methods the server serves from the resource store.
+  bool isRead() const { return Method == "GET" || Method == "HEAD"; }
+};
+
+/// A response under construction.
+struct HttpResponse {
+  int Status = 200;
+  std::string Reason = "OK";
+  std::map<std::string, std::string> Headers;
+  std::string Body;
+
+  /// Renders the status line, headers (plus Content-Length) and body.
+  std::string serialize() const;
+};
+
+/// Parses a raw request ("GET /index HTTP/1.0\r\nHost: x\r\n\r\n").
+/// Returns std::nullopt for malformed input (bad request line, header
+/// without a colon). Header names are lower-cased; values are trimmed.
+std::optional<HttpRequest> parseRequest(const std::string &Raw);
+
+/// Maps a request path to a resource index in [0, ResourceCount): a stable
+/// hash-based router. Paths with a trailing numeric segment route by that
+/// number (e.g. "/res/7" -> 7 mod ResourceCount).
+unsigned routeToResource(const std::string &Path, unsigned ResourceCount);
+
+/// Builds the canned response the mini server sends for \p Request with
+/// \p ResourcePayload bytes of body.
+HttpResponse makeResponse(const HttpRequest &Request,
+                          const std::string &ResourcePayload);
+
+} // namespace jigsaw
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_JIGSAW_HTTP_H

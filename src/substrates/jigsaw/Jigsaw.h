@@ -1,0 +1,201 @@
+//===- substrates/jigsaw/Jigsaw.h - Jigsaw web server analogue ---*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature multi-threaded web server with the lock structure of W3C
+/// Jigsaw, the paper's largest benchmark (283 cycles reported by iGoodlock,
+/// 29 confirmed real, ≥18 shown to be false positives). The pieces:
+///
+///  * SocketClientFactory (paper Figure 3): a `factory` monitor and a
+///    `csList` monitor acquired in both orders along different paths —
+///    clientConnectionFinished / idleClientRemoved take [csList -> factory],
+///    killClients / killIdleClient take [factory -> csList] (and nest into
+///    per-client monitors, generating further cycles).
+///  * SocketClient worker threads serving requests: [client_i -> csList]
+///    per request, inverted by the factory's scans [csList -> client_i].
+///  * ResourceStore: [store -> resource] loads vs [resource -> store]
+///    saves.
+///  * A three-lock chain (store -> indexer -> logbook -> store) exercising
+///    iGoodlock's iterative deepening beyond length-2 cycles.
+///  * CachedThread (paper §5.4): the false-positive pattern. The inverted
+///    acquisition happens in the main thread strictly *before* the worker
+///    is started, so the cycle iGoodlock reports (it ignores the
+///    happens-before relation) can never be created; DeadlockFuzzer never
+///    confirms it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_JIGSAW_JIGSAW_H
+#define DLF_SUBSTRATES_JIGSAW_JIGSAW_H
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace jigsaw {
+
+class SocketClientFactory;
+
+/// One pooled client connection, owned by the factory, with its own
+/// monitor. Runs as a worker thread serving a fixed number of requests.
+class SocketClient {
+public:
+  SocketClient(unsigned Index, Label Site, SocketClientFactory &Factory);
+
+  /// Serves one request: locks this client, then csList (to update shared
+  /// accounting).
+  void serveRequest(unsigned RequestId);
+
+  /// Finishes the connection: the paper's Figure 3 path
+  /// [csList -> factory].
+  void connectionFinished();
+
+  /// Single-lock query.
+  bool isIdle() const;
+
+  unsigned index() const { return Index; }
+  Mutex &monitor() { return Monitor; }
+
+private:
+  friend class SocketClientFactory;
+  mutable Mutex Monitor;
+  SocketClientFactory &Factory;
+  unsigned Index;
+  bool Idle = true;
+  unsigned Served = 0;
+};
+
+/// The paper's SocketClientFactory with its two shared monitors.
+class SocketClientFactory {
+public:
+  explicit SocketClientFactory(Label Site);
+
+  /// Factory method: allocates clients at one site (k-object collapsing).
+  SocketClient &createClient();
+
+  /// Figure 3, lines 618-626: [csList -> factory].
+  void clientConnectionFinished(SocketClient &Client);
+
+  /// The "similar deadlock ... acquired at different program locations":
+  /// [csList -> factory] along the idle-removal path.
+  void idleClientRemoved(SocketClient &Client);
+
+  /// Figure 3, lines 867-872: [factory -> csList], nesting into each
+  /// client's monitor (generating per-client cycles as well).
+  void killClients();
+
+  /// The idle-kill path: [factory -> csList -> client].
+  void killIdleClient(unsigned Index);
+
+  /// csList accounting used by SocketClient::serveRequest with the client
+  /// monitor held: [client -> csList].
+  void noteRequestServed(unsigned ClientIndex);
+
+  /// [csList -> client_i] scan, the inversion partner of serveRequest.
+  void scanClients();
+
+  /// Single-lock queries (gates / benign traffic).
+  int idleCount() const;
+  size_t clientCount() const;
+
+  /// Shuts the factory down (called by Httpd::cleanup).
+  void shutdown();
+
+private:
+  void decrIdleCount();     // requires csList held; locks factory
+  void updateIdleStats();   // requires csList held; locks factory
+
+  mutable Mutex FactoryLock;
+  mutable Mutex CsListLock;
+  std::vector<std::unique_ptr<SocketClient>> Clients;
+  int Idle = 0;
+  unsigned Requests = 0;
+  bool Down = false;
+};
+
+class ResourceCache;
+
+/// Resources with their own monitors, managed by a shared store.
+class ResourceStore {
+public:
+  explicit ResourceStore(Label Site, unsigned ResourceCount);
+
+  /// [store -> resource_i].
+  void loadResource(unsigned Index);
+
+  /// [resource_i -> store].
+  void saveResource(unsigned Index);
+
+  /// Single-lock payload read (used by the cache fill path).
+  std::string payloadFor(unsigned Index) const;
+
+  /// Drops every cache entry: [store -> cache] — the inversion partner of
+  /// ResourceCache::fill.
+  void invalidate(ResourceCache &Cache);
+
+  /// Single-lock query.
+  size_t loadedCount() const;
+
+  unsigned resourceCount() const { return static_cast<unsigned>(Resources.size()); }
+
+private:
+  struct Resource {
+    explicit Resource(Label Site, const void *Owner)
+        : Monitor("resource", Site, Owner) {}
+    Mutex Monitor;
+    unsigned Loads = 0;
+    unsigned Saves = 0;
+  };
+
+  mutable Mutex StoreLock;
+  std::vector<std::unique_ptr<Resource>> Resources;
+  size_t Loaded = 0;
+};
+
+/// A response cache in front of the store. Its fill path reads the store
+/// while holding the cache monitor [cache -> store], inverted by
+/// ResourceStore::invalidate [store -> cache]: one more real cycle, on a
+/// lock pair disjoint from the factory's.
+class ResourceCache {
+public:
+  ResourceCache(Label Site, ResourceStore &Store);
+
+  /// Point lookup; empty string when absent. [cache]
+  std::string lookup(unsigned Index) const;
+
+  /// Populates the entry from the store: [cache -> store].
+  void fill(unsigned Index);
+
+  /// [cache]
+  size_t size() const;
+
+private:
+  friend class ResourceStore;
+  mutable Mutex CacheLock;
+  ResourceStore &Store;
+  std::map<unsigned, std::string> Entries;
+};
+
+/// Serves one raw HTTP request against the store + cache (parse, route,
+/// cache lookup, store load on miss, serialize). Lock order is the benign
+/// [cache], then [store -> resource] one.
+std::string serveHttp(const std::string &Raw, ResourceStore &Store,
+                      ResourceCache &Cache);
+
+/// The Jigsaw benchmark workload. Returns nothing; potential cycles are
+/// whatever iGoodlock finds (dozens; a handful confirmable; the
+/// CachedThread ones provably not).
+void runJigsawHarness();
+
+} // namespace jigsaw
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_JIGSAW_JIGSAW_H

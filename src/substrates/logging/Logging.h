@@ -1,0 +1,142 @@
+//===- substrates/logging/Logging.h - java.util.logging analogue -*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature logging framework with the lock structure of
+/// java.util.logging, where the paper found 3 real deadlock cycles. Three
+/// monitors interact: the global LogManager, per-Logger monitors, and
+/// per-Handler monitors. Lock-order inversions:
+///
+///   cycle A: Logger::setLevel        [logger -> manager]
+///         vs LogManager::reset       [manager -> logger]
+///   cycle B: Logger::log             [logger -> handler]
+///         vs Handler::setFormatterFor[handler -> logger]
+///   cycle C: LogManager::readConfiguration [manager -> handler]
+///         vs Handler::flush          [handler -> manager]
+///
+/// Loggers and handlers are created through LogManager factory methods —
+/// one allocation site each — so the k-object-sensitive abstraction cannot
+/// tell two loggers (or two handlers) apart while execution indexing can:
+/// this benchmark drives the variant-1 vs variant-2 gap of Figure 2, and
+/// its harness uses the §4 gate-lock pattern, driving the no-yields
+/// (variant 5) gap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_LOGGING_LOGGING_H
+#define DLF_SUBSTRATES_LOGGING_LOGGING_H
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace logging {
+
+class LogManager;
+class Handler;
+
+/// A named logger with its own monitor.
+class Logger {
+public:
+  Logger(const std::string &Name, Label Site, LogManager &Manager);
+
+  /// Logs through \p Sink: locks logger, then handler.
+  void log(Handler &Sink, const std::string &Message);
+
+  /// Changes the level, consulting global configuration: locks logger,
+  /// then manager.
+  void setLevel(int Level);
+
+  /// Single-lock query (benign traffic).
+  bool isEnabled() const;
+
+  /// Single-lock query (benign traffic).
+  std::string name() const;
+
+  Mutex &monitor() { return Monitor; }
+
+private:
+  friend class LogManager;
+  friend class Handler;
+  mutable Mutex Monitor;
+  LogManager &Manager;
+  std::string TheName;
+  int Level = 0;
+  std::vector<std::string> Buffer;
+};
+
+/// An output handler with its own monitor.
+class Handler {
+public:
+  Handler(const std::string &Name, Label Site, LogManager &Manager);
+
+  /// Appends a record; called with the logger's monitor held (by
+  /// Logger::log) and locks the handler.
+  void publish(const std::string &Record);
+
+  /// Installs per-logger formatting: locks handler, then logger.
+  void setFormatterFor(Logger &Target, const std::string &Format);
+
+  /// Flushes buffered records and updates global stats: locks handler,
+  /// then manager.
+  void flush();
+
+  /// Single-lock query (benign traffic).
+  size_t recordCount() const;
+
+private:
+  friend class LogManager;
+  mutable Mutex Monitor;
+  LogManager &Manager;
+  std::string TheName;
+  std::vector<std::string> Records;
+};
+
+/// The global manager; owns all loggers and handlers.
+class LogManager {
+public:
+  explicit LogManager(Label Site);
+
+  /// Factory: allocates a logger at a single site (k-object collapsing).
+  Logger &getLogger(const std::string &Name);
+
+  /// Factory: allocates a handler at a single site.
+  Handler &getHandler(const std::string &Name);
+
+  /// Resets \p Target's state: locks manager, then the logger.
+  void reset(Logger &Target);
+
+  /// Re-reads configuration into \p Sink: locks manager, then the handler.
+  void readConfiguration(Handler &Sink);
+
+  /// Single-lock config read (the §4 gate when called on the manager).
+  int getProperty() const;
+
+  /// Called by Handler::flush with the handler monitor held.
+  void noteFlush(size_t Count);
+
+private:
+  friend class Logger;
+  friend class Handler;
+  mutable Mutex Monitor;
+  std::vector<std::unique_ptr<Logger>> Loggers;
+  std::vector<std::unique_ptr<Handler>> Handlers;
+  int Property = 7;
+  size_t FlushedRecords = 0;
+};
+
+/// The logging benchmark workload: three deadlock cycles with gate locks,
+/// plus benign single-lock traffic.
+void runLoggingHarness();
+
+} // namespace logging
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_LOGGING_LOGGING_H

@@ -1,0 +1,101 @@
+//===- substrates/swing/Swing.h - javax.swing analogue -----------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature GUI toolkit reproducing the Swing deadlock of Sun bug
+/// 4839713 (paper §5.3): the main thread synchronizes on a JFrame and calls
+/// setCaretPosition() on a text area, taking [frame -> caret]; the event
+/// dispatch thread processes a caret repaint, taking [caret -> frame] via
+/// the RepaintManager.
+///
+/// The benchmark's signature property (paper §5.2): "the same locks are
+/// acquired and released many times at many different program locations" —
+/// both the caret and the frame monitors see heavy benign traffic from the
+/// event thread, so the no-context variant (Figure 2 variant 4) pauses
+/// threads at many wrong occurrences and thrashes heavily.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_SWING_SWING_H
+#define DLF_SUBSTRATES_SWING_SWING_H
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace swing {
+
+class Frame;
+
+/// The text caret (BasicTextUI$BasicCaret), created by its text area.
+class Caret {
+public:
+  Caret(Label Site, const void *Owner);
+
+  /// setDot: locks the caret (DefaultCaret.java:1244 in the paper's trace).
+  void setDot(int Position);
+
+  /// Benign caret queries at distinct sites (heavy traffic).
+  int dot() const;
+  void moveDot(int Delta);
+
+  Mutex &monitor() { return Monitor; }
+
+private:
+  mutable Mutex Monitor;
+  int Position = 0;
+};
+
+/// A text area owning a caret.
+class TextArea {
+public:
+  TextArea(Label Site, Frame &Owner);
+
+  /// The paper's deadlocking call: caller holds the frame monitor; this
+  /// locks the caret.
+  void setCaretPosition(int Position);
+
+  Caret &caret() { return TheCaret; }
+
+private:
+  Caret TheCaret;
+};
+
+/// The top-level frame with its monitor.
+class Frame {
+public:
+  explicit Frame(Label Site);
+
+  Mutex &monitor() { return Monitor; }
+
+  /// Benign frame queries at distinct sites.
+  int width() const;
+  void setTitleLength(int Length);
+
+private:
+  mutable Mutex Monitor;
+  int Width = 640;
+  int TitleLength = 0;
+};
+
+/// RepaintManager: paints a caret region, locking [caret -> frame]
+/// (RepaintManager.java:407 in the paper's trace).
+class RepaintManager {
+public:
+  void paintDirtyRegions(Caret &TheCaret, Frame &TheFrame);
+};
+
+/// The Swing benchmark workload: one deadlock cycle under heavy benign
+/// multi-site lock traffic from the event dispatch thread.
+void runSwingHarness();
+
+} // namespace swing
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_SWING_SWING_H

@@ -1,0 +1,101 @@
+//===- substrates/workloads/Cache4j.cpp - Object cache workload ------------===//
+
+#include "substrates/workloads/Workloads.h"
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+#include "substrates/Stagger.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace dlf;
+
+namespace {
+
+/// cache4j-style synchronized cache: one monitor, LRU-ish eviction.
+class SynchronizedCache {
+public:
+  explicit SynchronizedCache(size_t Capacity)
+      : Monitor("cache", DLF_SITE(), nullptr), Capacity(Capacity) {
+    DLF_NEW_OBJECT(this, nullptr);
+  }
+
+  void put(int Key, int Value) {
+    DLF_SCOPE("SynchronizedCache::put");
+    MutexGuard Guard(Monitor, DLF_NAMED_SITE("Cache::put/cache"));
+    Data[Key] = Value;
+    Order.push_back(Key);
+    if (Data.size() > Capacity)
+      evictOldestLocked();
+  }
+
+  int get(int Key) {
+    DLF_SCOPE("SynchronizedCache::get");
+    MutexGuard Guard(Monitor, DLF_NAMED_SITE("Cache::get/cache"));
+    auto It = Data.find(Key);
+    if (It == Data.end()) {
+      ++Misses;
+      return -1;
+    }
+    ++Hits;
+    return It->second;
+  }
+
+  size_t hitCount() const {
+    DLF_SCOPE("SynchronizedCache::hitCount");
+    MutexGuard Guard(Monitor, DLF_NAMED_SITE("Cache::hits/cache"));
+    return Hits;
+  }
+
+private:
+  void evictOldestLocked() {
+    while (Data.size() > Capacity && !Order.empty()) {
+      Data.erase(Order.front());
+      Order.erase(Order.begin());
+    }
+  }
+
+  mutable Mutex Monitor;
+  size_t Capacity;
+  std::unordered_map<int, int> Data;
+  std::vector<int> Order;
+  size_t Hits = 0;
+  size_t Misses = 0;
+};
+
+} // namespace
+
+void workloads::runCache4j() {
+  DLF_SCOPE("workloads::runCache4j");
+  SynchronizedCache Cache(/*Capacity=*/16);
+
+  std::vector<Thread> Workers;
+  for (int W = 0; W != 3; ++W) {
+    Workers.emplace_back(Thread(
+        [&Cache, W] {
+          DLF_SCOPE("cache4j::writer");
+          for (int I = 0; I != 8; ++I) {
+            Cache.put(W * 100 + I, I);
+            stagger(1);
+          }
+        },
+        "cache4j.writer" + std::to_string(W), DLF_SITE(), &Cache));
+  }
+  for (int R = 0; R != 3; ++R) {
+    Workers.emplace_back(Thread(
+        [&Cache, R] {
+          DLF_SCOPE("cache4j::reader");
+          for (int I = 0; I != 8; ++I) {
+            (void)Cache.get(R * 100 + I);
+            stagger(1);
+          }
+        },
+        "cache4j.reader" + std::to_string(R), DLF_SITE(), &Cache));
+  }
+  for (Thread &Worker : Workers)
+    Worker.join();
+  (void)Cache.hitCount();
+}

@@ -1,0 +1,82 @@
+//===- substrates/workloads/Hedc.cpp - Meta-crawler workload ---------------===//
+
+#include "substrates/workloads/Workloads.h"
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+#include "substrates/Stagger.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace dlf;
+
+namespace {
+
+/// A crawl task with its own monitor; always locked *after* the queue
+/// monitor (consistent global order -> no cycles).
+struct CrawlTask {
+  explicit CrawlTask(unsigned Id, const void *Owner)
+      : Monitor("task#" + std::to_string(Id), DLF_SITE(), Owner), Id(Id) {}
+  Mutex Monitor;
+  unsigned Id;
+  bool Done = false;
+  unsigned Results = 0;
+};
+
+/// The shared task pool (hedc's MetaSearch dispatcher).
+class TaskPool {
+public:
+  explicit TaskPool(unsigned TaskCount)
+      : Monitor("taskQueue", DLF_SITE(), nullptr) {
+    DLF_NEW_OBJECT(this, nullptr);
+    for (unsigned I = 0; I != TaskCount; ++I)
+      Tasks.push_back(std::make_unique<CrawlTask>(I, this));
+  }
+
+  /// Claims the next unfinished task and processes it under queue-then-task
+  /// nesting (one consistent order everywhere).
+  bool processNext() {
+    DLF_SCOPE("TaskPool::processNext");
+    MutexGuard Queue(Monitor, DLF_NAMED_SITE("TaskPool::claim/queue"));
+    for (auto &Task : Tasks) {
+      MutexGuard TaskGuard(Task->Monitor,
+                           DLF_NAMED_SITE("TaskPool::claim/task"));
+      if (Task->Done)
+        continue;
+      Task->Done = true;
+      Task->Results = Task->Id * 3 + 1;
+      return true;
+    }
+    return false;
+  }
+
+  size_t taskCount() const { return Tasks.size(); }
+
+private:
+  Mutex Monitor;
+  std::vector<std::unique_ptr<CrawlTask>> Tasks;
+};
+
+} // namespace
+
+void workloads::runHedc() {
+  DLF_SCOPE("workloads::runHedc");
+  TaskPool Pool(/*TaskCount=*/9);
+
+  std::vector<Thread> Workers;
+  for (unsigned W = 0; W != 3; ++W) {
+    Workers.emplace_back(Thread(
+        [&Pool, W] {
+          DLF_SCOPE("hedc::worker");
+          stagger(W);
+          while (Pool.processNext())
+            stagger(1);
+        },
+        "hedc.worker" + std::to_string(W), DLF_SITE(), &Pool));
+  }
+  for (Thread &Worker : Workers)
+    Worker.join();
+}

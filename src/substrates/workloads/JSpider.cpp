@@ -1,0 +1,82 @@
+//===- substrates/workloads/JSpider.cpp - Web spider workload --------------===//
+
+#include "substrates/workloads/Workloads.h"
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+#include "substrates/Stagger.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace dlf;
+
+namespace {
+
+/// Per-host state; cross-host transfers always lock the two hosts in
+/// global host-id order, the classic deadlock-avoidance discipline, so the
+/// dependency relation contains two-lock entries but no inversions.
+class SpiderState {
+public:
+  explicit SpiderState(unsigned HostCount) {
+    DLF_NEW_OBJECT(this, nullptr);
+    for (unsigned I = 0; I != HostCount; ++I)
+      Hosts.push_back(std::make_unique<Host>(I, this));
+  }
+
+  /// Fetches one URL from \p From that links to \p To: locks the two host
+  /// monitors in id order.
+  void followLink(unsigned From, unsigned To) {
+    DLF_SCOPE("SpiderState::followLink");
+    Host &A = *Hosts[std::min(From, To) % Hosts.size()];
+    Host &B = *Hosts[std::max(From, To) % Hosts.size()];
+    if (&A == &B) {
+      MutexGuard Only(A.Monitor, DLF_NAMED_SITE("Spider::follow/sameHost"));
+      ++A.Fetched;
+      return;
+    }
+    MutexGuard First(A.Monitor, DLF_NAMED_SITE("Spider::follow/firstHost"));
+    MutexGuard Second(B.Monitor, DLF_NAMED_SITE("Spider::follow/secondHost"));
+    ++A.Fetched;
+    ++B.Linked;
+  }
+
+  unsigned hostCount() const { return static_cast<unsigned>(Hosts.size()); }
+
+private:
+  struct Host {
+    Host(unsigned Id, const void *Owner)
+        : Monitor("host#" + std::to_string(Id), DLF_SITE(), Owner), Id(Id) {}
+    Mutex Monitor;
+    unsigned Id;
+    unsigned Fetched = 0;
+    unsigned Linked = 0;
+  };
+
+  std::vector<std::unique_ptr<Host>> Hosts;
+};
+
+} // namespace
+
+void workloads::runJSpider() {
+  DLF_SCOPE("workloads::runJSpider");
+  SpiderState Spider(/*HostCount=*/4);
+
+  std::vector<Thread> Workers;
+  for (unsigned W = 0; W != 3; ++W) {
+    Workers.emplace_back(Thread(
+        [&Spider, W] {
+          DLF_SCOPE("jspider::worker");
+          for (unsigned Step = 0; Step != 6; ++Step) {
+            Spider.followLink((W + Step) % 4, (W + 2 * Step + 1) % 4);
+            stagger(1);
+          }
+        },
+        "jspider.worker" + std::to_string(W), DLF_SITE(), &Spider));
+  }
+  for (Thread &Worker : Workers)
+    Worker.join();
+}

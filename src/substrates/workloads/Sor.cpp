@@ -1,0 +1,84 @@
+//===- substrates/workloads/Sor.cpp - Successive over-relaxation -----------===//
+
+#include "substrates/workloads/Workloads.h"
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+#include "substrates/Stagger.h"
+
+#include <string>
+#include <vector>
+
+using namespace dlf;
+
+namespace {
+
+/// Counter barrier built on one monitor and cooperative polling; single
+/// lock, never nested.
+class Barrier {
+public:
+  Barrier(unsigned Parties)
+      : Monitor("sorBarrier", DLF_SITE(), nullptr), Parties(Parties) {}
+
+  void arriveAndWait() {
+    DLF_SCOPE("Barrier::arriveAndWait");
+    unsigned MyGeneration;
+    {
+      MutexGuard Guard(Monitor, DLF_NAMED_SITE("Barrier::arrive/barrier"));
+      MyGeneration = Generation;
+      if (++Arrived == Parties) {
+        Arrived = 0;
+        ++Generation;
+      }
+    }
+    for (;;) {
+      {
+        MutexGuard Guard(Monitor, DLF_NAMED_SITE("Barrier::poll/barrier"));
+        if (Generation != MyGeneration)
+          return;
+      }
+      yieldNow();
+    }
+  }
+
+private:
+  Mutex Monitor;
+  unsigned Parties;
+  unsigned Arrived = 0;
+  unsigned Generation = 0;
+};
+
+} // namespace
+
+void workloads::runSor() {
+  DLF_SCOPE("workloads::runSor");
+  constexpr unsigned Threads = 3;
+  constexpr unsigned Rows = 12;
+  constexpr unsigned Cols = 8;
+  constexpr unsigned Sweeps = 3;
+
+  std::vector<std::vector<double>> Grid(Rows, std::vector<double>(Cols, 1.0));
+  Barrier Sync(Threads);
+
+  std::vector<Thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T) {
+    Workers.emplace_back(Thread(
+        [&Grid, &Sync, T] {
+          DLF_SCOPE("sor::worker");
+          for (unsigned Sweep = 0; Sweep != Sweeps; ++Sweep) {
+            // Red-black style banded update; each thread owns whole rows,
+            // so no locking is needed for the grid itself.
+            for (unsigned Row = 1 + T; Row < Rows - 1; Row += Threads)
+              for (unsigned Col = 1; Col < Cols - 1; ++Col)
+                Grid[Row][Col] =
+                    0.25 * (Grid[Row - 1][Col] + Grid[Row + 1][Col] +
+                            Grid[Row][Col - 1] + Grid[Row][Col + 1]);
+            Sync.arriveAndWait();
+          }
+        },
+        "sor.worker" + std::to_string(T), DLF_SITE(), &Grid));
+  }
+  for (Thread &Worker : Workers)
+    Worker.join();
+}

@@ -1,0 +1,46 @@
+//===- substrates/workloads/Workloads.h - Deadlock-free workloads -*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four deadlock-free benchmarks of the paper's Table 1 — cache4j,
+/// sor, hedc and jspider — as C++ workloads. iGoodlock reports zero
+/// potential cycles on all of them (their lock disciplines are clean), so
+/// they exercise the instrumentation overhead columns and the analysis's
+/// no-false-alarm behaviour on healthy programs:
+///
+///  * cache4j  — a thread-safe object cache: one global cache monitor,
+///               readers + writers, no nested locking.
+///  * sor      — successive over-relaxation: data-parallel grid sweeps with
+///               a counter barrier; single-lock critical sections only.
+///  * hedc     — a meta-search/crawler: task queue + per-task locks,
+///               always acquired queue-before-task (consistent order).
+///  * jspider  — a web spider: per-host locks acquired in global host-id
+///               order (ordered pairs, never inverted).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUBSTRATES_WORKLOADS_WORKLOADS_H
+#define DLF_SUBSTRATES_WORKLOADS_WORKLOADS_H
+
+namespace dlf {
+namespace workloads {
+
+/// Object-cache workload (no nested locks).
+void runCache4j();
+
+/// Successive over-relaxation workload (barrier + single locks).
+void runSor();
+
+/// Crawler workload (consistent queue->task order).
+void runHedc();
+
+/// Spider workload (host locks in global order).
+void runJSpider();
+
+} // namespace workloads
+} // namespace dlf
+
+#endif // DLF_SUBSTRATES_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,21 @@
+//===- support/Debug.cpp - Environment-gated debug logging ----------------===//
+
+#include "support/Debug.h"
+
+#include "support/Env.h"
+
+#include <cstdio>
+#include <mutex>
+
+using namespace dlf;
+
+bool dlf::debugEnabled() {
+  static const bool Enabled = envBool("DLF_DEBUG", false);
+  return Enabled;
+}
+
+void dlf::debugLine(const std::string &Message) {
+  static std::mutex Mu;
+  std::lock_guard<std::mutex> Guard(Mu);
+  std::fprintf(stderr, "[dlf] %s\n", Message.c_str());
+}

@@ -1,0 +1,44 @@
+//===- support/Debug.h - Environment-gated debug logging -------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight debug logging, enabled by setting DLF_DEBUG=1 in the
+/// environment. Library code must not spam stderr by default; scheduling
+/// traces are invaluable when debugging a thrashing run, so we keep them
+/// behind this switch instead of deleting them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUPPORT_DEBUG_H
+#define DLF_SUPPORT_DEBUG_H
+
+#include <sstream>
+#include <string>
+
+namespace dlf {
+
+/// Returns true if DLF_DEBUG is set (cached after the first query).
+bool debugEnabled();
+
+/// Writes one line to stderr under an internal mutex (safe to call from
+/// multiple threads). Callers should gate on debugEnabled() to avoid paying
+/// for message formatting.
+void debugLine(const std::string &Message);
+
+} // namespace dlf
+
+/// Emits a debug line when DLF_DEBUG is set; compiles to a cheap branch
+/// otherwise. Usage: DLF_DEBUG_LOG("picked thread " << Tid.Raw).
+#define DLF_DEBUG_LOG(Stream)                                                  \
+  do {                                                                         \
+    if (::dlf::debugEnabled()) {                                               \
+      std::ostringstream DlfDebugOs;                                           \
+      DlfDebugOs << Stream;                                                    \
+      ::dlf::debugLine(DlfDebugOs.str());                                      \
+    }                                                                          \
+  } while (false)
+
+#endif // DLF_SUPPORT_DEBUG_H

@@ -1,0 +1,48 @@
+//===- support/Env.cpp - Environment variable helpers ---------------------===//
+
+#include "support/Env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+using namespace dlf;
+
+std::string dlf::envString(const char *Name, const std::string &Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  return Value;
+}
+
+int64_t dlf::envInt(const char *Name, int64_t Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Value, &End, 10);
+  if (End == Value || *End != '\0')
+    return Default;
+  return static_cast<int64_t>(Parsed);
+}
+
+uint64_t dlf::envUInt(const char *Name, uint64_t Default) {
+  int64_t Parsed = envInt(Name, -1);
+  if (Parsed < 0)
+    return Default;
+  return static_cast<uint64_t>(Parsed);
+}
+
+bool dlf::envBool(const char *Name, bool Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  std::string Lower(Value);
+  std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  if (Lower == "1" || Lower == "true" || Lower == "yes" || Lower == "on")
+    return true;
+  if (Lower == "0" || Lower == "false" || Lower == "no" || Lower == "off")
+    return false;
+  return Default;
+}

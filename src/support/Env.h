@@ -1,0 +1,39 @@
+//===- support/Env.h - Environment variable helpers ------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny helpers for reading configuration knobs from the environment. The
+/// bench harnesses use these so that `DLF_BENCH_REPS=100 ./table1_main`
+/// reproduces the paper's exact rep count without rebuilding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUPPORT_ENV_H
+#define DLF_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace dlf {
+
+/// Returns the value of \p Name as a string, or \p Default if unset/empty.
+std::string envString(const char *Name, const std::string &Default = "");
+
+/// Returns the value of \p Name parsed as a signed integer, or \p Default if
+/// unset or unparseable.
+int64_t envInt(const char *Name, int64_t Default);
+
+/// Returns the value of \p Name parsed as an unsigned integer, or \p Default
+/// if unset or unparseable.
+uint64_t envUInt(const char *Name, uint64_t Default);
+
+/// Returns true if \p Name is set to a truthy value ("1", "true", "yes",
+/// "on"; case-insensitive), \p Default otherwise.
+bool envBool(const char *Name, bool Default);
+
+} // namespace dlf
+
+#endif // DLF_SUPPORT_ENV_H

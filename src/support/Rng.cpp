@@ -1,0 +1,57 @@
+//===- support/Rng.cpp - Deterministic random number generation ----------===//
+
+#include "support/Rng.h"
+
+using namespace dlf;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be non-zero");
+  // Rejection sampling: retry while the draw falls in the biased tail.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Draw = next();
+    if (Draw >= Threshold)
+      return Draw % Bound;
+  }
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+double Rng::nextDouble() {
+  // 53 high-quality bits into the mantissa.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}

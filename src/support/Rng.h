@@ -1,0 +1,64 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, seedable, deterministic random number generator used by the
+/// random schedulers. We implement xoshiro256** seeded via splitmix64 so
+/// that scheduling decisions are reproducible across platforms and standard
+/// library implementations (std::mt19937's distributions are not portable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUPPORT_RNG_H
+#define DLF_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace dlf {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All randomness in the library flows through instances of this class; a
+/// fixed seed yields a fixed schedule, which the tests rely on.
+class Rng {
+public:
+  /// Creates a generator whose stream is fully determined by \p Seed.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  ///
+  /// Uses Lemire-style rejection to avoid modulo bias. \p Bound must be
+  /// non-zero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed index in [0, Size); \p Size must be
+  /// non-zero. Convenience overload for picking container elements.
+  size_t nextIndex(size_t Size) {
+    assert(Size != 0 && "cannot pick from an empty range");
+    return static_cast<size_t>(nextBelow(Size));
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace dlf
+
+#endif // DLF_SUPPORT_RNG_H

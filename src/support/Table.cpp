@@ -1,0 +1,56 @@
+//===- support/Table.cpp - ASCII table formatter ---------------------------===//
+
+#include "support/Table.h"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+using namespace dlf;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      OS << (I == 0 ? "| " : " | ");
+      OS << Cells[I] << std::string(Widths[I] - Cells[I].size(), ' ');
+    }
+    OS << " |\n";
+  };
+
+  PrintRow(Header);
+  OS << '|';
+  for (size_t I = 0; I != Header.size(); ++I)
+    OS << std::string(Widths[I] + 2, '-') << '|';
+  OS << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string Table::toString() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}
+
+std::string Table::fmt(double Value, int Precision) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Precision) << Value;
+  return OS.str();
+}
+
+std::string Table::fmt(uint64_t Value) { return std::to_string(Value); }

@@ -1,0 +1,55 @@
+//===- support/Table.h - ASCII table formatter ------------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned ASCII table writer used by the benchmark harnesses to
+/// print the paper's tables and figure series in a readable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUPPORT_TABLE_H
+#define DLF_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dlf {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+///
+/// Typical usage:
+/// \code
+///   Table T({"Benchmark", "Cycles", "Probability"});
+///   T.addRow({"logging", "3", "1.00"});
+///   T.print(std::cout);
+/// \endcode
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (header, separator, rows) to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Renders the table to a string (used by tests).
+  std::string toString() const;
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats an integral count.
+  static std::string fmt(uint64_t Value);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dlf
+
+#endif // DLF_SUPPORT_TABLE_H

@@ -1,0 +1,245 @@
+//===- tools/DlfRun.cpp - Command-line driver --------------------------------===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// dlf-run: run any registered benchmark under the DeadlockFuzzer workflow
+// from the command line.
+//
+//   dlf-run --list
+//   dlf-run logging                     # phase 1 + phase 2 over all cycles
+//   dlf-run logging --phase1-only
+//   dlf-run logging --variant 5 --reps 50
+//   dlf-run logging --cycle 2 --seed 7  # fuzz one cycle once, verbose
+//   dlf-run swing --normal 100          # uninstrumented control runs
+//   dlf-run hedc --record-phase1        # observe a real concurrent run
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzer/ActiveTester.h"
+#include "igoodlock/Serialize.h"
+#include "substrates/BenchmarkRegistry.h"
+#include "support/Table.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace dlf;
+
+namespace {
+
+void printUsage() {
+  std::cout
+      << "usage: dlf-run <benchmark> [options]\n"
+         "       dlf-run --list\n\n"
+         "options:\n"
+         "  --phase1-only          stop after iGoodlock\n"
+         "  --record-phase1        observe a real concurrent execution\n"
+         "                         (default: serialized random execution)\n"
+         "  --variant N            1=k-object 2=exec-index (default)\n"
+         "                         3=no abstraction 4=no context 5=no yields\n"
+         "  --reps N               phase 2 repetitions per cycle (default 20)\n"
+         "  --seed N               base seed (default 1)\n"
+         "  --cycle N              fuzz only cycle #N\n"
+         "  --max-cycle-length N   iGoodlock iteration bound (default 6)\n"
+         "  --normal N             run uninstrumented N times under a\n"
+         "                         watchdog and count deadlocks\n"
+         "  --save-cycles FILE     write the phase 1 report to FILE\n"
+         "  --cycles FILE          skip phase 1; fuzz cycles loaded from\n"
+         "                         FILE (written by --save-cycles)\n"
+         "  --hb MODE              happens-before filter for phase 1:\n"
+         "                         off (default) | fork-join | full-sync\n"
+         "  --heal N               after phase 2, arm immunity with the\n"
+         "                         confirmed cycles and run N random\n"
+         "                         executions (all should complete)\n";
+}
+
+bool applyVariant(ActiveTesterConfig &Config, int Variant) {
+  switch (Variant) {
+  case 1:
+    Config.Base.Kind = AbstractionKind::KObjectSensitive;
+    return true;
+  case 2:
+    Config.Base.Kind = AbstractionKind::ExecutionIndex;
+    return true;
+  case 3:
+    Config.Base.Kind = AbstractionKind::Trivial;
+    return true;
+  case 4:
+    Config.Base.UseContext = false;
+    return true;
+  case 5:
+    Config.Base.UseYields = false;
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    printUsage();
+    return 1;
+  }
+  if (std::strcmp(Argv[1], "--list") == 0) {
+    Table T({"Benchmark", "Description"});
+    for (const BenchmarkInfo &Info : allBenchmarks())
+      T.addRow({Info.Name, Info.Description});
+    T.print(std::cout);
+    return 0;
+  }
+
+  const BenchmarkInfo *Bench = findBenchmark(Argv[1]);
+  if (!Bench) {
+    std::cerr << "error: unknown benchmark '" << Argv[1]
+              << "' (try --list)\n";
+    return 1;
+  }
+
+  ActiveTesterConfig Config;
+  bool Phase1Only = false;
+  int OnlyCycle = -1;
+  int NormalRuns = 0;
+  int HealRuns = 0;
+  std::string SaveCyclesPath, LoadCyclesPath;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextInt = [&](int Default) {
+      return I + 1 < Argc ? std::atoi(Argv[++I]) : Default;
+    };
+    if (Arg == "--phase1-only") {
+      Phase1Only = true;
+    } else if (Arg == "--record-phase1") {
+      Config.PhaseOneMode = RunMode::Record;
+    } else if (Arg == "--variant") {
+      if (!applyVariant(Config, NextInt(2))) {
+        std::cerr << "error: variant must be 1..5\n";
+        return 1;
+      }
+    } else if (Arg == "--reps") {
+      Config.PhaseTwoReps = static_cast<unsigned>(NextInt(20));
+    } else if (Arg == "--seed") {
+      int Seed = NextInt(1);
+      Config.PhaseOneSeed = static_cast<uint64_t>(Seed);
+      Config.PhaseTwoSeedBase = static_cast<uint64_t>(Seed) * 1000;
+    } else if (Arg == "--cycle") {
+      OnlyCycle = NextInt(-1);
+    } else if (Arg == "--max-cycle-length") {
+      Config.Goodlock.MaxCycleLength = static_cast<unsigned>(NextInt(6));
+    } else if (Arg == "--normal") {
+      NormalRuns = NextInt(20);
+    } else if (Arg == "--save-cycles") {
+      if (I + 1 < Argc)
+        SaveCyclesPath = Argv[++I];
+    } else if (Arg == "--cycles") {
+      if (I + 1 < Argc)
+        LoadCyclesPath = Argv[++I];
+    } else if (Arg == "--hb") {
+      std::string Mode = I + 1 < Argc ? Argv[++I] : "off";
+      if (Mode == "off") {
+        Config.Base.HappensBefore = HbMode::Off;
+      } else if (Mode == "fork-join") {
+        Config.Base.HappensBefore = HbMode::ForkJoin;
+        Config.Goodlock.FilterByHappensBefore = true;
+      } else if (Mode == "full-sync") {
+        Config.Base.HappensBefore = HbMode::FullSync;
+        Config.Goodlock.FilterByHappensBefore = true;
+      } else {
+        std::cerr << "error: --hb must be off|fork-join|full-sync\n";
+        return 1;
+      }
+    } else if (Arg == "--heal") {
+      HealRuns = NextInt(20);
+    } else {
+      std::cerr << "error: unknown option '" << Arg << "'\n";
+      printUsage();
+      return 1;
+    }
+  }
+
+  if (NormalRuns > 0) {
+    unsigned Hung = 0;
+    for (int I = 0; I != NormalRuns; ++I)
+      if (runForkedWithTimeout(Bench->Entry, /*TimeoutMs=*/5000) ==
+          ForkedOutcome::Hung)
+        ++Hung;
+    std::cout << "uninstrumented runs: " << NormalRuns << ", deadlocked: "
+              << Hung << "\n";
+    return 0;
+  }
+
+  ActiveTester Tester(Bench->Entry, Config);
+  PhaseOneResult P1;
+  if (!LoadCyclesPath.empty()) {
+    std::string ParseError;
+    if (!loadCyclesFromFile(LoadCyclesPath, P1.Cycles, &ParseError)) {
+      std::cerr << "error: cannot load cycles: " << ParseError << "\n";
+      return 1;
+    }
+    std::cout << "loaded " << P1.Cycles.size() << " cycle(s) from "
+              << LoadCyclesPath << "\n\n";
+  } else {
+    P1 = Tester.runPhaseOne();
+    std::cout << "phase 1 (" << runModeName(Config.PhaseOneMode)
+              << "): " << P1.Log.entries().size() << " dependency entries, "
+              << P1.Cycles.size() << " potential cycle(s)"
+              << (P1.Exec.Completed ? "" : " [observation stalled]")
+              << "\n\n";
+    for (size_t I = 0; I != P1.Cycles.size(); ++I)
+      std::cout << "#" << I << " " << P1.Cycles[I].toString() << "\n";
+    if (!SaveCyclesPath.empty()) {
+      if (!saveCyclesToFile(SaveCyclesPath, P1.Cycles)) {
+        std::cerr << "error: cannot write " << SaveCyclesPath << "\n";
+        return 1;
+      }
+      std::cout << "saved report to " << SaveCyclesPath << "\n";
+    }
+  }
+  if (Phase1Only || P1.Cycles.empty())
+    return 0;
+
+  Table T({"Cycle", "Reproduced", "Other", "Stalls", "Clean", "Probability",
+           "Avg thrashes"});
+  for (size_t I = 0; I != P1.Cycles.size(); ++I) {
+    if (OnlyCycle >= 0 && static_cast<size_t>(OnlyCycle) != I)
+      continue;
+    CycleFuzzStats Stats = Tester.fuzzCycle(P1.Cycles[I]);
+    T.addRow({"#" + std::to_string(I),
+              Table::fmt(static_cast<uint64_t>(Stats.ReproducedTarget)) +
+                  "/" + Table::fmt(static_cast<uint64_t>(Stats.Runs)),
+              Table::fmt(static_cast<uint64_t>(Stats.OtherDeadlocks)),
+              Table::fmt(static_cast<uint64_t>(Stats.Stalls)),
+              Table::fmt(static_cast<uint64_t>(Stats.CleanRuns)),
+              Table::fmt(Stats.probability(), 2),
+              Table::fmt(Stats.avgBadPauses(), 2)});
+  }
+  std::cout << "phase 2 (" << abstractionKindName(Config.Base.Kind)
+            << (Config.Base.UseContext ? ", context" : ", no-context")
+            << (Config.Base.UseYields ? ", yields" : ", no-yields")
+            << "):\n";
+  T.print(std::cout);
+
+  if (HealRuns > 0) {
+    // Healing demo: fuzz everything, arm immunity with the confirmed
+    // cycles, and show the random scheduler can no longer create them.
+    ActiveTesterReport Report;
+    Report.PhaseOne = P1;
+    for (const AbstractCycle &Cycle : P1.Cycles)
+      Report.PerCycle.push_back(Tester.fuzzCycle(Cycle));
+    std::vector<CycleSpec> Immunity = ActiveTester::buildImmunity(Report);
+    unsigned Completed = 0;
+    for (int I = 0; I != HealRuns; ++I)
+      if (Tester.runWithImmunity(Immunity, 7000 + static_cast<uint64_t>(I))
+              .Completed)
+        ++Completed;
+    std::cout << "\nhealing: immunity against " << Immunity.size()
+              << " confirmed cycle(s); " << Completed << "/" << HealRuns
+              << " random executions completed\n";
+  }
+  return 0;
+}

@@ -1,0 +1,296 @@
+//===- tests/AbstractionTest.cpp - abstraction/ unit tests ------------------===//
+
+#include "abstraction/AbstractionEngine.h"
+#include "abstraction/CreationMap.h"
+#include "abstraction/ExecutionIndex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace dlf;
+
+// -- ExecutionIndex: the paper's §2.4.2 example -------------------------------
+//
+//   1 main() {                     // for (i = 0; i < 5; i++) foo();
+//   5 void foo() { bar(); bar(); }
+//   9 void bar() { for (i = 0; i < 3; i++) new Object(); }   // line 11
+//
+// First object:  absI_3 = [11,1, 6,1, 3,1]
+// Last object:   absI_3 = [11,3, 7,1, 3,5]
+
+struct PaperExample {
+  Label Line3 = Label::intern("paper:3");   // call foo() from main
+  Label Line6 = Label::intern("paper:6");   // first call bar() in foo
+  Label Line7 = Label::intern("paper:7");   // second call bar() in foo
+  Label Line11 = Label::intern("paper:11"); // new Object() in bar
+
+  /// Runs the example, collecting absI_3 of every created object.
+  std::vector<Abstraction> run() {
+    std::vector<Abstraction> Created;
+    IndexingState Index;
+    for (int I = 0; I != 5; ++I) {
+      Index.onCall(Line3); // main -> foo
+      for (Label BarCall : {Line6, Line7}) {
+        Index.onCall(BarCall); // foo -> bar
+        for (int K = 0; K != 3; ++K)
+          Created.push_back(Index.onNew(Line11, 3));
+        Index.onReturn();
+      }
+      Index.onReturn();
+    }
+    return Created;
+  }
+
+  std::vector<uint32_t> abs(Label C1, uint32_t Q1, Label C2, uint32_t Q2,
+                            Label C3, uint32_t Q3) {
+    return {C1.raw(), Q1, C2.raw(), Q2, C3.raw(), Q3};
+  }
+};
+
+TEST(ExecutionIndex, PaperExampleFirstObject) {
+  PaperExample Example;
+  auto Created = Example.run();
+  ASSERT_EQ(Created.size(), 30u); // 5 * 2 * 3
+  EXPECT_EQ(Created.front().Elements,
+            Example.abs(Example.Line11, 1, Example.Line6, 1, Example.Line3,
+                        1));
+}
+
+TEST(ExecutionIndex, PaperExampleLastObject) {
+  PaperExample Example;
+  auto Created = Example.run();
+  EXPECT_EQ(Created.back().Elements,
+            Example.abs(Example.Line11, 3, Example.Line7, 1, Example.Line3,
+                        5));
+}
+
+TEST(ExecutionIndex, AllThirtyObjectsDistinct) {
+  PaperExample Example;
+  auto Created = Example.run();
+  for (size_t I = 0; I != Created.size(); ++I)
+    for (size_t J = I + 1; J != Created.size(); ++J)
+      ASSERT_NE(Created[I], Created[J]) << I << " vs " << J;
+}
+
+TEST(ExecutionIndex, DeterministicAcrossRuns) {
+  // The core cross-execution property: the same control flow produces the
+  // same abstractions in a fresh state.
+  PaperExample Example;
+  auto First = Example.run();
+  auto Second = Example.run();
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I != First.size(); ++I)
+    ASSERT_EQ(First[I], Second[I]);
+}
+
+TEST(ExecutionIndex, ShallowStackReturnsFullStack) {
+  IndexingState Index;
+  Label Site = Label::intern("shallow:new");
+  Abstraction Abs = Index.onNew(Site, 10);
+  // Only the creation frame exists.
+  EXPECT_EQ(Abs.Elements, (std::vector<uint32_t>{Site.raw(), 1}));
+}
+
+TEST(ExecutionIndex, KOneKeepsOnlyCreationFrame) {
+  IndexingState Index;
+  Index.onCall(Label::intern("k1:call"));
+  Label Site = Label::intern("k1:new");
+  Abstraction Abs = Index.onNew(Site, 1);
+  EXPECT_EQ(Abs.Elements, (std::vector<uint32_t>{Site.raw(), 1}));
+}
+
+TEST(ExecutionIndex, CountersResetPerContext) {
+  // Two calls to the same site from *different* parent contexts each start
+  // counting at 1 (counters are per depth instance, not global).
+  IndexingState Index;
+  Label Outer = Label::intern("ctr:outer");
+  Label Inner = Label::intern("ctr:inner");
+  Label New = Label::intern("ctr:new");
+
+  Index.onCall(Outer);
+  Index.onCall(Inner);
+  Abstraction A = Index.onNew(New, 1);
+  Index.onReturn();
+  Index.onReturn();
+
+  Index.onCall(Outer); // fresh outer context
+  Index.onCall(Inner);
+  Abstraction B = Index.onNew(New, 1);
+  EXPECT_EQ(A.Elements[1], 1u);
+  EXPECT_EQ(B.Elements[1], 1u) << "counter leaked across contexts";
+
+  // But within the same context the counter advances.
+  Abstraction C = Index.onNew(New, 1);
+  EXPECT_EQ(C.Elements[1], 2u);
+}
+
+TEST(ExecutionIndex, UnmatchedReturnIsTolerated) {
+  IndexingState Index;
+  Index.onReturn(); // partially instrumented caller
+  Index.onCall(Label::intern("tolerate:call"));
+  Index.onReturn();
+  Index.onReturn(); // extra again
+  EXPECT_EQ(Index.depth(), 0u);
+}
+
+// -- CreationMap ----------------------------------------------------------------
+
+TEST(CreationMap, ChainWalk) {
+  CreationMap Map;
+  Label S1 = Label::intern("cm:alloc1");
+  Label S2 = Label::intern("cm:alloc2");
+  Label S3 = Label::intern("cm:alloc3");
+  // o1 created in a method of o2, o2 in a method of o3.
+  Map.recordCreation(ObjectId(3), ObjectId(), S3);
+  Map.recordCreation(ObjectId(2), ObjectId(3), S2);
+  Map.recordCreation(ObjectId(1), ObjectId(2), S1);
+
+  EXPECT_EQ(Map.computeAbsO(ObjectId(1), 3).Elements,
+            (std::vector<uint32_t>{S1.raw(), S2.raw(), S3.raw()}));
+  EXPECT_EQ(Map.computeAbsO(ObjectId(1), 2).Elements,
+            (std::vector<uint32_t>{S1.raw(), S2.raw()}));
+  EXPECT_EQ(Map.computeAbsO(ObjectId(1), 1).Elements,
+            (std::vector<uint32_t>{S1.raw()}));
+}
+
+TEST(CreationMap, UnknownObjectIsEmpty) {
+  CreationMap Map;
+  EXPECT_TRUE(Map.computeAbsO(ObjectId(42), 4).Elements.empty());
+}
+
+TEST(CreationMap, ChainEndsAtParentlessObject) {
+  CreationMap Map;
+  Label S = Label::intern("cm:root");
+  Map.recordCreation(ObjectId(1), ObjectId(), S);
+  EXPECT_EQ(Map.computeAbsO(ObjectId(1), 5).Elements,
+            (std::vector<uint32_t>{S.raw()}));
+}
+
+TEST(CreationMap, FactoryCollapsesSiblings) {
+  // Two objects from the same factory site with the same parent have equal
+  // absO_k — the weakness the paper's variant comparison exploits.
+  CreationMap Map;
+  Label Factory = Label::intern("cm:factory");
+  Label Root = Label::intern("cm:rootsite");
+  Map.recordCreation(ObjectId(10), ObjectId(), Root);
+  Map.recordCreation(ObjectId(11), ObjectId(10), Factory);
+  Map.recordCreation(ObjectId(12), ObjectId(10), Factory);
+  EXPECT_EQ(Map.computeAbsO(ObjectId(11), 4),
+            Map.computeAbsO(ObjectId(12), 4));
+}
+
+// -- AbstractionEngine ------------------------------------------------------------
+
+TEST(AbstractionEngine, RegisterAndLookup) {
+  AbstractionEngine Engine(4, 8);
+  IndexingState Index;
+  int A = 0, B = 0;
+  auto [IdA, AbsA] =
+      Engine.registerCreation(&A, nullptr, Label::intern("ae:a"), Index);
+  auto [IdB, AbsB] =
+      Engine.registerCreation(&B, &A, Label::intern("ae:b"), Index);
+  EXPECT_NE(IdA, IdB);
+  EXPECT_EQ(Engine.lookup(&A), IdA);
+  EXPECT_EQ(Engine.lookup(&B), IdB);
+  // B's k-object chain includes A's site.
+  EXPECT_EQ(AbsB.KObject.Elements.size(), 2u);
+  EXPECT_EQ(AbsA.KObject.Elements.size(), 1u);
+}
+
+TEST(AbstractionEngine, ForgetAddressAllowsReuse) {
+  AbstractionEngine Engine(4, 8);
+  IndexingState Index;
+  int Slot = 0;
+  auto [IdFirst, AbsFirst] =
+      Engine.registerCreation(&Slot, nullptr, Label::intern("ae:r"), Index);
+  Engine.forgetAddress(&Slot);
+  EXPECT_FALSE(Engine.lookup(&Slot).isValid());
+  auto [IdSecond, AbsSecond] =
+      Engine.registerCreation(&Slot, nullptr, Label::intern("ae:r"), Index);
+  EXPECT_NE(IdFirst, IdSecond) << "recycled address must get a fresh id";
+  // Same creating context advanced its counter: abstractions differ.
+  EXPECT_NE(AbsFirst.Index, AbsSecond.Index);
+}
+
+TEST(AbstractionEngine, UnregisteredParentEndsChain) {
+  AbstractionEngine Engine(4, 8);
+  IndexingState Index;
+  int Child = 0, GhostParent = 0;
+  auto [Id, Abs] = Engine.registerCreation(&Child, &GhostParent,
+                                           Label::intern("ae:ghost"), Index);
+  (void)Id;
+  EXPECT_EQ(Abs.KObject.Elements.size(), 1u);
+}
+
+TEST(AbstractionEngine, ConcurrentRegistrationsGetUniqueIds) {
+  AbstractionEngine Engine(4, 8);
+  constexpr int Threads = 8, PerThread = 200;
+  std::vector<std::vector<ObjectId>> Ids(Threads);
+  std::vector<std::vector<char>> Storage(Threads,
+                                         std::vector<char>(PerThread));
+  std::vector<std::thread> Workers;
+  for (int T = 0; T != Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      IndexingState Index;
+      for (int I = 0; I != PerThread; ++I) {
+        auto [Id, Abs] = Engine.registerCreation(
+            &Storage[T][I], nullptr, Label::intern("ae:conc"), Index);
+        Ids[T].push_back(Id);
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  std::set<uint64_t> Unique;
+  for (auto &PerThreadIds : Ids)
+    for (ObjectId Id : PerThreadIds)
+      Unique.insert(Id.Raw);
+  EXPECT_EQ(Unique.size(), size_t(Threads) * PerThread);
+  EXPECT_EQ(Engine.creationCount(), size_t(Threads) * PerThread);
+}
+
+// -- Abstraction value type ---------------------------------------------------------
+
+TEST(Abstraction, EqualityAndHash) {
+  Abstraction A{{1, 2, 3}};
+  Abstraction B{{1, 2, 3}};
+  Abstraction C{{1, 2, 4}};
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(std::hash<Abstraction>()(A), std::hash<Abstraction>()(B));
+}
+
+TEST(Abstraction, SelectByKind) {
+  AbstractionSet Set;
+  Set.KObject.Elements = {1};
+  Set.Index.Elements = {2, 1};
+  EXPECT_TRUE(Set.select(AbstractionKind::Trivial).Elements.empty());
+  EXPECT_EQ(Set.select(AbstractionKind::KObjectSensitive).Elements,
+            (std::vector<uint32_t>{1}));
+  EXPECT_EQ(Set.select(AbstractionKind::ExecutionIndex).Elements,
+            (std::vector<uint32_t>{2, 1}));
+}
+
+TEST(Abstraction, ToStringRendersSitesAndCounts) {
+  Label Site = Label::intern("render:site");
+  Abstraction Paired{{Site.raw(), 3}};
+  std::string Rendered = Paired.toString(/*PairedCounts=*/true);
+  EXPECT_NE(Rendered.find("render:site"), std::string::npos);
+  EXPECT_NE(Rendered.find("x3"), std::string::npos);
+  Abstraction Plain{{Site.raw()}};
+  EXPECT_NE(Plain.toString(false).find("render:site"), std::string::npos);
+}
+
+TEST(AbstractionKindNames, AllDistinct) {
+  EXPECT_STREQ(abstractionKindName(AbstractionKind::Trivial), "trivial");
+  EXPECT_STREQ(abstractionKindName(AbstractionKind::KObjectSensitive),
+               "k-object");
+  EXPECT_STREQ(abstractionKindName(AbstractionKind::ExecutionIndex),
+               "exec-index");
+}
+
+} // namespace

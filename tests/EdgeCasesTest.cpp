@@ -1,0 +1,256 @@
+//===- tests/EdgeCasesTest.cpp - Runtime & pipeline edge cases ----------------===//
+//
+// Corner cases a production runtime must survive: nested thread spawning,
+// locks created (and destroyed) inside worker threads, address reuse,
+// deep recursion, many-thread stress with per-seed determinism, and
+// deadlocks between grandchildren.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzer/ActiveTester.h"
+#include "fuzzer/RandomStrategy.h"
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+namespace {
+
+using namespace dlf;
+
+ExecutionResult runActive(const std::function<void()> &Entry,
+                          uint64_t Seed = 1) {
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  Opts.Seed = Seed;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy);
+  return RT.run(Entry);
+}
+
+TEST(EdgeCases, NestedThreadSpawning) {
+  // Threads spawning threads spawning threads; grandchildren synchronize
+  // on a lock owned by the root scope.
+  int Total = 0;
+  ExecutionResult R = runActive([&] {
+    Mutex Sum("nest-sum", DLF_SITE());
+    std::vector<Thread> Children;
+    for (int C = 0; C != 2; ++C) {
+      Children.emplace_back(Thread([&Sum, C] {
+        std::vector<Thread> GrandChildren;
+        for (int G = 0; G != 2; ++G) {
+          GrandChildren.emplace_back(Thread([&Sum] {
+            // no-op work + lock
+            MutexGuard Guard(Sum, DLF_NAMED_SITE("nest:leaf"));
+          }));
+        }
+        for (Thread &GC : GrandChildren)
+          GC.join();
+        (void)C;
+      }));
+    }
+    for (Thread &Child : Children)
+      Child.join();
+    MutexGuard Guard(Sum, DLF_NAMED_SITE("nest:root"));
+    Total = 1;
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(Total, 1);
+  EXPECT_EQ(R.AcquireEvents, 5u);
+}
+
+TEST(EdgeCases, DeadlockBetweenGrandchildren) {
+  // The full pipeline works when the cycle participants are spawned by an
+  // intermediate thread (abstractions chain through two creations).
+  auto Program = [] {
+    DLF_SCOPE("gc::main");
+    Mutex A("gc-a", DLF_SITE());
+    Mutex B("gc-b", DLF_SITE());
+    Thread Middle(
+        [&] {
+          DLF_SCOPE("gc::middle");
+          Thread Left(
+              [&] {
+                DLF_SCOPE("gc::left");
+                for (int I = 0; I != 3; ++I)
+                  yieldNow();
+                MutexGuard First(A, DLF_NAMED_SITE("gc:la"));
+                MutexGuard Second(B, DLF_NAMED_SITE("gc:lb"));
+              },
+              "gc.left", DLF_NAMED_SITE("gc:spawnLeft"));
+          Thread Right(
+              [&] {
+                DLF_SCOPE("gc::right");
+                MutexGuard First(B, DLF_NAMED_SITE("gc:rb"));
+                MutexGuard Second(A, DLF_NAMED_SITE("gc:ra"));
+              },
+              "gc.right", DLF_NAMED_SITE("gc:spawnRight"));
+          Left.join();
+          Right.join();
+        },
+        "gc.middle", DLF_NAMED_SITE("gc:spawnMiddle"));
+    Middle.join();
+  };
+  ActiveTesterConfig Config;
+  Config.PhaseTwoReps = 8;
+  ActiveTester Tester(Program, Config);
+  ActiveTesterReport Report = Tester.run();
+  ASSERT_EQ(Report.PerCycle.size(), 1u);
+  EXPECT_EQ(Report.PerCycle[0].ReproducedTarget, Report.PerCycle[0].Runs);
+}
+
+TEST(EdgeCases, LocksCreatedInsideWorkers) {
+  // Worker-local locks are registered/deregistered by the worker itself;
+  // abstractions come from the worker's own call path.
+  ExecutionResult R = runActive([] {
+    std::vector<Thread> Workers;
+    for (int W = 0; W != 3; ++W) {
+      Workers.emplace_back(Thread([] {
+        DLF_SCOPE("wl::worker");
+        Mutex Local("worker-local", DLF_NAMED_SITE("wl:newLock"));
+        for (int I = 0; I != 4; ++I) {
+          MutexGuard Guard(Local, DLF_NAMED_SITE("wl:acq"));
+        }
+      }));
+    }
+    for (Thread &W : Workers)
+      W.join();
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, 12u);
+}
+
+TEST(EdgeCases, MutexAddressReuse) {
+  // Destroying and recreating locks in a loop (same stack address) must
+  // produce fresh ids and distinct exec-index abstractions.
+  std::vector<Abstraction> Abs;
+  ExecutionResult R = runActive([&] {
+    for (int I = 0; I != 5; ++I) {
+      Mutex Fresh("reuse", DLF_NAMED_SITE("reuse:new"));
+      Abs.push_back(Fresh.record()->Abs.Index);
+      MutexGuard Guard(Fresh, DLF_NAMED_SITE("reuse:acq"));
+    }
+  });
+  EXPECT_TRUE(R.Completed);
+  ASSERT_EQ(Abs.size(), 5u);
+  for (size_t I = 0; I != Abs.size(); ++I)
+    for (size_t J = I + 1; J != Abs.size(); ++J)
+      EXPECT_NE(Abs[I], Abs[J]) << I << " vs " << J;
+}
+
+TEST(EdgeCases, DeepLockNesting) {
+  constexpr int Depth = 24;
+  ExecutionResult R = runActive([] {
+    std::vector<std::unique_ptr<Mutex>> Locks;
+    for (int I = 0; I != Depth; ++I)
+      Locks.push_back(std::make_unique<Mutex>(
+          "deep" + std::to_string(I), DLF_NAMED_SITE("deep:new")));
+    std::vector<std::unique_ptr<MutexGuard>> Guards;
+    for (auto &L : Locks)
+      Guards.push_back(
+          std::make_unique<MutexGuard>(*L, DLF_NAMED_SITE("deep:acq")));
+    Guards.clear(); // release all, reverse order
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, static_cast<uint64_t>(Depth));
+}
+
+TEST(EdgeCases, ManyThreadsStressDeterministic) {
+  auto Program = [](std::vector<int> *Order) {
+    Mutex M("stress", DLF_SITE());
+    std::vector<Thread> Workers;
+    for (int T = 0; T != 12; ++T) {
+      Workers.emplace_back(Thread([&M, Order, T] {
+        for (int I = 0; I != 6; ++I) {
+          MutexGuard Guard(M, DLF_NAMED_SITE("stress:acq"));
+          Order->push_back(T);
+          yieldNow();
+        }
+      }));
+    }
+    for (Thread &W : Workers)
+      W.join();
+  };
+  std::vector<int> First, Second;
+  EXPECT_TRUE(runActive([&] { Program(&First); }, 99).Completed);
+  EXPECT_TRUE(runActive([&] { Program(&Second); }, 99).Completed);
+  EXPECT_EQ(First.size(), 72u);
+  EXPECT_EQ(First, Second);
+}
+
+TEST(EdgeCases, RecursionDepthStress) {
+  // Deep re-entrant locking: one event, many recursion levels.
+  ExecutionResult R = runActive([] {
+    Mutex M("recur", DLF_SITE());
+    for (int I = 0; I != 200; ++I)
+      M.lock(DLF_NAMED_SITE("recur:acq"));
+    EXPECT_TRUE(M.heldByCurrentThread());
+    for (int I = 0; I != 200; ++I)
+      M.unlock();
+    EXPECT_FALSE(M.heldByCurrentThread());
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, 1u);
+}
+
+TEST(EdgeCases, ScopeDepthStress) {
+  // Deep Call/Return nesting feeds the execution index without blowing up.
+  ExecutionResult R = runActive([] {
+    std::function<void(int)> Recurse = [&](int Depth) {
+      if (Depth == 0) {
+        Mutex Leaf("leaf", DLF_NAMED_SITE("scope:newLeaf"));
+        MutexGuard Guard(Leaf, DLF_NAMED_SITE("scope:acq"));
+        return;
+      }
+      DLF_SCOPE("scope:level");
+      Recurse(Depth - 1);
+    };
+    Recurse(64);
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(EdgeCases, EmptyProgram) {
+  ExecutionResult R = runActive([] {});
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, 0u);
+}
+
+TEST(EdgeCases, WitnessToStringMentionsEverything) {
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy);
+  ExecutionResult R = RT.run([] {
+    Mutex A("wt-a", DLF_SITE());
+    Mutex B("wt-b", DLF_SITE());
+    bool AHeld = false, BHeld = false;
+    Thread T1([&] {
+      MutexGuard First(A, DLF_NAMED_SITE("wt:t1a"));
+      AHeld = true;
+      while (!BHeld)
+        yieldNow();
+      MutexGuard Second(B, DLF_NAMED_SITE("wt:t1b"));
+    });
+    Thread T2([&] {
+      MutexGuard First(B, DLF_NAMED_SITE("wt:t2b"));
+      BHeld = true;
+      while (!AHeld)
+        yieldNow();
+      MutexGuard Second(A, DLF_NAMED_SITE("wt:t2a"));
+    });
+    T1.join();
+    T2.join();
+  });
+  ASSERT_TRUE(R.Witness.has_value());
+  std::string Text = R.Witness->toString();
+  for (const char *Needle :
+       {"wt-a", "wt-b", "wt:t1b", "wt:t2a", "context:", "length 2"})
+    EXPECT_NE(Text.find(Needle), std::string::npos) << Needle << "\n" << Text;
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===- tests/HttpTest.cpp - Mini HTTP machinery -------------------------------===//
+
+#include "substrates/jigsaw/Http.h"
+#include "substrates/jigsaw/Jigsaw.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dlf;
+using namespace dlf::jigsaw;
+
+TEST(HttpParser, WellFormedGet) {
+  auto Request = parseRequest("GET /res/3 HTTP/1.0\r\n"
+                              "Host: jigsaw\r\n"
+                              "Accept: text/plain\r\n"
+                              "\r\n");
+  ASSERT_TRUE(Request.has_value());
+  EXPECT_EQ(Request->Method, "GET");
+  EXPECT_EQ(Request->Path, "/res/3");
+  EXPECT_EQ(Request->Version, "HTTP/1.0");
+  EXPECT_EQ(Request->Headers.at("host"), "jigsaw");
+  EXPECT_EQ(Request->Headers.at("accept"), "text/plain");
+  EXPECT_TRUE(Request->isRead());
+}
+
+TEST(HttpParser, HeaderNamesAreCaseInsensitive) {
+  auto Request = parseRequest("GET / HTTP/1.0\r\nHOST:  padded \r\n\r\n");
+  ASSERT_TRUE(Request.has_value());
+  EXPECT_EQ(Request->Headers.at("host"), "padded");
+}
+
+TEST(HttpParser, BareNewlinesAccepted) {
+  auto Request = parseRequest("HEAD /x HTTP/1.1\nhost: a\n\n");
+  ASSERT_TRUE(Request.has_value());
+  EXPECT_EQ(Request->Method, "HEAD");
+  EXPECT_TRUE(Request->isRead());
+}
+
+TEST(HttpParser, MalformedInputsRejected) {
+  EXPECT_FALSE(parseRequest("").has_value());
+  EXPECT_FALSE(parseRequest("GET\r\n\r\n").has_value()) << "no path";
+  EXPECT_FALSE(parseRequest("GET /x\r\n\r\n").has_value()) << "no version";
+  EXPECT_FALSE(parseRequest("GET x HTTP/1.0\r\n\r\n").has_value())
+      << "path must be absolute";
+  EXPECT_FALSE(parseRequest("GET /x FTP/1.0\r\n\r\n").has_value())
+      << "bad protocol";
+  EXPECT_FALSE(parseRequest("GET /x HTTP/1.0 junk\r\n\r\n").has_value())
+      << "trailing junk";
+  EXPECT_FALSE(parseRequest("GET /x HTTP/1.0\r\nnocolon\r\n\r\n").has_value())
+      << "header without colon";
+  EXPECT_FALSE(parseRequest("GET /x HTTP/1.0\r\n: novalue\r\n\r\n").has_value())
+      << "header without name";
+}
+
+TEST(HttpRouter, NumericTailRoutesDirectly) {
+  EXPECT_EQ(routeToResource("/res/0", 4), 0u);
+  EXPECT_EQ(routeToResource("/res/3", 4), 3u);
+  EXPECT_EQ(routeToResource("/res/7", 4), 3u) << "modulo resource count";
+}
+
+TEST(HttpRouter, HashRouteIsStableAndInRange) {
+  unsigned First = routeToResource("/index.html", 4);
+  EXPECT_EQ(routeToResource("/index.html", 4), First);
+  EXPECT_LT(First, 4u);
+  EXPECT_LT(routeToResource("/other", 4), 4u);
+  EXPECT_EQ(routeToResource("/whatever", 0), 0u) << "zero resources";
+}
+
+TEST(HttpResponse, SerializeIncludesLengthAndBody) {
+  HttpResponse Response;
+  Response.Body = "hello";
+  Response.Headers["content-type"] = "text/plain";
+  std::string Wire = Response.serialize();
+  EXPECT_NE(Wire.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(Wire.find("content-length: 5"), std::string::npos);
+  EXPECT_NE(Wire.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(HttpResponse, MethodNotAllowed) {
+  auto Request = parseRequest("POST /res/1 HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(Request.has_value());
+  HttpResponse Response = makeResponse(*Request, "payload");
+  EXPECT_EQ(Response.Status, 405);
+  EXPECT_TRUE(Response.Body.empty());
+  EXPECT_EQ(Response.Headers.at("allow"), "GET, HEAD");
+}
+
+TEST(HttpResponse, HeadOmitsBody) {
+  auto Request = parseRequest("HEAD /res/1 HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(Request.has_value());
+  HttpResponse Response = makeResponse(*Request, "payload");
+  EXPECT_EQ(Response.Status, 200);
+  EXPECT_TRUE(Response.Body.empty());
+}
+
+TEST(HttpServe, EndToEndAgainstStoreAndCache) {
+  ResourceStore Store(Label(), /*ResourceCount=*/2);
+  ResourceCache Cache(Label(), Store);
+
+  std::string Wire = serveHttp("GET /res/1 HTTP/1.0\r\n\r\n", Store, Cache);
+  EXPECT_NE(Wire.find("200 OK"), std::string::npos);
+  EXPECT_NE(Wire.find("resource#1"), std::string::npos);
+  EXPECT_EQ(Store.loadedCount(), 1u) << "cache miss loads the store";
+
+  Cache.fill(0);
+  EXPECT_EQ(Cache.size(), 1u);
+  std::string Cached = serveHttp("GET /res/0 HTTP/1.0\r\n\r\n", Store, Cache);
+  EXPECT_NE(Cached.find("200 OK"), std::string::npos);
+  EXPECT_EQ(Store.loadedCount(), 1u) << "cache hit must not load the store";
+
+  Store.invalidate(Cache);
+  EXPECT_EQ(Cache.size(), 0u);
+
+  std::string Bad = serveHttp("BOGUS\r\n\r\n", Store, Cache);
+  EXPECT_NE(Bad.find("400 Bad Request"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- tests/IGoodlockTest.cpp - Algorithm 1 unit tests ----------------------===//
+//
+// Drives the iterative closure on hand-built lock dependency relations,
+// checking each clause of Definitions 1-3 plus the §2.2.3 duplicate rule,
+// the guard-lock suppression classical Goodlock is known for, and the
+// bounded-iteration mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "igoodlock/IGoodlock.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dlf;
+
+/// Small DSL for building relations: threads and locks are small ints.
+class RelationBuilder {
+public:
+  /// Adds (thread, {held...}, acquired); context sites are derived from
+  /// the lock numbers so reports are checkable.
+  RelationBuilder &dep(uint64_t Thread, std::vector<uint64_t> Held,
+                       uint64_t Acquired) {
+    ThreadRecord T;
+    T.Id = ThreadId(Thread);
+    T.Name = "t" + std::to_string(Thread);
+    T.Abs.Index.Elements = {static_cast<uint32_t>(Thread), 1};
+    Log.onThreadCreated(T);
+
+    auto EnsureLock = [&](uint64_t L) {
+      LockRecord Rec;
+      Rec.Id = LockId(L);
+      Rec.Name = "l" + std::to_string(L);
+      Rec.Abs.Index.Elements = {static_cast<uint32_t>(L), 1};
+      Log.onLockCreated(Rec);
+      return Rec;
+    };
+
+    std::vector<LockStackEntry> Stack;
+    for (uint64_t H : Held) {
+      EnsureLock(H);
+      Stack.push_back({LockId(H), site(H)});
+    }
+    LockRecord Acq = EnsureLock(Acquired);
+    Log.onAcquireExecuted(T, Acq, Stack, site(Acquired));
+    return *this;
+  }
+
+  static Label site(uint64_t Lock) {
+    return Label::intern("ig:acq" + std::to_string(Lock));
+  }
+
+  std::vector<AbstractCycle> run(IGoodlockOptions Opts = {},
+                                 IGoodlockStats *Stats = nullptr) {
+    return runIGoodlock(Log, Opts, Stats);
+  }
+
+  LockDependencyLog Log;
+};
+
+TEST(IGoodlock, SimpleTwoCycle) {
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 10);
+  auto Cycles = B.run();
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_EQ(Cycles[0].Components.size(), 2u);
+  EXPECT_EQ(Cycles[0].Components[0].ThreadName, "t1");
+  EXPECT_EQ(Cycles[0].Components[1].ThreadName, "t2");
+}
+
+TEST(IGoodlock, RotationReportedOnce) {
+  // The same cycle discoverable from either thread must appear once
+  // (duplicate suppression: minimal thread id first, §2.2.3).
+  RelationBuilder B;
+  B.dep(2, {11}, 10).dep(1, {10}, 11); // insertion order reversed
+  auto Cycles = B.run();
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_EQ(Cycles[0].Multiplicity, 1u);
+  EXPECT_EQ(Cycles[0].Components[0].Thread, ThreadId(1))
+      << "chain must start at the minimal thread id";
+}
+
+TEST(IGoodlock, NoCycleInOrderedProgram) {
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {10}, 11).dep(3, {10, 11}, 12);
+  EXPECT_TRUE(B.run().empty());
+}
+
+TEST(IGoodlock, SameThreadCannotCloseACycle) {
+  // Definition 2 clause 1: distinct threads. One thread acquiring in both
+  // orders (at different times) is not a deadlock.
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(1, {11}, 10);
+  EXPECT_TRUE(B.run().empty());
+}
+
+TEST(IGoodlock, GuardLockSuppressesCycle) {
+  // The classical Goodlock guard (gate) lock rule falls out of clause 4
+  // (pairwise-disjoint held sets): both inversions happen under a common
+  // lock G, so the deadlock cannot happen.
+  RelationBuilder B;
+  B.dep(1, {5, 10}, 11).dep(2, {5, 11}, 10);
+  EXPECT_TRUE(B.run().empty()) << "guarded inversion is not a deadlock";
+}
+
+TEST(IGoodlock, UnguardedVariantStillReported) {
+  // Same as above but only one side holds the guard: the cycle is real.
+  RelationBuilder B;
+  B.dep(1, {5, 10}, 11).dep(2, {11}, 10);
+  EXPECT_EQ(B.run().size(), 1u);
+}
+
+TEST(IGoodlock, ThreeCycle) {
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 12).dep(3, {12}, 10);
+  auto Cycles = B.run();
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_EQ(Cycles[0].Components.size(), 3u);
+}
+
+TEST(IGoodlock, ThreeCycleNotReportedWhenLengthBounded) {
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 12).dep(3, {12}, 10);
+  IGoodlockOptions Opts;
+  Opts.MaxCycleLength = 2;
+  EXPECT_TRUE(B.run(Opts).empty());
+  Opts.MaxCycleLength = 3;
+  EXPECT_EQ(B.run(Opts).size(), 1u);
+}
+
+TEST(IGoodlock, ShorterCyclesFoundBeforeLonger) {
+  // A 2-cycle and a 3-cycle coexist; iterative deepening reports both, and
+  // the stats show the iteration count reached 3.
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 10);                  // 2-cycle
+  B.dep(3, {20}, 21).dep(4, {21}, 22).dep(5, {22}, 20); // 3-cycle
+  IGoodlockStats Stats;
+  auto Cycles = B.run({}, &Stats);
+  ASSERT_EQ(Cycles.size(), 2u);
+  EXPECT_EQ(Cycles[0].Components.size(), 2u) << "2-cycle first";
+  EXPECT_EQ(Cycles[1].Components.size(), 3u);
+  EXPECT_GE(Stats.Iterations, 2u);
+}
+
+TEST(IGoodlock, NoComplexCycles) {
+  // Two independent 2-cycles sharing a thread's locks in a larger ring:
+  // cycles must not be extended once closed, so the "figure eight" is
+  // reported as its two simple halves only.
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 10); // half one
+  B.dep(3, {12}, 13).dep(4, {13}, 12); // half two
+  auto Cycles = B.run();
+  EXPECT_EQ(Cycles.size(), 2u);
+  for (const AbstractCycle &Cycle : Cycles)
+    EXPECT_EQ(Cycle.Components.size(), 2u);
+}
+
+TEST(IGoodlock, DistinctAcquiredLocksRequired) {
+  // Definition 2 clause 2: l1, l2 distinct. Craft entries where the same
+  // lock would be acquired twice along a chain.
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11, 12}, 11);
+  EXPECT_TRUE(B.run().empty());
+}
+
+TEST(IGoodlock, ContextsCarriedIntoReport) {
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 10);
+  auto Cycles = B.run();
+  ASSERT_EQ(Cycles.size(), 1u);
+  const CycleComponent &C0 = Cycles[0].Components[0];
+  ASSERT_EQ(C0.Context.size(), 2u);
+  EXPECT_EQ(C0.Context[0], RelationBuilder::site(10));
+  EXPECT_EQ(C0.Context[1], RelationBuilder::site(11));
+}
+
+TEST(IGoodlock, MultiplicityCountsCollapsedChains) {
+  // Two concrete chains with identical abstractions collapse into one
+  // abstract cycle with multiplicity 2: same thread/lock abstractions,
+  // different concrete ids. Build two thread pairs whose records share
+  // abstraction elements.
+  LockDependencyLog Log;
+  auto AddPair = [&](uint64_t TBase, uint64_t LBase) {
+    for (int Side = 0; Side != 2; ++Side) {
+      ThreadRecord T;
+      T.Id = ThreadId(TBase + static_cast<uint64_t>(Side));
+      T.Name = "t";
+      T.Abs.Index.Elements = {7u + static_cast<uint32_t>(Side), 1};
+      Log.onThreadCreated(T);
+      LockRecord Held, Acq;
+      Held.Id = LockId(LBase + static_cast<uint64_t>(Side));
+      Held.Abs.Index.Elements = {100u + static_cast<uint32_t>(Side)};
+      Acq.Id = LockId(LBase + static_cast<uint64_t>(1 - Side));
+      Acq.Abs.Index.Elements = {100u + static_cast<uint32_t>(1 - Side)};
+      Log.onLockCreated(Held);
+      Log.onLockCreated(Acq);
+      std::vector<LockStackEntry> Stack = {
+          {Held.Id, Label::intern("mult:outer")}};
+      Log.onAcquireExecuted(T, Acq, Stack, Label::intern("mult:inner"));
+    }
+  };
+  AddPair(1, 10);
+  AddPair(3, 20); // same abstractions, different concrete ids
+  auto Cycles = runIGoodlock(Log);
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_EQ(Cycles[0].Multiplicity, 2u);
+}
+
+TEST(IGoodlock, EmptyRelation) {
+  LockDependencyLog Log;
+  EXPECT_TRUE(runIGoodlock(Log).empty());
+}
+
+TEST(IGoodlock, DedupInRecorder) {
+  RelationBuilder B;
+  for (int I = 0; I != 50; ++I)
+    B.dep(1, {10}, 11); // identical entries: a loop
+  EXPECT_EQ(B.Log.entries().size(), 1u);
+  EXPECT_EQ(B.Log.acquireEvents(), 50u);
+}
+
+TEST(IGoodlock, DifferentContextsAreDifferentEntries) {
+  LockDependencyLog Log;
+  ThreadRecord T;
+  T.Id = ThreadId(1);
+  Log.onThreadCreated(T);
+  LockRecord Held, Acq;
+  Held.Id = LockId(10);
+  Acq.Id = LockId(11);
+  Log.onLockCreated(Held);
+  Log.onLockCreated(Acq);
+  std::vector<LockStackEntry> Stack = {{Held.Id, Label::intern("dc:a")}};
+  Log.onAcquireExecuted(T, Acq, Stack, Label::intern("dc:x"));
+  Log.onAcquireExecuted(T, Acq, Stack, Label::intern("dc:y"));
+  EXPECT_EQ(Log.entries().size(), 2u);
+}
+
+TEST(IGoodlock, CycleCapTruncates) {
+  // 2N threads form N separate 2-cycles; a cap below N must truncate and
+  // say so.
+  RelationBuilder B;
+  for (uint64_t I = 0; I != 20; ++I) {
+    uint64_t L = 100 + 2 * I;
+    B.dep(1 + 2 * I, {L}, L + 1).dep(2 + 2 * I, {L + 1}, L);
+  }
+  IGoodlockOptions Opts;
+  Opts.MaxCycles = 5;
+  IGoodlockStats Stats;
+  auto Cycles = B.run(Opts, &Stats);
+  EXPECT_EQ(Cycles.size(), 5u);
+  EXPECT_TRUE(Stats.Truncated);
+}
+
+TEST(IGoodlock, LongChainRing) {
+  // A ring of 6 threads: exactly one cycle of length 6.
+  RelationBuilder B;
+  constexpr uint64_t N = 6;
+  for (uint64_t I = 0; I != N; ++I)
+    B.dep(I + 1, {10 + I}, 10 + ((I + 1) % N));
+  IGoodlockOptions Opts;
+  Opts.MaxCycleLength = 8;
+  auto Cycles = B.run(Opts);
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_EQ(Cycles[0].Components.size(), N);
+}
+
+TEST(IGoodlock, HeldSetsWithMultipleLocks) {
+  // Deep nesting: t1 holds {A,B} acquiring C; t2 holds {C} acquiring A.
+  // Valid cycle: C in held of t2? t2 holds C and wants A which is held by
+  // t1 -> chain t1(C) ... check both directions.
+  RelationBuilder B;
+  B.dep(1, {10, 11}, 12).dep(2, {12}, 10);
+  auto Cycles = B.run();
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_EQ(Cycles[0].Components.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+//===- tests/PrimitivesTest.cpp - tryLock & ConditionVariable ---------------===//
+//
+// Tests for the primitives beyond the paper's core model: non-blocking
+// acquisition and managed condition variables, across the three runtime
+// modes, including communication-stall classification.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzer/RandomStrategy.h"
+#include "igoodlock/LockDependency.h"
+#include "runtime/ConditionVariable.h"
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace dlf;
+
+ExecutionResult runActive(const std::function<void()> &Entry,
+                          uint64_t Seed = 1,
+                          DependencyRecorder *Recorder = nullptr) {
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  Opts.Seed = Seed;
+  Opts.RecordDependencies = Recorder != nullptr;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy, Recorder);
+  return RT.run(Entry);
+}
+
+// -- tryLock ---------------------------------------------------------------------
+
+TEST(TryLock, StandaloneSemantics) {
+  Mutex M("try-standalone");
+  EXPECT_TRUE(M.tryLock());
+  EXPECT_TRUE(M.tryLock()) << "re-entrant tryLock";
+  M.unlock();
+  M.unlock();
+  EXPECT_FALSE(M.heldByCurrentThread());
+}
+
+TEST(TryLock, ActiveModeTakesFreeLock) {
+  ExecutionResult R = runActive([] {
+    Mutex M("try-active", DLF_SITE());
+    EXPECT_TRUE(M.tryLock(DLF_NAMED_SITE("try:take")));
+    EXPECT_TRUE(M.heldByCurrentThread());
+    M.unlock();
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, 1u);
+}
+
+TEST(TryLock, ActiveModeFailsOnHeldLock) {
+  ExecutionResult R = runActive([] {
+    Mutex M("try-held", DLF_SITE());
+    bool ChildSawHeld = false;
+    M.lock(DLF_NAMED_SITE("try:ownerTake"));
+    Thread T([&] { ChildSawHeld = !M.tryLock(DLF_NAMED_SITE("try:steal")); });
+    T.join();
+    M.unlock();
+    EXPECT_TRUE(ChildSawHeld);
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, 1u) << "failed tryLock must not count";
+}
+
+TEST(TryLock, RecordsDependencyEntry) {
+  LockDependencyLog Log;
+  ExecutionResult R = runActive(
+      [] {
+        Mutex Outer("try-outer", DLF_SITE());
+        Mutex Inner("try-inner", DLF_SITE());
+        MutexGuard Guard(Outer, DLF_NAMED_SITE("tryrec:outer"));
+        ASSERT_TRUE(Inner.tryLock(DLF_NAMED_SITE("tryrec:inner")));
+        Inner.unlock();
+      },
+      1, &Log);
+  EXPECT_TRUE(R.Completed);
+  ASSERT_EQ(Log.entries().size(), 2u);
+  EXPECT_EQ(Log.entries()[1].Held.size(), 1u);
+  EXPECT_EQ(Log.entries()[1].Context.back(),
+            Label::intern("tryrec:inner"));
+}
+
+TEST(TryLock, RecordModeCountsSuccessesOnly) {
+  Options Opts;
+  Opts.Mode = RunMode::Record;
+  LockDependencyLog Log;
+  Runtime RT(Opts, nullptr, &Log);
+  RT.run([] {
+    Mutex M("try-record", DLF_SITE());
+    ASSERT_TRUE(M.tryLock(DLF_NAMED_SITE("tryrecord:a")));
+    M.unlock();
+  });
+  EXPECT_EQ(Log.acquireEvents(), 1u);
+}
+
+// -- ConditionVariable -----------------------------------------------------------
+
+/// Bounded-buffer producer/consumer over the managed primitives.
+void producerConsumer(unsigned Items, unsigned Capacity) {
+  DLF_SCOPE("pc::program");
+  Mutex M("pc-lock", DLF_SITE());
+  ConditionVariable NotFull("pc-notfull");
+  ConditionVariable NotEmpty("pc-notempty");
+  std::vector<int> Buffer;
+  unsigned Produced = 0, Consumed = 0;
+
+  Thread Producer(
+      [&] {
+        DLF_SCOPE("pc::producer");
+        for (unsigned I = 0; I != Items; ++I) {
+          MutexGuard Guard(M, DLF_NAMED_SITE("pc:produce"));
+          NotFull.waitUntil(
+              M, [&] { return Buffer.size() < Capacity; },
+              DLF_NAMED_SITE("pc:produce-reacquire"));
+          Buffer.push_back(static_cast<int>(I));
+          ++Produced;
+          NotEmpty.notifyOne();
+        }
+      },
+      "pc.producer", DLF_SITE());
+  Thread Consumer(
+      [&] {
+        DLF_SCOPE("pc::consumer");
+        for (unsigned I = 0; I != Items; ++I) {
+          MutexGuard Guard(M, DLF_NAMED_SITE("pc:consume"));
+          NotEmpty.waitUntil(M, [&] { return !Buffer.empty(); },
+                             DLF_NAMED_SITE("pc:consume-reacquire"));
+          Buffer.erase(Buffer.begin());
+          ++Consumed;
+          NotFull.notifyOne();
+        }
+      },
+      "pc.consumer", DLF_SITE());
+  Producer.join();
+  Consumer.join();
+  if (Produced != Items || Consumed != Items)
+    std::abort();
+}
+
+TEST(ConditionVariable, ProducerConsumerActiveMode) {
+  for (uint64_t Seed : {1, 7, 23}) {
+    ExecutionResult R =
+        runActive([] { producerConsumer(12, 3); }, Seed);
+    EXPECT_TRUE(R.Completed) << "seed " << Seed;
+    EXPECT_FALSE(R.Stalled);
+  }
+}
+
+TEST(ConditionVariable, ProducerConsumerPassthroughMode) {
+  Options Opts;
+  Opts.Mode = RunMode::Passthrough;
+  Runtime RT(Opts);
+  ExecutionResult R = RT.run([] { producerConsumer(50, 4); });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(ConditionVariable, ProducerConsumerRecordMode) {
+  Options Opts;
+  Opts.Mode = RunMode::Record;
+  LockDependencyLog Log;
+  Runtime RT(Opts, nullptr, &Log);
+  ExecutionResult R = RT.run([] { producerConsumer(20, 4); });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_GT(Log.acquireEvents(), 0u);
+}
+
+TEST(ConditionVariable, NotifyAllWakesEveryWaiter) {
+  ExecutionResult R = runActive([] {
+    Mutex M("na-lock", DLF_SITE());
+    ConditionVariable Go("na-go");
+    bool Ready = false;
+    int Woken = 0;
+    std::vector<Thread> Waiters;
+    for (int T = 0; T != 4; ++T) {
+      Waiters.emplace_back(Thread([&] {
+        MutexGuard Guard(M, DLF_NAMED_SITE("na:waiter"));
+        Go.waitUntil(M, [&] { return Ready; },
+                     DLF_NAMED_SITE("na:reacquire"));
+        ++Woken;
+      }));
+    }
+    // Let the waiters park.
+    for (int I = 0; I != 20; ++I)
+      yieldNow();
+    {
+      MutexGuard Guard(M, DLF_NAMED_SITE("na:signal"));
+      Ready = true;
+      Go.notifyAll();
+    }
+    for (Thread &W : Waiters)
+      W.join();
+    EXPECT_EQ(Woken, 4);
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(ConditionVariable, NotifyWithoutWaitersIsLost) {
+  ExecutionResult R = runActive([] {
+    Mutex M("lost-lock", DLF_SITE());
+    ConditionVariable CV("lost-cond");
+    CV.notifyOne(); // no waiters: must be a harmless no-op
+    CV.notifyAll();
+    MutexGuard Guard(M, DLF_NAMED_SITE("lost:after"));
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(ConditionVariable, NeverNotifiedIsACommunicationStall) {
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy);
+  ExecutionResult R = RT.run([] {
+    Mutex M("cs-lock", DLF_SITE());
+    ConditionVariable Never("cs-never");
+    Thread Waiter([&] {
+      MutexGuard Guard(M, DLF_NAMED_SITE("cs:waiter"));
+      Never.wait(M, DLF_NAMED_SITE("cs:reacquire")); // nobody will notify
+    });
+    Waiter.join();
+  });
+  EXPECT_FALSE(R.Completed);
+  EXPECT_TRUE(R.Stalled);
+  EXPECT_TRUE(R.CommunicationStall)
+      << "stall with a parked waiter must be classified as communication";
+}
+
+TEST(ConditionVariable, ResourceStallIsNotCommunication) {
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy);
+  ExecutionResult R = RT.run([] {
+    Mutex A("rs-a", DLF_SITE());
+    Mutex B("rs-b", DLF_SITE());
+    bool T1HasA = false, T2HasB = false;
+    Thread T1([&] {
+      MutexGuard First(A, DLF_NAMED_SITE("rs:t1a"));
+      T1HasA = true;
+      while (!T2HasB)
+        yieldNow();
+      MutexGuard Second(B, DLF_NAMED_SITE("rs:t1b"));
+    });
+    Thread T2([&] {
+      MutexGuard First(B, DLF_NAMED_SITE("rs:t2b"));
+      T2HasB = true;
+      while (!T1HasA)
+        yieldNow();
+      MutexGuard Second(A, DLF_NAMED_SITE("rs:t2a"));
+    });
+    T1.join();
+    T2.join();
+  });
+  EXPECT_TRUE(R.Stalled);
+  EXPECT_FALSE(R.CommunicationStall);
+}
+
+TEST(ConditionVariable, WaitReleasesTheLockForOthers) {
+  ExecutionResult R = runActive([] {
+    Mutex M("rel-lock", DLF_SITE());
+    ConditionVariable CV("rel-cond");
+    bool Entered = false, Signalled = false;
+    Thread Waiter([&] {
+      MutexGuard Guard(M, DLF_NAMED_SITE("rel:wait"));
+      Entered = true;
+      CV.waitUntil(M, [&] { return Signalled; },
+                   DLF_NAMED_SITE("rel:reacquire"));
+    });
+    // The signaller can take M *while the waiter is parked*: proof that
+    // wait released it.
+    Thread Signaller([&] {
+      while (!Entered)
+        yieldNow();
+      MutexGuard Guard(M, DLF_NAMED_SITE("rel:signal"));
+      Signalled = true;
+      CV.notifyOne();
+    });
+    Waiter.join();
+    Signaller.join();
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+} // namespace

@@ -1,0 +1,374 @@
+//===- tests/RuntimeTest.cpp - runtime/ unit tests ---------------------------===//
+
+#include "fuzzer/RandomStrategy.h"
+#include "igoodlock/LockDependency.h"
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace dlf;
+
+ExecutionResult runActive(const std::function<void()> &Entry,
+                          uint64_t Seed = 1,
+                          DependencyRecorder *Recorder = nullptr) {
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  Opts.Seed = Seed;
+  Opts.RecordDependencies = Recorder != nullptr;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy, Recorder);
+  return RT.run(Entry);
+}
+
+// -- Mutex without a runtime ------------------------------------------------------
+
+TEST(MutexStandalone, RecursiveLocking) {
+  Mutex M("standalone");
+  M.lock();
+  EXPECT_TRUE(M.heldByCurrentThread());
+  M.lock(); // re-entrant
+  M.unlock();
+  EXPECT_TRUE(M.heldByCurrentThread()) << "still held after inner unlock";
+  M.unlock();
+  EXPECT_FALSE(M.heldByCurrentThread());
+}
+
+TEST(MutexStandalone, MutualExclusionAcrossOsThreads) {
+  Mutex M("excl");
+  int Counter = 0;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T != 4; ++T) {
+    Workers.emplace_back([&] {
+      for (int I = 0; I != 2000; ++I) {
+        MutexGuard Guard(M, Label());
+        ++Counter;
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter, 8000);
+}
+
+TEST(MutexStandalone, GuardReleasesOnScopeExit) {
+  Mutex M("guard");
+  {
+    MutexGuard Guard(M, Label());
+    EXPECT_TRUE(M.heldByCurrentThread());
+  }
+  EXPECT_FALSE(M.heldByCurrentThread());
+}
+
+// -- Passthrough mode ---------------------------------------------------------------
+
+TEST(PassthroughMode, RunsToCompletion) {
+  Options Opts;
+  Opts.Mode = RunMode::Passthrough;
+  Runtime RT(Opts);
+  int Sum = 0;
+  ExecutionResult R = RT.run([&] {
+    Mutex M("p");
+    Thread T([&] {
+      MutexGuard Guard(M, Label());
+      Sum += 1;
+    });
+    T.join();
+    MutexGuard Guard(M, Label());
+    Sum += 2;
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(Sum, 3);
+  EXPECT_EQ(R.AcquireEvents, 0u) << "passthrough must not instrument";
+}
+
+// -- Record mode ----------------------------------------------------------------------
+
+TEST(RecordMode, RecordsDependenciesFromRealConcurrency) {
+  Options Opts;
+  Opts.Mode = RunMode::Record;
+  LockDependencyLog Log;
+  Runtime RT(Opts, nullptr, &Log);
+  ExecutionResult R = RT.run([] {
+    Mutex Outer("outer", DLF_SITE());
+    Mutex Inner("inner", DLF_SITE());
+    Thread T([&] {
+      MutexGuard A(Outer, DLF_NAMED_SITE("rec:outer"));
+      MutexGuard B(Inner, DLF_NAMED_SITE("rec:inner"));
+    });
+    T.join();
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, 2u);
+  ASSERT_EQ(Log.entries().size(), 2u);
+  // Second entry: inner acquired while outer held.
+  const DependencyEntry &Nested = Log.entries()[1];
+  EXPECT_EQ(Nested.Held.size(), 1u);
+  EXPECT_EQ(Nested.Context.size(), 2u);
+  EXPECT_EQ(Nested.Context[0], Label::intern("rec:outer"));
+  EXPECT_EQ(Nested.Context[1], Label::intern("rec:inner"));
+}
+
+TEST(RecordMode, ReentrantAcquiresInvisible) {
+  Options Opts;
+  Opts.Mode = RunMode::Record;
+  LockDependencyLog Log;
+  Runtime RT(Opts, nullptr, &Log);
+  RT.run([] {
+    Mutex M("reent", DLF_SITE());
+    M.lock(DLF_SITE());
+    M.lock(DLF_SITE()); // re-acquire: no event (footnote 2)
+    M.unlock();
+    M.unlock();
+  });
+  EXPECT_EQ(Log.acquireEvents(), 1u);
+}
+
+// -- Active mode ------------------------------------------------------------------------
+
+TEST(ActiveMode, SerializesUserCode) {
+  // Unsynchronized increments would race under real concurrency; under the
+  // serialized scheduler every interleaving is atomic between yield points,
+  // so the total is always exact.
+  for (uint64_t Seed = 1; Seed != 6; ++Seed) {
+    int Counter = 0;
+    ExecutionResult R = runActive(
+        [&] {
+          std::vector<Thread> Workers;
+          for (int T = 0; T != 4; ++T) {
+            Workers.emplace_back(Thread([&Counter] {
+              for (int I = 0; I != 50; ++I) {
+                int Old = Counter; // racy read...
+                yieldNow();        // ...with a scheduling point in between
+                Counter = Old + 1; // would lose updates if truly parallel
+              }
+            }));
+          }
+          for (Thread &W : Workers)
+            W.join();
+        },
+        Seed);
+    EXPECT_TRUE(R.Completed);
+    // Lost updates are *possible* by schedule (that's the point of the
+    // read-yield-write), but the run must complete deterministically.
+    EXPECT_GT(Counter, 0);
+  }
+}
+
+TEST(ActiveMode, SameSeedSameSchedule) {
+  auto Program = [](std::vector<int> *Order) {
+    Mutex M("m", DLF_SITE());
+    std::vector<Thread> Workers;
+    for (int T = 0; T != 3; ++T) {
+      Workers.emplace_back(Thread([&M, Order, T] {
+        for (int I = 0; I != 5; ++I) {
+          MutexGuard Guard(M, DLF_NAMED_SITE("order:acq"));
+          Order->push_back(T);
+        }
+      }));
+    }
+    for (Thread &W : Workers)
+      W.join();
+  };
+  std::vector<int> First, Second, Third;
+  runActive([&] { Program(&First); }, 7);
+  runActive([&] { Program(&Second); }, 7);
+  runActive([&] { Program(&Third); }, 8);
+  EXPECT_EQ(First, Second) << "same seed must replay the same schedule";
+  EXPECT_EQ(First.size(), Third.size());
+  // Seeds 7 and 8 *may* coincide, but over 15 interleaved acquisitions it
+  // is overwhelmingly unlikely; treat equality as a failure signal.
+  EXPECT_NE(First, Third) << "different seeds produced identical schedules";
+}
+
+TEST(ActiveMode, CountsAcquireEventsAndSteps) {
+  ExecutionResult R = runActive([] {
+    Mutex M("count", DLF_SITE());
+    Thread T([&M] {
+      for (int I = 0; I != 10; ++I) {
+        MutexGuard Guard(M, DLF_NAMED_SITE("count:acq"));
+      }
+    });
+    T.join();
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, 10u);
+  EXPECT_GE(R.Steps, 20u); // acquires + releases + lifecycle
+  EXPECT_EQ(R.Thrashes, 0u);
+  EXPECT_FALSE(R.DeadlockFound);
+}
+
+TEST(ActiveMode, ReentrantLockingWorks) {
+  ExecutionResult R = runActive([] {
+    Mutex M("reent-active", DLF_SITE());
+    M.lock(DLF_SITE());
+    M.lock(DLF_SITE());
+    EXPECT_TRUE(M.heldByCurrentThread());
+    M.unlock();
+    EXPECT_TRUE(M.heldByCurrentThread());
+    M.unlock();
+    EXPECT_FALSE(M.heldByCurrentThread());
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.AcquireEvents, 1u);
+}
+
+TEST(ActiveMode, BlockedThreadWaitsForOwner) {
+  int Order = 0;
+  ExecutionResult R = runActive([&] {
+    Mutex M("handoff", DLF_SITE());
+    M.lock(DLF_SITE()); // main holds the lock
+    Thread T([&] {
+      MutexGuard Guard(M, DLF_NAMED_SITE("handoff:child"));
+      EXPECT_EQ(Order, 1) << "child entered before main released";
+      Order = 2;
+    });
+    // Give the child plenty of chances to (wrongly) jump the lock.
+    for (int I = 0; I != 10; ++I)
+      yieldNow();
+    Order = 1;
+    M.unlock();
+    T.join();
+    EXPECT_EQ(Order, 2);
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(ActiveMode, JoinDisablesUntilTargetFinishes) {
+  ExecutionResult R = runActive([] {
+    int Progress = 0;
+    Thread Slow([&Progress] {
+      for (int I = 0; I != 20; ++I)
+        yieldNow();
+      Progress = 1;
+    });
+    Slow.join();
+    EXPECT_EQ(Progress, 1);
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(ActiveMode, ManyWaitersAllGetTheLock) {
+  ExecutionResult R = runActive([] {
+    Mutex M("waiters", DLF_SITE());
+    int Entries = 0;
+    std::vector<Thread> Workers;
+    for (int T = 0; T != 6; ++T) {
+      Workers.emplace_back(Thread([&] {
+        MutexGuard Guard(M, DLF_NAMED_SITE("waiters:acq"));
+        ++Entries;
+      }));
+    }
+    for (Thread &W : Workers)
+      W.join();
+    EXPECT_EQ(Entries, 6);
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(ActiveMode, NonNestedReleaseOrder) {
+  // Locks released in acquisition (not reverse) order: the runtime
+  // supports arbitrary release orders (paper §2.1's extension note).
+  ExecutionResult R = runActive([] {
+    Mutex A("nn-a", DLF_SITE());
+    Mutex B("nn-b", DLF_SITE());
+    A.lock(DLF_NAMED_SITE("nn:a"));
+    B.lock(DLF_NAMED_SITE("nn:b"));
+    A.unlock(); // release outer first
+    EXPECT_TRUE(B.heldByCurrentThread());
+    EXPECT_FALSE(A.heldByCurrentThread());
+    B.unlock();
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(ActiveMode, ThreadObjectsCarryAbstractions) {
+  runActive([] {
+    Thread T([] {}, "abs-check", DLF_NAMED_SITE("thr:site"));
+    ASSERT_NE(T.record(), nullptr);
+    EXPECT_FALSE(T.record()->Abs.Index.Elements.empty());
+    EXPECT_EQ(T.record()->Name, "abs-check");
+    T.join();
+  });
+}
+
+TEST(ActiveMode, ScopeGuardFeedsIndexing) {
+  // Two locks created under different DLF_SCOPEs get different indexing
+  // abstractions even from the same creation statement.
+  std::vector<Abstraction> Abs;
+  runActive([&] {
+    auto MakeLock = [&](const char *Scope) {
+      ScopeGuard Guard(Label::intern(Scope));
+      Mutex M("scoped", DLF_NAMED_SITE("scope:newLock"));
+      Abs.push_back(M.record()->Abs.Index);
+    };
+    MakeLock("scope:first");
+    MakeLock("scope:second");
+  });
+  ASSERT_EQ(Abs.size(), 2u);
+  EXPECT_NE(Abs[0], Abs[1]);
+}
+
+TEST(ActiveMode, MoveThreadBeforeJoin) {
+  ExecutionResult R = runActive([] {
+    std::vector<Thread> Workers;
+    int Done = 0;
+    // Move-construct into the vector while bodies are live.
+    for (int I = 0; I != 3; ++I) {
+      Thread T([&Done] {
+        yieldNow();
+        ++Done;
+      });
+      Workers.push_back(std::move(T));
+    }
+    for (Thread &W : Workers)
+      W.join();
+    EXPECT_EQ(Done, 3);
+  });
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(ActiveMode, DestructorJoinsUnjoinedThreads) {
+  int Done = 0;
+  ExecutionResult R = runActive([&] {
+    Thread T([&Done] {
+      for (int I = 0; I != 5; ++I)
+        yieldNow();
+      Done = 1;
+    });
+    // No explicit join: the destructor must perform a managed join.
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(Done, 1);
+}
+
+TEST(ActiveMode, WallTimeIsMeasured) {
+  ExecutionResult R = runActive([] {
+    Mutex M("t", DLF_SITE());
+    MutexGuard Guard(M, DLF_SITE());
+  });
+  EXPECT_GT(R.WallMs, 0.0);
+}
+
+TEST(YieldNow, OutsideRuntimeIsANoOpHint) {
+  yieldNow(); // must not crash without an installed runtime
+  SUCCEED();
+}
+
+TEST(RuntimeCurrent, InstalledOnlyDuringRun) {
+  EXPECT_EQ(Runtime::current(), nullptr);
+  Options Opts;
+  Opts.Mode = RunMode::Passthrough;
+  Runtime RT(Opts);
+  RT.run([] { EXPECT_NE(Runtime::current(), nullptr); });
+  EXPECT_EQ(Runtime::current(), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/ToolTest.cpp - dlf-run CLI end-to-end ----------------------------===//
+//
+// Drives the built dlf-run binary through real subprocesses: benchmark
+// listing, phase-1 cycle counts, the save/load report workflow, variant
+// flags, and error handling.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+int runCommand(const std::string &Command) {
+  int Status = std::system(Command.c_str());
+  if (Status == -1 || !WIFEXITED(Status))
+    return -1;
+  return WEXITSTATUS(Status);
+}
+
+std::string captureCommand(const std::string &Command) {
+  std::string Output;
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return Output;
+  char Buffer[512];
+  while (fgets(Buffer, sizeof(Buffer), Pipe))
+    Output += Buffer;
+  pclose(Pipe);
+  return Output;
+}
+
+std::string tool() { return DLF_RUN_BIN; }
+
+TEST(DlfRun, ListShowsEveryBenchmark) {
+  std::string Out = captureCommand(tool() + " --list");
+  for (const char *Name : {"cache4j", "sor", "hedc", "jspider", "jigsaw",
+                           "logging", "swing", "dbcp", "collections-lists",
+                           "collections-maps"})
+    EXPECT_NE(Out.find(Name), std::string::npos) << Name << "\n" << Out;
+}
+
+TEST(DlfRun, Phase1OnlyReportsCycleCounts) {
+  std::string Out = captureCommand(tool() + " dbcp --phase1-only");
+  EXPECT_NE(Out.find("2 potential cycle(s)"), std::string::npos) << Out;
+  std::string Clean = captureCommand(tool() + " hedc --phase1-only");
+  EXPECT_NE(Clean.find("0 potential cycle(s)"), std::string::npos) << Clean;
+}
+
+TEST(DlfRun, FuzzTableShowsReproductions) {
+  std::string Out = captureCommand(tool() + " swing --reps 5");
+  EXPECT_NE(Out.find("phase 2 (exec-index, context, yields):"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("5/5"), std::string::npos) << Out;
+}
+
+TEST(DlfRun, SaveAndLoadCycles) {
+  std::string Path = std::string(::testing::TempDir()) + "/dlfrun_cycles.txt";
+  std::remove(Path.c_str());
+  ASSERT_EQ(runCommand(tool() + " dbcp --phase1-only --save-cycles " + Path +
+                       " >/dev/null"),
+            0);
+  std::string Out =
+      captureCommand(tool() + " dbcp --cycles " + Path + " --reps 3");
+  EXPECT_NE(Out.find("loaded 2 cycle(s)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("phase 2"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(DlfRun, VariantFlagIsHonored) {
+  std::string Out =
+      captureCommand(tool() + " swing --reps 2 --variant 5");
+  EXPECT_NE(Out.find("no-yields"), std::string::npos) << Out;
+  std::string KObj = captureCommand(tool() + " swing --reps 2 --variant 1");
+  EXPECT_NE(KObj.find("k-object"), std::string::npos) << KObj;
+}
+
+TEST(DlfRun, NormalRunsReportNoDeadlocks) {
+  std::string Out = captureCommand(tool() + " logging --normal 5");
+  EXPECT_NE(Out.find("uninstrumented runs: 5, deadlocked: 0"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(DlfRun, HbFlagFiltersJigsaw) {
+  std::string Plain =
+      captureCommand(tool() + " jigsaw --phase1-only --hb off");
+  std::string Filtered =
+      captureCommand(tool() + " jigsaw --phase1-only --hb fork-join");
+  // Fork/join filtering must strictly reduce jigsaw's report (the §5.4
+  // false positives disappear) but not empty it.
+  auto CycleCount = [](const std::string &Out) {
+    size_t Pos = Out.find(" potential cycle(s)");
+    size_t Start = Out.rfind(' ', Pos - 1);
+    return std::stoul(Out.substr(Start + 1, Pos - Start - 1));
+  };
+  unsigned long PlainCount = CycleCount(Plain);
+  unsigned long FilteredCount = CycleCount(Filtered);
+  EXPECT_LT(FilteredCount, PlainCount);
+  EXPECT_GT(FilteredCount, 4ul);
+  EXPECT_EQ(runCommand(tool() + " jigsaw --hb bogus >/dev/null 2>&1"), 1);
+}
+
+TEST(DlfRun, HealReportsCompletions) {
+  std::string Out =
+      captureCommand(tool() + " dbcp --reps 4 --heal 6 2>/dev/null");
+  EXPECT_NE(Out.find("healing: immunity against"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("6/6 random executions completed"), std::string::npos)
+      << Out;
+}
+
+TEST(DlfRun, ErrorsAreReported) {
+  EXPECT_NE(runCommand(tool() + " nonexistent >/dev/null 2>&1"), 0);
+  EXPECT_NE(runCommand(tool() + " swing --variant 9 >/dev/null 2>&1"), 0);
+  EXPECT_NE(runCommand(tool() + " swing --bogus-flag >/dev/null 2>&1"), 0);
+  EXPECT_NE(runCommand(tool() + " swing --cycles /nonexistent/file "
+                               ">/dev/null 2>&1"),
+            0);
+  EXPECT_NE(runCommand(tool() + " >/dev/null 2>&1"), 0);
+}
+
+} // namespace

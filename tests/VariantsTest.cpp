@@ -1,0 +1,162 @@
+//===- tests/VariantsTest.cpp - Paper §3 / Figure 2 variant behaviours -------===//
+//
+// The paper's worked example (§3) and the variant ablations as tests: with
+// thread/object abstractions the Figure 1 deadlock is created with
+// probability ~1 even with a decoy third thread; with the trivial
+// abstraction the third thread gets paused by mistake and the probability
+// drops (the paper computes ~0.75). Context ablation is pinned on a
+// program where the same acquire site occurs under different held sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzer/ActiveTester.h"
+#include "substrates/BenchmarkRegistry.h"
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dlf;
+
+/// Figure 1 with the optional third thread (lines 24/27).
+void figure1(bool WithThirdThread) {
+  DLF_SCOPE("v3::main");
+  Mutex O1("v-o1", DLF_NAMED_SITE("v3:22"));
+  Mutex O2("v-o2", DLF_NAMED_SITE("v3:23"));
+  Mutex O3("v-o3", DLF_NAMED_SITE("v3:24"));
+
+  auto Body = [](Mutex &L1, Mutex &L2, bool Flag) {
+    DLF_SCOPE("v3::run");
+    if (Flag)
+      for (int I = 0; I != 4; ++I)
+        yieldNow();
+    MutexGuard Outer(L1, DLF_NAMED_SITE("v3:15"));
+    MutexGuard Inner(L2, DLF_NAMED_SITE("v3:16"));
+  };
+
+  Thread T1([&] { Body(O1, O2, true); }, "v3.t1", DLF_NAMED_SITE("v3:25"));
+  Thread T2([&] { Body(O2, O1, false); }, "v3.t2", DLF_NAMED_SITE("v3:26"));
+  if (WithThirdThread) {
+    Thread T3([&] { Body(O2, O3, false); }, "v3.t3", DLF_NAMED_SITE("v3:27"));
+    T3.join();
+  }
+  T1.join();
+  T2.join();
+}
+
+double probability(bool Third, AbstractionKind Kind, unsigned Reps) {
+  ActiveTesterConfig Config;
+  Config.PhaseTwoReps = Reps;
+  Config.Base.Kind = Kind;
+  ActiveTester Tester([Third] { figure1(Third); }, Config);
+  ActiveTesterReport Report = Tester.run();
+  EXPECT_EQ(Report.PerCycle.size(), 1u);
+  return Report.PerCycle.empty() ? 0.0 : Report.PerCycle[0].probability();
+}
+
+TEST(Section3Example, TwoThreadsAlwaysReproduce) {
+  EXPECT_DOUBLE_EQ(probability(false, AbstractionKind::ExecutionIndex, 20),
+                   1.0);
+}
+
+TEST(Section3Example, ThirdThreadHarmlessWithAbstractions) {
+  // "if we use object and thread abstractions, DEADLOCKFUZZER will never
+  // pause the third thread at line 16 and it will create the real
+  // deadlock with probability 1."
+  EXPECT_DOUBLE_EQ(probability(true, AbstractionKind::ExecutionIndex, 20),
+                   1.0);
+}
+
+TEST(Section3Example, TrivialAbstractionLosesProbability) {
+  // "we will miss the deadlock with probability 0.25 (approx)" — the
+  // decoy pauses at line 16 half the time and the recovery coin-flip
+  // loses half of those. Allow generous slack around 0.75.
+  double P = probability(true, AbstractionKind::Trivial, 60);
+  EXPECT_LT(P, 0.98);
+  EXPECT_GT(P, 0.4);
+}
+
+TEST(ContextAblation, SiteOnlyMatchingPausesWrongOccurrences) {
+  // A helper locks (A, B) through one shared code path; the deadlock
+  // exists only between the nested uses, but the same sites also execute
+  // many times un-nested. With context, Phase II pauses only the nested
+  // occurrences; without, every occurrence pauses and thrashing rises.
+  auto Program = [] {
+    DLF_SCOPE("ca::main");
+    Mutex A("ca-a", DLF_SITE());
+    Mutex B("ca-b", DLF_SITE());
+    auto TouchB = [&](int Times) {
+      for (int I = 0; I != Times; ++I) {
+        MutexGuard Guard(B, DLF_NAMED_SITE("ca:touchB"));
+      }
+    };
+    Thread T1([&] {
+      DLF_SCOPE("ca::t1");
+      TouchB(6); // benign occurrences of the same site
+      MutexGuard Outer(A, DLF_NAMED_SITE("ca:t1outer"));
+      MutexGuard Inner(B, DLF_NAMED_SITE("ca:touchB"));
+    });
+    Thread T2([&] {
+      DLF_SCOPE("ca::t2");
+      for (int I = 0; I != 3; ++I)
+        yieldNow();
+      MutexGuard Outer(B, DLF_NAMED_SITE("ca:t2outer"));
+      MutexGuard Inner(A, DLF_NAMED_SITE("ca:t2inner"));
+    });
+    T1.join();
+    T2.join();
+  };
+
+  auto RunWith = [&](bool UseContext) {
+    ActiveTesterConfig Config;
+    Config.PhaseTwoReps = 25;
+    Config.Base.UseContext = UseContext;
+    ActiveTester Tester(Program, Config);
+    ActiveTesterReport Report = Tester.run();
+    EXPECT_EQ(Report.PerCycle.size(), 1u);
+    return Report;
+  };
+
+  ActiveTesterReport WithContext = RunWith(true);
+  ActiveTesterReport NoContext = RunWith(false);
+  // Context keeps the run clean; site-only matching pays extra pauses...
+  EXPECT_GT(NoContext.PerCycle[0].TotalThrashes +
+                NoContext.PerCycle[0].TotalForcedUnpauses,
+            WithContext.PerCycle[0].TotalThrashes +
+                WithContext.PerCycle[0].TotalForcedUnpauses);
+  // ...and the wrong pauses cost probability: each benign pause risks a
+  // thrash ejecting the real participant (on this program V4 usually
+  // misses entirely, the paper's "reduce the effectiveness" in the large).
+  EXPECT_EQ(WithContext.PerCycle[0].ReproducedTarget,
+            WithContext.PerCycle[0].Runs);
+  EXPECT_LT(NoContext.PerCycle[0].ReproducedTarget,
+            WithContext.PerCycle[0].ReproducedTarget);
+}
+
+TEST(YieldAblation, GateBenchmarksNeedYields) {
+  // Aggregate check mirroring Figure 2's V5 bars on the gate-lock
+  // substrates: identical configuration except UseYields.
+  auto ProbabilityFor = [&](bool UseYields) {
+    ActiveTesterConfig Config;
+    Config.PhaseTwoReps = 15;
+    Config.Base.UseYields = UseYields;
+    const BenchmarkInfo *Info = findBenchmark("dbcp");
+    ActiveTester Tester(Info->Entry, Config);
+    ActiveTesterReport Report = Tester.run();
+    unsigned Hits = 0, Runs = 0;
+    for (const CycleFuzzStats &S : Report.PerCycle) {
+      Hits += S.ReproducedTarget;
+      Runs += S.Runs;
+    }
+    return Runs ? static_cast<double>(Hits) / Runs : 0.0;
+  };
+  double WithYields = ProbabilityFor(true);
+  double NoYields = ProbabilityFor(false);
+  EXPECT_GT(WithYields, NoYields + 0.2)
+      << "yields=" << WithYields << " no-yields=" << NoYields;
+}
+
+} // namespace

@@ -1,0 +1,57 @@
+//===- tests/fixtures/PreloadAbba.cpp - Unmodified pthreads target ---------===//
+//
+// A plain pthreads program with a classic ABBA deadlock whose window is far
+// too small to hit under normal schedules (worker2 starts locking only
+// after worker1 has long finished). Used by PreloadTest.cpp to exercise
+// the LD_PRELOAD front end: Phase I traces it, dlf-analyze finds the
+// potential cycle, Phase II pauses worker1 inside its critical section and
+// confirms the deadlock (exit code 42 from the preload runtime).
+//
+// Deliberately uses no dlf headers: the whole point of the interposition
+// front end is that the target is unmodified.
+//
+//===----------------------------------------------------------------------===//
+
+#include <pthread.h>
+#include <unistd.h>
+
+namespace {
+
+pthread_mutex_t LockA = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t LockB = PTHREAD_MUTEX_INITIALIZER;
+int SharedCounter = 0;
+
+} // namespace
+
+// Exported (non-static) so dladdr can resolve stable call sites.
+extern "C" void *abbaWorker1(void *) {
+  pthread_mutex_lock(&LockA);
+  ++SharedCounter;
+  pthread_mutex_lock(&LockB);
+  ++SharedCounter;
+  pthread_mutex_unlock(&LockB);
+  pthread_mutex_unlock(&LockA);
+  return nullptr;
+}
+
+extern "C" void *abbaWorker2(void *) {
+  // The "long running methods" of the paper's Figure 1: by the time this
+  // thread touches the locks, worker1 is normally long gone.
+  usleep(20 * 1000);
+  pthread_mutex_lock(&LockB);
+  ++SharedCounter;
+  pthread_mutex_lock(&LockA);
+  ++SharedCounter;
+  pthread_mutex_unlock(&LockA);
+  pthread_mutex_unlock(&LockB);
+  return nullptr;
+}
+
+int main() {
+  pthread_t T1, T2;
+  pthread_create(&T1, nullptr, abbaWorker1, nullptr);
+  pthread_create(&T2, nullptr, abbaWorker2, nullptr);
+  pthread_join(T1, nullptr);
+  pthread_join(T2, nullptr);
+  return SharedCounter == 4 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+//===- tests/fixtures/PreloadRich.cpp - Rich pthreads target ----------------===//
+//
+// A pthreads program exercising the preload front end's full interposition
+// surface: recursive mutexes, trylock, condition variables, and three
+// threads with an inverted pair hidden behind a producer/consumer
+// handshake. Completes cleanly on its own; under the preload the trace
+// must reflect re-entrancy collapsing and cond_wait's release/re-acquire.
+//
+//===----------------------------------------------------------------------===//
+
+#include <pthread.h>
+#include <unistd.h>
+
+namespace {
+
+pthread_mutex_t QueueLock = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t QueueCond = PTHREAD_COND_INITIALIZER;
+int QueueDepth = 0;
+bool Done = false;
+
+pthread_mutex_t LockA;
+pthread_mutex_t LockB = PTHREAD_MUTEX_INITIALIZER;
+int Work = 0;
+
+} // namespace
+
+extern "C" void *richProducer(void *) {
+  for (int I = 0; I != 3; ++I) {
+    pthread_mutex_lock(&QueueLock);
+    ++QueueDepth;
+    pthread_cond_signal(&QueueCond);
+    pthread_mutex_unlock(&QueueLock);
+    usleep(1000);
+  }
+  pthread_mutex_lock(&QueueLock);
+  Done = true;
+  pthread_cond_broadcast(&QueueCond);
+  pthread_mutex_unlock(&QueueLock);
+  return nullptr;
+}
+
+extern "C" void *richConsumer(void *) {
+  for (;;) {
+    pthread_mutex_lock(&QueueLock);
+    while (QueueDepth == 0 && !Done)
+      pthread_cond_wait(&QueueCond, &QueueLock);
+    bool Stop = (QueueDepth == 0 && Done);
+    if (!Stop)
+      --QueueDepth;
+    pthread_mutex_unlock(&QueueLock);
+    if (Stop)
+      return nullptr;
+    // Nested pair in the benign order, via a recursive outer lock.
+    pthread_mutex_lock(&LockA);
+    pthread_mutex_lock(&LockA); // re-entrant: invisible to the trace
+    pthread_mutex_lock(&LockB);
+    ++Work;
+    pthread_mutex_unlock(&LockB);
+    pthread_mutex_unlock(&LockA);
+    pthread_mutex_unlock(&LockA);
+  }
+}
+
+extern "C" void *richInverter(void *) {
+  usleep(15 * 1000); // stagger: window closed under normal schedules
+  if (pthread_mutex_trylock(&LockB) == 0) {
+    pthread_mutex_lock(&LockA); // [B -> A]: inverts the consumer's order
+    ++Work;
+    pthread_mutex_unlock(&LockA);
+    pthread_mutex_unlock(&LockB);
+  }
+  return nullptr;
+}
+
+int main() {
+  pthread_mutexattr_t Attr;
+  pthread_mutexattr_init(&Attr);
+  pthread_mutexattr_settype(&Attr, PTHREAD_MUTEX_RECURSIVE);
+  pthread_mutex_init(&LockA, &Attr);
+
+  pthread_t Producer, Consumer, Inverter;
+  pthread_create(&Producer, nullptr, richProducer, nullptr);
+  pthread_create(&Consumer, nullptr, richConsumer, nullptr);
+  pthread_create(&Inverter, nullptr, richInverter, nullptr);
+  pthread_join(Producer, nullptr);
+  pthread_join(Consumer, nullptr);
+  pthread_join(Inverter, nullptr);
+  pthread_mutex_destroy(&LockA);
+  return Work >= 3 ? 0 : 1;
+}
