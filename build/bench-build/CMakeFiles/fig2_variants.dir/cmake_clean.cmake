@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_variants"
+  "../bench/fig2_variants.pdb"
+  "CMakeFiles/fig2_variants.dir/Fig2Variants.cpp.o"
+  "CMakeFiles/fig2_variants.dir/Fig2Variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hb_ablation"
+  "../bench/hb_ablation.pdb"
+  "CMakeFiles/hb_ablation.dir/HbAblation.cpp.o"
+  "CMakeFiles/hb_ablation.dir/HbAblation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_abstraction"
+  "../bench/micro_abstraction.pdb"
+  "CMakeFiles/micro_abstraction.dir/MicroAbstraction.cpp.o"
+  "CMakeFiles/micro_abstraction.dir/MicroAbstraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

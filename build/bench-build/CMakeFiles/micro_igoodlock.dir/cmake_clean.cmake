@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_igoodlock"
+  "../bench/micro_igoodlock.pdb"
+  "CMakeFiles/micro_igoodlock.dir/MicroIGoodlock.cpp.o"
+  "CMakeFiles/micro_igoodlock.dir/MicroIGoodlock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_igoodlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

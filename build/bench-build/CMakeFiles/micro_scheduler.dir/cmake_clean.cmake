@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_scheduler"
+  "../bench/micro_scheduler.pdb"
+  "CMakeFiles/micro_scheduler.dir/MicroScheduler.cpp.o"
+  "CMakeFiles/micro_scheduler.dir/MicroScheduler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

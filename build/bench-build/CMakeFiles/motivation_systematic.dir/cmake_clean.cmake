@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_systematic"
+  "../bench/motivation_systematic.pdb"
+  "CMakeFiles/motivation_systematic.dir/MotivationSystematic.cpp.o"
+  "CMakeFiles/motivation_systematic.dir/MotivationSystematic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_systematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_shutdown.dir/webserver_shutdown.cpp.o"
+  "CMakeFiles/webserver_shutdown.dir/webserver_shutdown.cpp.o.d"
+  "webserver_shutdown"
+  "webserver_shutdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_shutdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

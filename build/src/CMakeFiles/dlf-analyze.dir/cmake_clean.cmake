@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlf-analyze.dir/interpose/Analyze.cpp.o"
+  "CMakeFiles/dlf-analyze.dir/interpose/Analyze.cpp.o.d"
+  "dlf-analyze"
+  "dlf-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlf-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlf-run.dir/tools/DlfRun.cpp.o"
+  "CMakeFiles/dlf-run.dir/tools/DlfRun.cpp.o.d"
+  "dlf-run"
+  "dlf-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlf-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

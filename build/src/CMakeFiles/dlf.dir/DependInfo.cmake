@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abstraction/AbstractionEngine.cpp" "src/CMakeFiles/dlf.dir/abstraction/AbstractionEngine.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/abstraction/AbstractionEngine.cpp.o.d"
+  "/root/repo/src/abstraction/CreationMap.cpp" "src/CMakeFiles/dlf.dir/abstraction/CreationMap.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/abstraction/CreationMap.cpp.o.d"
+  "/root/repo/src/abstraction/ExecutionIndex.cpp" "src/CMakeFiles/dlf.dir/abstraction/ExecutionIndex.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/abstraction/ExecutionIndex.cpp.o.d"
+  "/root/repo/src/event/Abstraction.cpp" "src/CMakeFiles/dlf.dir/event/Abstraction.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/event/Abstraction.cpp.o.d"
+  "/root/repo/src/event/Label.cpp" "src/CMakeFiles/dlf.dir/event/Label.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/event/Label.cpp.o.d"
+  "/root/repo/src/event/VectorClock.cpp" "src/CMakeFiles/dlf.dir/event/VectorClock.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/event/VectorClock.cpp.o.d"
+  "/root/repo/src/fuzzer/ActiveTester.cpp" "src/CMakeFiles/dlf.dir/fuzzer/ActiveTester.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/fuzzer/ActiveTester.cpp.o.d"
+  "/root/repo/src/fuzzer/CycleSpec.cpp" "src/CMakeFiles/dlf.dir/fuzzer/CycleSpec.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/fuzzer/CycleSpec.cpp.o.d"
+  "/root/repo/src/fuzzer/DeadlockFuzzerStrategy.cpp" "src/CMakeFiles/dlf.dir/fuzzer/DeadlockFuzzerStrategy.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/fuzzer/DeadlockFuzzerStrategy.cpp.o.d"
+  "/root/repo/src/fuzzer/RandomStrategy.cpp" "src/CMakeFiles/dlf.dir/fuzzer/RandomStrategy.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/fuzzer/RandomStrategy.cpp.o.d"
+  "/root/repo/src/fuzzer/RealDeadlockChecker.cpp" "src/CMakeFiles/dlf.dir/fuzzer/RealDeadlockChecker.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/fuzzer/RealDeadlockChecker.cpp.o.d"
+  "/root/repo/src/fuzzer/Strategy.cpp" "src/CMakeFiles/dlf.dir/fuzzer/Strategy.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/fuzzer/Strategy.cpp.o.d"
+  "/root/repo/src/fuzzer/Systematic.cpp" "src/CMakeFiles/dlf.dir/fuzzer/Systematic.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/fuzzer/Systematic.cpp.o.d"
+  "/root/repo/src/igoodlock/ClassicGoodlock.cpp" "src/CMakeFiles/dlf.dir/igoodlock/ClassicGoodlock.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/igoodlock/ClassicGoodlock.cpp.o.d"
+  "/root/repo/src/igoodlock/IGoodlock.cpp" "src/CMakeFiles/dlf.dir/igoodlock/IGoodlock.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/igoodlock/IGoodlock.cpp.o.d"
+  "/root/repo/src/igoodlock/LockDependency.cpp" "src/CMakeFiles/dlf.dir/igoodlock/LockDependency.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/igoodlock/LockDependency.cpp.o.d"
+  "/root/repo/src/igoodlock/Report.cpp" "src/CMakeFiles/dlf.dir/igoodlock/Report.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/igoodlock/Report.cpp.o.d"
+  "/root/repo/src/igoodlock/Serialize.cpp" "src/CMakeFiles/dlf.dir/igoodlock/Serialize.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/igoodlock/Serialize.cpp.o.d"
+  "/root/repo/src/runtime/ConditionVariable.cpp" "src/CMakeFiles/dlf.dir/runtime/ConditionVariable.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/runtime/ConditionVariable.cpp.o.d"
+  "/root/repo/src/runtime/Mutex.cpp" "src/CMakeFiles/dlf.dir/runtime/Mutex.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/runtime/Mutex.cpp.o.d"
+  "/root/repo/src/runtime/Options.cpp" "src/CMakeFiles/dlf.dir/runtime/Options.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/runtime/Options.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/CMakeFiles/dlf.dir/runtime/Runtime.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/runtime/Runtime.cpp.o.d"
+  "/root/repo/src/runtime/Scheduler.cpp" "src/CMakeFiles/dlf.dir/runtime/Scheduler.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/runtime/Scheduler.cpp.o.d"
+  "/root/repo/src/runtime/Thread.cpp" "src/CMakeFiles/dlf.dir/runtime/Thread.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/runtime/Thread.cpp.o.d"
+  "/root/repo/src/support/Debug.cpp" "src/CMakeFiles/dlf.dir/support/Debug.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/support/Debug.cpp.o.d"
+  "/root/repo/src/support/Env.cpp" "src/CMakeFiles/dlf.dir/support/Env.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/support/Env.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/dlf.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/dlf.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/dlf.dir/support/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlf_preload.dir/interpose/Preload.cpp.o"
+  "CMakeFiles/dlf_preload.dir/interpose/Preload.cpp.o.d"
+  "libdlf_preload.pdb"
+  "libdlf_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlf_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/substrates/BenchmarkRegistry.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/BenchmarkRegistry.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/BenchmarkRegistry.cpp.o.d"
+  "/root/repo/src/substrates/collections/Harness.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/collections/Harness.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/collections/Harness.cpp.o.d"
+  "/root/repo/src/substrates/collections/SyncList.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/collections/SyncList.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/collections/SyncList.cpp.o.d"
+  "/root/repo/src/substrates/collections/SyncMap.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/collections/SyncMap.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/collections/SyncMap.cpp.o.d"
+  "/root/repo/src/substrates/dbcp/Dbcp.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/dbcp/Dbcp.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/dbcp/Dbcp.cpp.o.d"
+  "/root/repo/src/substrates/jigsaw/Http.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/jigsaw/Http.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/jigsaw/Http.cpp.o.d"
+  "/root/repo/src/substrates/jigsaw/Jigsaw.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/jigsaw/Jigsaw.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/jigsaw/Jigsaw.cpp.o.d"
+  "/root/repo/src/substrates/logging/Logging.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/logging/Logging.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/logging/Logging.cpp.o.d"
+  "/root/repo/src/substrates/swing/Swing.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/swing/Swing.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/swing/Swing.cpp.o.d"
+  "/root/repo/src/substrates/workloads/Cache4j.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/workloads/Cache4j.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/workloads/Cache4j.cpp.o.d"
+  "/root/repo/src/substrates/workloads/Hedc.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/workloads/Hedc.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/workloads/Hedc.cpp.o.d"
+  "/root/repo/src/substrates/workloads/JSpider.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/workloads/JSpider.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/workloads/JSpider.cpp.o.d"
+  "/root/repo/src/substrates/workloads/Sor.cpp" "src/CMakeFiles/dlf_substrates.dir/substrates/workloads/Sor.cpp.o" "gcc" "src/CMakeFiles/dlf_substrates.dir/substrates/workloads/Sor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dlf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

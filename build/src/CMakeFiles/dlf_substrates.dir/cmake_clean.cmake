@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlf_substrates.dir/substrates/BenchmarkRegistry.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/BenchmarkRegistry.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/collections/Harness.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/collections/Harness.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/collections/SyncList.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/collections/SyncList.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/collections/SyncMap.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/collections/SyncMap.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/dbcp/Dbcp.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/dbcp/Dbcp.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/jigsaw/Http.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/jigsaw/Http.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/jigsaw/Jigsaw.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/jigsaw/Jigsaw.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/logging/Logging.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/logging/Logging.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/swing/Swing.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/swing/Swing.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/workloads/Cache4j.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/workloads/Cache4j.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/workloads/Hedc.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/workloads/Hedc.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/workloads/JSpider.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/workloads/JSpider.cpp.o.d"
+  "CMakeFiles/dlf_substrates.dir/substrates/workloads/Sor.cpp.o"
+  "CMakeFiles/dlf_substrates.dir/substrates/workloads/Sor.cpp.o.d"
+  "libdlf_substrates.a"
+  "libdlf_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlf_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

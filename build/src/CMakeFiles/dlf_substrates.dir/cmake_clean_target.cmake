@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlf_substrates.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goodlock_differential_test.dir/GoodlockDifferentialTest.cpp.o"
+  "CMakeFiles/goodlock_differential_test.dir/GoodlockDifferentialTest.cpp.o.d"
+  "goodlock_differential_test"
+  "goodlock_differential_test.pdb"
+  "goodlock_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goodlock_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/happens_before_test.dir/HappensBeforeTest.cpp.o"
+  "CMakeFiles/happens_before_test.dir/HappensBeforeTest.cpp.o.d"
+  "happens_before_test"
+  "happens_before_test.pdb"
+  "happens_before_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/happens_before_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igoodlock_test.dir/IGoodlockTest.cpp.o"
+  "CMakeFiles/igoodlock_test.dir/IGoodlockTest.cpp.o.d"
+  "igoodlock_test"
+  "igoodlock_test.pdb"
+  "igoodlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igoodlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

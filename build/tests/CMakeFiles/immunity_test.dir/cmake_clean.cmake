@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/immunity_test.dir/ImmunityTest.cpp.o"
+  "CMakeFiles/immunity_test.dir/ImmunityTest.cpp.o.d"
+  "immunity_test"
+  "immunity_test.pdb"
+  "immunity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/immunity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

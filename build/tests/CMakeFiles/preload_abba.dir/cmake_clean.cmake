@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_abba.dir/fixtures/PreloadAbba.cpp.o"
+  "CMakeFiles/preload_abba.dir/fixtures/PreloadAbba.cpp.o.d"
+  "preload_abba"
+  "preload_abba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_abba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_rich.dir/fixtures/PreloadRich.cpp.o"
+  "CMakeFiles/preload_rich.dir/fixtures/PreloadRich.cpp.o.d"
+  "preload_rich"
+  "preload_rich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_rich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_api_test.dir/StrategyApiTest.cpp.o"
+  "CMakeFiles/strategy_api_test.dir/StrategyApiTest.cpp.o.d"
+  "strategy_api_test"
+  "strategy_api_test.pdb"
+  "strategy_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_integration_test.dir/SubstrateIntegrationTest.cpp.o"
+  "CMakeFiles/substrate_integration_test.dir/SubstrateIntegrationTest.cpp.o.d"
+  "substrate_integration_test"
+  "substrate_integration_test.pdb"
+  "substrate_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_unit_test.dir/SubstrateUnitTest.cpp.o"
+  "CMakeFiles/substrate_unit_test.dir/SubstrateUnitTest.cpp.o.d"
+  "substrate_unit_test"
+  "substrate_unit_test.pdb"
+  "substrate_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systematic_test.dir/SystematicTest.cpp.o"
+  "CMakeFiles/systematic_test.dir/SystematicTest.cpp.o.d"
+  "systematic_test"
+  "systematic_test.pdb"
+  "systematic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systematic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
