@@ -1,0 +1,604 @@
+//===- campaign/CampaignRunner.cpp - Resumable two-phase campaigns ----------===//
+
+#include "campaign/CampaignRunner.h"
+
+#include "igoodlock/Serialize.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include <csignal>
+#include <unistd.h>
+
+using namespace dlf;
+using namespace dlf::campaign;
+
+// Seed stride between retry attempts of the same repetition: far larger
+// than any realistic rep count, so retry seeds never collide with another
+// repetition's seed.
+static constexpr uint64_t RetrySeedStride = 1'000'003;
+
+const char *dlf::campaign::runClassName(RunClass C) {
+  switch (C) {
+  case RunClass::Completed:
+    return "completed";
+  case RunClass::Reproduced:
+    return "reproduced";
+  case RunClass::OtherDeadlock:
+    return "other-deadlock";
+  case RunClass::Stalled:
+    return "stalled";
+  case RunClass::Hung:
+    return "hung";
+  case RunClass::CrashedSignal:
+    return "crashed-signal";
+  case RunClass::CrashedExit:
+    return "crashed-exit";
+  case RunClass::OutOfMemory:
+    return "oom";
+  }
+  return "unknown";
+}
+
+bool dlf::campaign::runClassFromName(const std::string &Name, RunClass &Out) {
+  for (RunClass C :
+       {RunClass::Completed, RunClass::Reproduced, RunClass::OtherDeadlock,
+        RunClass::Stalled, RunClass::Hung, RunClass::CrashedSignal,
+        RunClass::CrashedExit, RunClass::OutOfMemory}) {
+    if (Name == runClassName(C)) {
+      Out = C;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool dlf::campaign::runClassIsTransient(RunClass C) {
+  switch (C) {
+  case RunClass::Hung:
+  case RunClass::CrashedSignal:
+  case RunClass::CrashedExit:
+  case RunClass::OutOfMemory:
+    return true;
+  case RunClass::Completed:
+  case RunClass::Reproduced:
+  case RunClass::OtherDeadlock:
+  case RunClass::Stalled:
+    return false;
+  }
+  return false;
+}
+
+std::string CycleCampaignStats::countsKey() const {
+  std::ostringstream OS;
+  OS << "reps=" << Reps << " repro=" << Reproduced << " other="
+     << OtherDeadlocks << " stall=" << Stalls << " clean=" << CleanRuns
+     << " hung=" << Hung << " csig=" << CrashedSignal << " cexit="
+     << CrashedExit << " oom=" << Oom << " retries=" << RetriesSpent
+     << " quarantined=" << (Quarantined ? 1 : 0);
+  return OS.str();
+}
+
+std::string CampaignReport::toString() const {
+  std::ostringstream OS;
+  if (!Error.empty()) {
+    OS << "campaign error: " << Error << "\n";
+    return OS.str();
+  }
+  OS << "phase 1: " << Cycles.size() << " cycle(s), "
+     << (PhaseOneCompleted ? "observation completed" : "observation partial")
+     << " (" << PhaseOneAttempts << " sandboxed attempt(s))\n";
+  for (size_t I = 0; I != PerCycle.size(); ++I) {
+    const CycleCampaignStats &S = PerCycle[I];
+    OS << "cycle #" << I << ": " << S.countsKey()
+       << " p=" << S.probability() << "\n";
+    if (S.Quarantined)
+      OS << "  quarantined: " << S.QuarantineReason << "\n";
+  }
+  OS << "reps executed " << RepsExecuted << ", replayed from journal "
+     << RepsReplayed << "\n";
+  if (BudgetExhausted)
+    OS << "wall-clock budget exhausted; resume with --resume\n";
+  else if (Interrupted)
+    OS << "interrupted; resume with --resume\n";
+  else if (CampaignComplete)
+    OS << "campaign complete\n";
+  return OS.str();
+}
+
+// -- Signal handling ---------------------------------------------------------
+
+namespace {
+volatile sig_atomic_t GInterruptRequested = 0;
+void onSigint(int) { GInterruptRequested = 1; }
+} // namespace
+
+void CampaignRunner::installSigintHandler() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSigint;
+  // No SA_RESTART: in-flight waits return EINTR, which every wait loop in
+  // the sandbox handles, so the stop request is observed promptly.
+  sigaction(SIGINT, &SA, nullptr);
+}
+
+bool CampaignRunner::interruptRequested() { return GInterruptRequested != 0; }
+
+// -- Helpers -----------------------------------------------------------------
+
+namespace {
+
+void writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return; // parent vanished; nothing sensible left to do in the child
+  }
+}
+
+/// Parses a "key=value key=value" payload line.
+std::map<std::string, std::string> parseKvLine(const std::string &Line) {
+  std::map<std::string, std::string> Out;
+  std::istringstream IS(Line);
+  std::string Tok;
+  while (IS >> Tok) {
+    size_t Eq = Tok.find('=');
+    if (Eq != std::string::npos)
+      Out[Tok.substr(0, Eq)] = Tok.substr(Eq + 1);
+  }
+  return Out;
+}
+
+void backoffSleep(unsigned Attempt, uint64_t BaseMs, uint64_t CapMs) {
+  uint64_t Ms = BaseMs ? BaseMs << std::min<unsigned>(Attempt, 20) : 0;
+  Ms = std::min(Ms, CapMs);
+  if (Ms)
+    usleep(static_cast<useconds_t>(Ms * 1000));
+}
+
+} // namespace
+
+// -- CampaignRunner ----------------------------------------------------------
+
+CampaignRunner::CampaignRunner(CampaignConfig Config)
+    : Config(std::move(Config)) {}
+
+uint64_t CampaignRunner::runTimeoutMs() const {
+  return Config.RunTimeoutMs ? Config.RunTimeoutMs
+                             : Config.Tester.Base.WatchdogMs;
+}
+
+uint64_t CampaignRunner::graceMs() const {
+  return Config.GraceMs ? Config.GraceMs
+                        : Config.Tester.Base.WatchdogGraceMs;
+}
+
+SandboxLimits CampaignRunner::childLimits() const {
+  SandboxLimits L;
+  L.TimeoutMs = runTimeoutMs();
+  L.GraceMs = graceMs();
+  L.CpuSeconds = Config.RlimitCpuS;
+  L.AddressSpaceMb = Config.RlimitAsMb;
+  L.CaptureStderr = true;
+  return L;
+}
+
+JsonValue CampaignRunner::headerRecord() const {
+  JsonValue H = JsonValue::object();
+  H.set("dlf_campaign", 1);
+  H.set("benchmark", Config.BenchmarkName);
+  H.set("p1mode", runModeName(Config.Tester.PhaseOneMode));
+  H.set("kind", abstractionKindName(Config.Tester.Base.Kind));
+  H.set("context", Config.Tester.Base.UseContext);
+  H.set("yields", Config.Tester.Base.UseYields);
+  H.set("p1seed", Config.Tester.PhaseOneSeed);
+  H.set("p2base", Config.Tester.PhaseTwoSeedBase);
+  H.set("reps", Config.Tester.PhaseTwoReps);
+  H.set("timeout_ms", runTimeoutMs());
+  H.set("max_retries", Config.MaxRetries);
+  H.set("quarantine", Config.QuarantineThreshold);
+  return H;
+}
+
+bool CampaignRunner::headerMatches(const JsonValue &Header,
+                                   std::string *Why) const {
+  std::string Expected = headerRecord().dump();
+  std::string Got = Header.dump();
+  if (Expected == Got)
+    return true;
+  if (Why)
+    *Why = "journal header " + Got + " does not match configuration " +
+           Expected;
+  return false;
+}
+
+void CampaignRunner::journalAppend(const JsonValue &Record) {
+  if (!Writer.isOpen())
+    return;
+  if (!Writer.append(Record))
+    JournalFailed = true;
+}
+
+bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
+                                          JsonValue &Record) {
+  std::string LastTriage = "never ran";
+  for (unsigned Attempt = 0; Attempt <= Config.MaxRetries; ++Attempt) {
+    // ActiveTester consumes PhaseOneRetries+1 consecutive seeds internally;
+    // a sandbox-level retry (the whole child hung or crashed) starts past
+    // that range so every observation uses a fresh seed.
+    uint64_t Seed = Config.Tester.PhaseOneSeed +
+                    Attempt * (Config.Tester.PhaseOneRetries + 1);
+    Report.PhaseOneSeeds.push_back(Seed);
+    ++Report.PhaseOneAttempts;
+
+    ActiveTesterConfig TC = Config.Tester;
+    TC.PhaseOneSeed = Seed;
+    SandboxResult SR = runInSandbox(
+        [&](int Fd) {
+          ActiveTester T(Config.Entry, TC);
+          PhaseOneResult P1 = T.runPhaseOne();
+          std::ostringstream Head;
+          Head << "p1 completed=" << (P1.Exec.Completed ? 1 : 0)
+               << " exhausted=" << (P1.RetriesExhausted ? 1 : 0)
+               << " seeds=" << P1.SeedsTried.size() << "\n";
+          writeAll(Fd, Head.str());
+          writeAll(Fd, serializeCycles(P1.Cycles));
+          return 0;
+        },
+        childLimits());
+
+    if (SR.Status == SandboxStatus::Completed) {
+      size_t Nl = SR.Payload.find('\n');
+      std::string Head = SR.Payload.substr(0, Nl);
+      std::string Doc =
+          Nl == std::string::npos ? std::string() : SR.Payload.substr(Nl + 1);
+      auto Kv = parseKvLine(Head);
+      std::string ParseError;
+      if (Kv.count("completed") == 0 ||
+          !deserializeCycles(Doc, Report.Cycles, &ParseError)) {
+        LastTriage = "phase 1 result protocol violation: " + ParseError;
+        if (Attempt < Config.MaxRetries)
+          backoffSleep(Attempt, Config.BackoffBaseMs, Config.BackoffCapMs);
+        continue;
+      }
+      Report.PhaseOneCompleted = Kv["completed"] == "1";
+
+      Record = JsonValue::object();
+      Record.set("event", "phase1");
+      Record.set("completed", Report.PhaseOneCompleted);
+      Record.set("attempts", Report.PhaseOneAttempts);
+      JsonValue Seeds = JsonValue::array();
+      for (uint64_t S : Report.PhaseOneSeeds)
+        Seeds.push(JsonValue(S));
+      Record.set("seeds", std::move(Seeds));
+      Record.set("cycles", serializeCycles(Report.Cycles));
+      return true;
+    }
+
+    LastTriage = SR.triage();
+    DLF_DEBUG_LOG("phase 1 sandboxed attempt " << Attempt
+                                               << " failed: " << LastTriage);
+    if (Attempt < Config.MaxRetries)
+      backoffSleep(Attempt, Config.BackoffBaseMs, Config.BackoffCapMs);
+  }
+  Report.Error = "phase 1 failed after " +
+                 std::to_string(Config.MaxRetries + 1) +
+                 " sandboxed attempts; last: " + LastTriage;
+  return false;
+}
+
+RepOutcome CampaignRunner::runOneRep(unsigned CycleIdx,
+                                     const AbstractCycle &Cycle,
+                                     unsigned Rep) {
+  RepOutcome O;
+  O.CycleIdx = CycleIdx;
+  O.Rep = Rep;
+
+  for (unsigned Attempt = 0;; ++Attempt) {
+    uint64_t Seed =
+        Config.Tester.PhaseTwoSeedBase + Rep + Attempt * RetrySeedStride;
+    O.Seed = Seed;
+    O.Attempts = Attempt + 1;
+
+    const ActiveTesterConfig &TC = Config.Tester;
+    SandboxResult SR = runInSandbox(
+        [&](int Fd) {
+          if (Config.ChildFaultHook)
+            Config.ChildFaultHook(CycleIdx, Rep, Attempt);
+          ActiveTester T(Config.Entry, TC);
+          ExecutionResult E = T.runOnce(Cycle, Seed);
+          const char *Cls = "completed";
+          if (E.DeadlockFound && E.Witness)
+            Cls = ActiveTester::witnessMatchesCycle(*E.Witness, Cycle,
+                                                    TC.Base.Kind,
+                                                    TC.Base.UseContext)
+                      ? "reproduced"
+                      : "other-deadlock";
+          else if (E.Stalled || E.LivelockAborted)
+            Cls = "stalled";
+          std::ostringstream Line;
+          Line << "p2 class=" << Cls << " thrashes=" << E.Thrashes
+               << " unpauses=" << E.ForcedUnpauses << "\n";
+          writeAll(Fd, Line.str());
+          return 0;
+        },
+        childLimits());
+
+    O.WallMs = SR.WallMs;
+    O.Diagnostic.clear();
+
+    bool Definitive = false;
+    switch (SR.Status) {
+    case SandboxStatus::Completed: {
+      auto Kv = parseKvLine(SR.Payload);
+      RunClass Parsed;
+      if (Kv.count("class") && runClassFromName(Kv["class"], Parsed)) {
+        O.Class = Parsed;
+        O.Thrashes = std::strtoull(Kv["thrashes"].c_str(), nullptr, 10);
+        O.ForcedUnpauses =
+            std::strtoull(Kv["unpauses"].c_str(), nullptr, 10);
+        Definitive = true;
+      } else {
+        // Exited 0 without a parseable result line: the child broke the
+        // protocol (e.g. crashed inside the serializer); retry like any
+        // other process-level failure.
+        O.Class = RunClass::CrashedExit;
+        O.Diagnostic = "result protocol violation; payload: " +
+                       SR.Payload.substr(0, 120);
+      }
+      break;
+    }
+    case SandboxStatus::Hung:
+      O.Class = RunClass::Hung;
+      O.Diagnostic = SR.triage();
+      break;
+    case SandboxStatus::Signaled:
+      O.Class = RunClass::CrashedSignal;
+      O.Diagnostic = SR.triage();
+      break;
+    case SandboxStatus::OutOfMemory:
+      O.Class = RunClass::OutOfMemory;
+      O.Diagnostic = SR.triage();
+      break;
+    case SandboxStatus::Exited:
+    case SandboxStatus::ForkFailed:
+      O.Class = RunClass::CrashedExit;
+      O.Diagnostic = SR.triage();
+      break;
+    }
+
+    if (Definitive || Attempt >= Config.MaxRetries)
+      return O;
+    DLF_DEBUG_LOG("rep " << CycleIdx << "/" << Rep << " attempt " << Attempt
+                         << " " << runClassName(O.Class) << "; retrying");
+    backoffSleep(Attempt, Config.BackoffBaseMs, Config.BackoffCapMs);
+  }
+}
+
+void CampaignRunner::accumulate(CycleCampaignStats &S, const RepOutcome &O) {
+  ++S.Reps;
+  S.RetriesSpent += O.Attempts - 1;
+  S.TotalThrashes += O.Thrashes;
+  S.TotalForcedUnpauses += O.ForcedUnpauses;
+  S.TotalWallMs += O.WallMs;
+  switch (O.Class) {
+  case RunClass::Completed:
+    ++S.CleanRuns;
+    break;
+  case RunClass::Reproduced:
+    ++S.Reproduced;
+    break;
+  case RunClass::OtherDeadlock:
+    ++S.OtherDeadlocks;
+    break;
+  case RunClass::Stalled:
+    ++S.Stalls;
+    break;
+  case RunClass::Hung:
+    ++S.Hung;
+    break;
+  case RunClass::CrashedSignal:
+    ++S.CrashedSignal;
+    break;
+  case RunClass::CrashedExit:
+    ++S.CrashedExit;
+    break;
+  case RunClass::OutOfMemory:
+    ++S.Oom;
+    break;
+  }
+}
+
+CampaignReport CampaignRunner::run(bool Resume) {
+  CampaignReport Report;
+
+  std::map<std::pair<unsigned, unsigned>, RepOutcome> Replay;
+  std::map<unsigned, std::string> JournaledQuarantines;
+  bool HavePhase1 = false;
+  bool HaveDone = false;
+  JsonValue Phase1Rec;
+
+  if (Resume) {
+    if (Config.JournalPath.empty()) {
+      Report.Error = "resume requires a journal path";
+      return Report;
+    }
+    JournalContents JC;
+    std::string Err;
+    if (!loadJournal(Config.JournalPath, JC, &Err)) {
+      Report.Error = "cannot load journal: " + Err;
+      return Report;
+    }
+    std::string Why;
+    if (!headerMatches(JC.Header, &Why)) {
+      Report.Error = Why;
+      return Report;
+    }
+    for (JsonValue &Rec : JC.Records) {
+      const std::string &Event = Rec["event"].asString();
+      if (Event == "phase1") {
+        HavePhase1 = true;
+        Phase1Rec = std::move(Rec);
+      } else if (Event == "rep") {
+        RepOutcome O;
+        O.CycleIdx = static_cast<unsigned>(Rec["cycle"].asUInt());
+        O.Rep = static_cast<unsigned>(Rec["rep"].asUInt());
+        if (!runClassFromName(Rec["class"].asString(), O.Class))
+          O.Class = RunClass::CrashedExit;
+        O.Attempts = static_cast<unsigned>(Rec["attempts"].asUInt(1));
+        O.Seed = Rec["seed"].asUInt();
+        O.Thrashes = Rec["thrashes"].asUInt();
+        O.ForcedUnpauses = Rec["unpauses"].asUInt();
+        O.WallMs = Rec["wall_ms"].asNumber();
+        O.Diagnostic = Rec["diag"].asString();
+        Replay[{O.CycleIdx, O.Rep}] = std::move(O);
+      } else if (Event == "quarantine") {
+        JournaledQuarantines[static_cast<unsigned>(Rec["cycle"].asUInt())] =
+            Rec["reason"].asString();
+      } else if (Event == "done") {
+        HaveDone = true;
+      }
+      // "interrupted" records are informational only.
+    }
+    if (!Writer.open(Config.JournalPath, /*Truncate=*/false)) {
+      Report.Error = "cannot reopen journal for append: " +
+                     Config.JournalPath;
+      return Report;
+    }
+  } else if (!Config.JournalPath.empty()) {
+    if (!Writer.open(Config.JournalPath, /*Truncate=*/true)) {
+      Report.Error = "cannot create journal: " + Config.JournalPath;
+      return Report;
+    }
+    journalAppend(headerRecord());
+  }
+
+  // -- Phase I ---------------------------------------------------------------
+  if (HavePhase1) {
+    Report.PhaseOneCompleted = Phase1Rec["completed"].asBool();
+    Report.PhaseOneAttempts =
+        static_cast<unsigned>(Phase1Rec["attempts"].asUInt());
+    for (const JsonValue &S : Phase1Rec["seeds"].items())
+      Report.PhaseOneSeeds.push_back(S.asUInt());
+    std::string ParseError;
+    if (!deserializeCycles(Phase1Rec["cycles"].asString(), Report.Cycles,
+                           &ParseError)) {
+      Report.Error = "journal phase-1 cycles are corrupt: " + ParseError;
+      return Report;
+    }
+  } else {
+    JsonValue Record;
+    if (!runPhaseOneSandboxed(Report, Record))
+      return Report; // Error is set; nothing journaled, resume retries.
+    journalAppend(Record);
+  }
+
+  // -- Phase II --------------------------------------------------------------
+  auto Deadline = std::chrono::steady_clock::time_point::max();
+  if (Config.BudgetS)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::seconds(Config.BudgetS);
+
+  Report.PerCycle.resize(Report.Cycles.size());
+  for (size_t I = 0; I != Report.Cycles.size(); ++I)
+    Report.PerCycle[I].Cycle = Report.Cycles[I];
+
+  auto interruptWith = [&](const char *Reason) {
+    JsonValue Rec = JsonValue::object();
+    Rec.set("event", "interrupted");
+    Rec.set("reason", Reason);
+    journalAppend(Rec);
+    Report.Interrupted = true;
+  };
+
+  bool Stopped = false;
+  for (unsigned C = 0; C != Report.Cycles.size() && !Stopped; ++C) {
+    CycleCampaignStats &S = Report.PerCycle[C];
+    unsigned ConsecutiveFailures = 0;
+    for (unsigned R = 0; R != Config.Tester.PhaseTwoReps; ++R) {
+      RepOutcome O;
+      auto It = Replay.find({C, R});
+      if (It != Replay.end()) {
+        O = It->second;
+        ++Report.RepsReplayed;
+      } else {
+        if (interruptRequested() ||
+            (Config.ShouldStop && Config.ShouldStop())) {
+          interruptWith(interruptRequested() ? "sigint" : "stop");
+          Stopped = true;
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= Deadline) {
+          interruptWith("budget");
+          Report.BudgetExhausted = true;
+          Stopped = true;
+          break;
+        }
+        O = runOneRep(C, Report.Cycles[C], R);
+        ++Report.RepsExecuted;
+
+        JsonValue Rec = JsonValue::object();
+        Rec.set("event", "rep");
+        Rec.set("cycle", C);
+        Rec.set("rep", R);
+        Rec.set("class", runClassName(O.Class));
+        Rec.set("attempts", O.Attempts);
+        Rec.set("seed", O.Seed);
+        Rec.set("thrashes", O.Thrashes);
+        Rec.set("unpauses", O.ForcedUnpauses);
+        Rec.set("wall_ms", O.WallMs);
+        if (!O.Diagnostic.empty())
+          Rec.set("diag", O.Diagnostic);
+        journalAppend(Rec);
+      }
+
+      accumulate(S, O);
+      if (runClassIsTransient(O.Class))
+        ++ConsecutiveFailures;
+      else
+        ConsecutiveFailures = 0;
+
+      if (Config.QuarantineThreshold &&
+          ConsecutiveFailures >= Config.QuarantineThreshold) {
+        S.Quarantined = true;
+        std::ostringstream Reason;
+        Reason << ConsecutiveFailures
+               << " consecutive failed repetitions (last: "
+               << runClassName(O.Class)
+               << (O.Diagnostic.empty() ? "" : "; " + O.Diagnostic) << ")";
+        S.QuarantineReason = Reason.str();
+        if (!JournaledQuarantines.count(C)) {
+          JsonValue Rec = JsonValue::object();
+          Rec.set("event", "quarantine");
+          Rec.set("cycle", C);
+          Rec.set("reason", S.QuarantineReason);
+          journalAppend(Rec);
+        }
+        break; // skip the cycle's remaining reps; the campaign continues
+      }
+    }
+  }
+
+  if (!Stopped) {
+    Report.CampaignComplete = true;
+    if (!HaveDone) {
+      JsonValue Rec = JsonValue::object();
+      Rec.set("event", "done");
+      journalAppend(Rec);
+    }
+  }
+  if (JournalFailed && Report.Error.empty())
+    Report.Error = "journal writes failed; campaign completed in memory "
+                   "but is not resumable";
+  return Report;
+}

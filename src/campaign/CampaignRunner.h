@@ -1,0 +1,226 @@
+//===- campaign/CampaignRunner.h - Resumable two-phase campaigns -*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-isolated campaign layer over ActiveTester. The paper's
+/// Phase II protocol re-executes the program under test hundreds of times
+/// (100 reps x N cycles for Table 1 / Figure 2) against a workload that is
+/// deadlock-prone by construction; in-process execution means one hung or
+/// crashed repetition destroys the whole campaign. The CampaignRunner
+/// executes Phase I and every Phase II repetition in a ProcessSandbox
+/// child, communicates results back over the sandbox pipe using a
+/// TraceFormat-style line protocol, classifies each run (completed /
+/// reproduced / other-deadlock / stalled / hung / crashed-signal /
+/// crashed-exit / oom), retries transient failures with capped
+/// exponential backoff and fresh seeds, and journals progress after every
+/// repetition so an interrupted campaign resumes exactly where it left
+/// off. A cycle whose repetitions keep failing is quarantined with a
+/// diagnostic record instead of aborting the campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_CAMPAIGN_CAMPAIGNRUNNER_H
+#define DLF_CAMPAIGN_CAMPAIGNRUNNER_H
+
+#include "campaign/Journal.h"
+#include "campaign/ProcessSandbox.h"
+#include "fuzzer/ActiveTester.h"
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace campaign {
+
+/// Final classification of one repetition (after retries).
+enum class RunClass {
+  Completed,     ///< child completed; execution ran clean (no deadlock)
+  Reproduced,    ///< child completed; the target cycle was re-created
+  OtherDeadlock, ///< child completed; a different real deadlock confirmed
+  Stalled,       ///< child completed; uncontrolled stall / livelock abort
+  Hung,          ///< watchdog expired (even after retries)
+  CrashedSignal, ///< child died on a signal
+  CrashedExit,   ///< child exited nonzero or broke the result protocol
+  OutOfMemory,   ///< child exceeded the address-space cap
+};
+
+/// Returns a stable short name ("reproduced", "crashed-signal", ...) used
+/// in the journal and reports.
+const char *runClassName(RunClass C);
+
+/// Parses a runClassName back; returns false for unknown names.
+bool runClassFromName(const std::string &Name, RunClass &Out);
+
+/// True for process-level failures worth retrying with a fresh seed
+/// (hung / crashed / oom); false for in-protocol results.
+bool runClassIsTransient(RunClass C);
+
+/// Campaign configuration. Sandbox and retry knobs default from
+/// Options::WatchdogMs / WatchdogGraceMs via the ActiveTesterConfig.
+struct CampaignConfig {
+  /// Registry name of the workload; part of the journal fingerprint so a
+  /// journal cannot silently resume a different campaign.
+  std::string BenchmarkName;
+
+  Program Entry;
+  ActiveTesterConfig Tester;
+
+  /// Wall-clock watchdog per child run (0: use Tester.Base.WatchdogMs).
+  uint64_t RunTimeoutMs = 0;
+
+  /// SIGTERM -> SIGKILL grace (0: use Tester.Base.WatchdogGraceMs).
+  uint64_t GraceMs = 0;
+
+  /// Retries per repetition for transient failures; each retry uses a
+  /// fresh seed.
+  unsigned MaxRetries = 3;
+
+  /// Exponential backoff between retries: min(Base << attempt, Cap).
+  uint64_t BackoffBaseMs = 10;
+  uint64_t BackoffCapMs = 2000;
+
+  /// Wall-clock budget for this invocation in seconds; 0 = unlimited.
+  /// Exhaustion journals an interruption record and returns a partial
+  /// (resumable) report.
+  uint64_t BudgetS = 0;
+
+  /// Consecutive failed repetitions (after retries) that quarantine a
+  /// cycle instead of aborting the campaign.
+  unsigned QuarantineThreshold = 5;
+
+  /// rlimit caps applied to every child; 0 inherits.
+  uint64_t RlimitAsMb = 0;
+  uint64_t RlimitCpuS = 0;
+
+  /// Checkpoint file (JSON Lines). Empty runs without a journal (no
+  /// resume, but still fault-isolated).
+  std::string JournalPath;
+
+  /// Test hook: runs *in the child* before each Phase II repetition, so
+  /// tests can inject hangs/crashes/allocation storms deterministically.
+  std::function<void(unsigned Cycle, unsigned Rep, unsigned Attempt)>
+      ChildFaultHook;
+
+  /// Test hook: checked before each fresh child run; returning true stops
+  /// the campaign as if interrupted (journaled, resumable).
+  std::function<bool()> ShouldStop;
+};
+
+/// Outcome of one repetition (final, after retries).
+struct RepOutcome {
+  unsigned CycleIdx = 0;
+  unsigned Rep = 0;
+  RunClass Class = RunClass::Completed;
+  /// Child runs consumed: 1 + retries.
+  unsigned Attempts = 1;
+  /// Seed of the final attempt.
+  uint64_t Seed = 0;
+  uint64_t Thrashes = 0;
+  uint64_t ForcedUnpauses = 0;
+  double WallMs = 0.0;
+  /// Crash triage for failed runs: sandbox classification + stderr tail.
+  std::string Diagnostic;
+};
+
+/// Aggregated per-cycle campaign statistics. The deterministic fields
+/// (every count) are reproducible across interrupt/resume given the same
+/// seeds; wall-clock totals are informational.
+struct CycleCampaignStats {
+  AbstractCycle Cycle;
+  unsigned Reps = 0;
+  unsigned Reproduced = 0;
+  unsigned OtherDeadlocks = 0;
+  unsigned Stalls = 0;
+  unsigned CleanRuns = 0;
+  unsigned Hung = 0;
+  unsigned CrashedSignal = 0;
+  unsigned CrashedExit = 0;
+  unsigned Oom = 0;
+  unsigned RetriesSpent = 0;
+  uint64_t TotalThrashes = 0;
+  uint64_t TotalForcedUnpauses = 0;
+  double TotalWallMs = 0.0;
+  bool Quarantined = false;
+  std::string QuarantineReason;
+
+  double probability() const {
+    return Reps ? static_cast<double>(Reproduced) / Reps : 0.0;
+  }
+  /// The deterministic classification counts as a comparable string (used
+  /// by the resume-equivalence test and toString).
+  std::string countsKey() const;
+};
+
+/// Full campaign report.
+struct CampaignReport {
+  bool PhaseOneCompleted = false;
+  unsigned PhaseOneAttempts = 0;
+  std::vector<uint64_t> PhaseOneSeeds;
+  std::vector<AbstractCycle> Cycles;
+  std::vector<CycleCampaignStats> PerCycle;
+
+  /// Fresh child repetitions executed by this invocation.
+  unsigned RepsExecuted = 0;
+  /// Repetitions restored from the journal instead of re-run.
+  unsigned RepsReplayed = 0;
+
+  bool BudgetExhausted = false;
+  bool Interrupted = false;
+  /// Every cycle reached its repetition count (or was quarantined).
+  bool CampaignComplete = false;
+  /// Set on configuration/journal errors; the report is then empty.
+  std::string Error;
+
+  std::string toString() const;
+};
+
+/// Drives one campaign: Phase I and every Phase II repetition in a
+/// sandboxed child, journaled and resumable.
+class CampaignRunner {
+public:
+  explicit CampaignRunner(CampaignConfig Config);
+
+  /// Runs the campaign. With \p Resume, the journal at JournalPath is
+  /// loaded first: its fingerprint is validated, journaled repetitions
+  /// are replayed into the statistics, and execution continues with the
+  /// first missing repetition.
+  CampaignReport run(bool Resume = false);
+
+  /// Arms a SIGINT handler that requests a graceful stop: the repetition
+  /// in flight finishes and is journaled, then the campaign returns a
+  /// resumable partial report.
+  static void installSigintHandler();
+  static bool interruptRequested();
+
+  const CampaignConfig &config() const { return Config; }
+
+private:
+  struct JournaledState;
+
+  uint64_t runTimeoutMs() const;
+  uint64_t graceMs() const;
+  SandboxLimits childLimits() const;
+  JsonValue headerRecord() const;
+  bool headerMatches(const JsonValue &Header, std::string *Why) const;
+
+  bool runPhaseOneSandboxed(CampaignReport &Report, JsonValue &Record);
+  RepOutcome runOneRep(unsigned CycleIdx, const AbstractCycle &Cycle,
+                       unsigned Rep);
+  static void accumulate(CycleCampaignStats &S, const RepOutcome &O);
+  void journalAppend(const JsonValue &Record);
+
+  CampaignConfig Config;
+  JournalWriter Writer;
+  bool JournalFailed = false;
+};
+
+} // namespace campaign
+} // namespace dlf
+
+#endif // DLF_CAMPAIGN_CAMPAIGNRUNNER_H

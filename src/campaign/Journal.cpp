@@ -1,0 +1,87 @@
+//===- campaign/Journal.cpp - Crash-safe campaign checkpointing -------------===//
+
+#include "campaign/Journal.h"
+
+#include <fstream>
+
+#include <unistd.h>
+
+using namespace dlf;
+using namespace dlf::campaign;
+
+bool JournalWriter::open(const std::string &Path, bool Truncate) {
+  close();
+  Stream = std::fopen(Path.c_str(), Truncate ? "w" : "a");
+  return Stream != nullptr;
+}
+
+bool JournalWriter::append(const JsonValue &Record) {
+  if (!Stream)
+    return false;
+  std::string Line = Record.dump();
+  Line += '\n';
+  if (std::fwrite(Line.data(), 1, Line.size(), Stream) != Line.size())
+    return false;
+  if (std::fflush(Stream) != 0)
+    return false;
+  // fsync so the record survives machine death, not just process death.
+  fsync(fileno(Stream));
+  return true;
+}
+
+void JournalWriter::close() {
+  if (Stream) {
+    std::fclose(Stream);
+    Stream = nullptr;
+  }
+}
+
+bool dlf::campaign::loadJournal(const std::string &Path, JournalContents &Out,
+                                std::string *Error) {
+  Out.Header = JsonValue();
+  Out.Records.clear();
+
+  std::ifstream In(Path);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return false;
+  }
+
+  std::string Line;
+  size_t LineNo = 0;
+  bool HaveHeader = false;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    JsonValue V;
+    std::string ParseError;
+    if (!parseJson(Line, V, &ParseError)) {
+      // A torn trailing line is the expected signature of dying mid-write:
+      // drop it. Corruption anywhere else is a real error.
+      if (In.peek() == std::char_traits<char>::eof())
+        break;
+      if (Error)
+        *Error = Path + ":" + std::to_string(LineNo) + ": " + ParseError;
+      return false;
+    }
+    if (!V.isObject()) {
+      if (Error)
+        *Error = Path + ":" + std::to_string(LineNo) + ": not an object";
+      return false;
+    }
+    if (!HaveHeader) {
+      Out.Header = std::move(V);
+      HaveHeader = true;
+    } else {
+      Out.Records.push_back(std::move(V));
+    }
+  }
+  if (!HaveHeader) {
+    if (Error)
+      *Error = Path + ": no journal header";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,69 @@
+//===- campaign/Journal.h - Crash-safe campaign checkpointing ---*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign journal is JSON Lines: a header object on the first line,
+/// then one record per event (phase-1 result, one per repetition,
+/// quarantine, interruption, completion), appended and flushed after every
+/// repetition. Append-only means an interrupted campaign (SIGKILL, machine
+/// death, exhausted wall-clock budget) loses at most the repetition in
+/// flight; resume replays the journaled prefix and continues. A torn final
+/// line (death mid-write) is tolerated and dropped on load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_CAMPAIGN_JOURNAL_H
+#define DLF_CAMPAIGN_JOURNAL_H
+
+#include "campaign/Json.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace campaign {
+
+/// Appends one JSON object per line, flushing (and fsyncing) after each
+/// append so a journal line is durable before the next repetition starts.
+class JournalWriter {
+public:
+  JournalWriter() = default;
+  ~JournalWriter() { close(); }
+  JournalWriter(const JournalWriter &) = delete;
+  JournalWriter &operator=(const JournalWriter &) = delete;
+
+  /// Opens \p Path for appending (\p Truncate starts a fresh journal).
+  bool open(const std::string &Path, bool Truncate);
+
+  /// Writes \p Record as one line and makes it durable. Returns false on
+  /// I/O failure (the campaign surfaces this but keeps running: losing the
+  /// checkpoint must not lose the in-memory campaign).
+  bool append(const JsonValue &Record);
+
+  bool isOpen() const { return Stream != nullptr; }
+  void close();
+
+private:
+  std::FILE *Stream = nullptr;
+};
+
+/// A loaded journal: the header plus every intact record, in order.
+struct JournalContents {
+  JsonValue Header;
+  std::vector<JsonValue> Records;
+};
+
+/// Parses \p Path. A torn final line is dropped silently; any other
+/// malformed content fails with \p Error. Returns false when the file
+/// cannot be read or has no intact header.
+bool loadJournal(const std::string &Path, JournalContents &Out,
+                 std::string *Error = nullptr);
+
+} // namespace campaign
+} // namespace dlf
+
+#endif // DLF_CAMPAIGN_JOURNAL_H

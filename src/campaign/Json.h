@@ -1,0 +1,102 @@
+//===- campaign/Json.h - Minimal JSON reader/writer --------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON value type for the campaign journal. The
+/// journal is JSON Lines: one object per line, appended after every
+/// repetition, so an interrupted campaign can resume from a prefix. Only
+/// the subset the journal needs is supported (objects, arrays, strings,
+/// doubles, bools, null); numbers round-trip through double, which is
+/// exact for the integers the journal stores (seeds fit in 2^53).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_CAMPAIGN_JSON_H
+#define DLF_CAMPAIGN_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace campaign {
+
+/// A parsed JSON value.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool B) : K(Kind::Bool), BoolVal(B) {}
+  JsonValue(double N) : K(Kind::Number), NumVal(N) {}
+  JsonValue(uint64_t N) : K(Kind::Number), NumVal(static_cast<double>(N)) {}
+  JsonValue(unsigned N) : K(Kind::Number), NumVal(N) {}
+  JsonValue(int N) : K(Kind::Number), NumVal(N) {}
+  JsonValue(std::string S) : K(Kind::String), StrVal(std::move(S)) {}
+  JsonValue(const char *S) : K(Kind::String), StrVal(S) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+
+  // -- Accessors (defaulted: a missing/mistyped field reads as Default, so
+  // -- a truncated or hand-edited journal degrades instead of crashing).
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? BoolVal : Default;
+  }
+  double asNumber(double Default = 0) const {
+    return K == Kind::Number ? NumVal : Default;
+  }
+  uint64_t asUInt(uint64_t Default = 0) const {
+    return K == Kind::Number ? static_cast<uint64_t>(NumVal) : Default;
+  }
+  const std::string &asString() const { return StrVal; }
+  const std::vector<JsonValue> &items() const { return ArrVal; }
+  const std::map<std::string, JsonValue> &fields() const { return ObjVal; }
+
+  /// Object field access; returns a shared null value when absent.
+  const JsonValue &operator[](const std::string &Key) const;
+  bool has(const std::string &Key) const { return ObjVal.count(Key) != 0; }
+
+  // -- Builders.
+  void set(const std::string &Key, JsonValue V) {
+    ObjVal[Key] = std::move(V);
+  }
+  void push(JsonValue V) { ArrVal.push_back(std::move(V)); }
+
+  /// Renders this value as compact single-line JSON.
+  std::string dump() const;
+
+private:
+  Kind K;
+  bool BoolVal = false;
+  double NumVal = 0;
+  std::string StrVal;
+  std::vector<JsonValue> ArrVal;
+  std::map<std::string, JsonValue> ObjVal;
+};
+
+/// Parses one JSON document from \p Text. Returns false (setting \p Error
+/// when non-null) on malformed input.
+bool parseJson(const std::string &Text, JsonValue &Out,
+               std::string *Error = nullptr);
+
+} // namespace campaign
+} // namespace dlf
+
+#endif // DLF_CAMPAIGN_JSON_H

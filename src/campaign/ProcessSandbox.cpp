@@ -1,0 +1,291 @@
+//===- campaign/ProcessSandbox.cpp - Fault-isolated child runs --------------===//
+
+#include "campaign/ProcessSandbox.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <exception>
+#include <new>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dlf;
+using namespace dlf::campaign;
+
+const char *dlf::campaign::sandboxStatusName(SandboxStatus Status) {
+  switch (Status) {
+  case SandboxStatus::Completed:
+    return "completed";
+  case SandboxStatus::Exited:
+    return "crashed-exit";
+  case SandboxStatus::Signaled:
+    return "crashed-signal";
+  case SandboxStatus::Hung:
+    return "hung";
+  case SandboxStatus::OutOfMemory:
+    return "oom";
+  case SandboxStatus::ForkFailed:
+    return "fork-failed";
+  }
+  return "unknown";
+}
+
+std::string SandboxResult::triage() const {
+  std::ostringstream OS;
+  switch (Status) {
+  case SandboxStatus::Completed:
+    OS << "completed in " << WallMs << " ms";
+    break;
+  case SandboxStatus::Exited:
+    OS << "exited " << ExitCode;
+    break;
+  case SandboxStatus::Signaled: {
+    const char *Name = strsignal(TermSignal);
+    OS << "crashed: signal " << TermSignal << " (" << (Name ? Name : "?")
+       << ")";
+    break;
+  }
+  case SandboxStatus::Hung:
+    OS << "hung: watchdog expired after " << WallMs << " ms"
+       << (TermEscalated ? " (SIGTERM ignored; escalated to SIGKILL)" : "");
+    break;
+  case SandboxStatus::OutOfMemory:
+    OS << "oom: allocation past the address-space cap";
+    break;
+  case SandboxStatus::ForkFailed:
+    OS << "fork failed";
+    break;
+  }
+  if (!StderrTail.empty())
+    OS << "; stderr tail: " << StderrTail;
+  return OS.str();
+}
+
+namespace {
+
+/// waitpid that retries on EINTR (a signal delivered to the campaign
+/// runner must not leak a zombie or misclassify the child).
+pid_t waitpidEintrSafe(pid_t Pid, int *Status, int Flags) {
+  for (;;) {
+    pid_t R = waitpid(Pid, Status, Flags);
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
+void applyRlimit(int Resource, uint64_t Value) {
+  struct rlimit Lim;
+  Lim.rlim_cur = Value;
+  Lim.rlim_max = Value;
+  setrlimit(Resource, &Lim); // best-effort: a refused cap is not fatal
+}
+
+/// Accumulates up to Cap bytes from Fd into Out; beyond the cap, for the
+/// payload pipe excess is read and discarded (so the child never blocks on
+/// a full pipe), and for the stderr pipe only the tail is kept.
+struct PipeDrain {
+  int Fd = -1;
+  std::string *Out = nullptr;
+  size_t Cap = 0;
+  bool KeepTail = false;
+  bool Eof = false;
+
+  void drain() {
+    if (Fd < 0 || Eof)
+      return;
+    char Buf[4096];
+    for (;;) {
+      ssize_t N = read(Fd, Buf, sizeof(Buf));
+      if (N > 0) {
+        Out->append(Buf, static_cast<size_t>(N));
+        if (Out->size() > Cap) {
+          if (KeepTail)
+            Out->erase(0, Out->size() - Cap);
+          else
+            Out->resize(Cap);
+        }
+        continue;
+      }
+      if (N == 0) {
+        Eof = true;
+        return;
+      }
+      if (errno == EINTR)
+        continue;
+      return; // EAGAIN (or a real error): nothing more right now
+    }
+  }
+};
+
+} // namespace
+
+SandboxResult
+dlf::campaign::runInSandbox(const std::function<int(int PayloadFd)> &Fn,
+                            const SandboxLimits &Limits) {
+  SandboxResult Result;
+
+  int PayloadPipe[2] = {-1, -1};
+  int StderrPipe[2] = {-1, -1};
+  if (pipe(PayloadPipe) != 0)
+    return Result;
+  if (Limits.CaptureStderr && pipe(StderrPipe) != 0) {
+    close(PayloadPipe[0]);
+    close(PayloadPipe[1]);
+    return Result;
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  pid_t Child = fork();
+  if (Child < 0) {
+    close(PayloadPipe[0]);
+    close(PayloadPipe[1]);
+    if (Limits.CaptureStderr) {
+      close(StderrPipe[0]);
+      close(StderrPipe[1]);
+    }
+    return Result;
+  }
+
+  if (Child == 0) {
+    // Child. Restore default signal dispositions (the campaign runner may
+    // have a SIGINT handler armed) and apply the resource caps before any
+    // user code runs.
+    signal(SIGTERM, SIG_DFL);
+    signal(SIGINT, SIG_DFL);
+    close(PayloadPipe[0]);
+    if (Limits.CaptureStderr) {
+      close(StderrPipe[0]);
+      dup2(StderrPipe[1], STDERR_FILENO);
+      close(StderrPipe[1]);
+    }
+    if (Limits.CpuSeconds)
+      applyRlimit(RLIMIT_CPU, Limits.CpuSeconds);
+    if (Limits.AddressSpaceMb)
+      applyRlimit(RLIMIT_AS, Limits.AddressSpaceMb * 1024 * 1024);
+
+    int Code;
+    try {
+      Code = Fn(PayloadPipe[1]);
+    } catch (const std::bad_alloc &) {
+      Code = OomExitCode;
+    } catch (...) {
+      Code = ExceptionExitCode;
+    }
+    // _exit: no atexit handlers, no flushes of parent-inherited state.
+    _exit(Code);
+  }
+
+  // Parent.
+  Result.ChildPid = Child;
+  close(PayloadPipe[1]);
+  if (Limits.CaptureStderr)
+    close(StderrPipe[1]);
+  fcntl(PayloadPipe[0], F_SETFL, O_NONBLOCK);
+  if (Limits.CaptureStderr)
+    fcntl(StderrPipe[0], F_SETFL, O_NONBLOCK);
+
+  PipeDrain Payload{PayloadPipe[0], &Result.Payload, Limits.MaxPayloadBytes,
+                    /*KeepTail=*/false};
+  PipeDrain Stderr{Limits.CaptureStderr ? StderrPipe[0] : -1,
+                   &Result.StderrTail, Limits.MaxStderrBytes,
+                   /*KeepTail=*/true};
+
+  auto ElapsedMs = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+
+  // Poll loop: drain the pipes (a blocked child writer would otherwise
+  // outlive any watchdog) and reap the child without blocking. Three
+  // phases: running, SIGTERM sent, SIGKILL sent.
+  enum class Phase { Running, Termed, Killed } Ph = Phase::Running;
+  double TermAtMs = 0;
+  int Status = 0;
+  bool Reaped = false;
+  bool TimedOut = false;
+
+  while (!Reaped) {
+    Payload.drain();
+    Stderr.drain();
+
+    pid_t Done = waitpidEintrSafe(Child, &Status, WNOHANG);
+    if (Done == Child) {
+      Reaped = true;
+      break;
+    }
+
+    double Now = ElapsedMs();
+    if (Ph == Phase::Running && Limits.TimeoutMs &&
+        Now >= static_cast<double>(Limits.TimeoutMs)) {
+      TimedOut = true;
+      kill(Child, SIGTERM);
+      TermAtMs = Now;
+      Ph = Phase::Termed;
+    } else if (Ph == Phase::Termed &&
+               Now - TermAtMs >= static_cast<double>(Limits.GraceMs)) {
+      kill(Child, SIGKILL);
+      Ph = Phase::Killed;
+      Result.TermEscalated = true;
+      // SIGKILL cannot be ignored: wait for the reap synchronously.
+      waitpidEintrSafe(Child, &Status, 0);
+      Reaped = true;
+      break;
+    }
+
+    // Sleep in poll() on the pipes so child output wakes us immediately
+    // and a quiet child costs one syscall per millisecond at most.
+    struct pollfd Fds[2];
+    nfds_t NFds = 0;
+    if (!Payload.Eof)
+      Fds[NFds++] = {PayloadPipe[0], POLLIN, 0};
+    if (Stderr.Fd >= 0 && !Stderr.Eof)
+      Fds[NFds++] = {StderrPipe[0], POLLIN, 0};
+    poll(Fds, NFds, /*timeout=*/1);
+  }
+
+  Result.WallMs = ElapsedMs();
+  // Final drain: the child may have written between our last drain and its
+  // exit; EOF is guaranteed now that the write ends are closed.
+  Payload.drain();
+  Stderr.drain();
+  close(PayloadPipe[0]);
+  if (Limits.CaptureStderr)
+    close(StderrPipe[0]);
+
+  if (WIFSIGNALED(Status)) {
+    Result.TermSignal = WTERMSIG(Status);
+    // A SIGTERM/SIGKILL death after our watchdog fired is a hang; any
+    // other signal (or a signal before the timeout) is the child's own
+    // crash. SIGXCPU from the RLIMIT_CPU cap counts as a hang too: the
+    // child was spinning.
+    if (TimedOut &&
+        (Result.TermSignal == SIGTERM || Result.TermSignal == SIGKILL))
+      Result.Status = SandboxStatus::Hung;
+    else if (Result.TermSignal == SIGXCPU)
+      Result.Status = SandboxStatus::Hung;
+    else
+      Result.Status = SandboxStatus::Signaled;
+    return Result;
+  }
+
+  Result.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  if (TimedOut) {
+    // The child unwound on SIGTERM and exited on its own: still a hang —
+    // the watchdog expired; the exit code is kept for triage only.
+    Result.Status = SandboxStatus::Hung;
+  } else if (Result.ExitCode == 0)
+    Result.Status = SandboxStatus::Completed;
+  else if (Result.ExitCode == OomExitCode)
+    Result.Status = SandboxStatus::OutOfMemory;
+  else
+    Result.Status = SandboxStatus::Exited;
+  return Result;
+}

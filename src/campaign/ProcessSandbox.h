@@ -1,0 +1,126 @@
+//===- campaign/ProcessSandbox.h - Fault-isolated child runs ----*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one unit of work in a forked, watchdog-guarded child process. The
+/// program under test is deadlock-prone *by design*: a Record-mode run that
+/// truly deadlocks blocks forever, a buggy workload can crash, and a
+/// livelocked Active run can spin. Fork isolation turns each of those into
+/// a classified outcome instead of a hung or dead campaign.
+///
+/// Guarantees the previous ad-hoc harness (runForkedWithTimeout) lacked:
+///  * SIGTERM -> SIGKILL escalation with a grace period, so children that
+///    can unwind do, and children that cannot are still collected,
+///  * EINTR-safe waitpid loops and unconditional reaping (no zombies),
+///  * optional rlimit caps on CPU time and address space, with address-
+///    space exhaustion classified separately (the child maps bad_alloc to
+///    a reserved exit code),
+///  * a result pipe the child writes its payload to (drained concurrently,
+///    so a full pipe can never wedge the child) and a bounded stderr
+///    capture for crash triage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_CAMPAIGN_PROCESSSANDBOX_H
+#define DLF_CAMPAIGN_PROCESSSANDBOX_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include <sys/types.h>
+
+namespace dlf {
+namespace campaign {
+
+/// Reserved child exit codes (outside the 0..100 range workloads use).
+/// The child wrapper maps C++-level failures onto these so the parent can
+/// triage without a debugger attached.
+inline constexpr int OomExitCode = 113;      ///< std::bad_alloc escaped
+inline constexpr int ExceptionExitCode = 112; ///< any other exception escaped
+
+/// Resource caps and watchdog settings for one sandboxed run.
+struct SandboxLimits {
+  /// Wall-clock watchdog; 0 disables (the child may then run forever).
+  uint64_t TimeoutMs = 10'000;
+
+  /// Grace period between SIGTERM and SIGKILL when the watchdog fires.
+  uint64_t GraceMs = 500;
+
+  /// RLIMIT_CPU in seconds; 0 inherits the parent's limit.
+  uint64_t CpuSeconds = 0;
+
+  /// RLIMIT_AS in MiB; 0 inherits. An allocation past this cap surfaces
+  /// as SandboxStatus::OutOfMemory.
+  uint64_t AddressSpaceMb = 0;
+
+  /// Upper bound on the payload the parent accumulates from the result
+  /// pipe (excess is discarded, not blocked on).
+  size_t MaxPayloadBytes = 1 << 20;
+
+  /// Capture the child's stderr (bounded tail) for crash triage.
+  bool CaptureStderr = false;
+
+  /// Bytes of stderr tail kept when CaptureStderr is on.
+  size_t MaxStderrBytes = 4096;
+};
+
+/// Process-level classification of one sandboxed run.
+enum class SandboxStatus {
+  Completed,   ///< child exited 0
+  Exited,      ///< child exited nonzero (other than the reserved codes)
+  Signaled,    ///< child was terminated by a signal it raised itself
+  Hung,        ///< watchdog expired; child was killed by the sandbox
+  OutOfMemory, ///< child exceeded the address-space cap (reserved code)
+  ForkFailed,  ///< fork() itself failed; nothing ran
+};
+
+/// Returns a human-readable name for \p Status.
+const char *sandboxStatusName(SandboxStatus Status);
+
+/// Everything the parent learns about one sandboxed run.
+struct SandboxResult {
+  SandboxStatus Status = SandboxStatus::ForkFailed;
+
+  /// Exit code (valid for Completed / Exited / OutOfMemory).
+  int ExitCode = 0;
+
+  /// Terminating signal (valid for Signaled and Hung).
+  int TermSignal = 0;
+
+  /// True when the child ignored SIGTERM and had to be SIGKILLed.
+  bool TermEscalated = false;
+
+  /// Wall-clock duration of the child, in milliseconds.
+  double WallMs = 0.0;
+
+  /// Bytes the child wrote to the result pipe (possibly truncated at
+  /// MaxPayloadBytes).
+  std::string Payload;
+
+  /// Bounded tail of the child's stderr (when CaptureStderr was set).
+  std::string StderrTail;
+
+  /// Pid the child ran as. The child is always reaped before
+  /// runInSandbox returns; exposed so tests can assert there is no zombie.
+  pid_t ChildPid = -1;
+
+  /// One-line triage summary ("crashed: SIGABRT", "exited 3", ...).
+  std::string triage() const;
+};
+
+/// Runs \p Fn in a forked child under \p Limits. \p Fn receives the write
+/// end of the result pipe and returns the child's exit code; exceptions
+/// escaping \p Fn are mapped to the reserved exit codes above. The child
+/// exits via _exit (no atexit handlers run), so the parent's state is
+/// never perturbed. POSIX-only.
+SandboxResult runInSandbox(const std::function<int(int PayloadFd)> &Fn,
+                           const SandboxLimits &Limits = {});
+
+} // namespace campaign
+} // namespace dlf
+
+#endif // DLF_CAMPAIGN_PROCESSSANDBOX_H

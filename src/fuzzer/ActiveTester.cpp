@@ -2,6 +2,7 @@
 
 #include "fuzzer/ActiveTester.h"
 
+#include "campaign/ProcessSandbox.h"
 #include "fuzzer/CycleSpec.h"
 #include "fuzzer/DeadlockFuzzerStrategy.h"
 #include "fuzzer/RandomStrategy.h"
@@ -38,6 +39,7 @@ PhaseOneResult ActiveTester::runPhaseOne() {
     Opts.RecordDependencies = true;
     Runtime RT(Opts, nullptr, &R.Log);
     R.Exec = RT.run(TheProgram);
+    R.SeedsTried.push_back(Config.PhaseOneSeed);
     R.Cycles = runIGoodlock(R.Log, Config.Goodlock, &R.Stats);
     return R;
   }
@@ -55,12 +57,14 @@ PhaseOneResult ActiveTester::runPhaseOne() {
     }
   };
 
+  std::vector<uint64_t> SeedsTried;
   for (unsigned Attempt = 0; Attempt <= Config.PhaseOneRetries; ++Attempt) {
     PhaseOneResult R;
     Options Opts = Config.Base;
     Opts.Mode = RunMode::Active;
     Opts.Seed = Config.PhaseOneSeed + Attempt;
     Opts.RecordDependencies = true;
+    SeedsTried.push_back(Opts.Seed);
 
     SimpleRandomStrategy Random;
     Runtime RT(Opts, &Random, &R.Log);
@@ -68,17 +72,35 @@ PhaseOneResult ActiveTester::runPhaseOne() {
 
     if (R.Exec.Completed) {
       // A full observation: its own cycles are authoritative.
+      R.SeedsTried = std::move(SeedsTried);
       R.Cycles = runIGoodlock(R.Log, Config.Goodlock, &R.Stats);
       return R;
     }
-    DLF_DEBUG_LOG("phase-one attempt " << Attempt << " stalled; retrying");
+    DLF_DEBUG_LOG("phase-one attempt " << Attempt << " (seed " << Opts.Seed
+                                       << ") stalled; retrying");
     Merge(runIGoodlock(R.Log, Config.Goodlock, &R.Stats));
     if (!HaveAny) {
       Best = std::move(R);
       HaveAny = true;
     }
   }
+  // Every attempt stalled: surface exhaustion as a structured error (the
+  // cycle union is still usable, but callers must not mistake an empty
+  // union for a clean program).
   Best.Cycles = std::move(Union);
+  Best.SeedsTried = std::move(SeedsTried);
+  Best.RetriesExhausted = true;
+  {
+    std::ostringstream OS;
+    OS << "phase 1: all " << Best.SeedsTried.size()
+       << " observation attempts stalled (seeds";
+    for (uint64_t S : Best.SeedsTried)
+      OS << " " << S;
+    OS << "); reporting the union of " << Best.Cycles.size()
+       << " cycle(s) from partial observations";
+    Best.Error = OS.str();
+  }
+  DLF_DEBUG_LOG(Best.Error);
   return Best;
 }
 
@@ -201,40 +223,30 @@ std::string ActiveTesterReport::toString() const {
 }
 
 ForkedOutcome dlf::runForkedWithTimeout(const Program &P, uint64_t TimeoutMs,
-                                        double *WallMsOut) {
-  auto Start = std::chrono::steady_clock::now();
-  pid_t Child = fork();
-  if (Child == 0) {
-    // Child: run the program uninstrumented and exit without running any
-    // atexit handlers (the parent's state must stay untouched).
-    P();
-    _exit(0);
-  }
-  if (Child < 0)
+                                        double *WallMsOut, uint64_t GraceMs) {
+  campaign::SandboxLimits Limits;
+  Limits.TimeoutMs = TimeoutMs;
+  Limits.GraceMs = GraceMs;
+  campaign::SandboxResult R = campaign::runInSandbox(
+      [&](int) {
+        // Run the program uninstrumented; the sandbox _exits for us (no
+        // atexit handlers, parent state untouched).
+        P();
+        return 0;
+      },
+      Limits);
+  if (WallMsOut)
+    *WallMsOut = R.WallMs;
+  switch (R.Status) {
+  case campaign::SandboxStatus::Completed:
+    return ForkedOutcome::Completed;
+  case campaign::SandboxStatus::Hung:
+    return ForkedOutcome::Hung;
+  case campaign::SandboxStatus::Exited:
+  case campaign::SandboxStatus::Signaled:
+  case campaign::SandboxStatus::OutOfMemory:
+  case campaign::SandboxStatus::ForkFailed:
     return ForkedOutcome::Crashed;
-
-  const uint64_t PollUs = 500;
-  uint64_t WaitedUs = 0;
-  for (;;) {
-    int Status = 0;
-    pid_t Done = waitpid(Child, &Status, WNOHANG);
-    if (Done == Child) {
-      if (WallMsOut)
-        *WallMsOut = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - Start)
-                         .count();
-      if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
-        return ForkedOutcome::Completed;
-      return ForkedOutcome::Crashed;
-    }
-    if (WaitedUs >= TimeoutMs * 1000) {
-      kill(Child, SIGKILL);
-      waitpid(Child, &Status, 0);
-      if (WallMsOut)
-        *WallMsOut = static_cast<double>(TimeoutMs);
-      return ForkedOutcome::Hung;
-    }
-    usleep(PollUs);
-    WaitedUs += PollUs;
   }
+  return ForkedOutcome::Crashed;
 }

@@ -67,6 +67,19 @@ struct PhaseOneResult {
   ExecutionResult Exec;
   std::vector<AbstractCycle> Cycles;
   IGoodlockStats Stats;
+
+  /// The consecutive seeds the observation consumed, in order (one per
+  /// attempt; more than one means earlier attempts deadlocked/stalled).
+  std::vector<uint64_t> SeedsTried;
+
+  /// True when every attempt stalled: the retry budget is exhausted and
+  /// Cycles is only the union of partial observations, not the report of a
+  /// complete execution. Distinguishes "no cycles because the program is
+  /// clean" from "no cycles because observation kept deadlocking".
+  bool RetriesExhausted = false;
+
+  /// Structured diagnostic when RetriesExhausted is set.
+  std::string Error;
 };
 
 /// Phase II statistics for one target cycle.
@@ -173,9 +186,14 @@ enum class ForkedOutcome {
   Crashed,   ///< child died with a signal or nonzero exit
 };
 
-/// Runs \p P in a forked child with a \p TimeoutMs watchdog. POSIX-only.
+/// Runs \p P in a forked child with a \p TimeoutMs watchdog. Implemented
+/// on campaign::runInSandbox, which reaps the child unconditionally (no
+/// zombies), retries waits interrupted by signals, and escalates
+/// SIGTERM -> SIGKILL after \p GraceMs instead of killing outright.
+/// POSIX-only.
 ForkedOutcome runForkedWithTimeout(const Program &P, uint64_t TimeoutMs,
-                                   double *WallMsOut = nullptr);
+                                   double *WallMsOut = nullptr,
+                                   uint64_t GraceMs = 500);
 
 } // namespace dlf
 

@@ -111,9 +111,21 @@ struct Options {
   /// monitor thread does the same on wall-clock time).
   uint64_t MaxPausedSteps = 400;
 
+  /// Wall-clock fallback for the livelock monitor: a thread paused longer
+  /// than this is force-removed even if few scheduler steps elapsed (a
+  /// thread in long compute between scheduling points commits no steps, so
+  /// the step-count bound alone would leave its peers paused for the whole
+  /// compute stretch). 0 disables; the step bound remains authoritative
+  /// for deterministic tests.
+  uint64_t MaxPausedWallMs = 2'000;
+
   /// Wall-clock watchdog for Passthrough/Record executions run through the
   /// forked harness; 0 disables.
   uint64_t WatchdogMs = 10'000;
+
+  /// Grace period between the watchdog's SIGTERM and the SIGKILL
+  /// escalation for forked executions.
+  uint64_t WatchdogGraceMs = 500;
 };
 
 } // namespace dlf

@@ -24,6 +24,7 @@
 #include "event/Label.h"
 #include "event/VectorClock.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,9 @@ struct ThreadRecord {
   bool ForceExecute = false;
   /// Step number at which the thread was paused (for the livelock monitor).
   uint64_t PausedSinceStep = 0;
+  /// Wall-clock instant of the pause (for the monitor's wall-clock
+  /// fallback, which rescues peers of a thread stuck in long compute).
+  std::chrono::steady_clock::time_point PausedSinceWall{};
   /// The acquire the thread is paused before (valid while Paused). A
   /// paused thread is committed to executing this acquire, so
   /// checkRealDeadlock may treat it as a wait-for edge — that is what lets

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace dlf;
 
@@ -225,16 +226,38 @@ bool Scheduler::isSchedulable(const ThreadRecord &T) const {
 }
 
 void Scheduler::runLivelockMonitor() {
+  // The wall clock is only consulted when some thread is paused and the
+  // fallback is enabled (steady_clock::now() per pick round would be pure
+  // overhead on the hot path).
+  std::chrono::steady_clock::time_point Now{};
+  bool HaveNow = false;
   for (ThreadRecord &T : RT.threadRecords()) {
     if (!T.Paused)
       continue;
-    if (Result.Steps - T.PausedSinceStep <= Opts.MaxPausedSteps)
+    bool StepsExceeded =
+        Result.Steps - T.PausedSinceStep > Opts.MaxPausedSteps;
+    bool WallExceeded = false;
+    if (!StepsExceeded && Opts.MaxPausedWallMs) {
+      // Wall-clock fallback (the paper's monitor thread measures real
+      // time): a peer in long compute between scheduling points commits
+      // no steps, so without this a paused thread would stay paused for
+      // the whole compute stretch.
+      if (!HaveNow) {
+        Now = std::chrono::steady_clock::now();
+        HaveNow = true;
+      }
+      WallExceeded = std::chrono::duration<double, std::milli>(
+                         Now - T.PausedSinceWall)
+                         .count() > static_cast<double>(Opts.MaxPausedWallMs);
+    }
+    if (!StepsExceeded && !WallExceeded)
       continue;
     T.Paused = false;
     T.HasPausedPending = false;
     T.ForceExecute = true;
     ++Result.ForcedUnpauses;
-    DLF_DEBUG_LOG("livelock monitor unpaused thread " << T.Name);
+    DLF_DEBUG_LOG("livelock monitor unpaused thread "
+                  << T.Name << (WallExceeded ? " (wall-clock)" : ""));
   }
 }
 
@@ -590,6 +613,7 @@ bool Scheduler::commitAcquireAttempt(ThreadRecord &T) {
     T.Paused = true;
     ++T.TimesPaused;
     T.PausedSinceStep = Result.Steps;
+    T.PausedSinceWall = std::chrono::steady_clock::now();
     T.HasPausedPending = true;
     T.PausedPending = Tentative.back();
     DLF_DEBUG_LOG("paused " << T.Name << " before acquiring " << L.Name

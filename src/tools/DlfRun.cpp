@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "campaign/CampaignRunner.h"
 #include "fuzzer/ActiveTester.h"
 #include "igoodlock/Serialize.h"
 #include "substrates/BenchmarkRegistry.h"
@@ -54,7 +55,76 @@ void printUsage() {
          "                         off (default) | fork-join | full-sync\n"
          "  --heal N               after phase 2, arm immunity with the\n"
          "                         confirmed cycles and run N random\n"
-         "                         executions (all should complete)\n";
+         "                         executions (all should complete)\n"
+         "  --campaign             fault-isolated campaign: phase 1 and\n"
+         "                         every repetition in a watchdog-guarded\n"
+         "                         child process, journaled for resume\n"
+         "  --resume FILE          resume an interrupted campaign from its\n"
+         "                         journal (implies --campaign)\n"
+         "  --journal FILE         campaign journal path (default\n"
+         "                         <benchmark>.campaign.jsonl)\n"
+         "  --run-timeout-ms N     per-child watchdog (default 5000)\n"
+         "  --budget-s N           wall-clock budget; on exhaustion the\n"
+         "                         campaign checkpoints and exits\n"
+         "  --max-retries N        retries per repetition for hung or\n"
+         "                         crashed children (default 3)\n";
+}
+
+/// Runs the fault-isolated campaign and prints its report. Returns the
+/// process exit code: 0 for a completed or cleanly-interrupted (resumable)
+/// campaign, 1 for configuration or journal errors.
+int runCampaign(const BenchmarkInfo &Bench, campaign::CampaignConfig Config,
+                bool Resume) {
+  campaign::CampaignRunner::installSigintHandler();
+  campaign::CampaignRunner Runner(std::move(Config));
+  campaign::CampaignReport Report = Runner.run(Resume);
+  if (!Report.Error.empty()) {
+    std::cerr << "error: " << Report.Error << "\n";
+    return 1;
+  }
+
+  std::cout << "campaign (" << Bench.Name << "): phase 1 "
+            << (Report.PhaseOneCompleted ? "completed" : "partial") << " in "
+            << Report.PhaseOneAttempts << " sandboxed attempt(s), "
+            << Report.Cycles.size() << " potential cycle(s)\n\n";
+  Table T({"Cycle", "Reproduced", "Other", "Stalls", "Clean", "Hung",
+           "Crashed", "OOM", "Retries", "Probability", "Note"});
+  for (size_t I = 0; I != Report.PerCycle.size(); ++I) {
+    const campaign::CycleCampaignStats &S = Report.PerCycle[I];
+    T.addRow({"#" + std::to_string(I),
+              Table::fmt(static_cast<uint64_t>(S.Reproduced)) + "/" +
+                  Table::fmt(static_cast<uint64_t>(S.Reps)),
+              Table::fmt(static_cast<uint64_t>(S.OtherDeadlocks)),
+              Table::fmt(static_cast<uint64_t>(S.Stalls)),
+              Table::fmt(static_cast<uint64_t>(S.CleanRuns)),
+              Table::fmt(static_cast<uint64_t>(S.Hung)),
+              Table::fmt(
+                  static_cast<uint64_t>(S.CrashedSignal + S.CrashedExit)),
+              Table::fmt(static_cast<uint64_t>(S.Oom)),
+              Table::fmt(static_cast<uint64_t>(S.RetriesSpent)),
+              Table::fmt(S.probability(), 2),
+              S.Quarantined ? "QUARANTINED" : ""});
+  }
+  T.print(std::cout);
+  for (size_t I = 0; I != Report.PerCycle.size(); ++I)
+    if (Report.PerCycle[I].Quarantined)
+      std::cout << "cycle #" << I
+                << " quarantined: " << Report.PerCycle[I].QuarantineReason
+                << "\n";
+  std::cout << "reps executed " << Report.RepsExecuted
+            << ", replayed from journal " << Report.RepsReplayed << "\n";
+  // The journal fingerprint covers seeds, reps, and abstraction settings,
+  // so the resume invocation must repeat this one's options.
+  if (Report.BudgetExhausted)
+    std::cout << "wall-clock budget exhausted; resume with the same "
+              << "options plus: --resume " << Runner.config().JournalPath
+              << "\n";
+  else if (Report.Interrupted)
+    std::cout << "interrupted; resume with the same options plus: "
+              << "--resume " << Runner.config().JournalPath << "\n";
+  else
+    std::cout << "campaign complete\n";
+  return 0;
 }
 
 bool applyVariant(ActiveTesterConfig &Config, int Variant) {
@@ -107,6 +177,12 @@ int main(int Argc, char **Argv) {
   int NormalRuns = 0;
   int HealRuns = 0;
   std::string SaveCyclesPath, LoadCyclesPath;
+  bool Campaign = false;
+  bool Resume = false;
+  std::string JournalPath;
+  uint64_t RunTimeoutMs = 0;
+  uint64_t BudgetS = 0;
+  int MaxRetries = -1;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto NextInt = [&](int Default) {
@@ -155,11 +231,42 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--heal") {
       HealRuns = NextInt(20);
+    } else if (Arg == "--campaign") {
+      Campaign = true;
+    } else if (Arg == "--resume") {
+      Campaign = true;
+      Resume = true;
+      if (I + 1 < Argc)
+        JournalPath = Argv[++I];
+    } else if (Arg == "--journal") {
+      if (I + 1 < Argc)
+        JournalPath = Argv[++I];
+    } else if (Arg == "--run-timeout-ms") {
+      RunTimeoutMs = static_cast<uint64_t>(NextInt(5000));
+    } else if (Arg == "--budget-s") {
+      BudgetS = static_cast<uint64_t>(NextInt(0));
+    } else if (Arg == "--max-retries") {
+      MaxRetries = NextInt(3);
     } else {
       std::cerr << "error: unknown option '" << Arg << "'\n";
       printUsage();
       return 1;
     }
+  }
+
+  if (Campaign) {
+    campaign::CampaignConfig CC;
+    CC.BenchmarkName = Bench->Name;
+    CC.Entry = Bench->Entry;
+    CC.Tester = Config;
+    CC.RunTimeoutMs = RunTimeoutMs;
+    CC.BudgetS = BudgetS;
+    if (MaxRetries >= 0)
+      CC.MaxRetries = static_cast<unsigned>(MaxRetries);
+    CC.JournalPath = JournalPath.empty()
+                         ? std::string(Bench->Name) + ".campaign.jsonl"
+                         : JournalPath;
+    return runCampaign(*Bench, std::move(CC), Resume);
   }
 
   if (NormalRuns > 0) {
@@ -190,6 +297,8 @@ int main(int Argc, char **Argv) {
               << P1.Cycles.size() << " potential cycle(s)"
               << (P1.Exec.Completed ? "" : " [observation stalled]")
               << "\n\n";
+    if (P1.RetriesExhausted)
+      std::cerr << "warning: " << P1.Error << "\n";
     for (size_t I = 0; I != P1.Cycles.size(); ++I)
       std::cout << "#" << I << " " << P1.Cycles[I].toString() << "\n";
     if (!SaveCyclesPath.empty()) {

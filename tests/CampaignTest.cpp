@@ -1,0 +1,398 @@
+//===- tests/CampaignTest.cpp - Fault-isolated campaign runner ----------------===//
+//
+// Exercises the campaign layer bottom-up: the process sandbox against
+// injected faults (hangs, SIGTERM-ignoring children, aborts, nonzero
+// exits, address-space exhaustion), the JSON/journal round trip including
+// torn final lines, and the CampaignRunner end-to-end — retry with fresh
+// seeds, quarantine of persistently-failing cycles, and the headline
+// guarantee: a campaign interrupted mid-flight and resumed from its
+// journal produces exactly the statistics of an uninterrupted one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/CampaignRunner.h"
+#include "campaign/Journal.h"
+#include "campaign/Json.h"
+#include "campaign/ProcessSandbox.h"
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+using namespace dlf;
+using namespace dlf::campaign;
+
+// -- Process sandbox against injected faults ---------------------------------
+
+TEST(ProcessSandbox, CompletedChildDeliversPayloadAndIsReaped) {
+  SandboxResult R = runInSandbox([](int Fd) {
+    const char *Msg = "hello sandbox\n";
+    (void)!write(Fd, Msg, std::strlen(Msg));
+    return 0;
+  });
+  EXPECT_EQ(R.Status, SandboxStatus::Completed);
+  EXPECT_EQ(R.Payload, "hello sandbox\n");
+  ASSERT_GT(R.ChildPid, 0);
+  // The child must already be reaped: a second wait finds no such child
+  // (a zombie would still be waitable).
+  int WaitStatus = 0;
+  EXPECT_EQ(waitpid(R.ChildPid, &WaitStatus, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(ProcessSandbox, HangingChildIsKilledAndClassifiedHung) {
+  SandboxLimits L;
+  L.TimeoutMs = 150;
+  L.GraceMs = 50;
+  SandboxResult R = runInSandbox(
+      [](int) {
+        for (;;)
+          pause();
+        return 0;
+      },
+      L);
+  EXPECT_EQ(R.Status, SandboxStatus::Hung);
+  // The child had default SIGTERM disposition, so no escalation was needed.
+  EXPECT_FALSE(R.TermEscalated);
+  EXPECT_EQ(R.TermSignal, SIGTERM);
+  EXPECT_GE(R.WallMs, 100.0);
+  int WaitStatus = 0;
+  EXPECT_EQ(waitpid(R.ChildPid, &WaitStatus, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(ProcessSandbox, SigtermIgnoringChildIsEscalatedToSigkill) {
+  SandboxLimits L;
+  L.TimeoutMs = 100;
+  L.GraceMs = 50;
+  SandboxResult R = runInSandbox(
+      [](int) {
+        signal(SIGTERM, SIG_IGN);
+        for (;;)
+          pause();
+        return 0;
+      },
+      L);
+  EXPECT_EQ(R.Status, SandboxStatus::Hung);
+  EXPECT_TRUE(R.TermEscalated);
+  EXPECT_EQ(R.TermSignal, SIGKILL);
+}
+
+TEST(ProcessSandbox, AbortingChildIsClassifiedSignaled) {
+  SandboxLimits L;
+  L.CaptureStderr = true;
+  SandboxResult R = runInSandbox(
+      [](int) {
+        fprintf(stderr, "triage breadcrumb before the crash\n");
+        abort();
+        return 0;
+      },
+      L);
+  EXPECT_EQ(R.Status, SandboxStatus::Signaled);
+  EXPECT_EQ(R.TermSignal, SIGABRT);
+  EXPECT_NE(R.StderrTail.find("triage breadcrumb"), std::string::npos)
+      << R.StderrTail;
+  EXPECT_NE(R.triage().find("signal 6"), std::string::npos) << R.triage();
+}
+
+TEST(ProcessSandbox, NonzeroExitIsClassifiedExited) {
+  SandboxResult R = runInSandbox([](int) { return 7; });
+  EXPECT_EQ(R.Status, SandboxStatus::Exited);
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(ProcessSandbox, EscapedExceptionMapsToReservedExitCode) {
+  SandboxResult R = runInSandbox(
+      [](int) -> int { throw std::runtime_error("child-side failure"); });
+  EXPECT_EQ(R.Status, SandboxStatus::Exited);
+  EXPECT_EQ(R.ExitCode, ExceptionExitCode);
+}
+
+TEST(ProcessSandbox, OversizedPayloadNeverWedgesTheChild) {
+  // The child writes far more than both the payload cap and the kernel
+  // pipe buffer; the parent must keep draining so the child can finish.
+  SandboxLimits L;
+  L.MaxPayloadBytes = 1024;
+  L.TimeoutMs = 5000;
+  SandboxResult R = runInSandbox(
+      [](int Fd) {
+        std::string Chunk(4096, 'x');
+        for (int I = 0; I != 64; ++I)
+          (void)!write(Fd, Chunk.data(), Chunk.size());
+        return 0;
+      },
+      L);
+  EXPECT_EQ(R.Status, SandboxStatus::Completed);
+  EXPECT_LE(R.Payload.size(), 1024u);
+}
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DLF_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DLF_HAS_ASAN 1
+#endif
+#endif
+
+TEST(ProcessSandbox, AddressSpaceCapIsClassifiedOutOfMemory) {
+#ifdef DLF_HAS_ASAN
+  GTEST_SKIP() << "RLIMIT_AS is incompatible with ASan shadow memory";
+#else
+  SandboxLimits L;
+  L.AddressSpaceMb = 192;
+  L.TimeoutMs = 10'000;
+  SandboxResult R = runInSandbox(
+      [](int) {
+        // Allocate and touch until the cap trips; bad_alloc is mapped to
+        // the reserved exit code by the sandbox's child wrapper.
+        std::vector<std::unique_ptr<char[]>> Hog;
+        for (;;) {
+          Hog.push_back(std::make_unique<char[]>(16 << 20));
+          std::memset(Hog.back().get(), 1, 16 << 20);
+        }
+        return 0;
+      },
+      L);
+  EXPECT_EQ(R.Status, SandboxStatus::OutOfMemory);
+  EXPECT_EQ(R.ExitCode, OomExitCode);
+#endif
+}
+
+// -- JSON and journal --------------------------------------------------------
+
+TEST(CampaignJson, RoundTripsNestedValuesDeterministically) {
+  JsonValue Rec = JsonValue::object();
+  Rec.set("name", "quote\"and\nnewline");
+  Rec.set("count", static_cast<uint64_t>(42));
+  Rec.set("ok", true);
+  JsonValue Arr = JsonValue::array();
+  Arr.push(static_cast<uint64_t>(1));
+  Arr.push("two");
+  Rec.set("items", std::move(Arr));
+
+  std::string Doc = Rec.dump();
+  JsonValue Back;
+  ASSERT_TRUE(parseJson(Doc, Back));
+  EXPECT_EQ(Back.dump(), Doc);
+  EXPECT_EQ(Back["name"].asString(), "quote\"and\nnewline");
+  EXPECT_EQ(Back["count"].asUInt(), 42u);
+  EXPECT_TRUE(Back["ok"].asBool());
+  ASSERT_EQ(Back["items"].items().size(), 2u);
+  EXPECT_EQ(Back["items"].items()[1].asString(), "two");
+
+  // Keys render sorted, so fingerprint comparison via dump() is stable no
+  // matter the insertion order.
+  JsonValue A = JsonValue::object();
+  A.set("b", 1);
+  A.set("a", 2);
+  EXPECT_EQ(A.dump(), "{\"a\":2,\"b\":1}");
+}
+
+TEST(CampaignJson, RejectsMalformedDocuments) {
+  JsonValue V;
+  EXPECT_FALSE(parseJson("{", V));
+  EXPECT_FALSE(parseJson("{} trailing", V));
+  EXPECT_FALSE(parseJson("", V));
+  ASSERT_TRUE(parseJson("{\"u\":\"\\u0041\"}", V));
+  EXPECT_EQ(V["u"].asString(), "A");
+}
+
+class TempFile {
+public:
+  explicit TempFile(const char *Suffix) {
+    Path = ::testing::TempDir() + "dlf-campaign-" +
+           std::to_string(getpid()) + "-" + Suffix;
+    std::remove(Path.c_str());
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+TEST(CampaignJournal, RoundTripsAndDropsTornFinalLine) {
+  TempFile File("journal.jsonl");
+  {
+    JournalWriter W;
+    ASSERT_TRUE(W.open(File.path(), /*Truncate=*/true));
+    JsonValue Header = JsonValue::object();
+    Header.set("v", 1);
+    ASSERT_TRUE(W.append(Header));
+    JsonValue Rec = JsonValue::object();
+    Rec.set("event", "rep");
+    ASSERT_TRUE(W.append(Rec));
+  }
+  // Simulate dying mid-append: a torn, unterminated final line.
+  {
+    std::FILE *F = std::fopen(File.path().c_str(), "a");
+    ASSERT_NE(F, nullptr);
+    std::fputs("{\"event\":\"re", F);
+    std::fclose(F);
+  }
+  JournalContents JC;
+  std::string Error;
+  ASSERT_TRUE(loadJournal(File.path(), JC, &Error)) << Error;
+  EXPECT_EQ(JC.Header["v"].asUInt(), 1u);
+  ASSERT_EQ(JC.Records.size(), 1u);
+  EXPECT_EQ(JC.Records[0]["event"].asString(), "rep");
+}
+
+// -- Campaign end-to-end -----------------------------------------------------
+
+/// ABBA with a stagger (the paper's Figure 1 shape): deadlock-prone by
+/// construction, rarely deadlocks under unbiased schedules.
+void abbaProgram() {
+  Mutex A("ca", DLF_SITE());
+  Mutex B("cb", DLF_SITE());
+  Thread T1([&] {
+    for (int I = 0; I != 4; ++I)
+      yieldNow();
+    MutexGuard First(A, DLF_NAMED_SITE("camp:t1a"));
+    MutexGuard Second(B, DLF_NAMED_SITE("camp:t1b"));
+  });
+  Thread T2([&] {
+    MutexGuard First(B, DLF_NAMED_SITE("camp:t2b"));
+    MutexGuard Second(A, DLF_NAMED_SITE("camp:t2a"));
+  });
+  T1.join();
+  T2.join();
+}
+
+CampaignConfig baseConfig(const std::string &JournalPath) {
+  CampaignConfig CC;
+  CC.BenchmarkName = "campaign-test-abba";
+  CC.Entry = abbaProgram;
+  CC.Tester.PhaseTwoReps = 4;
+  CC.BackoffBaseMs = 1;
+  CC.JournalPath = JournalPath;
+  return CC;
+}
+
+TEST(Campaign, HealthyWorkloadCompletesAndReproduces) {
+  TempFile File("healthy.jsonl");
+  CampaignRunner Runner(baseConfig(File.path()));
+  CampaignReport R = Runner.run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  EXPECT_TRUE(R.CampaignComplete);
+  EXPECT_TRUE(R.PhaseOneCompleted);
+  ASSERT_EQ(R.PerCycle.size(), 1u);
+  EXPECT_EQ(R.PerCycle[0].Reps, 4u);
+  EXPECT_EQ(R.PerCycle[0].Reproduced, 4u) << R.toString();
+  EXPECT_EQ(R.RepsExecuted, 4u);
+  EXPECT_EQ(R.RepsReplayed, 0u);
+}
+
+TEST(Campaign, TransientCrashIsRetriedWithAFreshSeed) {
+  TempFile File("retry.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.MaxRetries = 2;
+  // Every repetition's first attempt crashes; the retry must succeed.
+  CC.ChildFaultHook = [](unsigned, unsigned, unsigned Attempt) {
+    if (Attempt == 0)
+      abort();
+  };
+  CampaignRunner Runner(std::move(CC));
+  CampaignReport R = Runner.run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  EXPECT_TRUE(R.CampaignComplete);
+  ASSERT_EQ(R.PerCycle.size(), 1u);
+  const CycleCampaignStats &S = R.PerCycle[0];
+  EXPECT_EQ(S.Reproduced, 4u) << R.toString();
+  EXPECT_EQ(S.RetriesSpent, 4u);
+  // Final classifications carry no trace of the retried crashes.
+  EXPECT_EQ(S.CrashedSignal, 0u);
+  EXPECT_FALSE(S.Quarantined);
+}
+
+TEST(Campaign, PersistentHangQuarantinesTheCycleNotTheCampaign) {
+  TempFile File("quarantine.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.RunTimeoutMs = 100;
+  CC.GraceMs = 40;
+  CC.MaxRetries = 0;
+  CC.QuarantineThreshold = 2;
+  CC.ChildFaultHook = [](unsigned, unsigned, unsigned) {
+    for (;;)
+      pause();
+  };
+  CampaignRunner Runner(std::move(CC));
+  CampaignReport R = Runner.run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  // The campaign still runs to completion; the broken cycle is set aside
+  // with a diagnostic instead of aborting everything.
+  EXPECT_TRUE(R.CampaignComplete);
+  ASSERT_EQ(R.PerCycle.size(), 1u);
+  const CycleCampaignStats &S = R.PerCycle[0];
+  EXPECT_TRUE(S.Quarantined);
+  EXPECT_EQ(S.Hung, 2u) << R.toString();
+  EXPECT_EQ(S.Reps, 2u);
+  EXPECT_NE(S.QuarantineReason.find("consecutive failed"), std::string::npos)
+      << S.QuarantineReason;
+}
+
+TEST(Campaign, ResumeAfterInterruptMatchesUninterruptedStatistics) {
+  TempFile Interrupted("interrupted.jsonl");
+  TempFile Control("control.jsonl");
+
+  // Interrupt after three fresh repetitions, mid-campaign.
+  CampaignConfig CC = baseConfig(Interrupted.path());
+  auto Checks = std::make_shared<int>(0);
+  CC.ShouldStop = [Checks] { return ++*Checks > 3; };
+  CampaignReport Partial = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(Partial.Error.empty()) << Partial.Error;
+  EXPECT_TRUE(Partial.Interrupted);
+  EXPECT_FALSE(Partial.CampaignComplete);
+  EXPECT_EQ(Partial.RepsExecuted, 3u);
+
+  // Resume from the journal with a fresh runner (as a new process would).
+  CampaignReport Resumed =
+      CampaignRunner(baseConfig(Interrupted.path())).run(/*Resume=*/true);
+  ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+  EXPECT_TRUE(Resumed.CampaignComplete);
+  EXPECT_EQ(Resumed.RepsReplayed, 3u);
+  EXPECT_EQ(Resumed.RepsExecuted, 1u);
+
+  // Control: the same campaign, never interrupted.
+  CampaignReport Full = CampaignRunner(baseConfig(Control.path())).run();
+  ASSERT_TRUE(Full.Error.empty()) << Full.Error;
+  ASSERT_EQ(Resumed.PerCycle.size(), Full.PerCycle.size());
+  for (size_t I = 0; I != Full.PerCycle.size(); ++I)
+    EXPECT_EQ(Resumed.PerCycle[I].countsKey(), Full.PerCycle[I].countsKey())
+        << "cycle #" << I;
+
+  // A completed journal replays entirely: zero fresh executions.
+  CampaignReport Replayed =
+      CampaignRunner(baseConfig(Interrupted.path())).run(/*Resume=*/true);
+  ASSERT_TRUE(Replayed.Error.empty()) << Replayed.Error;
+  EXPECT_EQ(Replayed.RepsExecuted, 0u);
+  EXPECT_EQ(Replayed.RepsReplayed, 4u);
+}
+
+TEST(Campaign, ResumeRejectsAMismatchedConfiguration) {
+  TempFile File("mismatch.jsonl");
+  CampaignReport First = CampaignRunner(baseConfig(File.path())).run();
+  ASSERT_TRUE(First.Error.empty()) << First.Error;
+
+  CampaignConfig Changed = baseConfig(File.path());
+  Changed.Tester.PhaseTwoReps = 9; // part of the journal fingerprint
+  CampaignReport R = CampaignRunner(std::move(Changed)).run(/*Resume=*/true);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_NE(R.Error.find("does not match"), std::string::npos) << R.Error;
+}
+
+} // namespace

@@ -17,6 +17,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 namespace {
 
 using namespace dlf;
@@ -102,6 +106,50 @@ TEST(SchedulerLivelock, MaxStepsAborts) {
   });
   EXPECT_FALSE(R.Completed);
   EXPECT_TRUE(R.LivelockAborted);
+}
+
+TEST(SchedulerLivelock, WallClockFallbackRescuesPausedThread) {
+  // A peer spending real time between scheduling points commits no steps,
+  // so the step-count bound alone (here effectively disabled) would leave
+  // a paused thread paused for the whole compute stretch. The wall-clock
+  // fallback must release it.
+  std::atomic<bool> T1HoldsA{false};
+  auto SlowPeerProgram = [&] {
+    T1HoldsA = false;
+    Mutex A("wa", DLF_SITE());
+    Mutex B("wb", DLF_SITE());
+    Thread T1([&] {
+      MutexGuard First(A, DLF_NAMED_SITE("wall:t1a"));
+      T1HoldsA = true;
+      MutexGuard Second(B, DLF_NAMED_SITE("wall:t1b"));
+    });
+    Thread T2([&] {
+      while (!T1HoldsA)
+        yieldNow();
+      // Long compute: real time passes, no scheduling points commit.
+      for (int I = 0; I != 30; ++I) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        yieldNow();
+      }
+      MutexGuard First(B, DLF_NAMED_SITE("wall:t2b"));
+      MutexGuard Second(A, DLF_NAMED_SITE("wall:t2a"));
+    });
+    T1.join();
+    T2.join();
+  };
+
+  ActiveTesterConfig Config;
+  Config.Base.MaxPausedSteps = 1'000'000'000; // step bound out of the picture
+  Config.Base.MaxPausedWallMs = 40;
+  ActiveTester Tester(SlowPeerProgram, Config);
+  PhaseOneResult P1 = Tester.runPhaseOne();
+  ASSERT_EQ(P1.Cycles.size(), 1u);
+
+  // Phase 2: T1 pauses at its second acquire while T2 sits in the compute
+  // loop; only the wall clock can notice the pause has gone stale.
+  ExecutionResult R = Tester.runOnce(P1.Cycles[0], /*Seed=*/1);
+  EXPECT_TRUE(R.Completed || R.DeadlockFound) << "stalled instead of rescued";
+  EXPECT_GT(R.ForcedUnpauses, 0u);
 }
 
 // -- Algorithm 3 mechanics through the ActiveTester ----------------------------------

@@ -115,6 +115,31 @@ TEST(DlfRun, HealReportsCompletions) {
       << Out;
 }
 
+TEST(DlfRun, CampaignCompletesAndResumesFromJournal) {
+  std::string Journal = ::testing::TempDir() + "dlfrun-campaign.jsonl";
+  std::remove(Journal.c_str());
+  std::string Out = captureCommand(tool() + " dbcp --campaign --reps 2" +
+                                   " --journal " + Journal);
+  EXPECT_NE(Out.find("campaign complete"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("reps executed 4"), std::string::npos) << Out;
+
+  // Resuming a completed campaign replays everything from the journal and
+  // executes nothing fresh.
+  EXPECT_EQ(runCommand(tool() + " dbcp --campaign --reps 2 --resume " +
+                       Journal + " >/dev/null 2>&1"),
+            0);
+  std::string Resumed = captureCommand(
+      tool() + " dbcp --campaign --reps 2 --resume " + Journal);
+  EXPECT_NE(Resumed.find("reps executed 0, replayed from journal 4"),
+            std::string::npos)
+      << Resumed;
+  // A fingerprint mismatch (different reps) must refuse to resume.
+  EXPECT_NE(runCommand(tool() + " dbcp --campaign --reps 5 --resume " +
+                       Journal + " >/dev/null 2>&1"),
+            0);
+  std::remove(Journal.c_str());
+}
+
 TEST(DlfRun, ErrorsAreReported) {
   EXPECT_NE(runCommand(tool() + " nonexistent >/dev/null 2>&1"), 0);
   EXPECT_NE(runCommand(tool() + " swing --variant 9 >/dev/null 2>&1"), 0);
