@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+#===- scripts/ci.sh - Two-tier continuous integration ----------------------===#
+#
+# Tier 1: the plain build and full test suite (the gate every change must
+# hold). Tier 2: the same suite under ASan+UBSan (DLF_SANITIZE=ON), which
+# is how the sandbox/journal/pool code gets its memory-error coverage.
+# Sanitized children run several times slower, so that tier uses a reduced
+# per-test timeout rather than the suite default.
+#
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: normal build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tier 2: ASan+UBSan build + full test suite =="
+cmake -B build-asan -S . -DDLF_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+# Sanitized watchdog/hang tests run slower; cap each test instead of
+# letting a wedged sanitized child stall the whole pipeline.
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" --timeout 90
+
+echo "== ci: both tiers passed =="

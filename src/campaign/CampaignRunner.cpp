@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include <csignal>
@@ -101,6 +102,13 @@ std::string CampaignReport::toString() const {
   }
   OS << "reps executed " << RepsExecuted << ", replayed from journal "
      << RepsReplayed << "\n";
+  if (RepsExecuted) {
+    OS << "throughput: " << RepsExecuted << " rep(s) in "
+       << PhaseTwoWallMs / 1000.0 << " s wall (" << repsPerSecond()
+       << " reps/s), child cpu " << ChildCpuMs / 1000.0 << " s, peak "
+       << PeakConcurrency << " concurrent child(ren), jobs " << JobsUsed
+       << "\n";
+  }
   if (BudgetExhausted)
     OS << "wall-clock budget exhausted; resume with --resume\n";
   else if (Interrupted)
@@ -118,6 +126,7 @@ void onSigint(int) { GInterruptRequested = 1; }
 } // namespace
 
 void CampaignRunner::installSigintHandler() {
+  GInterruptRequested = 0;
   struct sigaction SA;
   std::memset(&SA, 0, sizeof(SA));
   SA.sa_handler = onSigint;
@@ -159,9 +168,13 @@ std::map<std::string, std::string> parseKvLine(const std::string &Line) {
   return Out;
 }
 
-void backoffSleep(unsigned Attempt, uint64_t BaseMs, uint64_t CapMs) {
+uint64_t backoffDelayMs(unsigned Attempt, uint64_t BaseMs, uint64_t CapMs) {
   uint64_t Ms = BaseMs ? BaseMs << std::min<unsigned>(Attempt, 20) : 0;
-  Ms = std::min(Ms, CapMs);
+  return std::min(Ms, CapMs);
+}
+
+void backoffSleep(unsigned Attempt, uint64_t BaseMs, uint64_t CapMs) {
+  uint64_t Ms = backoffDelayMs(Attempt, BaseMs, CapMs);
   if (Ms)
     usleep(static_cast<useconds_t>(Ms * 1000));
 }
@@ -194,6 +207,9 @@ SandboxLimits CampaignRunner::childLimits() const {
 }
 
 JsonValue CampaignRunner::headerRecord() const {
+  // Deliberately excludes Jobs: parallelism changes scheduling of the
+  // host processes, not the seed-deterministic outcome of any repetition,
+  // so journals resume interchangeably across --jobs values.
   JsonValue H = JsonValue::object();
   H.set("dlf_campaign", 1);
   H.set("benchmark", Config.BenchmarkName);
@@ -222,11 +238,16 @@ bool CampaignRunner::headerMatches(const JsonValue &Header,
   return false;
 }
 
-void CampaignRunner::journalAppend(const JsonValue &Record) {
+bool CampaignRunner::journalAppend(const JsonValue &Record) {
   if (!Writer.isOpen())
-    return;
-  if (!Writer.append(Record))
+    return true; // campaigns without a journal are legal (no resume)
+  if (JournalFailed)
+    return false;
+  if (!Writer.append(Record)) {
     JournalFailed = true;
+    return false;
+  }
+  return true;
 }
 
 bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
@@ -297,24 +318,117 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
   return false;
 }
 
-RepOutcome CampaignRunner::runOneRep(unsigned CycleIdx,
-                                     const AbstractCycle &Cycle,
-                                     unsigned Rep) {
+void CampaignRunner::accumulate(CycleCampaignStats &S, const RepOutcome &O) {
+  ++S.Reps;
+  S.RetriesSpent += O.Attempts - 1;
+  S.TotalThrashes += O.Thrashes;
+  S.TotalForcedUnpauses += O.ForcedUnpauses;
+  S.TotalWallMs += O.WallMs;
+  switch (O.Class) {
+  case RunClass::Completed:
+    ++S.CleanRuns;
+    break;
+  case RunClass::Reproduced:
+    ++S.Reproduced;
+    break;
+  case RunClass::OtherDeadlock:
+    ++S.OtherDeadlocks;
+    break;
+  case RunClass::Stalled:
+    ++S.Stalls;
+    break;
+  case RunClass::Hung:
+    ++S.Hung;
+    break;
+  case RunClass::CrashedSignal:
+    ++S.CrashedSignal;
+    break;
+  case RunClass::CrashedExit:
+    ++S.CrashedExit;
+    break;
+  case RunClass::OutOfMemory:
+    ++S.Oom;
+    break;
+  }
+}
+
+// -- Phase II dispatcher -----------------------------------------------------
+
+namespace {
+
+/// Per-cycle dispatch/commit bookkeeping.
+struct CycleProgress {
+  unsigned Frontier = 0;            ///< next rep index to commit, in order
+  unsigned NextDispatch = 0;        ///< next rep index to launch fresh
+  unsigned ConsecutiveFailures = 0; ///< transient classes at the frontier
+  bool Quarantined = false;
+};
+
+/// What a pool ticket was running.
+struct FlightInfo {
+  unsigned Cycle = 0;
+  unsigned Rep = 0;
+  unsigned Attempt = 0;
+};
+
+/// A repetition waiting out its retry backoff before relaunch.
+struct RetryItem {
+  unsigned Cycle = 0;
+  unsigned Rep = 0;
+  unsigned Attempt = 0; ///< attempt index to run next
+  std::chrono::steady_clock::time_point NotBefore;
+};
+
+/// A finalized outcome waiting for the in-order commit to reach it.
+struct PendingOutcome {
   RepOutcome O;
-  O.CycleIdx = CycleIdx;
-  O.Rep = Rep;
+  bool Replayed = false;
+};
 
-  for (unsigned Attempt = 0;; ++Attempt) {
-    uint64_t Seed =
-        Config.Tester.PhaseTwoSeedBase + Rep + Attempt * RetrySeedStride;
-    O.Seed = Seed;
-    O.Attempts = Attempt + 1;
+} // namespace
 
-    const ActiveTesterConfig &TC = Config.Tester;
-    SandboxResult SR = runInSandbox(
-        [&](int Fd) {
+void CampaignRunner::runPhaseTwo(
+    CampaignReport &Report,
+    std::map<std::pair<unsigned, unsigned>, RepOutcome> &Replay,
+    std::map<unsigned, std::string> &JournaledQuarantines, bool HaveDone) {
+  using Clock = std::chrono::steady_clock;
+  const unsigned NumCycles = static_cast<unsigned>(Report.Cycles.size());
+  const unsigned Reps = Config.Tester.PhaseTwoReps;
+
+  const Clock::time_point Start = Clock::now();
+  Clock::time_point Deadline = Clock::time_point::max();
+  if (Config.BudgetS)
+    Deadline = Start + std::chrono::seconds(Config.BudgetS);
+
+  WorkerPool Pool(WorkerPool::resolveJobs(Config.Jobs));
+  Report.JobsUsed = Pool.jobs();
+
+  std::vector<CycleProgress> Progress(NumCycles);
+  // Journaled outcomes enter the commit queue up front; fresh results join
+  // them as children finish (possibly out of order).
+  std::map<std::pair<unsigned, unsigned>, PendingOutcome> Pending;
+  for (auto &KV : Replay)
+    Pending[KV.first] = {KV.second, /*Replayed=*/true};
+
+  std::map<uint64_t, FlightInfo> Flight;
+  std::vector<RetryItem> Retries;
+  unsigned CommitCycle = 0;
+
+  enum class StopReason { None, Sigint, Hook, Budget, Journal };
+  StopReason Stop = StopReason::None;
+
+  auto SeedFor = [&](unsigned Rep, unsigned Attempt) {
+    return Config.Tester.PhaseTwoSeedBase + Rep + Attempt * RetrySeedStride;
+  };
+
+  auto LaunchAttempt = [&](unsigned C, unsigned R, unsigned Attempt) {
+    uint64_t Seed = SeedFor(R, Attempt);
+    const AbstractCycle &Cycle = Report.Cycles[C];
+    uint64_t Ticket = Pool.launch(
+        [this, C, R, Attempt, Seed, &Cycle](int Fd) {
           if (Config.ChildFaultHook)
-            Config.ChildFaultHook(CycleIdx, Rep, Attempt);
+            Config.ChildFaultHook(C, R, Attempt);
+          const ActiveTesterConfig &TC = Config.Tester;
           ActiveTester T(Config.Entry, TC);
           ExecutionResult E = T.runOnce(Cycle, Seed);
           const char *Cls = "completed";
@@ -333,10 +447,13 @@ RepOutcome CampaignRunner::runOneRep(unsigned CycleIdx,
           return 0;
         },
         childLimits());
+    Flight[Ticket] = {C, R, Attempt};
+  };
 
+  auto Classify = [](const SandboxResult &SR, RepOutcome &O) {
     O.WallMs = SR.WallMs;
+    O.CpuMs = SR.CpuMs;
     O.Diagnostic.clear();
-
     bool Definitive = false;
     switch (SR.Status) {
     case SandboxStatus::Completed: {
@@ -376,47 +493,280 @@ RepOutcome CampaignRunner::runOneRep(unsigned CycleIdx,
       O.Diagnostic = SR.triage();
       break;
     }
+    return Definitive;
+  };
 
-    if (Definitive || Attempt >= Config.MaxRetries)
-      return O;
-    DLF_DEBUG_LOG("rep " << CycleIdx << "/" << Rep << " attempt " << Attempt
-                         << " " << runClassName(O.Class) << "; retrying");
-    backoffSleep(Attempt, Config.BackoffBaseMs, Config.BackoffCapMs);
-  }
-}
+  // Finalizes one finished child: retry a transient failure (when retries
+  // remain and we are not draining) or queue the outcome for commit.
+  auto HandleCompletion = [&](PoolCompletion &PC, bool AllowRetry) {
+    auto It = Flight.find(PC.Ticket);
+    if (It == Flight.end())
+      return; // canceled speculative work
+    FlightInfo FI = It->second;
+    Flight.erase(It);
+    Report.ChildCpuMs += PC.Result.CpuMs;
+    if (Progress[FI.Cycle].Quarantined)
+      return; // speculation past a quarantine; discard
 
-void CampaignRunner::accumulate(CycleCampaignStats &S, const RepOutcome &O) {
-  ++S.Reps;
-  S.RetriesSpent += O.Attempts - 1;
-  S.TotalThrashes += O.Thrashes;
-  S.TotalForcedUnpauses += O.ForcedUnpauses;
-  S.TotalWallMs += O.WallMs;
-  switch (O.Class) {
-  case RunClass::Completed:
-    ++S.CleanRuns;
+    RepOutcome O;
+    O.CycleIdx = FI.Cycle;
+    O.Rep = FI.Rep;
+    O.Attempts = FI.Attempt + 1;
+    O.Seed = SeedFor(FI.Rep, FI.Attempt);
+    bool Definitive = Classify(PC.Result, O);
+    if (!Definitive && FI.Attempt < Config.MaxRetries) {
+      if (AllowRetry) {
+        DLF_DEBUG_LOG("rep " << FI.Cycle << "/" << FI.Rep << " attempt "
+                             << FI.Attempt << " " << runClassName(O.Class)
+                             << "; retrying");
+        uint64_t DelayMs = backoffDelayMs(FI.Attempt, Config.BackoffBaseMs,
+                                          Config.BackoffCapMs);
+        Retries.push_back({FI.Cycle, FI.Rep, FI.Attempt + 1,
+                           Clock::now() + std::chrono::milliseconds(DelayMs)});
+      }
+      // While draining, the unfinished repetition is dropped un-journaled:
+      // resume re-runs it from attempt 0 and, by per-seed determinism,
+      // reaches the same final classification.
+      return;
+    }
+    Pending[{FI.Cycle, FI.Rep}] = {std::move(O), /*Replayed=*/false};
+  };
+
+  // Quarantine kills the cycle's speculative children and retries, and
+  // drops its uncommitted outcomes so nothing past the quarantine point is
+  // ever journaled — exactly the records a serial campaign writes.
+  auto CancelCycle = [&](unsigned C) {
+    for (auto It = Flight.begin(); It != Flight.end();) {
+      if (It->second.Cycle == C) {
+        Pool.cancel(It->first);
+        It = Flight.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    Retries.erase(std::remove_if(Retries.begin(), Retries.end(),
+                                 [C](const RetryItem &RI) {
+                                   return RI.Cycle == C;
+                                 }),
+                  Retries.end());
+    for (auto It = Pending.lower_bound({C, 0});
+         It != Pending.end() && It->first.first == C;)
+      It = Pending.erase(It);
+    Progress[C].NextDispatch = Reps;
+  };
+
+  // Commits queued outcomes strictly in (cycle, rep) order: journal (fresh
+  // ones only), accumulate, and apply the quarantine policy at the commit
+  // frontier — identical to the serial walk whatever order children finish.
+  auto CommitReady = [&]() {
+    while (CommitCycle < NumCycles && !JournalFailed) {
+      CycleProgress &P = Progress[CommitCycle];
+      CycleCampaignStats &S = Report.PerCycle[CommitCycle];
+      if (P.Quarantined || P.Frontier == Reps) {
+        ++CommitCycle;
+        continue;
+      }
+      auto It = Pending.find({CommitCycle, P.Frontier});
+      if (It == Pending.end())
+        return;
+      PendingOutcome PO = std::move(It->second);
+      Pending.erase(It);
+      ++P.Frontier;
+
+      const RepOutcome &O = PO.O;
+      if (PO.Replayed) {
+        ++Report.RepsReplayed;
+      } else {
+        ++Report.RepsExecuted;
+        JsonValue Rec = JsonValue::object();
+        Rec.set("event", "rep");
+        Rec.set("cycle", O.CycleIdx);
+        Rec.set("rep", O.Rep);
+        Rec.set("class", runClassName(O.Class));
+        Rec.set("attempts", O.Attempts);
+        Rec.set("seed", O.Seed);
+        Rec.set("thrashes", O.Thrashes);
+        Rec.set("unpauses", O.ForcedUnpauses);
+        Rec.set("wall_ms", O.WallMs);
+        Rec.set("cpu_ms", O.CpuMs);
+        if (!O.Diagnostic.empty())
+          Rec.set("diag", O.Diagnostic);
+        if (!journalAppend(Rec))
+          return;
+      }
+
+      accumulate(S, O);
+      if (runClassIsTransient(O.Class))
+        ++P.ConsecutiveFailures;
+      else
+        P.ConsecutiveFailures = 0;
+
+      if (Config.QuarantineThreshold &&
+          P.ConsecutiveFailures >= Config.QuarantineThreshold) {
+        P.Quarantined = true;
+        S.Quarantined = true;
+        std::ostringstream Reason;
+        Reason << P.ConsecutiveFailures
+               << " consecutive failed repetitions (last: "
+               << runClassName(O.Class)
+               << (O.Diagnostic.empty() ? "" : "; " + O.Diagnostic) << ")";
+        S.QuarantineReason = Reason.str();
+        CancelCycle(CommitCycle);
+        if (!JournaledQuarantines.count(CommitCycle)) {
+          JsonValue Rec = JsonValue::object();
+          Rec.set("event", "quarantine");
+          Rec.set("cycle", CommitCycle);
+          Rec.set("reason", S.QuarantineReason);
+          if (!journalAppend(Rec))
+            return;
+        }
+      }
+    }
+  };
+
+  // Next repetition that needs a fresh (attempt 0) child, in dispatch
+  // order. Replayed repetitions are skipped: their outcome is queued.
+  auto PeekFresh = [&]() -> std::optional<std::pair<unsigned, unsigned>> {
+    for (unsigned C = CommitCycle; C < NumCycles; ++C) {
+      CycleProgress &P = Progress[C];
+      if (P.Quarantined)
+        continue;
+      while (P.NextDispatch < Reps && Replay.count({C, P.NextDispatch}))
+        ++P.NextDispatch;
+      if (P.NextDispatch < Reps)
+        return std::make_pair(C, P.NextDispatch);
+    }
+    return std::nullopt;
+  };
+
+  auto Dispatch = [&]() {
+    while (Stop == StopReason::None && Pool.hasCapacity()) {
+      // Ripe retries first: they hold the commit frontier back.
+      auto Now = Clock::now();
+      auto Ripe = std::find_if(Retries.begin(), Retries.end(),
+                               [&](const RetryItem &RI) {
+                                 return RI.NotBefore <= Now;
+                               });
+      if (Ripe != Retries.end()) {
+        RetryItem RI = *Ripe;
+        Retries.erase(Ripe);
+        LaunchAttempt(RI.Cycle, RI.Rep, RI.Attempt);
+        continue;
+      }
+      auto Fresh = PeekFresh();
+      if (!Fresh)
+        return;
+      // The stop/budget gates sit where the serial loop had them: before
+      // each fresh repetition (in-flight retries are not re-gated).
+      if (Config.ShouldStop && Config.ShouldStop()) {
+        Stop = StopReason::Hook;
+        return;
+      }
+      if (Now >= Deadline) {
+        Stop = StopReason::Budget;
+        return;
+      }
+      LaunchAttempt(Fresh->first, Fresh->second, /*Attempt=*/0);
+      ++Progress[Fresh->first].NextDispatch;
+    }
+  };
+
+  auto AllCommitted = [&]() {
+    for (unsigned C = 0; C != NumCycles; ++C)
+      if (!Progress[C].Quarantined && Progress[C].Frontier != Reps)
+        return false;
+    return true;
+  };
+
+  // -- Dispatch/collect loop.
+  for (;;) {
+    CommitReady();
+    if (JournalFailed)
+      Stop = StopReason::Journal;
+    if (Stop != StopReason::None)
+      break;
+    // The interrupt check precedes the completion check: a SIGINT that
+    // lands while the final repetitions commit is still honored (and its
+    // pending flag consumed) rather than lost to a completion race.
+    if (interruptRequested()) {
+      GInterruptRequested = 0; // the request is being honored; consume it
+      Stop = StopReason::Sigint;
+      break;
+    }
+    if (AllCommitted())
+      break;
+    Dispatch();
+    if (Stop != StopReason::None)
+      break;
+
+    std::vector<PoolCompletion> Done = Pool.poll(/*WaitMs=*/1);
+    for (PoolCompletion &PC : Done)
+      HandleCompletion(PC, /*AllowRetry=*/true);
+
+    // Nothing in flight and only unripe retries left: sleep toward the
+    // earliest backoff expiry instead of spinning (SIGINT still wakes us
+    // via EINTR).
+    if (Pool.inFlight() == 0 && Done.empty() && !Retries.empty()) {
+      auto Next = std::min_element(Retries.begin(), Retries.end(),
+                                   [](const RetryItem &A, const RetryItem &B) {
+                                     return A.NotBefore < B.NotBefore;
+                                   })
+                      ->NotBefore;
+      auto Now = Clock::now();
+      if (Next > Now) {
+        auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Next - Now)
+                      .count();
+        usleep(static_cast<useconds_t>(
+            std::min<long long>(std::max<long long>(Us, 1000), 50'000)));
+      }
+    }
+  }
+
+  // -- Graceful drain: stop dispatching, let in-flight children finish
+  // naturally (their watchdogs bound the wait), and commit the in-order
+  // prefix of what they produced. Outcomes past the first gap are dropped
+  // un-journaled; resume re-executes them deterministically.
+  if (Stop != StopReason::None) {
+    std::vector<PoolCompletion> Rest;
+    Pool.drainAll(Rest);
+    for (PoolCompletion &PC : Rest)
+      HandleCompletion(PC, /*AllowRetry=*/false);
+    CommitReady();
+    if (JournalFailed)
+      Stop = StopReason::Journal;
+  }
+
+  switch (Stop) {
+  case StopReason::None:
+    Report.CampaignComplete = true;
+    if (!HaveDone) {
+      JsonValue Rec = JsonValue::object();
+      Rec.set("event", "done");
+      journalAppend(Rec);
+    }
     break;
-  case RunClass::Reproduced:
-    ++S.Reproduced;
-    break;
-  case RunClass::OtherDeadlock:
-    ++S.OtherDeadlocks;
-    break;
-  case RunClass::Stalled:
-    ++S.Stalls;
-    break;
-  case RunClass::Hung:
-    ++S.Hung;
-    break;
-  case RunClass::CrashedSignal:
-    ++S.CrashedSignal;
-    break;
-  case RunClass::CrashedExit:
-    ++S.CrashedExit;
-    break;
-  case RunClass::OutOfMemory:
-    ++S.Oom;
+  case StopReason::Sigint:
+  case StopReason::Hook:
+  case StopReason::Budget: {
+    JsonValue Rec = JsonValue::object();
+    Rec.set("event", "interrupted");
+    Rec.set("reason", Stop == StopReason::Sigint  ? "sigint"
+                      : Stop == StopReason::Hook  ? "stop"
+                                                  : "budget");
+    journalAppend(Rec);
+    Report.Interrupted = true;
+    if (Stop == StopReason::Budget)
+      Report.BudgetExhausted = true;
     break;
   }
+  case StopReason::Journal:
+    break; // the run() epilogue surfaces the journal error
+  }
+
+  Report.PeakConcurrency = Pool.peakConcurrency();
+  Report.PhaseTwoWallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - Start).count();
 }
 
 CampaignReport CampaignRunner::run(bool Resume) {
@@ -460,6 +810,7 @@ CampaignReport CampaignRunner::run(bool Resume) {
         O.Thrashes = Rec["thrashes"].asUInt();
         O.ForcedUnpauses = Rec["unpauses"].asUInt();
         O.WallMs = Rec["wall_ms"].asNumber();
+        O.CpuMs = Rec["cpu_ms"].asNumber();
         O.Diagnostic = Rec["diag"].asString();
         Replay[{O.CycleIdx, O.Rep}] = std::move(O);
       } else if (Event == "quarantine") {
@@ -472,15 +823,18 @@ CampaignReport CampaignRunner::run(bool Resume) {
     }
     if (!Writer.open(Config.JournalPath, /*Truncate=*/false)) {
       Report.Error = "cannot reopen journal for append: " +
-                     Config.JournalPath;
+                     Writer.lastError();
       return Report;
     }
   } else if (!Config.JournalPath.empty()) {
     if (!Writer.open(Config.JournalPath, /*Truncate=*/true)) {
-      Report.Error = "cannot create journal: " + Config.JournalPath;
+      Report.Error = "cannot create journal: " + Writer.lastError();
       return Report;
     }
-    journalAppend(headerRecord());
+    if (!journalAppend(headerRecord())) {
+      Report.Error = "cannot write journal header: " + Writer.lastError();
+      return Report;
+    }
   }
 
   // -- Phase I ---------------------------------------------------------------
@@ -500,105 +854,23 @@ CampaignReport CampaignRunner::run(bool Resume) {
     JsonValue Record;
     if (!runPhaseOneSandboxed(Report, Record))
       return Report; // Error is set; nothing journaled, resume retries.
-    journalAppend(Record);
+    if (!journalAppend(Record)) {
+      Report.Error = "journal append failed (" + Writer.lastError() +
+                     "); campaign stopped before phase 2";
+      return Report;
+    }
   }
 
   // -- Phase II --------------------------------------------------------------
-  auto Deadline = std::chrono::steady_clock::time_point::max();
-  if (Config.BudgetS)
-    Deadline = std::chrono::steady_clock::now() +
-               std::chrono::seconds(Config.BudgetS);
-
   Report.PerCycle.resize(Report.Cycles.size());
   for (size_t I = 0; I != Report.Cycles.size(); ++I)
     Report.PerCycle[I].Cycle = Report.Cycles[I];
 
-  auto interruptWith = [&](const char *Reason) {
-    JsonValue Rec = JsonValue::object();
-    Rec.set("event", "interrupted");
-    Rec.set("reason", Reason);
-    journalAppend(Rec);
-    Report.Interrupted = true;
-  };
+  runPhaseTwo(Report, Replay, JournaledQuarantines, HaveDone);
 
-  bool Stopped = false;
-  for (unsigned C = 0; C != Report.Cycles.size() && !Stopped; ++C) {
-    CycleCampaignStats &S = Report.PerCycle[C];
-    unsigned ConsecutiveFailures = 0;
-    for (unsigned R = 0; R != Config.Tester.PhaseTwoReps; ++R) {
-      RepOutcome O;
-      auto It = Replay.find({C, R});
-      if (It != Replay.end()) {
-        O = It->second;
-        ++Report.RepsReplayed;
-      } else {
-        if (interruptRequested() ||
-            (Config.ShouldStop && Config.ShouldStop())) {
-          interruptWith(interruptRequested() ? "sigint" : "stop");
-          Stopped = true;
-          break;
-        }
-        if (std::chrono::steady_clock::now() >= Deadline) {
-          interruptWith("budget");
-          Report.BudgetExhausted = true;
-          Stopped = true;
-          break;
-        }
-        O = runOneRep(C, Report.Cycles[C], R);
-        ++Report.RepsExecuted;
-
-        JsonValue Rec = JsonValue::object();
-        Rec.set("event", "rep");
-        Rec.set("cycle", C);
-        Rec.set("rep", R);
-        Rec.set("class", runClassName(O.Class));
-        Rec.set("attempts", O.Attempts);
-        Rec.set("seed", O.Seed);
-        Rec.set("thrashes", O.Thrashes);
-        Rec.set("unpauses", O.ForcedUnpauses);
-        Rec.set("wall_ms", O.WallMs);
-        if (!O.Diagnostic.empty())
-          Rec.set("diag", O.Diagnostic);
-        journalAppend(Rec);
-      }
-
-      accumulate(S, O);
-      if (runClassIsTransient(O.Class))
-        ++ConsecutiveFailures;
-      else
-        ConsecutiveFailures = 0;
-
-      if (Config.QuarantineThreshold &&
-          ConsecutiveFailures >= Config.QuarantineThreshold) {
-        S.Quarantined = true;
-        std::ostringstream Reason;
-        Reason << ConsecutiveFailures
-               << " consecutive failed repetitions (last: "
-               << runClassName(O.Class)
-               << (O.Diagnostic.empty() ? "" : "; " + O.Diagnostic) << ")";
-        S.QuarantineReason = Reason.str();
-        if (!JournaledQuarantines.count(C)) {
-          JsonValue Rec = JsonValue::object();
-          Rec.set("event", "quarantine");
-          Rec.set("cycle", C);
-          Rec.set("reason", S.QuarantineReason);
-          journalAppend(Rec);
-        }
-        break; // skip the cycle's remaining reps; the campaign continues
-      }
-    }
-  }
-
-  if (!Stopped) {
-    Report.CampaignComplete = true;
-    if (!HaveDone) {
-      JsonValue Rec = JsonValue::object();
-      Rec.set("event", "done");
-      journalAppend(Rec);
-    }
-  }
   if (JournalFailed && Report.Error.empty())
-    Report.Error = "journal writes failed; campaign completed in memory "
-                   "but is not resumable";
+    Report.Error = "journal append failed (" + Writer.lastError() +
+                   "); campaign stopped; the journaled prefix remains "
+                   "resumable with --resume";
   return Report;
 }

@@ -20,6 +20,13 @@
 /// off. A cycle whose repetitions keep failing is quarantined with a
 /// diagnostic record instead of aborting the campaign.
 ///
+/// Phase II is sharded over a WorkerPool of up to Jobs concurrent
+/// children. Results complete out of order but are committed — journaled
+/// and accumulated — strictly in (cycle, rep) order, so the journal a
+/// parallel campaign writes is record-for-record what the serial campaign
+/// writes, classification counts are byte-identical across any Jobs
+/// value, and journals resume interchangeably between modes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DLF_CAMPAIGN_CAMPAIGNRUNNER_H
@@ -27,6 +34,7 @@
 
 #include "campaign/Journal.h"
 #include "campaign/ProcessSandbox.h"
+#include "campaign/WorkerPool.h"
 #include "fuzzer/ActiveTester.h"
 
 #include <chrono>
@@ -94,6 +102,16 @@ struct CampaignConfig {
   /// cycle instead of aborting the campaign.
   unsigned QuarantineThreshold = 5;
 
+  /// Phase II worker processes kept in flight at once. 1 (the default)
+  /// is the serial campaign; 0 means hardware concurrency. Because every
+  /// repetition's classification is deterministic per seed and results
+  /// are committed to the journal in (cycle, rep) order regardless of
+  /// completion order, the per-cycle classification counts are identical
+  /// for every value of Jobs, and Jobs is deliberately NOT part of the
+  /// journal fingerprint: a serial journal resumes in parallel and vice
+  /// versa.
+  unsigned Jobs = 1;
+
   /// rlimit caps applied to every child; 0 inherits.
   uint64_t RlimitAsMb = 0;
   uint64_t RlimitCpuS = 0;
@@ -124,6 +142,8 @@ struct RepOutcome {
   uint64_t Thrashes = 0;
   uint64_t ForcedUnpauses = 0;
   double WallMs = 0.0;
+  /// CPU time of the final attempt's child (user + system).
+  double CpuMs = 0.0;
   /// Crash triage for failed runs: sandbox classification + stderr tail.
   std::string Diagnostic;
 };
@@ -170,6 +190,23 @@ struct CampaignReport {
   /// Repetitions restored from the journal instead of re-run.
   unsigned RepsReplayed = 0;
 
+  // -- Throughput observability (this invocation's Phase II only).
+  /// Wall-clock time Phase II took, in milliseconds.
+  double PhaseTwoWallMs = 0.0;
+  /// Cumulative CPU time of every Phase II child run (including retried
+  /// attempts); under parallel execution this exceeds the wall clock.
+  double ChildCpuMs = 0.0;
+  /// Most sandboxed children simultaneously in flight.
+  unsigned PeakConcurrency = 0;
+  /// Worker count the campaign ran with (after resolving Jobs = 0).
+  unsigned JobsUsed = 1;
+
+  /// Fresh repetitions per wall-clock second (0 when none ran).
+  double repsPerSecond() const {
+    return PhaseTwoWallMs > 0.0 ? RepsExecuted / (PhaseTwoWallMs / 1000.0)
+                                : 0.0;
+  }
+
   bool BudgetExhausted = false;
   bool Interrupted = false;
   /// Every cycle reached its repetition count (or was quarantined).
@@ -192,8 +229,10 @@ public:
   /// first missing repetition.
   CampaignReport run(bool Resume = false);
 
-  /// Arms a SIGINT handler that requests a graceful stop: the repetition
-  /// in flight finishes and is journaled, then the campaign returns a
+  /// Arms a SIGINT handler that requests a graceful stop (clearing any
+  /// pending request first): new work stops being dispatched, in-flight
+  /// children drain naturally (bounded by their watchdogs) and their
+  /// in-order results are journaled, then the campaign returns a
   /// resumable partial report.
   static void installSigintHandler();
   static bool interruptRequested();
@@ -201,8 +240,6 @@ public:
   const CampaignConfig &config() const { return Config; }
 
 private:
-  struct JournaledState;
-
   uint64_t runTimeoutMs() const;
   uint64_t graceMs() const;
   SandboxLimits childLimits() const;
@@ -210,10 +247,14 @@ private:
   bool headerMatches(const JsonValue &Header, std::string *Why) const;
 
   bool runPhaseOneSandboxed(CampaignReport &Report, JsonValue &Record);
-  RepOutcome runOneRep(unsigned CycleIdx, const AbstractCycle &Cycle,
-                       unsigned Rep);
+  /// The sharded Phase II dispatcher/collector; Jobs = 1 is the serial
+  /// campaign through the same code path.
+  void runPhaseTwo(CampaignReport &Report,
+                   std::map<std::pair<unsigned, unsigned>, RepOutcome> &Replay,
+                   std::map<unsigned, std::string> &JournaledQuarantines,
+                   bool HaveDone);
   static void accumulate(CycleCampaignStats &S, const RepOutcome &O);
-  void journalAppend(const JsonValue &Record);
+  bool journalAppend(const JsonValue &Record);
 
   CampaignConfig Config;
   JournalWriter Writer;

@@ -2,6 +2,8 @@
 
 #include "campaign/Journal.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 
 #include <unistd.h>
@@ -11,21 +13,39 @@ using namespace dlf::campaign;
 
 bool JournalWriter::open(const std::string &Path, bool Truncate) {
   close();
+  LastError.clear();
   Stream = std::fopen(Path.c_str(), Truncate ? "w" : "a");
-  return Stream != nullptr;
+  if (!Stream) {
+    LastError = Path + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
 }
 
 bool JournalWriter::append(const JsonValue &Record) {
-  if (!Stream)
+  if (!Stream) {
+    LastError = "journal is not open";
     return false;
+  }
   std::string Line = Record.dump();
   Line += '\n';
-  if (std::fwrite(Line.data(), 1, Line.size(), Stream) != Line.size())
+  errno = 0;
+  if (std::fwrite(Line.data(), 1, Line.size(), Stream) != Line.size()) {
+    LastError = std::string("write failed: ") + std::strerror(errno);
     return false;
-  if (std::fflush(Stream) != 0)
+  }
+  if (std::fflush(Stream) != 0) {
+    LastError = std::string("flush failed: ") + std::strerror(errno);
     return false;
-  // fsync so the record survives machine death, not just process death.
-  fsync(fileno(Stream));
+  }
+  // fsync so the record survives machine death, not just process death. A
+  // failed sync (ENOSPC, EIO) means the record is NOT durable: report it
+  // as a failure so the campaign stops instead of journaling into the
+  // void and pretending the prefix is resumable.
+  if (fsync(fileno(Stream)) != 0) {
+    LastError = std::string("fsync failed: ") + std::strerror(errno);
+    return false;
+  }
   return true;
 }
 

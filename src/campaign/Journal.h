@@ -39,16 +39,22 @@ public:
   /// Opens \p Path for appending (\p Truncate starts a fresh journal).
   bool open(const std::string &Path, bool Truncate);
 
-  /// Writes \p Record as one line and makes it durable. Returns false on
-  /// I/O failure (the campaign surfaces this but keeps running: losing the
-  /// checkpoint must not lose the in-memory campaign).
+  /// Writes \p Record as one line and makes it durable (flush + fsync,
+  /// with every return value checked). Returns false on any I/O or sync
+  /// failure — the record may not have reached stable storage, so the
+  /// campaign stops rather than keep executing work whose checkpoints are
+  /// silently lost; the journaled prefix stays resumable.
   bool append(const JsonValue &Record);
+
+  /// Human-readable description of the last open/append failure.
+  const std::string &lastError() const { return LastError; }
 
   bool isOpen() const { return Stream != nullptr; }
   void close();
 
 private:
   std::FILE *Stream = nullptr;
+  std::string LastError;
 };
 
 /// A loaded journal: the header plus every intact record, in order.

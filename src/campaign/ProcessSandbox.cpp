@@ -3,7 +3,6 @@
 #include "campaign/ProcessSandbox.h"
 
 #include <cerrno>
-#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <exception>
@@ -11,7 +10,6 @@
 #include <sstream>
 
 #include <fcntl.h>
-#include <poll.h>
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -70,11 +68,12 @@ std::string SandboxResult::triage() const {
 
 namespace {
 
-/// waitpid that retries on EINTR (a signal delivered to the campaign
-/// runner must not leak a zombie or misclassify the child).
-pid_t waitpidEintrSafe(pid_t Pid, int *Status, int Flags) {
+/// wait4 that retries on EINTR (a signal delivered to the campaign
+/// runner must not leak a zombie or misclassify the child). rusage gives
+/// the reaped child's CPU time for the throughput report.
+pid_t wait4EintrSafe(pid_t Pid, int *Status, int Flags, struct rusage *RU) {
   for (;;) {
-    pid_t R = waitpid(Pid, Status, Flags);
+    pid_t R = wait4(Pid, Status, Flags, RU);
     if (R >= 0 || errno != EINTR)
       return R;
   }
@@ -87,61 +86,87 @@ void applyRlimit(int Resource, uint64_t Value) {
   setrlimit(Resource, &Lim); // best-effort: a refused cap is not fatal
 }
 
-/// Accumulates up to Cap bytes from Fd into Out; beyond the cap, for the
-/// payload pipe excess is read and discarded (so the child never blocks on
-/// a full pipe), and for the stderr pipe only the tail is kept.
-struct PipeDrain {
-  int Fd = -1;
-  std::string *Out = nullptr;
-  size_t Cap = 0;
-  bool KeepTail = false;
-  bool Eof = false;
-
-  void drain() {
-    if (Fd < 0 || Eof)
-      return;
-    char Buf[4096];
-    for (;;) {
-      ssize_t N = read(Fd, Buf, sizeof(Buf));
-      if (N > 0) {
-        Out->append(Buf, static_cast<size_t>(N));
-        if (Out->size() > Cap) {
-          if (KeepTail)
-            Out->erase(0, Out->size() - Cap);
-          else
-            Out->resize(Cap);
-        }
-        continue;
-      }
-      if (N == 0) {
-        Eof = true;
-        return;
-      }
-      if (errno == EINTR)
-        continue;
-      return; // EAGAIN (or a real error): nothing more right now
-    }
-  }
-};
+double rusageCpuMs(const struct rusage &RU) {
+  auto ToMs = [](const struct timeval &TV) {
+    return static_cast<double>(TV.tv_sec) * 1000.0 +
+           static_cast<double>(TV.tv_usec) / 1000.0;
+  };
+  return ToMs(RU.ru_utime) + ToMs(RU.ru_stime);
+}
 
 } // namespace
 
-SandboxResult
-dlf::campaign::runInSandbox(const std::function<int(int PayloadFd)> &Fn,
-                            const SandboxLimits &Limits) {
-  SandboxResult Result;
+/// Accumulates up to Cap bytes from Fd into Out; beyond the cap, for the
+/// payload pipe excess is read and discarded (so the child never blocks on
+/// a full pipe), and for the stderr pipe only the tail is kept.
+void SandboxProcess::Drain::pump() {
+  if (Fd < 0 || Eof)
+    return;
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Out->append(Buf, static_cast<size_t>(N));
+      if (Out->size() > Cap) {
+        if (KeepTail)
+          Out->erase(0, Out->size() - Cap);
+        else
+          Out->resize(Cap);
+      }
+      continue;
+    }
+    if (N == 0) {
+      Eof = true;
+      return;
+    }
+    if (errno == EINTR)
+      continue;
+    return; // EAGAIN (or a real error): nothing more right now
+  }
+}
 
+SandboxProcess::~SandboxProcess() {
+  if (Started && !Finished)
+    forceKill();
+  closePipes();
+}
+
+double SandboxProcess::elapsedMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - StartTime)
+      .count();
+}
+
+void SandboxProcess::closePipes() {
+  if (PayloadFd >= 0) {
+    close(PayloadFd);
+    PayloadFd = -1;
+    PayloadDrain.Fd = -1;
+  }
+  if (StderrFd >= 0) {
+    close(StderrFd);
+    StderrFd = -1;
+    StderrDrain.Fd = -1;
+  }
+}
+
+bool SandboxProcess::start(const std::function<int(int PayloadFd)> &Fn,
+                           const SandboxLimits &L) {
+  Limits = L;
   int PayloadPipe[2] = {-1, -1};
   int StderrPipe[2] = {-1, -1};
-  if (pipe(PayloadPipe) != 0)
-    return Result;
+  if (pipe(PayloadPipe) != 0) {
+    Finished = true;
+    return false;
+  }
   if (Limits.CaptureStderr && pipe(StderrPipe) != 0) {
     close(PayloadPipe[0]);
     close(PayloadPipe[1]);
-    return Result;
+    Finished = true;
+    return false;
   }
 
-  auto Start = std::chrono::steady_clock::now();
+  StartTime = std::chrono::steady_clock::now();
   pid_t Child = fork();
   if (Child < 0) {
     close(PayloadPipe[0]);
@@ -150,7 +175,8 @@ dlf::campaign::runInSandbox(const std::function<int(int PayloadFd)> &Fn,
       close(StderrPipe[0]);
       close(StderrPipe[1]);
     }
-    return Result;
+    Finished = true;
+    return false;
   }
 
   if (Child == 0) {
@@ -183,82 +209,32 @@ dlf::campaign::runInSandbox(const std::function<int(int PayloadFd)> &Fn,
   }
 
   // Parent.
+  Started = true;
   Result.ChildPid = Child;
   close(PayloadPipe[1]);
   if (Limits.CaptureStderr)
     close(StderrPipe[1]);
-  fcntl(PayloadPipe[0], F_SETFL, O_NONBLOCK);
-  if (Limits.CaptureStderr)
-    fcntl(StderrPipe[0], F_SETFL, O_NONBLOCK);
+  PayloadFd = PayloadPipe[0];
+  StderrFd = Limits.CaptureStderr ? StderrPipe[0] : -1;
+  fcntl(PayloadFd, F_SETFL, O_NONBLOCK);
+  if (StderrFd >= 0)
+    fcntl(StderrFd, F_SETFL, O_NONBLOCK);
 
-  PipeDrain Payload{PayloadPipe[0], &Result.Payload, Limits.MaxPayloadBytes,
-                    /*KeepTail=*/false};
-  PipeDrain Stderr{Limits.CaptureStderr ? StderrPipe[0] : -1,
-                   &Result.StderrTail, Limits.MaxStderrBytes,
-                   /*KeepTail=*/true};
+  PayloadDrain = {PayloadFd, &Result.Payload, Limits.MaxPayloadBytes,
+                  /*KeepTail=*/false, /*Eof=*/false};
+  StderrDrain = {StderrFd, &Result.StderrTail, Limits.MaxStderrBytes,
+                 /*KeepTail=*/true, /*Eof=*/false};
+  return true;
+}
 
-  auto ElapsedMs = [&] {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - Start)
-        .count();
-  };
-
-  // Poll loop: drain the pipes (a blocked child writer would otherwise
-  // outlive any watchdog) and reap the child without blocking. Three
-  // phases: running, SIGTERM sent, SIGKILL sent.
-  enum class Phase { Running, Termed, Killed } Ph = Phase::Running;
-  double TermAtMs = 0;
-  int Status = 0;
-  bool Reaped = false;
-  bool TimedOut = false;
-
-  while (!Reaped) {
-    Payload.drain();
-    Stderr.drain();
-
-    pid_t Done = waitpidEintrSafe(Child, &Status, WNOHANG);
-    if (Done == Child) {
-      Reaped = true;
-      break;
-    }
-
-    double Now = ElapsedMs();
-    if (Ph == Phase::Running && Limits.TimeoutMs &&
-        Now >= static_cast<double>(Limits.TimeoutMs)) {
-      TimedOut = true;
-      kill(Child, SIGTERM);
-      TermAtMs = Now;
-      Ph = Phase::Termed;
-    } else if (Ph == Phase::Termed &&
-               Now - TermAtMs >= static_cast<double>(Limits.GraceMs)) {
-      kill(Child, SIGKILL);
-      Ph = Phase::Killed;
-      Result.TermEscalated = true;
-      // SIGKILL cannot be ignored: wait for the reap synchronously.
-      waitpidEintrSafe(Child, &Status, 0);
-      Reaped = true;
-      break;
-    }
-
-    // Sleep in poll() on the pipes so child output wakes us immediately
-    // and a quiet child costs one syscall per millisecond at most.
-    struct pollfd Fds[2];
-    nfds_t NFds = 0;
-    if (!Payload.Eof)
-      Fds[NFds++] = {PayloadPipe[0], POLLIN, 0};
-    if (Stderr.Fd >= 0 && !Stderr.Eof)
-      Fds[NFds++] = {StderrPipe[0], POLLIN, 0};
-    poll(Fds, NFds, /*timeout=*/1);
-  }
-
-  Result.WallMs = ElapsedMs();
-  // Final drain: the child may have written between our last drain and its
+void SandboxProcess::finalize(int Status) {
+  Result.WallMs = elapsedMs();
+  // Final drain: the child may have written between our last pump and its
   // exit; EOF is guaranteed now that the write ends are closed.
-  Payload.drain();
-  Stderr.drain();
-  close(PayloadPipe[0]);
-  if (Limits.CaptureStderr)
-    close(StderrPipe[0]);
+  PayloadDrain.pump();
+  StderrDrain.pump();
+  closePipes();
+  Finished = true;
 
   if (WIFSIGNALED(Status)) {
     Result.TermSignal = WTERMSIG(Status);
@@ -273,7 +249,7 @@ dlf::campaign::runInSandbox(const std::function<int(int PayloadFd)> &Fn,
       Result.Status = SandboxStatus::Hung;
     else
       Result.Status = SandboxStatus::Signaled;
-    return Result;
+    return;
   }
 
   Result.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
@@ -287,5 +263,79 @@ dlf::campaign::runInSandbox(const std::function<int(int PayloadFd)> &Fn,
     Result.Status = SandboxStatus::OutOfMemory;
   else
     Result.Status = SandboxStatus::Exited;
-  return Result;
+}
+
+bool SandboxProcess::poll() {
+  if (Finished)
+    return true;
+  PayloadDrain.pump();
+  StderrDrain.pump();
+
+  int Status = 0;
+  struct rusage RU;
+  std::memset(&RU, 0, sizeof(RU));
+  pid_t Done = wait4EintrSafe(Result.ChildPid, &Status, WNOHANG, &RU);
+  if (Done == Result.ChildPid) {
+    Result.CpuMs = rusageCpuMs(RU);
+    finalize(Status);
+    return true;
+  }
+
+  double Now = elapsedMs();
+  if (Ph == Phase::Running && Limits.TimeoutMs &&
+      Now >= static_cast<double>(Limits.TimeoutMs)) {
+    TimedOut = true;
+    kill(Result.ChildPid, SIGTERM);
+    TermAtMs = Now;
+    Ph = Phase::Termed;
+  } else if (Ph == Phase::Termed &&
+             Now - TermAtMs >= static_cast<double>(Limits.GraceMs)) {
+    kill(Result.ChildPid, SIGKILL);
+    Ph = Phase::Killed;
+    Result.TermEscalated = true;
+    // SIGKILL cannot be ignored: wait for the reap synchronously.
+    wait4EintrSafe(Result.ChildPid, &Status, 0, &RU);
+    Result.CpuMs = rusageCpuMs(RU);
+    finalize(Status);
+    return true;
+  }
+  return false;
+}
+
+void SandboxProcess::appendPollFds(std::vector<struct pollfd> &Fds) const {
+  if (Finished)
+    return;
+  if (PayloadFd >= 0 && !PayloadDrain.Eof)
+    Fds.push_back({PayloadFd, POLLIN, 0});
+  if (StderrFd >= 0 && !StderrDrain.Eof)
+    Fds.push_back({StderrFd, POLLIN, 0});
+}
+
+void SandboxProcess::forceKill() {
+  if (!Started || Finished)
+    return;
+  kill(Result.ChildPid, SIGKILL);
+  int Status = 0;
+  struct rusage RU;
+  std::memset(&RU, 0, sizeof(RU));
+  wait4EintrSafe(Result.ChildPid, &Status, 0, &RU);
+  Result.CpuMs = rusageCpuMs(RU);
+  TimedOut = true; // classify as Hung, not as the child's own crash
+  finalize(Status);
+}
+
+SandboxResult
+dlf::campaign::runInSandbox(const std::function<int(int PayloadFd)> &Fn,
+                            const SandboxLimits &Limits) {
+  SandboxProcess P;
+  if (!P.start(Fn, Limits))
+    return P.takeResult();
+  while (!P.poll()) {
+    // Sleep in poll() on the pipes so child output wakes us immediately
+    // and a quiet child costs one syscall per millisecond at most.
+    std::vector<struct pollfd> Fds;
+    P.appendPollFds(Fds);
+    ::poll(Fds.empty() ? nullptr : Fds.data(), Fds.size(), /*timeout=*/1);
+  }
+  return P.takeResult();
 }

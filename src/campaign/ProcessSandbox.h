@@ -22,15 +22,23 @@
 ///    so a full pipe can never wedge the child) and a bounded stderr
 ///    capture for crash triage.
 ///
+/// Two entry points share one implementation: the blocking runInSandbox
+/// (start one child, pump it to completion) and the non-blocking
+/// SandboxProcess (start / poll / reap), which the campaign WorkerPool
+/// uses to keep N children in flight from a single dispatch thread.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DLF_CAMPAIGN_PROCESSSANDBOX_H
 #define DLF_CAMPAIGN_PROCESSSANDBOX_H
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
+#include <poll.h>
 #include <sys/types.h>
 
 namespace dlf {
@@ -97,6 +105,11 @@ struct SandboxResult {
   /// Wall-clock duration of the child, in milliseconds.
   double WallMs = 0.0;
 
+  /// CPU time the child consumed (user + system, from wait4's rusage), in
+  /// milliseconds. The campaign report sums this across children to show
+  /// wall vs. cumulative CPU under parallel execution.
+  double CpuMs = 0.0;
+
   /// Bytes the child wrote to the result pipe (possibly truncated at
   /// MaxPayloadBytes).
   std::string Payload;
@@ -110,6 +123,72 @@ struct SandboxResult {
 
   /// One-line triage summary ("crashed: SIGABRT", "exited 3", ...).
   std::string triage() const;
+};
+
+/// One sandboxed child, driven without blocking: start() forks it, poll()
+/// pumps its pipes / advances the watchdog / reaps it when it exits, and
+/// takeResult() yields the classification. The watchdog needs poll() to be
+/// called every few milliseconds while the child runs; appendPollFds()
+/// exposes the read ends so a dispatcher can sleep in ::poll across many
+/// children and still wake instantly on output.
+class SandboxProcess {
+public:
+  SandboxProcess() = default;
+  ~SandboxProcess();
+  SandboxProcess(const SandboxProcess &) = delete;
+  SandboxProcess &operator=(const SandboxProcess &) = delete;
+
+  /// Forks the child (see runInSandbox for \p Fn's contract). Returns
+  /// false when pipe/fork creation fails; the process is then finished()
+  /// with SandboxStatus::ForkFailed.
+  bool start(const std::function<int(int PayloadFd)> &Fn,
+             const SandboxLimits &Limits);
+
+  /// True once the child is reaped (or start failed); the result is final.
+  bool finished() const { return Finished; }
+
+  pid_t childPid() const { return Result.ChildPid; }
+
+  /// Non-blocking pump: drains the pipes, fires the SIGTERM -> SIGKILL
+  /// watchdog when due, and reaps an exited child. Returns finished().
+  bool poll();
+
+  /// Appends this child's readable pipe fds to \p Fds (for a combined
+  /// ::poll sleep). Fds at EOF are skipped.
+  void appendPollFds(std::vector<struct pollfd> &Fds) const;
+
+  /// SIGKILLs and reaps the child immediately (used to cancel speculative
+  /// work). The result is marked finished but is not meaningful.
+  void forceKill();
+
+  const SandboxResult &result() const { return Result; }
+  SandboxResult takeResult() { return std::move(Result); }
+
+private:
+  struct Drain {
+    int Fd = -1;
+    std::string *Out = nullptr;
+    size_t Cap = 0;
+    bool KeepTail = false;
+    bool Eof = false;
+    void pump();
+  };
+
+  double elapsedMs() const;
+  void finalize(int Status);
+  void closePipes();
+
+  SandboxLimits Limits;
+  std::chrono::steady_clock::time_point StartTime;
+  enum class Phase { Running, Termed, Killed } Ph = Phase::Running;
+  double TermAtMs = 0;
+  bool TimedOut = false;
+  bool Started = false;
+  bool Finished = false;
+  int PayloadFd = -1;
+  int StderrFd = -1;
+  Drain PayloadDrain, StderrDrain;
+  SandboxResult Result;
 };
 
 /// Runs \p Fn in a forked child under \p Limits. \p Fn receives the write

@@ -19,6 +19,7 @@
 
 #include "igoodlock/IGoodlock.h"
 #include "runtime/Records.h"
+#include "support/Env.h"
 
 #include <fstream>
 #include <iostream>
@@ -56,8 +57,20 @@ int main(int Argc, char **Argv) {
   }
   IGoodlockOptions Opts;
   for (int I = 2; I + 1 < Argc; ++I)
-    if (std::string(Argv[I]) == "--max-cycle-length")
-      Opts.MaxCycleLength = static_cast<unsigned>(std::atoi(Argv[I + 1]));
+    if (std::string(Argv[I]) == "--max-cycle-length") {
+      // atoi would turn garbage into 0 and silently disable cycle search;
+      // malformed bounds are a usage error instead.
+      uint64_t N = 0;
+      if (!parseUint64Strict(Argv[I + 1], N)) {
+        std::cerr << "error: --max-cycle-length expects a non-negative "
+                     "integer, got '"
+                  << Argv[I + 1] << "'\n"
+                  << "usage: dlf-analyze <trace-file> "
+                     "[--max-cycle-length N]\n";
+        return 1;
+      }
+      Opts.MaxCycleLength = static_cast<unsigned>(N);
+    }
 
   std::ifstream In(Argv[1]);
   if (!In) {

@@ -29,6 +29,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interpose/TraceFormat.h"
+#include "support/Env.h" // header-only; keeps the no-libdlf constraint
 
 #ifndef _GNU_SOURCE
 #define _GNU_SOURCE
@@ -405,8 +406,18 @@ __attribute__((constructor)) void dlfPreloadInit() {
   }
   if (const char *Spec = getenv(dlf::interpose::CycleEnvVar))
     parseCycleSpec(Spec);
-  if (const char *Ms = getenv(dlf::interpose::PauseMsEnvVar))
-    State->PauseMs = static_cast<unsigned>(atoi(Ms));
+  if (const char *Ms = getenv(dlf::interpose::PauseMsEnvVar)) {
+    // atoi would map a typo to PauseMs = 0, silently disarming the biased
+    // scheduler; fail fast before the program under test starts instead.
+    uint64_t N = 0;
+    if (!dlf::parseUint64Strict(Ms, N)) {
+      fprintf(stderr,
+              "dlf-preload: %s expects a non-negative integer, got '%s'\n",
+              dlf::interpose::PauseMsEnvVar, Ms);
+      _exit(2);
+    }
+    State->PauseMs = static_cast<unsigned>(N);
+  }
 }
 
 __attribute__((destructor)) void dlfPreloadShutdown() {

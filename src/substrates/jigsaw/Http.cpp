@@ -74,8 +74,15 @@ unsigned jigsaw::routeToResource(const std::string &Path,
                      std::all_of(Tail.begin(), Tail.end(), [](unsigned char C) {
                        return std::isdigit(C);
                      });
-    if (AllDigits)
-      return static_cast<unsigned>(std::stoul(Tail)) % ResourceCount;
+    if (AllDigits) {
+      // Accumulate modulo ResourceCount instead of std::stoul: a crafted
+      // request like GET /res/18446744073709551616 must route, not throw
+      // std::out_of_range through the worker thread.
+      uint64_t Slot = 0;
+      for (unsigned char C : Tail)
+        Slot = (Slot * 10 + (C - '0')) % ResourceCount;
+      return static_cast<unsigned>(Slot);
+    }
   }
   // Otherwise a stable FNV-1a hash of the path.
   uint32_t Hash = 2166136261u;

@@ -14,10 +14,30 @@
 #ifndef DLF_SUPPORT_ENV_H
 #define DLF_SUPPORT_ENV_H
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 namespace dlf {
+
+/// Strictly parses \p Text as a complete non-negative decimal integer.
+/// Rejects what atoi/strtoull silently accept or mangle: empty strings,
+/// leading whitespace, sign characters (strtoull wraps "-1" to 2^64-1),
+/// trailing junk ("5x"), and values past 2^64-1. Header-only so the
+/// standalone tools and the LD_PRELOAD library (which do not link the
+/// support library) validate flags identically.
+inline bool parseUint64Strict(const char *Text, uint64_t &Out) {
+  if (!Text || Text[0] < '0' || Text[0] > '9')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (errno == ERANGE || End == Text || *End != '\0')
+    return false;
+  Out = static_cast<uint64_t>(V);
+  return true;
+}
 
 /// Returns the value of \p Name as a string, or \p Default if unset/empty.
 std::string envString(const char *Name, const std::string &Default = "");

@@ -21,6 +21,7 @@
 #include "fuzzer/ActiveTester.h"
 #include "igoodlock/Serialize.h"
 #include "substrates/BenchmarkRegistry.h"
+#include "support/Env.h"
 #include "support/Table.h"
 
 #include <cstdlib>
@@ -67,7 +68,12 @@ void printUsage() {
          "  --budget-s N           wall-clock budget; on exhaustion the\n"
          "                         campaign checkpoints and exits\n"
          "  --max-retries N        retries per repetition for hung or\n"
-         "                         crashed children (default 3)\n";
+         "                         crashed children (default 3)\n"
+         "  --jobs N               campaign child processes in flight at\n"
+         "                         once (default 1 = serial; 0 = hardware\n"
+         "                         concurrency); classification counts are\n"
+         "                         identical for every N, and journals\n"
+         "                         resume across --jobs values\n";
 }
 
 /// Runs the fault-isolated campaign and prints its report. Returns the
@@ -113,6 +119,12 @@ int runCampaign(const BenchmarkInfo &Bench, campaign::CampaignConfig Config,
                 << "\n";
   std::cout << "reps executed " << Report.RepsExecuted
             << ", replayed from journal " << Report.RepsReplayed << "\n";
+  if (Report.RepsExecuted)
+    std::cout << "throughput: " << Table::fmt(Report.repsPerSecond(), 2)
+              << " reps/s (wall " << Table::fmt(Report.PhaseTwoWallMs / 1000.0, 2)
+              << " s, child cpu " << Table::fmt(Report.ChildCpuMs / 1000.0, 2)
+              << " s), peak " << Report.PeakConcurrency
+              << " concurrent child(ren), jobs " << Report.JobsUsed << "\n";
   // The journal fingerprint covers seeds, reps, and abstraction settings,
   // so the resume invocation must repeat this one's options.
   if (Report.BudgetExhausted)
@@ -179,36 +191,62 @@ int main(int Argc, char **Argv) {
   std::string SaveCyclesPath, LoadCyclesPath;
   bool Campaign = false;
   bool Resume = false;
+  bool JournalFlagGiven = false;
+  bool JobsGiven = false;
   std::string JournalPath;
   uint64_t RunTimeoutMs = 0;
   uint64_t BudgetS = 0;
+  uint64_t Jobs = 1;
   int MaxRetries = -1;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    auto NextInt = [&](int Default) {
-      return I + 1 < Argc ? std::atoi(Argv[++I]) : Default;
+    // Every numeric option is validated strictly: a missing, negative,
+    // non-numeric, or out-of-range operand is a usage error, never a
+    // silent zero (the atoi failure mode).
+    auto NextUint = [&](uint64_t &Out) {
+      const char *Text = I + 1 < Argc ? Argv[I + 1] : nullptr;
+      if (!Text || !parseUint64Strict(Text, Out)) {
+        std::cerr << "error: " << Arg
+                  << " expects a non-negative integer, got '"
+                  << (Text ? Text : "") << "'\n";
+        return false;
+      }
+      ++I;
+      return true;
     };
+    uint64_t N = 0;
     if (Arg == "--phase1-only") {
       Phase1Only = true;
     } else if (Arg == "--record-phase1") {
       Config.PhaseOneMode = RunMode::Record;
     } else if (Arg == "--variant") {
-      if (!applyVariant(Config, NextInt(2))) {
+      if (!NextUint(N))
+        return 1;
+      if (!applyVariant(Config, static_cast<int>(N))) {
         std::cerr << "error: variant must be 1..5\n";
         return 1;
       }
     } else if (Arg == "--reps") {
-      Config.PhaseTwoReps = static_cast<unsigned>(NextInt(20));
+      if (!NextUint(N))
+        return 1;
+      Config.PhaseTwoReps = static_cast<unsigned>(N);
     } else if (Arg == "--seed") {
-      int Seed = NextInt(1);
-      Config.PhaseOneSeed = static_cast<uint64_t>(Seed);
-      Config.PhaseTwoSeedBase = static_cast<uint64_t>(Seed) * 1000;
+      if (!NextUint(N))
+        return 1;
+      Config.PhaseOneSeed = N;
+      Config.PhaseTwoSeedBase = N * 1000;
     } else if (Arg == "--cycle") {
-      OnlyCycle = NextInt(-1);
+      if (!NextUint(N))
+        return 1;
+      OnlyCycle = static_cast<int>(N);
     } else if (Arg == "--max-cycle-length") {
-      Config.Goodlock.MaxCycleLength = static_cast<unsigned>(NextInt(6));
+      if (!NextUint(N))
+        return 1;
+      Config.Goodlock.MaxCycleLength = static_cast<unsigned>(N);
     } else if (Arg == "--normal") {
-      NormalRuns = NextInt(20);
+      if (!NextUint(N))
+        return 1;
+      NormalRuns = static_cast<int>(N);
     } else if (Arg == "--save-cycles") {
       if (I + 1 < Argc)
         SaveCyclesPath = Argv[++I];
@@ -230,28 +268,52 @@ int main(int Argc, char **Argv) {
         return 1;
       }
     } else if (Arg == "--heal") {
-      HealRuns = NextInt(20);
+      if (!NextUint(N))
+        return 1;
+      HealRuns = static_cast<int>(N);
     } else if (Arg == "--campaign") {
       Campaign = true;
     } else if (Arg == "--resume") {
       Campaign = true;
       Resume = true;
-      if (I + 1 < Argc)
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
         JournalPath = Argv[++I];
     } else if (Arg == "--journal") {
+      JournalFlagGiven = true;
       if (I + 1 < Argc)
         JournalPath = Argv[++I];
     } else if (Arg == "--run-timeout-ms") {
-      RunTimeoutMs = static_cast<uint64_t>(NextInt(5000));
+      if (!NextUint(N))
+        return 1;
+      RunTimeoutMs = N;
     } else if (Arg == "--budget-s") {
-      BudgetS = static_cast<uint64_t>(NextInt(0));
+      if (!NextUint(N))
+        return 1;
+      BudgetS = N;
     } else if (Arg == "--max-retries") {
-      MaxRetries = NextInt(3);
+      if (!NextUint(N))
+        return 1;
+      MaxRetries = static_cast<int>(N);
+    } else if (Arg == "--jobs") {
+      if (!NextUint(N))
+        return 1;
+      Jobs = N;
+      JobsGiven = true;
     } else {
       std::cerr << "error: unknown option '" << Arg << "'\n";
       printUsage();
       return 1;
     }
+  }
+
+  if (JobsGiven && !Campaign) {
+    std::cerr << "error: --jobs only applies to --campaign (or --resume)\n";
+    return 1;
+  }
+  if (Resume && JournalFlagGiven) {
+    std::cerr << "error: --resume FILE already names the journal; "
+                 "--journal conflicts with it\n";
+    return 1;
   }
 
   if (Campaign) {
@@ -261,6 +323,7 @@ int main(int Argc, char **Argv) {
     CC.Tester = Config;
     CC.RunTimeoutMs = RunTimeoutMs;
     CC.BudgetS = BudgetS;
+    CC.Jobs = static_cast<unsigned>(Jobs);
     if (MaxRetries >= 0)
       CC.MaxRetries = static_cast<unsigned>(MaxRetries);
     CC.JournalPath = JournalPath.empty()

@@ -14,6 +14,7 @@
 #include "campaign/Journal.h"
 #include "campaign/Json.h"
 #include "campaign/ProcessSandbox.h"
+#include "campaign/WorkerPool.h"
 #include "runtime/Mutex.h"
 #include "runtime/Runtime.h"
 #include "runtime/Thread.h"
@@ -381,6 +382,284 @@ TEST(Campaign, ResumeAfterInterruptMatchesUninterruptedStatistics) {
   ASSERT_TRUE(Replayed.Error.empty()) << Replayed.Error;
   EXPECT_EQ(Replayed.RepsExecuted, 0u);
   EXPECT_EQ(Replayed.RepsReplayed, 4u);
+}
+
+// -- Worker pool -------------------------------------------------------------
+
+TEST(WorkerPool, RunsChildrenConcurrentlyAndReportsPeak) {
+  WorkerPool Pool(4);
+  EXPECT_EQ(Pool.jobs(), 4u);
+  SandboxLimits L;
+  L.TimeoutMs = 10'000;
+  for (int I = 0; I != 4; ++I)
+    Pool.launch(
+        [](int) {
+          usleep(100 * 1000);
+          return 0;
+        },
+        L);
+  EXPECT_EQ(Pool.inFlight(), 4u);
+  std::vector<PoolCompletion> Done;
+  Pool.drainAll(Done);
+  ASSERT_EQ(Done.size(), 4u);
+  EXPECT_EQ(Pool.peakConcurrency(), 4u);
+  EXPECT_EQ(Pool.inFlight(), 0u);
+  for (const PoolCompletion &PC : Done)
+    EXPECT_EQ(PC.Result.Status, SandboxStatus::Completed);
+}
+
+TEST(WorkerPool, CancelKillsAndReapsTheChildImmediately) {
+  WorkerPool Pool(2);
+  SandboxLimits L;
+  L.TimeoutMs = 60'000; // the cancel, not the watchdog, must end the child
+  uint64_t Ticket = Pool.launch(
+      [](int) {
+        for (;;)
+          pause();
+        return 0;
+      },
+      L);
+  EXPECT_EQ(Pool.inFlight(), 1u);
+  Pool.cancel(Ticket);
+  EXPECT_EQ(Pool.inFlight(), 0u);
+  int WaitStatus = 0;
+  EXPECT_EQ(waitpid(-1, &WaitStatus, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+// -- Parallel campaigns ------------------------------------------------------
+
+/// Two disjoint ABBA pairs across four threads: phase 1 reports two
+/// independent cycles, so parallel sharding crosses cycle boundaries.
+void doubleAbbaProgram() {
+  Mutex A("p2a", DLF_SITE());
+  Mutex B("p2b", DLF_SITE());
+  Mutex C("p2c", DLF_SITE());
+  Mutex D("p2d", DLF_SITE());
+  Thread T1([&] {
+    for (int I = 0; I != 4; ++I)
+      yieldNow();
+    MutexGuard First(A, DLF_NAMED_SITE("par:t1a"));
+    MutexGuard Second(B, DLF_NAMED_SITE("par:t1b"));
+  });
+  Thread T2([&] {
+    MutexGuard First(B, DLF_NAMED_SITE("par:t2b"));
+    MutexGuard Second(A, DLF_NAMED_SITE("par:t2a"));
+  });
+  Thread T3([&] {
+    for (int I = 0; I != 4; ++I)
+      yieldNow();
+    MutexGuard First(C, DLF_NAMED_SITE("par:t3c"));
+    MutexGuard Second(D, DLF_NAMED_SITE("par:t3d"));
+  });
+  Thread T4([&] {
+    MutexGuard First(D, DLF_NAMED_SITE("par:t4d"));
+    MutexGuard Second(C, DLF_NAMED_SITE("par:t4c"));
+  });
+  T1.join();
+  T2.join();
+  T3.join();
+  T4.join();
+}
+
+CampaignConfig doubleConfig(const std::string &JournalPath) {
+  CampaignConfig CC;
+  CC.BenchmarkName = "campaign-test-double-abba";
+  CC.Entry = doubleAbbaProgram;
+  CC.Tester.PhaseTwoReps = 4;
+  CC.BackoffBaseMs = 1;
+  CC.JournalPath = JournalPath;
+  return CC;
+}
+
+/// The deterministic identity of every journaled repetition, in journal
+/// order: the parallel campaign must write record-for-record what the
+/// serial campaign writes.
+std::vector<std::string> journaledRepKeys(const std::string &Path) {
+  JournalContents JC;
+  std::string Error;
+  EXPECT_TRUE(loadJournal(Path, JC, &Error)) << Error;
+  std::vector<std::string> Keys;
+  for (const JsonValue &R : JC.Records)
+    if (R["event"].asString() == "rep")
+      Keys.push_back(std::to_string(R["cycle"].asUInt()) + "/" +
+                     std::to_string(R["rep"].asUInt()) + " seed=" +
+                     std::to_string(R["seed"].asUInt()) + " class=" +
+                     R["class"].asString() + " attempts=" +
+                     std::to_string(R["attempts"].asUInt()));
+  return Keys;
+}
+
+TEST(Campaign, ParallelCountsAndJournalMatchSerialExactly) {
+  TempFile SerialJ("eq-serial.jsonl");
+  TempFile ParallelJ("eq-parallel.jsonl");
+
+  CampaignReport Serial = CampaignRunner(doubleConfig(SerialJ.path())).run();
+  ASSERT_TRUE(Serial.Error.empty()) << Serial.Error;
+  ASSERT_TRUE(Serial.CampaignComplete);
+  ASSERT_GE(Serial.PerCycle.size(), 2u);
+
+  CampaignConfig PC = doubleConfig(ParallelJ.path());
+  PC.Jobs = 4;
+  CampaignReport Parallel = CampaignRunner(std::move(PC)).run();
+  ASSERT_TRUE(Parallel.Error.empty()) << Parallel.Error;
+  ASSERT_TRUE(Parallel.CampaignComplete);
+  EXPECT_EQ(Parallel.JobsUsed, 4u);
+
+  ASSERT_EQ(Serial.PerCycle.size(), Parallel.PerCycle.size());
+  for (size_t I = 0; I != Serial.PerCycle.size(); ++I)
+    EXPECT_EQ(Serial.PerCycle[I].countsKey(), Parallel.PerCycle[I].countsKey())
+        << "cycle #" << I;
+  EXPECT_EQ(journaledRepKeys(SerialJ.path()),
+            journaledRepKeys(ParallelJ.path()));
+}
+
+TEST(Campaign, JournalsResumeAcrossSerialAndParallelModes) {
+  TempFile Control("cross-control.jsonl");
+  CampaignReport Full = CampaignRunner(baseConfig(Control.path())).run();
+  ASSERT_TRUE(Full.Error.empty()) << Full.Error;
+
+  // Serial campaign interrupted, resumed in parallel.
+  {
+    TempFile J("cross-s2p.jsonl");
+    CampaignConfig CC = baseConfig(J.path());
+    auto Checks = std::make_shared<int>(0);
+    CC.ShouldStop = [Checks] { return ++*Checks > 2; };
+    CampaignReport Partial = CampaignRunner(std::move(CC)).run();
+    ASSERT_TRUE(Partial.Error.empty()) << Partial.Error;
+    ASSERT_TRUE(Partial.Interrupted);
+
+    CampaignConfig RC = baseConfig(J.path());
+    RC.Jobs = 4; // deliberately not in the fingerprint
+    CampaignReport Resumed = CampaignRunner(std::move(RC)).run(true);
+    ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+    EXPECT_TRUE(Resumed.CampaignComplete);
+    EXPECT_EQ(Resumed.RepsReplayed, 2u);
+    ASSERT_EQ(Resumed.PerCycle.size(), Full.PerCycle.size());
+    for (size_t I = 0; I != Full.PerCycle.size(); ++I)
+      EXPECT_EQ(Resumed.PerCycle[I].countsKey(), Full.PerCycle[I].countsKey());
+  }
+
+  // Parallel campaign interrupted, resumed serially.
+  {
+    TempFile J("cross-p2s.jsonl");
+    CampaignConfig CC = baseConfig(J.path());
+    CC.Jobs = 4;
+    auto Checks = std::make_shared<int>(0);
+    CC.ShouldStop = [Checks] { return ++*Checks > 2; };
+    CampaignReport Partial = CampaignRunner(std::move(CC)).run();
+    ASSERT_TRUE(Partial.Error.empty()) << Partial.Error;
+    ASSERT_TRUE(Partial.Interrupted);
+    EXPECT_LT(Partial.RepsExecuted, 4u);
+
+    CampaignReport Resumed = CampaignRunner(baseConfig(J.path())).run(true);
+    ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+    EXPECT_TRUE(Resumed.CampaignComplete);
+    ASSERT_EQ(Resumed.PerCycle.size(), Full.PerCycle.size());
+    for (size_t I = 0; I != Full.PerCycle.size(); ++I)
+      EXPECT_EQ(Resumed.PerCycle[I].countsKey(), Full.PerCycle[I].countsKey());
+  }
+}
+
+TEST(Campaign, ParallelRetryMatchesSerialSemantics) {
+  TempFile File("par-retry.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.Jobs = 4;
+  CC.MaxRetries = 2;
+  CC.ChildFaultHook = [](unsigned, unsigned, unsigned Attempt) {
+    if (Attempt == 0)
+      abort();
+  };
+  CampaignReport R = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  EXPECT_TRUE(R.CampaignComplete);
+  ASSERT_EQ(R.PerCycle.size(), 1u);
+  const CycleCampaignStats &S = R.PerCycle[0];
+  EXPECT_EQ(S.Reproduced, 4u) << R.toString();
+  EXPECT_EQ(S.RetriesSpent, 4u);
+  EXPECT_EQ(S.CrashedSignal, 0u);
+}
+
+TEST(Campaign, ParallelQuarantineJournalsNothingPastTheThreshold) {
+  TempFile File("par-quarantine.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.Jobs = 4;
+  CC.RunTimeoutMs = 100;
+  CC.GraceMs = 40;
+  CC.MaxRetries = 0;
+  CC.QuarantineThreshold = 2;
+  CC.ChildFaultHook = [](unsigned, unsigned, unsigned) {
+    for (;;)
+      pause();
+  };
+  CampaignReport R = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  EXPECT_TRUE(R.CampaignComplete);
+  ASSERT_EQ(R.PerCycle.size(), 1u);
+  const CycleCampaignStats &S = R.PerCycle[0];
+  EXPECT_TRUE(S.Quarantined);
+  EXPECT_EQ(S.Hung, 2u) << R.toString();
+  EXPECT_EQ(S.Reps, 2u);
+  // Speculative repetitions past the quarantine point were in flight but
+  // must never be journaled: the record set matches the serial campaign.
+  EXPECT_EQ(journaledRepKeys(File.path()).size(), 2u);
+}
+
+TEST(Campaign, SigintDrainsInFlightChildrenWithoutZombies) {
+  TempFile J("sigint.jsonl");
+  TempFile Control("sigint-control.jsonl");
+
+  CampaignConfig CC = baseConfig(J.path());
+  CC.Jobs = 4;
+  auto Checks = std::make_shared<int>(0);
+  CC.ShouldStop = [Checks] {
+    if (++*Checks == 2)
+      raise(SIGINT); // arrives mid-dispatch with children in flight
+    return false;
+  };
+  CampaignRunner::installSigintHandler();
+  CampaignReport Partial = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(Partial.Error.empty()) << Partial.Error;
+  EXPECT_TRUE(Partial.Interrupted);
+  EXPECT_FALSE(Partial.CampaignComplete);
+  // The drain reaped every child: no zombies left behind.
+  int WaitStatus = 0;
+  EXPECT_EQ(waitpid(-1, &WaitStatus, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+
+  // The journal is a clean prefix; resuming completes the campaign with
+  // the uninterrupted statistics.
+  CampaignReport Resumed = CampaignRunner(baseConfig(J.path())).run(true);
+  ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+  EXPECT_TRUE(Resumed.CampaignComplete);
+  CampaignReport Full = CampaignRunner(baseConfig(Control.path())).run();
+  ASSERT_TRUE(Full.Error.empty()) << Full.Error;
+  ASSERT_EQ(Resumed.PerCycle.size(), Full.PerCycle.size());
+  for (size_t I = 0; I != Full.PerCycle.size(); ++I)
+    EXPECT_EQ(Resumed.PerCycle[I].countsKey(), Full.PerCycle[I].countsKey());
+}
+
+// -- Journal durability ------------------------------------------------------
+
+TEST(CampaignJournal, AppendFailureIsReportedNotIgnored) {
+  if (access("/dev/full", W_OK) != 0)
+    GTEST_SKIP() << "/dev/full not available";
+  JournalWriter W;
+  ASSERT_TRUE(W.open("/dev/full", /*Truncate=*/true));
+  JsonValue Rec = JsonValue::object();
+  Rec.set("event", "rep");
+  EXPECT_FALSE(W.append(Rec));
+  EXPECT_FALSE(W.lastError().empty());
+}
+
+TEST(Campaign, JournalWriteFailureStopsTheCampaign) {
+  if (access("/dev/full", W_OK) != 0)
+    GTEST_SKIP() << "/dev/full not available";
+  CampaignConfig CC = baseConfig("/dev/full");
+  CampaignReport R = CampaignRunner(std::move(CC)).run();
+  EXPECT_FALSE(R.CampaignComplete);
+  ASSERT_FALSE(R.Error.empty());
+  EXPECT_NE(R.Error.find("journal"), std::string::npos) << R.Error;
 }
 
 TEST(Campaign, ResumeRejectsAMismatchedConfiguration) {

@@ -59,6 +59,23 @@ TEST(HttpRouter, NumericTailRoutesDirectly) {
   EXPECT_EQ(routeToResource("/res/7", 4), 3u) << "modulo resource count";
 }
 
+TEST(HttpRouter, HugeNumericTailRoutesInsteadOfThrowing) {
+  // A crafted request whose numeric tail overflows unsigned long used to
+  // escape std::out_of_range from std::stoul through the worker thread.
+  // Modular accumulation must route it deterministically and in range.
+  const char *Huge = "/res/184467440737095516159999184467440737095516159999";
+  unsigned First = 0;
+  ASSERT_NO_THROW(First = routeToResource(Huge, 7));
+  EXPECT_LT(First, 7u);
+  EXPECT_EQ(routeToResource(Huge, 7), First) << "deterministic";
+  // The exact value of ULLONG_MAX still routes as value mod count.
+  EXPECT_EQ(routeToResource("/res/18446744073709551615", 4),
+            static_cast<unsigned>(18446744073709551615ull % 4));
+  // In-range tails agree with plain integer parsing.
+  EXPECT_EQ(routeToResource("/res/123456789", 1000),
+            123456789u % 1000u);
+}
+
 TEST(HttpRouter, HashRouteIsStableAndInRange) {
   unsigned First = routeToResource("/index.html", 4);
   EXPECT_EQ(routeToResource("/index.html", 4), First);

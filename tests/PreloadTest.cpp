@@ -136,4 +136,23 @@ TEST(Preload, RichFixtureTracesCorrectly) {
       << Analysis;
 }
 
+TEST(Preload, MalformedNumericInputsFailFast) {
+  // dlf-analyze: --max-cycle-length garbage used to atoi to 0 and silently
+  // disable the cycle search; it must be a usage error now.
+  EXPECT_NE(runCommand(std::string(DLF_ANALYZE_BIN) +
+                       " /dev/null --max-cycle-length abc >/dev/null 2>&1"),
+            0);
+  // Preload library: a typo'd DLF_PRELOAD_PAUSE_MS used to atoi to 0 and
+  // disarm the biased scheduler; the process must refuse to start.
+  EXPECT_NE(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB
+                       " DLF_PRELOAD_PAUSE_MS=abc " DLF_ABBA_BIN
+                       " >/dev/null 2>&1"),
+            0);
+  // A well-formed value still passes through untouched.
+  EXPECT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB
+                       " DLF_PRELOAD_PAUSE_MS=50 " DLF_ABBA_BIN
+                       " >/dev/null 2>&1"),
+            0);
+}
+
 } // namespace

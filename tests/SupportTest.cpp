@@ -243,4 +243,20 @@ TEST(Label, SiteMacroCachesPerLine) {
   EXPECT_EQ(DLF_NAMED_SITE("tests/named"), Label::intern("tests/named"));
 }
 
+TEST(Env, ParseUint64StrictAcceptsOnlyCleanDecimals) {
+  uint64_t V = 0;
+  EXPECT_TRUE(parseUint64Strict("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseUint64Strict("5000", V));
+  EXPECT_EQ(V, 5000u);
+  EXPECT_TRUE(parseUint64Strict("18446744073709551615", V));
+  EXPECT_EQ(V, UINT64_MAX);
+
+  // Everything atoi would silently misparse must be rejected outright.
+  for (const char *Bad :
+       {"", "abc", "12x", "-3", "+3", " 7", "7 ", "1e3", "0x10",
+        "18446744073709551616", static_cast<const char *>(nullptr)})
+    EXPECT_FALSE(parseUint64Strict(Bad, V)) << (Bad ? Bad : "<null>");
+}
+
 } // namespace

@@ -150,4 +150,57 @@ TEST(DlfRun, ErrorsAreReported) {
   EXPECT_NE(runCommand(tool() + " >/dev/null 2>&1"), 0);
 }
 
+TEST(DlfRun, MalformedNumericFlagsAreUsageErrors) {
+  // atoi would have silently turned each of these into 0; strict parsing
+  // must reject them with a non-zero exit and a clear message.
+  for (const char *Bad :
+       {" dbcp --campaign --run-timeout-ms abc", " dbcp --reps -3",
+        " dbcp --campaign --jobs junk", " dbcp --seed 12x",
+        " dbcp --campaign --budget-s", " dbcp --max-cycle-length 1e3"})
+    EXPECT_NE(runCommand(tool() + Bad + " >/dev/null 2>&1"), 0) << Bad;
+  std::string Err = captureCommand(
+      tool() + " dbcp --campaign --run-timeout-ms abc 2>&1 >/dev/null");
+  EXPECT_NE(Err.find("expects a non-negative integer"), std::string::npos)
+      << Err;
+}
+
+TEST(DlfRun, ConflictingCampaignFlagsAreRejected) {
+  EXPECT_NE(runCommand(tool() + " dbcp --jobs 2 >/dev/null 2>&1"), 0)
+      << "--jobs without --campaign";
+  EXPECT_NE(runCommand(tool() + " dbcp --campaign --resume a.jsonl "
+                                "--journal b.jsonl >/dev/null 2>&1"),
+            0)
+      << "--resume FILE and --journal FILE conflict";
+}
+
+TEST(DlfRun, ParallelCampaignMatchesSerialCounts) {
+  std::string SerialJ = ::testing::TempDir() + "dlfrun-jobs1.jsonl";
+  std::string ParallelJ = ::testing::TempDir() + "dlfrun-jobs4.jsonl";
+  std::remove(SerialJ.c_str());
+  std::remove(ParallelJ.c_str());
+  std::string Serial = captureCommand(tool() + " dbcp --campaign --reps 3" +
+                                      " --jobs 1 --journal " + SerialJ);
+  std::string Parallel = captureCommand(tool() + " dbcp --campaign --reps 3" +
+                                        " --jobs 4 --journal " + ParallelJ);
+  // The per-cycle table rows (counts, probabilities) must be byte-identical
+  // whatever the worker count.
+  auto TableRows = [](const std::string &Out) {
+    std::string Rows;
+    size_t Pos = 0;
+    while ((Pos = Out.find("| #", Pos)) != std::string::npos) {
+      size_t End = Out.find('\n', Pos);
+      Rows += Out.substr(Pos, End - Pos) + "\n";
+      Pos = End;
+    }
+    return Rows;
+  };
+  EXPECT_FALSE(TableRows(Serial).empty()) << Serial;
+  EXPECT_EQ(TableRows(Serial), TableRows(Parallel)) << Serial << Parallel;
+  EXPECT_NE(Parallel.find("reps/s"), std::string::npos) << Parallel;
+  EXPECT_NE(Parallel.find("peak 4 concurrent"), std::string::npos) << Parallel;
+  EXPECT_NE(Parallel.find("jobs 4"), std::string::npos) << Parallel;
+  std::remove(SerialJ.c_str());
+  std::remove(ParallelJ.c_str());
+}
+
 } // namespace
