@@ -62,6 +62,19 @@ void buildScaledRelation(LockDependencyLog &Log, uint64_t Threads) {
   addEntry(Log, Threads + 1, {10 + Threads + 1}, 11);
 }
 
+/// A dense single-cluster relation: every thread records an (held {l_i},
+/// acquire l_j) edge for every ordered lock pair, so the closure's levels
+/// fan out combinatorially — the chain-bound workload that the parallel
+/// engine shards and the held-set bitmasks accelerate.
+void buildDenseRelation(LockDependencyLog &Log, uint64_t Threads,
+                        uint64_t Locks) {
+  for (uint64_t T = 1; T <= Threads; ++T)
+    for (uint64_t I = 1; I <= Locks; ++I)
+      for (uint64_t J = 1; J <= Locks; ++J)
+        if (I != J)
+          addEntry(Log, T, {500 + I}, 500 + J);
+}
+
 void BM_ClosureScaling(benchmark::State &State) {
   LockDependencyLog Log;
   buildScaledRelation(Log, static_cast<uint64_t>(State.range(0)));
@@ -73,6 +86,58 @@ void BM_ClosureScaling(benchmark::State &State) {
   State.SetLabel(std::to_string(Log.entries().size()) + " entries");
 }
 BENCHMARK(BM_ClosureScaling)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+/// The closure-bound case: dense relations where levels hold thousands of
+/// chains. Arg0 scales the thread count, Arg1 is AnalysisJobs (1 = serial
+/// baseline). Results are identical for every job count — only wall time
+/// may differ (and only on multi-core hosts).
+void BM_ClosureParallelJobs(benchmark::State &State) {
+  LockDependencyLog Log;
+  buildDenseRelation(Log, static_cast<uint64_t>(State.range(0)),
+                     /*Locks=*/6);
+  IGoodlockOptions Opts;
+  Opts.MaxCycleLength = 4;
+  Opts.AnalysisJobs = static_cast<unsigned>(State.range(1));
+  uint64_t Chains = 0;
+  for (auto _ : State) {
+    IGoodlockStats Stats;
+    auto Cycles = runIGoodlock(Log, Opts, &Stats);
+    benchmark::DoNotOptimize(Cycles);
+    Chains = Stats.ChainsExplored;
+  }
+  State.SetLabel(std::to_string(Log.entries().size()) + " entries, " +
+                 std::to_string(Chains) + " chains");
+}
+BENCHMARK(BM_ClosureParallelJobs)
+    ->Args({6, 1})
+    ->Args({6, 2})
+    ->Args({6, 4})
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({10, 4});
+
+/// The >64-distinct-locks fallback: wide held sets force the sorted-vector
+/// disjointness path instead of the one-AND bitmask path. Pairs with
+/// BM_ClosureParallelJobs to measure the cost of losing the mask.
+void BM_ClosureWideHeldSets(benchmark::State &State) {
+  const uint64_t Threads = static_cast<uint64_t>(State.range(0));
+  LockDependencyLog Log;
+  // Each thread holds a private 20-lock prefix (disjoint across threads,
+  // ids spread past 64) while acquiring its inversion lock.
+  for (uint64_t T = 1; T <= Threads; ++T) {
+    std::vector<uint64_t> Held;
+    for (uint64_t I = 0; I != 20; ++I)
+      Held.push_back(1000 + T * 20 + I);
+    Held.push_back(10 + T);
+    addEntry(Log, T, Held, 10 + (T % Threads) + 1);
+  }
+  for (auto _ : State) {
+    auto Cycles = runIGoodlock(Log);
+    benchmark::DoNotOptimize(Cycles);
+  }
+  State.SetLabel(std::to_string(Log.entries().size()) + " entries");
+}
+BENCHMARK(BM_ClosureWideHeldSets)->Arg(8)->Arg(32);
 
 /// A single ring of N threads (one cycle of length N): the closure must
 /// iterate to depth N, measuring the cost of deepening.

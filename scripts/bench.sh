@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+#===- scripts/bench.sh - micro-benchmark baselines --------------------------===#
+#
+# Builds the bench binaries and runs every micro-benchmark with
+# --benchmark_format=json, writing one baseline file per binary at the repo
+# root (BENCH_igoodlock.json, BENCH_abstraction.json, BENCH_scheduler.json).
+# The JSON files are checked in so perf changes show up as reviewable
+# diffs; re-run this script after touching the closure, the abstraction
+# machinery, or the scheduler, and commit the new numbers alongside the
+# change. Absolute times are machine-dependent — compare ratios, not
+# values, across machines.
+#
+# Usage: scripts/bench.sh [min_time]
+#   min_time: google-benchmark --benchmark_min_time value (default 0.1;
+#             plain seconds as a bare number — older benchmark releases
+#             reject the "0.1s" suffix form).
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MIN_TIME="${1:-0.1}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target \
+  micro_igoodlock micro_abstraction micro_scheduler
+
+for NAME in igoodlock abstraction scheduler; do
+  BIN="build/bench/micro_${NAME}"
+  OUT="BENCH_${NAME}.json"
+  echo "== ${BIN} -> ${OUT} =="
+  "${BIN}" --benchmark_format=json \
+           --benchmark_min_time="${MIN_TIME}" > "${OUT}"
+done
+
+echo "== bench: baselines written =="

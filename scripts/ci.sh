@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-#===- scripts/ci.sh - Two-tier continuous integration ----------------------===#
+#===- scripts/ci.sh - Three-tier continuous integration --------------------===#
 #
 # Tier 1: the plain build and full test suite (the gate every change must
 # hold). Tier 2: the same suite under ASan+UBSan (DLF_SANITIZE=ON), which
 # is how the sandbox/journal/pool code gets its memory-error coverage.
 # Sanitized children run several times slower, so that tier uses a reduced
-# per-test timeout rather than the suite default.
+# per-test timeout rather than the suite default. Tier 3 (bench smoke):
+# builds the micro-benchmark binaries and runs one short closure case so
+# bench-code rot is caught here, not when someone finally reruns
+# scripts/bench.sh.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 #
@@ -28,4 +31,11 @@ cmake --build build-asan -j "$JOBS"
 # letting a wedged sanitized child stall the whole pipeline.
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" --timeout 90
 
-echo "== ci: both tiers passed =="
+echo "== tier 3: bench smoke (build + one short closure case) =="
+cmake --build build -j "$JOBS" --target \
+  micro_igoodlock micro_abstraction micro_scheduler
+build/bench/micro_igoodlock \
+  --benchmark_filter='BM_ClosureParallelJobs/6/4' \
+  --benchmark_min_time=0.02
+
+echo "== ci: all tiers passed =="

@@ -29,8 +29,35 @@ bool dlf::vcLeq(const VectorClock &A, const VectorClock &B) {
   return true;
 }
 
-bool dlf::vcConcurrent(const VectorClock &A, const VectorClock &B) {
+VcOrder dlf::vcOrder(const VectorClock &A, const VectorClock &B) {
   if (A.empty() || B.empty())
-    return true; // no information: assume concurrent
-  return !vcLeq(A, B) && !vcLeq(B, A);
+    return VcOrder::NoInfo;
+  bool ALeB = true, BLeA = true;
+  size_t Common = std::min(A.size(), B.size());
+  for (size_t I = 0; I != Common && (ALeB || BLeA); ++I) {
+    if (A[I] > B[I])
+      ALeB = false;
+    else if (A[I] < B[I])
+      BLeA = false;
+  }
+  // Components past the shorter clock read as zero on the other side.
+  for (size_t I = Common; I != A.size() && ALeB; ++I)
+    if (A[I] > 0)
+      ALeB = false;
+  for (size_t I = Common; I != B.size() && BLeA; ++I)
+    if (B[I] > 0)
+      BLeA = false;
+  if (ALeB && BLeA)
+    return VcOrder::Equal;
+  if (ALeB)
+    return VcOrder::Before;
+  if (BLeA)
+    return VcOrder::After;
+  return VcOrder::Concurrent;
+}
+
+bool dlf::vcConcurrent(const VectorClock &A, const VectorClock &B) {
+  VcOrder Order = vcOrder(A, B);
+  // No information: assume concurrent (the filter must not prune).
+  return Order == VcOrder::Concurrent || Order == VcOrder::NoInfo;
 }

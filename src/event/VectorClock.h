@@ -41,6 +41,15 @@ void vcJoin(VectorClock &Clock, const VectorClock &Other);
 /// True when \p A ≤ \p B pointwise (A happens-before-or-equals B).
 bool vcLeq(const VectorClock &A, const VectorClock &B);
 
+/// How two clocks relate. Equal means pointwise-equal (ordered both ways);
+/// NoInfo means at least one clock is empty and carries no information.
+enum class VcOrder { Before, After, Equal, Concurrent, NoInfo };
+
+/// Computes the ordering of \p A and \p B in one pass over both vectors
+/// (vcLeq both ways walks them twice; the closure's happens-before filter
+/// compares the same acquire pairs repeatedly and memoizes this).
+VcOrder vcOrder(const VectorClock &A, const VectorClock &B);
+
 /// True when neither clock is ordered before the other — the events are
 /// concurrent. Empty clocks carry no information and are treated as
 /// concurrent with everything.

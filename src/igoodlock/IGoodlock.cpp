@@ -1,55 +1,308 @@
 //===- igoodlock/IGoodlock.cpp - Algorithm 1 --------------------------------===//
+//
+// The iterative closure, rebuilt as a parallel, allocation-lean engine:
+//
+//  * Levels are flat arenas (one contiguous index buffer per level; every
+//    chain of level k has exactly k entries, so slices are uniform) instead
+//    of per-chain heap vectors.
+//  * Held-set disjointness — the O(|Held|^2) inner loop of canExtend — is a
+//    single AND of precomputed bitmasks. Lock ids are densified in
+//    first-appearance order and folded modulo 64 into the mask: a clear AND
+//    always proves disjointness, a set AND is an exact shared-lock witness
+//    when the execution has <= 64 distinct locks, and only the rare set-AND
+//    above 64 locks pays for a sorted-vector intersection.
+//  * Each level's chains are sharded across AnalysisJobs workers. Workers
+//    run the exact serial per-chain scan speculatively; a deterministic
+//    in-order merge replays their outputs (extension counts locate the
+//    MaxChains cut point exactly), so cycles, multiplicities, stats, and
+//    truncation are byte-identical to serial for every job count. Levels
+//    are natural barriers — the same structure the campaign runner's
+//    commit frontier uses.
+//  * Cycle dedup keys are rotation-minimal 128-bit structural hashes of
+//    per-entry component data (each entry hashed once, no ostringstream),
+//    and the happens-before filter memoizes pairwise clock comparisons.
+//
+//===----------------------------------------------------------------------===//
 
 #include "igoodlock/IGoodlock.h"
 
+#include "support/Hash.h"
+
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <chrono>
+#include <thread>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 using namespace dlf;
 
 namespace {
 
-/// A dependency chain: just the entry indices (kept light because the
-/// closure materializes whole levels of these — the paper's memory-for-
-/// runtime trade). The Definition-2 checks scan the chain's entries
-/// through the relation, which keeps per-extension copying to one short
-/// index vector.
-struct Chain {
-  std::vector<uint32_t> EntryIdx;
-  /// Last entry's acquired lock (chain-link check: must be held by next).
-  LockId LastAcquired;
+/// The held-set bit for a dense lock id: ids are folded modulo 64, so a
+/// clear AND of two masks *always* proves disjointness, and a set AND is an
+/// exact shared-lock witness precisely when the execution has at most 64
+/// distinct locks (the mapping is then injective — RelationIndex::MaskExact).
+uint64_t lockBit(uint32_t Dense) { return uint64_t(1) << (Dense & 63); }
+
+/// Per-entry precomputed extension data over densified lock ids.
+struct EntryMeta {
+  /// Folded bits of the held set (see lockBit).
+  uint64_t HeldMask = 0;
+  uint32_t DenseAcquired = 0;
+  /// Slice of RelationIndex::HeldSorted holding the sorted dense held set.
+  uint32_t HeldBegin = 0;
+  uint32_t HeldEnd = 0;
 };
 
-bool contains(const std::vector<LockId> &Haystack, LockId Needle) {
-  return std::find(Haystack.begin(), Haystack.end(), Needle) != Haystack.end();
+/// Per-chain accumulated state: the union of the members' held masks and
+/// the last acquired lock (the link the next entry must hold).
+struct ChainMeta {
+  uint64_t HeldMask = 0;
+  uint32_t LastDenseAcquired = 0;
+};
+
+/// One closure level in flat-arena form: chain I occupies
+/// Idx[I*Len, (I+1)*Len), and Meta[I] is its accumulated state.
+struct ChainLevel {
+  std::vector<uint32_t> Idx;
+  std::vector<ChainMeta> Meta;
+  unsigned Len = 1;
+
+  size_t size() const { return Meta.size(); }
+  const uint32_t *chain(size_t I) const { return Idx.data() + I * Len; }
+};
+
+/// Read-only per-relation index shared by all workers.
+struct RelationIndex {
+  std::vector<EntryMeta> Meta;
+  /// All held sets as sorted dense ids, sliced by EntryMeta::HeldBegin/End.
+  std::vector<uint32_t> HeldSorted;
+  /// CSR candidate index: for dense lock id L, CandData[CandOffsets[L],
+  /// CandOffsets[L+1]) are the entries whose held set contains L, in entry
+  /// order — the extension candidates for a chain whose last acquired lock
+  /// is L. Built per held *occurrence* so candidate iteration order (and
+  /// thus discovery order) matches the pre-arena engine exactly.
+  std::vector<uint32_t> CandOffsets;
+  std::vector<uint32_t> CandData;
+  uint32_t NumLocks = 0;
+  /// True when lockBit is injective (<= 64 distinct locks): mask tests are
+  /// then exact in both directions and the sorted fallback is never needed.
+  bool MaskExact = true;
+};
+
+RelationIndex buildIndex(const std::vector<DependencyEntry> &D) {
+  RelationIndex Ix;
+  std::unordered_map<uint64_t, uint32_t> DenseLock;
+  auto Densify = [&](LockId L) {
+    auto [It, Inserted] = DenseLock.try_emplace(L.Raw, Ix.NumLocks);
+    if (Inserted)
+      ++Ix.NumLocks;
+    return It->second;
+  };
+
+  size_t HeldTotal = 0;
+  for (const DependencyEntry &E : D)
+    HeldTotal += E.Held.size();
+  Ix.Meta.resize(D.size());
+  Ix.HeldSorted.reserve(HeldTotal);
+  for (uint32_t I = 0; I != D.size(); ++I) {
+    EntryMeta &M = Ix.Meta[I];
+    M.HeldBegin = static_cast<uint32_t>(Ix.HeldSorted.size());
+    for (LockId Held : D[I].Held) {
+      uint32_t Dense = Densify(Held);
+      Ix.HeldSorted.push_back(Dense);
+      M.HeldMask |= lockBit(Dense);
+    }
+    M.HeldEnd = static_cast<uint32_t>(Ix.HeldSorted.size());
+    std::sort(Ix.HeldSorted.begin() + M.HeldBegin,
+              Ix.HeldSorted.begin() + M.HeldEnd);
+    M.DenseAcquired = Densify(D[I].Acquired);
+  }
+  Ix.MaskExact = Ix.NumLocks <= 64;
+
+  // CSR fill: counts, prefix sum, then a second pass placing entry indices
+  // (ascending I per lock, preserving candidate order).
+  Ix.CandOffsets.assign(Ix.NumLocks + 1, 0);
+  for (const DependencyEntry &E : D)
+    for (LockId Held : E.Held)
+      ++Ix.CandOffsets[DenseLock[Held.Raw] + 1];
+  for (uint32_t L = 0; L != Ix.NumLocks; ++L)
+    Ix.CandOffsets[L + 1] += Ix.CandOffsets[L];
+  Ix.CandData.resize(HeldTotal);
+  std::vector<uint32_t> Cursor(Ix.CandOffsets.begin(),
+                               Ix.CandOffsets.end() - 1);
+  for (uint32_t I = 0; I != D.size(); ++I)
+    for (LockId Held : D[I].Held)
+      Ix.CandData[Cursor[DenseLock[Held.Raw]]++] = I;
+  return Ix;
 }
 
-/// Definition 2 for appending \p E to \p C, including the §2.2.3 duplicate
-/// suppression (the chain's first thread id is minimal).
-bool canExtend(const std::vector<DependencyEntry> &D, const Chain &C,
-               const DependencyEntry &E) {
-  // 1. distinct threads; duplicate suppression: first thread is minimal.
-  if (E.Thread < D[C.EntryIdx.front()].Thread)
+/// Is \p DenseLock in \p M's held set? A clear folded bit is an exact "no";
+/// a set bit needs the binary search only when the fold is lossy.
+bool heldContains(const RelationIndex &Ix, const EntryMeta &M,
+                  uint32_t DenseLock) {
+  if (!(M.HeldMask & lockBit(DenseLock)))
     return false;
-  for (uint32_t Idx : C.EntryIdx) {
-    const DependencyEntry &Prev = D[Idx];
+  if (Ix.MaskExact)
+    return true;
+  return std::binary_search(Ix.HeldSorted.begin() + M.HeldBegin,
+                            Ix.HeldSorted.begin() + M.HeldEnd, DenseLock);
+}
+
+/// Exact held-set disjointness of two entries via sorted-merge intersection
+/// (the >= 64-dense-ids fallback).
+bool sortedDisjoint(const RelationIndex &Ix, uint32_t AIdx, uint32_t BIdx) {
+  const EntryMeta &A = Ix.Meta[AIdx];
+  const EntryMeta &B = Ix.Meta[BIdx];
+  uint32_t I = A.HeldBegin, J = B.HeldBegin;
+  while (I != A.HeldEnd && J != B.HeldEnd) {
+    uint32_t AV = Ix.HeldSorted[I], BV = Ix.HeldSorted[J];
+    if (AV == BV)
+      return false;
+    if (AV < BV)
+      ++I;
+    else
+      ++J;
+  }
+  return true;
+}
+
+/// Definition 2 for appending entry \p EIdx to chain \p CI, including the
+/// §2.2.3 duplicate suppression (the chain's first thread id is minimal).
+/// Thread and acquired-lock distinctness scan the chain (at most
+/// MaxCycleLength comparisons); held disjointness is the bitmask path.
+bool canExtend(const std::vector<DependencyEntry> &D, const RelationIndex &Ix,
+               const ChainLevel &Cur, size_t CI, uint32_t EIdx) {
+  const DependencyEntry &E = D[EIdx];
+  const EntryMeta &EM = Ix.Meta[EIdx];
+  const ChainMeta &CM = Cur.Meta[CI];
+  const uint32_t *C = Cur.chain(CI);
+  // 1. distinct threads; duplicate suppression: first thread is minimal.
+  if (E.Thread < D[C[0]].Thread)
+    return false;
+  for (unsigned I = 0; I != Cur.Len; ++I) {
+    const DependencyEntry &Prev = D[C[I]];
     if (Prev.Thread == E.Thread)
       return false;
     // 2. acquired locks pairwise distinct.
     if (Prev.Acquired == E.Acquired)
       return false;
-    // 4. held sets pairwise disjoint.
-    for (LockId Held : E.Held)
-      if (contains(Prev.Held, Held))
+  }
+  // 3. (previous acquired lock held by this entry) needs no check: the CSR
+  // candidate list for CM.LastDenseAcquired only contains entries holding
+  // that lock, by construction.
+  // 4. held sets pairwise disjoint: a clear AND of the folded masks always
+  // proves disjointness; a shared bit is an exact reject when the fold is
+  // injective, otherwise the sorted intersection decides.
+  if (CM.HeldMask & EM.HeldMask) {
+    if (Ix.MaskExact)
+      return false;
+    for (unsigned I = 0; I != Cur.Len; ++I)
+      if (!sortedDisjoint(Ix, C[I], EIdx))
         return false;
   }
-  // 3. the previous acquired lock must be held by this entry's thread.
-  if (!contains(E.Held, C.LastAcquired))
-    return false;
   return true;
+}
+
+/// Memoizes pairwise clock comparisons per worker: the HB filter re-derives
+/// the same member-pair orderings for every cycle those members close.
+class HbCache {
+public:
+  explicit HbCache(const std::vector<DependencyEntry> &D) : D(D) {}
+
+  bool concurrent(uint32_t I, uint32_t J) {
+    uint64_t Key = I < J ? (uint64_t(I) << 32) | J : (uint64_t(J) << 32) | I;
+    auto [It, Inserted] = Memo.try_emplace(Key, false);
+    if (Inserted)
+      It->second = vcConcurrent(D[I].Clock, D[J].Clock);
+    return It->second;
+  }
+
+private:
+  const std::vector<DependencyEntry> &D;
+  std::unordered_map<uint64_t, bool> Memo;
+};
+
+/// Happens-before feasibility of chain + closing entry: every member pair
+/// concurrent (pair order matches the serial engine, though only the
+/// boolean result matters).
+bool hbFeasible(const uint32_t *C, unsigned Len, uint32_t Closing,
+                HbCache &Hb) {
+  for (unsigned I = 0; I != Len; ++I) {
+    for (unsigned J = I + 1; J != Len; ++J)
+      if (!Hb.concurrent(C[I], C[J]))
+        return false;
+    if (!Hb.concurrent(C[I], Closing))
+      return false;
+  }
+  return true;
+}
+
+/// A potential cycle discovered by a worker, with enough ordering
+/// information (ExtsBefore) for the merge to replay the serial engine's
+/// MaxChains cut exactly.
+struct CycleRec {
+  uint32_t ChainIdx; ///< global index into the current level
+  uint32_t Closing;  ///< closing dependency entry
+  uint64_t ExtsBefore; ///< worker-local extensions emitted before this cycle
+  bool HbOk;
+};
+
+/// One worker's speculative output for a shard of the current level.
+struct WorkerOut {
+  std::vector<uint32_t> NextIdx;
+  std::vector<ChainMeta> NextMeta;
+  std::vector<CycleRec> Cycles;
+  /// Cumulative extension count after each chain of the shard (locates the
+  /// MaxChains cut chain at merge time).
+  std::vector<uint64_t> ExtsAfterChain;
+  size_t ShardBegin = 0;
+  size_t ShardEnd = 0;
+};
+
+/// The serial per-chain scan over [Begin, End) of the current level. This
+/// is the only place extension work happens; the parallel engine runs it
+/// once per shard and the serial engine runs it once with one shard, so
+/// their per-chain behavior is identical by construction.
+void processShard(const std::vector<DependencyEntry> &D,
+                  const RelationIndex &Ix, const ChainLevel &Cur,
+                  const IGoodlockOptions &Opts, size_t Begin, size_t End,
+                  WorkerOut &Out) {
+  HbCache Hb(D);
+  Out.ShardBegin = Begin;
+  Out.ShardEnd = End;
+  Out.ExtsAfterChain.reserve(End - Begin);
+  const unsigned Len = Cur.Len;
+  uint64_t Exts = 0;
+  for (size_t CI = Begin; CI != End; ++CI) {
+    const ChainMeta &CM = Cur.Meta[CI];
+    const uint32_t *Chain = Cur.chain(CI);
+    const EntryMeta &Head = Ix.Meta[Chain[0]];
+    uint32_t CandBegin = Ix.CandOffsets[CM.LastDenseAcquired];
+    uint32_t CandEnd = Ix.CandOffsets[CM.LastDenseAcquired + 1];
+    for (uint32_t Cand = CandBegin; Cand != CandEnd; ++Cand) {
+      uint32_t EIdx = Ix.CandData[Cand];
+      if (!canExtend(D, Ix, Cur, CI, EIdx))
+        continue;
+      const EntryMeta &EM = Ix.Meta[EIdx];
+      // Definition 3: cycle when the new acquired lock is held by the
+      // chain's first thread. Cycles are reported, not extended (no
+      // complex cycles, §2.2.2).
+      if (heldContains(Ix, Head, EM.DenseAcquired)) {
+        bool HbOk = !Opts.FilterByHappensBefore ||
+                    hbFeasible(Chain, Len, EIdx, Hb);
+        Out.Cycles.push_back(
+            {static_cast<uint32_t>(CI), EIdx, Exts, HbOk});
+        continue;
+      }
+      Out.NextIdx.insert(Out.NextIdx.end(), Chain, Chain + Len);
+      Out.NextIdx.push_back(EIdx);
+      Out.NextMeta.push_back({CM.HeldMask | EM.HeldMask, EM.DenseAcquired});
+      ++Exts;
+    }
+    Out.ExtsAfterChain.push_back(Exts);
+  }
 }
 
 } // namespace
@@ -57,40 +310,85 @@ bool canExtend(const std::vector<DependencyEntry> &D, const Chain &C,
 std::vector<AbstractCycle> dlf::runIGoodlock(const LockDependencyLog &Log,
                                              const IGoodlockOptions &Opts,
                                              IGoodlockStats *Stats) {
+  auto StartTime = std::chrono::steady_clock::now();
   const std::vector<DependencyEntry> &D = Log.entries();
 
-  // Index: lock id -> entries whose held set contains it (extension
-  // candidates for a chain whose last acquired lock is that lock). Entries
-  // holding nothing can never appear past position 1 of a cycle chain, and
-  // entries are only *started* from (see below), so the index is the hot
-  // path of the closure.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> HeldIndex;
-  for (uint32_t I = 0; I != D.size(); ++I)
-    for (LockId Held : D[I].Held)
-      HeldIndex[Held.Raw].push_back(I);
-
   IGoodlockStats LocalStats;
+  LocalStats.Entries = D.size();
+  unsigned Jobs =
+      Opts.AnalysisJobs
+          ? Opts.AnalysisJobs
+          : std::max(1u, std::thread::hardware_concurrency());
+  LocalStats.JobsUsed = Jobs;
+
+  RelationIndex Ix = buildIndex(D);
   std::vector<AbstractCycle> Cycles;
 
-  // Happens-before feasibility: every pair of component acquires must be
-  // concurrent (entries with no clock carry no information).
-  auto HbFeasible = [&](const Chain &C, const DependencyEntry &Closing) {
-    if (!Opts.FilterByHappensBefore)
-      return true;
-    std::vector<const DependencyEntry *> Members;
-    for (uint32_t Idx : C.EntryIdx)
-      Members.push_back(&D[Idx]);
-    Members.push_back(&Closing);
-    for (size_t I = 0; I != Members.size(); ++I)
-      for (size_t J = I + 1; J != Members.size(); ++J)
-        if (!vcConcurrent(Members[I]->Clock, Members[J]->Clock))
-          return false;
-    return true;
+  // Per-entry component hashes — the cycle dedup key material, equivalent
+  // to the old string key(ExecutionIndex, UseContext=true) — computed
+  // lazily so an entry is hashed once no matter how many cycles it closes.
+  std::vector<Hash128> CompHash(D.size());
+  std::vector<bool> CompHashReady(D.size(), false);
+  auto componentHash = [&](uint32_t EIdx) {
+    if (!CompHashReady[EIdx]) {
+      const DependencyEntry &E = D[EIdx];
+      const Abstraction &T =
+          Log.threadInfo(E.Thread).Abs.select(AbstractionKind::ExecutionIndex);
+      const Abstraction &L =
+          Log.lockInfo(E.Acquired).Abs.select(AbstractionKind::ExecutionIndex);
+      Hasher128 H;
+      // Variable-length sequences are length-framed so (thread, lock,
+      // context) element streams cannot alias each other.
+      H.add(T.Elements.size());
+      for (uint32_t El : T.Elements)
+        H.add(El);
+      H.add(L.Elements.size());
+      for (uint32_t El : L.Elements)
+        H.add(El);
+      H.add(E.Context.size());
+      for (Label Site : E.Context)
+        H.add(Site.raw());
+      CompHash[EIdx] = H.finish();
+      CompHashReady[EIdx] = true;
+    }
+    return CompHash[EIdx];
   };
-  // Collapse abstract duplicates; keyed by the most precise configuration.
-  std::unordered_map<std::string, size_t> CycleKeyToIdx;
 
-  auto ReportCycle = [&](const Chain &C, const DependencyEntry &Closing) {
+  // Collapse abstract duplicates, keyed by the rotation-minimal structural
+  // hash (ties between rotations yield identical sequences, so any minimal
+  // choice streams the same key).
+  std::unordered_map<Hash128, size_t> CycleKeyToIdx;
+  std::vector<Hash128> MemberBuf;
+  auto ReportCycle = [&](const uint32_t *Chain, unsigned Len,
+                         uint32_t Closing) {
+    const size_t M = Len + 1;
+    MemberBuf.clear();
+    for (unsigned I = 0; I != Len; ++I)
+      MemberBuf.push_back(componentHash(Chain[I]));
+    MemberBuf.push_back(componentHash(Closing));
+    size_t Best = 0;
+    for (size_t R = 1; R != M; ++R)
+      for (size_t I = 0; I != M; ++I) {
+        const Hash128 &A = MemberBuf[(R + I) % M];
+        const Hash128 &B = MemberBuf[(Best + I) % M];
+        if (A != B) {
+          if (A < B)
+            Best = R;
+          break;
+        }
+      }
+    Hasher128 H;
+    H.add(M);
+    for (size_t I = 0; I != M; ++I) {
+      const Hash128 &Part = MemberBuf[(Best + I) % M];
+      H.add(Part.Hi);
+      H.add(Part.Lo);
+    }
+    auto [It, Inserted] = CycleKeyToIdx.try_emplace(H.finish(), Cycles.size());
+    if (!Inserted) {
+      ++Cycles[It->second].Multiplicity;
+      return;
+    }
     AbstractCycle Cycle;
     auto AddComponent = [&](const DependencyEntry &E) {
       CycleComponent Comp;
@@ -103,75 +401,113 @@ std::vector<AbstractCycle> dlf::runIGoodlock(const LockDependencyLog &Log,
       Comp.Context = E.Context;
       Cycle.Components.push_back(std::move(Comp));
     };
-    for (uint32_t Idx : C.EntryIdx)
-      AddComponent(D[Idx]);
-    AddComponent(Closing);
-
-    std::string Key =
-        Cycle.key(AbstractionKind::ExecutionIndex, /*UseContext=*/true);
-    auto [It, Inserted] = CycleKeyToIdx.try_emplace(Key, Cycles.size());
-    if (!Inserted) {
-      ++Cycles[It->second].Multiplicity;
-      return;
-    }
+    for (unsigned I = 0; I != Len; ++I)
+      AddComponent(D[Chain[I]]);
+    AddComponent(D[Closing]);
     Cycles.push_back(std::move(Cycle));
   };
 
-  // D_1 = D, restricted to entries that can be the head of a cycle chain:
-  // the head's held set must eventually contain the closing lock, so an
-  // empty held set can never close (Definition 3 needs l_m ∈ L_1).
-  std::vector<Chain> Current;
+  // D_1 = D, restricted to entries that can head a cycle chain: the head's
+  // held set must eventually contain the closing lock, so an empty held
+  // set can never close (Definition 3 needs l_m ∈ L_1).
+  ChainLevel Current;
+  Current.Len = 1;
   for (uint32_t I = 0; I != D.size(); ++I) {
     if (D[I].Held.empty())
       continue;
-    Chain C;
-    C.EntryIdx = {I};
-    C.LastAcquired = D[I].Acquired;
-    Current.push_back(std::move(C));
+    Current.Idx.push_back(I);
+    Current.Meta.push_back({Ix.Meta[I].HeldMask, Ix.Meta[I].DenseAcquired});
   }
   LocalStats.ChainsExplored += Current.size();
 
-  // Iterate: find all cycles of length k before any of length k+1.
-  for (unsigned Len = 1; Len < Opts.MaxCycleLength && !Current.empty();
+  // Iterate: all cycles of length k are found before any of length k+1.
+  for (unsigned Len = 1; Len < Opts.MaxCycleLength && Current.size() != 0;
        ++Len) {
     ++LocalStats.Iterations;
-    std::vector<Chain> Next;
-    for (const Chain &C : Current) {
-      auto CandIt = HeldIndex.find(C.LastAcquired.Raw);
-      if (CandIt == HeldIndex.end())
-        continue;
-      for (uint32_t EIdx : CandIt->second) {
-        const DependencyEntry &E = D[EIdx];
-        if (!canExtend(D, C, E))
-          continue;
-        // Definition 3: cycle when the new acquired lock is held by the
-        // chain's first thread. Cycles are reported, not extended
-        // (no complex cycles, §2.2.2).
-        if (contains(D[C.EntryIdx.front()].Held, E.Acquired)) {
-          if (!HbFeasible(C, E))
-            ++LocalStats.FilteredByHb;
-          else if (Cycles.size() < Opts.MaxCycles)
-            ReportCycle(C, E);
-          else
-            LocalStats.Truncated = true;
-          continue;
-        }
-        if (Next.size() >= Opts.MaxChains) {
-          LocalStats.Truncated = true;
-          break;
-        }
-        Chain Extended;
-        Extended.EntryIdx.reserve(C.EntryIdx.size() + 1);
-        Extended.EntryIdx = C.EntryIdx;
-        Extended.EntryIdx.push_back(EIdx);
-        Extended.LastAcquired = E.Acquired;
-        Next.push_back(std::move(Extended));
-      }
+
+    // Shard the level across workers. Tiny levels stay on one shard — the
+    // single-shard path *is* the serial engine, so results are identical
+    // either way.
+    const size_t NumChains = Current.size();
+    size_t Shards = 1;
+    if (Jobs > 1 && Opts.MinChainsPerShard &&
+        NumChains >= 2 * Opts.MinChainsPerShard)
+      Shards = std::min<size_t>(Jobs, NumChains / Opts.MinChainsPerShard);
+    Shards = std::max<size_t>(Shards, 1);
+    std::vector<WorkerOut> Outs(Shards);
+    auto RunShard = [&](size_t S) {
+      processShard(D, Ix, Current, Opts, NumChains * S / Shards,
+                   NumChains * (S + 1) / Shards, Outs[S]);
+    };
+    {
+      std::vector<std::thread> Workers;
+      Workers.reserve(Shards - 1);
+      for (size_t S = 1; S < Shards; ++S)
+        Workers.emplace_back(RunShard, S);
+      RunShard(0);
+      for (std::thread &W : Workers)
+        W.join();
     }
-    LocalStats.ChainsExplored += Next.size();
+
+    // Deterministic in-order merge. The serial engine aborts the whole
+    // level at the first extension attempt past MaxChains; the replay
+    // commits exactly the extensions serial would have, keeps the cycles
+    // discovered before the aborting attempt, and counts every chain from
+    // the cut chain on as dropped.
+    ChainLevel Next;
+    Next.Len = Len + 1;
+    bool LevelCut = false;
+    uint64_t NextCount = 0;
+    for (size_t S = 0; S != Shards; ++S) {
+      WorkerOut &Out = Outs[S];
+      const size_t ShardChains = Out.ShardEnd - Out.ShardBegin;
+      if (LevelCut) {
+        LocalStats.ChainsDropped += ShardChains;
+        continue;
+      }
+      const uint64_t TotalExts =
+          Out.ExtsAfterChain.empty() ? 0 : Out.ExtsAfterChain.back();
+      const uint64_t Capacity = Opts.MaxChains - NextCount;
+      uint64_t KeptExts = TotalExts;
+      if (TotalExts > Capacity) {
+        KeptExts = Capacity;
+        LevelCut = true;
+        LocalStats.Truncated = true;
+        size_t CutChain = static_cast<size_t>(
+            std::upper_bound(Out.ExtsAfterChain.begin(),
+                             Out.ExtsAfterChain.end(), Capacity) -
+            Out.ExtsAfterChain.begin());
+        LocalStats.ChainsDropped += ShardChains - CutChain;
+      }
+      Next.Idx.insert(Next.Idx.end(), Out.NextIdx.begin(),
+                      Out.NextIdx.begin() +
+                          static_cast<size_t>(KeptExts) * Next.Len);
+      Next.Meta.insert(Next.Meta.end(), Out.NextMeta.begin(),
+                       Out.NextMeta.begin() + static_cast<size_t>(KeptExts));
+      for (const CycleRec &R : Out.Cycles) {
+        // Cycles examined at or past the aborting extension attempt were
+        // never reached by the serial engine.
+        if (NextCount + R.ExtsBefore > Opts.MaxChains)
+          break;
+        if (!R.HbOk) {
+          ++LocalStats.FilteredByHb;
+        } else if (Cycles.size() < Opts.MaxCycles) {
+          ReportCycle(Current.chain(R.ChainIdx), Len, R.Closing);
+        } else {
+          LocalStats.Truncated = true;
+          ++LocalStats.CyclesDropped;
+        }
+      }
+      NextCount += KeptExts;
+    }
+    LocalStats.ChainsExplored += NextCount;
     Current = std::move(Next);
   }
 
+  LocalStats.ElapsedMicros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - StartTime)
+          .count());
   if (Stats)
     *Stats = LocalStats;
   return Cycles;

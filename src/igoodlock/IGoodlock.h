@@ -51,15 +51,48 @@ struct IGoodlockOptions {
   /// "reduces the predictive power" cost the paper warns about. No-op when
   /// the runtime recorded no clocks.
   bool FilterByHappensBefore = false;
+
+  /// Worker threads for the closure: each level's chains are sharded across
+  /// this many workers and merged deterministically, so cycles, stats, and
+  /// truncation are byte-identical for every value. 1 = serial (default),
+  /// 0 = hardware concurrency.
+  unsigned AnalysisJobs = 1;
+
+  /// Smallest shard worth a worker thread: levels with fewer than twice
+  /// this many chains run single-shard (pure serial, no spawn overhead).
+  /// Tuning/testing knob — results are identical for every value.
+  size_t MinChainsPerShard = 32;
 };
 
 /// Statistics a run of the analysis can report (tests & benches).
+/// Everything except JobsUsed and ElapsedMicros is independent of
+/// AnalysisJobs (the determinism contract the property tests pin down).
 struct IGoodlockStats {
+  /// |D|: dependency entries the closure ran over.
+  uint64_t Entries = 0;
   uint64_t ChainsExplored = 0;
   unsigned Iterations = 0;
   bool Truncated = false;
   /// Cycles suppressed by the happens-before filter.
   uint64_t FilteredByHb = 0;
+  /// Chains whose extension scan was skipped or cut short because the level
+  /// hit MaxChains (the level aborts at the cap; see runIGoodlock).
+  uint64_t ChainsDropped = 0;
+  /// Cycle reports suppressed by the MaxCycles cap.
+  uint64_t CyclesDropped = 0;
+  /// Resolved worker count actually used.
+  unsigned JobsUsed = 1;
+  /// Wall time of the closure (monotonic clock), for throughput reporting.
+  uint64_t ElapsedMicros = 0;
+
+  /// Closure throughput: dependency entries consumed per second.
+  double entriesPerSecond() const {
+    return ElapsedMicros ? Entries * 1e6 / ElapsedMicros : 0.0;
+  }
+  /// Closure throughput: chains materialized per second.
+  double chainsPerSecond() const {
+    return ElapsedMicros ? ChainsExplored * 1e6 / ElapsedMicros : 0.0;
+  }
 };
 
 /// Runs Algorithm 1 over \p Log and returns the abstract potential deadlock

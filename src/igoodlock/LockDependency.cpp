@@ -3,7 +3,6 @@
 #include "igoodlock/LockDependency.h"
 
 #include <cassert>
-#include <sstream>
 
 using namespace dlf;
 
@@ -33,15 +32,19 @@ void LockDependencyLog::onAcquireExecuted(
   Entry.Clock = T.Clock;
 
   // Deduplicate: D is a relation, and loops re-acquiring the same locks in
-  // the same context would otherwise flood the closure.
-  std::ostringstream Key;
-  Key << Entry.Thread.Raw << '|' << Entry.Acquired.Raw << '|';
+  // the same context would otherwise flood the closure. The key is a
+  // structural 128-bit hash (length-framed so held and context streams
+  // cannot alias); see support/Hash.h for the collision stance.
+  Hasher128 Key;
+  Key.add(Entry.Thread.Raw);
+  Key.add(Entry.Acquired.Raw);
+  Key.add(Entry.Held.size());
   for (LockId Held : Entry.Held)
-    Key << Held.Raw << ',';
-  Key << '|';
+    Key.add(Held.Raw);
+  Key.add(Entry.Context.size());
   for (Label C : Entry.Context)
-    Key << C.raw() << ',';
-  if (!Seen.insert(Key.str()).second)
+    Key.add(C.raw());
+  if (!Seen.insert(Key.finish()).second)
     return;
   Entries.push_back(std::move(Entry));
 }

@@ -22,6 +22,7 @@
 #include "event/Label.h"
 #include "event/VectorClock.h"
 #include "runtime/Recorder.h"
+#include "support/Hash.h"
 
 #include <string>
 #include <unordered_map>
@@ -80,7 +81,10 @@ public:
 
 private:
   std::vector<DependencyEntry> Entries;
-  std::unordered_set<std::string> Seen;
+  /// Structural 128-bit hashes of observed entries (the dedup set). The
+  /// recorder sits on the acquire hot path, so keys are hashed directly
+  /// from the components instead of materializing strings.
+  std::unordered_set<Hash128> Seen;
   std::unordered_map<ThreadId, ObjectInfo> ThreadMeta;
   std::unordered_map<LockId, ObjectInfo> LockMeta;
   uint64_t AcquireEvents = 0;

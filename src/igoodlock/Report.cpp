@@ -24,24 +24,30 @@ std::string AbstractCycle::toString() const {
   return OS.str();
 }
 
-/// Serializes one component under the matching configuration.
+/// Serializes one component under the matching configuration. Built by
+/// in-place append (no ostringstream): the fuzzer keys every witness
+/// comparison through here.
 static std::string componentKey(const CycleComponent &C, AbstractionKind Kind,
                                 bool UseContext) {
-  std::ostringstream OS;
-  OS << 'T';
+  std::string Key;
+  auto Append = [&Key](uint32_t E) {
+    Key += '.';
+    Key += std::to_string(E);
+  };
+  Key += 'T';
   for (uint32_t E : C.ThreadAbs.select(Kind).Elements)
-    OS << '.' << E;
-  OS << 'L';
+    Append(E);
+  Key += 'L';
   for (uint32_t E : C.LockAbs.select(Kind).Elements)
-    OS << '.' << E;
-  OS << 'C';
+    Append(E);
+  Key += 'C';
   if (UseContext) {
     for (Label Site : C.Context)
-      OS << '.' << Site.raw();
+      Append(Site.raw());
   } else if (!C.Context.empty()) {
-    OS << '.' << C.Context.back().raw();
+    Append(C.Context.back().raw());
   }
-  return OS.str();
+  return Key;
 }
 
 std::string AbstractCycle::key(AbstractionKind Kind, bool UseContext) const {
@@ -66,8 +72,14 @@ std::string AbstractCycle::key(AbstractionKind Kind, bool UseContext) const {
     if (RotationLess(I, Best))
       Best = I;
 
-  std::ostringstream OS;
-  for (size_t I = 0; I != Parts.size(); ++I)
-    OS << Parts[(Best + I) % Parts.size()] << '|';
-  return OS.str();
+  size_t Total = Parts.size();
+  for (const std::string &Part : Parts)
+    Total += Part.size();
+  std::string Key;
+  Key.reserve(Total);
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    Key += Parts[(Best + I) % Parts.size()];
+    Key += '|';
+  }
+  return Key;
 }

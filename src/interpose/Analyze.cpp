@@ -14,6 +14,7 @@
 // suitable for DLF_PRELOAD_CYCLE in Phase II.
 //
 // Usage: dlf-analyze <trace-file> [--max-cycle-length N]
+//                    [--analysis-jobs N]
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,26 +52,32 @@ AbstractionSet absFromString(const std::string &Text) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  const char *Usage = "usage: dlf-analyze <trace-file> "
+                      "[--max-cycle-length N] [--analysis-jobs N]\n";
   if (Argc < 2) {
-    std::cerr << "usage: dlf-analyze <trace-file> [--max-cycle-length N]\n";
+    std::cerr << Usage;
     return 1;
   }
   IGoodlockOptions Opts;
-  for (int I = 2; I + 1 < Argc; ++I)
-    if (std::string(Argv[I]) == "--max-cycle-length") {
-      // atoi would turn garbage into 0 and silently disable cycle search;
-      // malformed bounds are a usage error instead.
-      uint64_t N = 0;
-      if (!parseUint64Strict(Argv[I + 1], N)) {
-        std::cerr << "error: --max-cycle-length expects a non-negative "
-                     "integer, got '"
-                  << Argv[I + 1] << "'\n"
-                  << "usage: dlf-analyze <trace-file> "
-                     "[--max-cycle-length N]\n";
-        return 1;
-      }
-      Opts.MaxCycleLength = static_cast<unsigned>(N);
+  for (int I = 2; I + 1 < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg != "--max-cycle-length" && Arg != "--analysis-jobs")
+      continue;
+    // atoi would turn garbage into 0 and silently disable cycle search;
+    // malformed operands are a usage error instead.
+    uint64_t N = 0;
+    if (!parseUint64Strict(Argv[I + 1], N)) {
+      std::cerr << "error: " << Arg
+                << " expects a non-negative integer, got '" << Argv[I + 1]
+                << "'\n"
+                << Usage;
+      return 1;
     }
+    if (Arg == "--max-cycle-length")
+      Opts.MaxCycleLength = static_cast<unsigned>(N);
+    else
+      Opts.AnalysisJobs = static_cast<unsigned>(N);
+  }
 
   std::ifstream In(Argv[1]);
   if (!In) {
@@ -149,7 +156,13 @@ int main(int Argc, char **Argv) {
   std::cout << "dlf-analyze: " << Log.entries().size()
             << " dependency entries, " << Log.acquireEvents()
             << " acquire events, " << Cycles.size()
-            << " potential deadlock cycle(s)\n\n";
+            << " potential deadlock cycle(s)\n";
+  std::cout << "closure: " << Stats.ChainsExplored << " chains, "
+            << Stats.ElapsedMicros << " us, "
+            << static_cast<uint64_t>(Stats.entriesPerSecond())
+            << " entries/s, "
+            << static_cast<uint64_t>(Stats.chainsPerSecond())
+            << " chains/s, jobs " << Stats.JobsUsed << "\n\n";
   for (size_t I = 0; I != Cycles.size(); ++I) {
     const AbstractCycle &Cycle = Cycles[I];
     std::cout << "#" << I << " " << Cycle.toString();

@@ -47,6 +47,10 @@ void printUsage() {
          "  --seed N               base seed (default 1)\n"
          "  --cycle N              fuzz only cycle #N\n"
          "  --max-cycle-length N   iGoodlock iteration bound (default 6)\n"
+         "  --analysis-jobs N      iGoodlock closure worker threads\n"
+         "                         (default 1 = serial; 0 = hardware\n"
+         "                         concurrency); cycles and stats are\n"
+         "                         identical for every N\n"
          "  --normal N             run uninstrumented N times under a\n"
          "                         watchdog and count deadlocks\n"
          "  --save-cycles FILE     write the phase 1 report to FILE\n"
@@ -243,6 +247,10 @@ int main(int Argc, char **Argv) {
       if (!NextUint(N))
         return 1;
       Config.Goodlock.MaxCycleLength = static_cast<unsigned>(N);
+    } else if (Arg == "--analysis-jobs") {
+      if (!NextUint(N))
+        return 1;
+      Config.Goodlock.AnalysisJobs = static_cast<unsigned>(N);
     } else if (Arg == "--normal") {
       if (!NextUint(N))
         return 1;
@@ -359,7 +367,12 @@ int main(int Argc, char **Argv) {
               << "): " << P1.Log.entries().size() << " dependency entries, "
               << P1.Cycles.size() << " potential cycle(s)"
               << (P1.Exec.Completed ? "" : " [observation stalled]")
-              << "\n\n";
+              << "\n";
+    std::cout << "closure: " << P1.Stats.ChainsExplored << " chains in "
+              << Table::fmt(P1.Stats.ElapsedMicros / 1000.0, 2) << " ms ("
+              << Table::fmt(P1.Stats.entriesPerSecond(), 0) << " entries/s, "
+              << Table::fmt(P1.Stats.chainsPerSecond(), 0)
+              << " chains/s, jobs " << P1.Stats.JobsUsed << ")\n\n";
     if (P1.RetriesExhausted)
       std::cerr << "warning: " << P1.Error << "\n";
     for (size_t I = 0; I != P1.Cycles.size(); ++I)

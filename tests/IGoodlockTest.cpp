@@ -276,4 +276,124 @@ TEST(IGoodlock, HeldSetsWithMultipleLocks) {
   EXPECT_EQ(Cycles[0].Components.size(), 2u);
 }
 
+TEST(IGoodlock, MaxChainsAbortsLevel) {
+  // A chain of 8 threads t1..t8 (ti holds l_i acquires l_{i+1}): level 1
+  // has 8 chains, of which t1..t7 can extend. MaxChains = 3 commits the
+  // first three extensions, and the fourth *attempt* aborts the level:
+  // the cut chain (t4's) and everything after it count as dropped.
+  RelationBuilder B;
+  for (uint64_t T = 1; T <= 8; ++T)
+    B.dep(T, {10 + T}, 10 + T + 1);
+  IGoodlockOptions Opts;
+  Opts.MaxChains = 3;
+  Opts.MaxCycleLength = 2; // one extension level, no cycles possible
+  IGoodlockStats Stats;
+  auto Cycles = B.run(Opts, &Stats);
+  EXPECT_TRUE(Cycles.empty());
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_EQ(Stats.ChainsDropped, 5u) << "chains t4..t8 dropped at the cut";
+  EXPECT_EQ(Stats.ChainsExplored, 8u + 3u) << "level 1 plus committed exts";
+}
+
+TEST(IGoodlock, MaxChainsKeepsCyclesFoundBeforeAbort) {
+  // A 2-cycle discovered while scanning early chains survives a MaxChains
+  // abort triggered later in the same level (cycle closes are not
+  // extensions, so they never consume capacity).
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 10); // closes during the level-1 scan
+  for (uint64_t T = 3; T <= 6; ++T)    // chain fodder: t3->t4->t5->t6
+    B.dep(T, {20 + T}, 20 + T + 1);
+  IGoodlockOptions Opts;
+  Opts.MaxChains = 2;
+  Opts.MaxCycleLength = 2;
+  IGoodlockStats Stats;
+  auto Cycles = B.run(Opts, &Stats);
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_EQ(Stats.ChainsDropped, 2u);
+}
+
+TEST(IGoodlock, UnderCapNothingDropped) {
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 10);
+  IGoodlockStats Stats;
+  B.run({}, &Stats);
+  EXPECT_FALSE(Stats.Truncated);
+  EXPECT_EQ(Stats.ChainsDropped, 0u);
+  EXPECT_EQ(Stats.CyclesDropped, 0u);
+}
+
+TEST(IGoodlock, CyclesDroppedCountsSuppressedReports) {
+  // 20 distinct 2-cycles against MaxCycles = 5: each suppressed report is
+  // counted, so campaigns can see how much the cap hid.
+  RelationBuilder B;
+  for (uint64_t I = 0; I != 20; ++I) {
+    uint64_t L = 100 + 2 * I;
+    B.dep(1 + 2 * I, {L}, L + 1).dep(2 + 2 * I, {L + 1}, L);
+  }
+  IGoodlockOptions Opts;
+  Opts.MaxCycles = 5;
+  IGoodlockStats Stats;
+  auto Cycles = B.run(Opts, &Stats);
+  EXPECT_EQ(Cycles.size(), 5u);
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_EQ(Stats.CyclesDropped, 15u);
+}
+
+TEST(IGoodlock, StatsReportEntriesJobsAndThroughput) {
+  RelationBuilder B;
+  B.dep(1, {10}, 11).dep(2, {11}, 10);
+  IGoodlockStats Stats;
+  B.run({}, &Stats);
+  EXPECT_EQ(Stats.Entries, 2u);
+  EXPECT_EQ(Stats.JobsUsed, 1u) << "default is serial";
+  EXPECT_GE(Stats.entriesPerSecond(), 0.0);
+  EXPECT_GE(Stats.chainsPerSecond(), 0.0);
+
+  IGoodlockOptions Opts;
+  Opts.AnalysisJobs = 4;
+  B.run(Opts, &Stats);
+  EXPECT_EQ(Stats.JobsUsed, 4u);
+
+  Opts.AnalysisJobs = 0; // hardware concurrency
+  B.run(Opts, &Stats);
+  EXPECT_GE(Stats.JobsUsed, 1u);
+}
+
+TEST(IGoodlock, WideHeldSetsPastSixtyFourLocks) {
+  // More than 64 distinct locks defeats the injective bitmask fast path:
+  // the folded masks of the two held sets share bits even though the sets
+  // are disjoint, so the sorted-intersection fallback must decide. The
+  // inversion is real and must still be reported.
+  RelationBuilder B;
+  std::vector<uint64_t> Held1, Held2;
+  for (uint64_t I = 0; I != 40; ++I) {
+    Held1.push_back(1000 + I);
+    Held2.push_back(2000 + I);
+  }
+  Held1.push_back(10);
+  Held2.push_back(11);
+  B.dep(1, Held1, 11).dep(2, Held2, 10);
+  auto Cycles = B.run();
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_EQ(Cycles[0].Components.size(), 2u);
+}
+
+TEST(IGoodlock, GuardLockStillSuppressesPastSixtyFourLocks) {
+  // The same wide-held-set regime, but both sides hold guard lock 5: the
+  // fallback must detect the genuine intersection and reject the chain.
+  RelationBuilder B;
+  std::vector<uint64_t> Held1, Held2;
+  for (uint64_t I = 0; I != 40; ++I) {
+    Held1.push_back(1000 + I);
+    Held2.push_back(2000 + I);
+  }
+  Held1.push_back(5);
+  Held1.push_back(10);
+  Held2.push_back(5);
+  Held2.push_back(11);
+  B.dep(1, Held1, 11).dep(2, Held2, 10);
+  EXPECT_TRUE(B.run().empty());
+}
+
 } // namespace
