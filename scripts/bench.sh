@@ -3,7 +3,8 @@
 #
 # Builds the bench binaries and runs every micro-benchmark with
 # --benchmark_format=json, writing one baseline file per binary at the repo
-# root (BENCH_igoodlock.json, BENCH_abstraction.json, BENCH_scheduler.json).
+# root (BENCH_igoodlock.json, BENCH_abstraction.json, BENCH_scheduler.json,
+# BENCH_analysis.json).
 # The JSON files are checked in so perf changes show up as reviewable
 # diffs; re-run this script after touching the closure, the abstraction
 # machinery, or the scheduler, and commit the new numbers alongside the
@@ -24,9 +25,9 @@ MIN_TIME="${1:-0.1}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target \
-  micro_igoodlock micro_abstraction micro_scheduler
+  micro_igoodlock micro_abstraction micro_scheduler micro_analysis
 
-for NAME in igoodlock abstraction scheduler; do
+for NAME in igoodlock abstraction scheduler analysis; do
   BIN="build/bench/micro_${NAME}"
   OUT="BENCH_${NAME}.json"
   echo "== ${BIN} -> ${OUT} =="

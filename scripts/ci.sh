@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-#===- scripts/ci.sh - Three-tier continuous integration --------------------===#
+#===- scripts/ci.sh - Five-tier continuous integration ---------------------===#
 #
-# Tier 1: the plain build and full test suite (the gate every change must
-# hold). Tier 2: the same suite under ASan+UBSan (DLF_SANITIZE=ON), which
-# is how the sandbox/journal/pool code gets its memory-error coverage.
-# Sanitized children run several times slower, so that tier uses a reduced
-# per-test timeout rather than the suite default. Tier 3 (bench smoke):
-# builds the micro-benchmark binaries and runs one short closure case so
-# bench-code rot is caught here, not when someone finally reruns
-# scripts/bench.sh.
+# Tier 0 (lint): the clang-tidy wall (scripts/lint.sh) — skips cleanly when
+# clang-tidy is not installed. Tier 1: the plain build and full test suite
+# (the gate every change must hold). Tier 2: the same suite under ASan+UBSan
+# (DLF_SANITIZE=address), which is how the sandbox/journal/pool code gets
+# its memory-error coverage. Tier 2b: the runtime and scheduler suites under
+# ThreadSanitizer (DLF_SANITIZE=thread) — the code that juggles real
+# pthreads gets real data-race coverage. Sanitized children run several
+# times slower, so those tiers use a reduced per-test timeout rather than
+# the suite default. Tier 3 (bench smoke): builds the micro-benchmark
+# binaries and runs one short closure case so bench-code rot is caught
+# here, not when someone finally reruns scripts/bench.sh.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 #
@@ -19,23 +22,36 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+echo "== tier 0: clang-tidy lint wall =="
+scripts/lint.sh "$JOBS"
+
 echo "== tier 1: normal build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== tier 2: ASan+UBSan build + full test suite =="
-cmake -B build-asan -S . -DDLF_SANITIZE=ON >/dev/null
+cmake -B build-asan -S . -DDLF_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 # Sanitized watchdog/hang tests run slower; cap each test instead of
 # letting a wedged sanitized child stall the whole pipeline.
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" --timeout 90
 
+echo "== tier 2b: TSan build + runtime/scheduler suites =="
+cmake -B build-tsan -S . -DDLF_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  runtime_test scheduler_test parallel_closure_test
+build-tsan/tests/runtime_test
+build-tsan/tests/scheduler_test
+build-tsan/tests/parallel_closure_test
+
 echo "== tier 3: bench smoke (build + one short closure case) =="
 cmake --build build -j "$JOBS" --target \
-  micro_igoodlock micro_abstraction micro_scheduler
+  micro_igoodlock micro_abstraction micro_scheduler micro_analysis
 build/bench/micro_igoodlock \
   --benchmark_filter='BM_ClosureParallelJobs/6/4' \
   --benchmark_min_time=0.02
+build/bench/micro_analysis \
+  --benchmark_filter='BM_GuardPrune' --benchmark_min_time=0.02
 
 echo "== ci: all tiers passed =="

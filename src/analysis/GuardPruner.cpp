@@ -1,0 +1,183 @@
+//===- analysis/GuardPruner.cpp - Guard-lock cycle pruner -------------------===//
+
+#include "analysis/GuardPruner.h"
+
+#include "event/VectorClock.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace dlf;
+using namespace dlf::analysis;
+
+const char *dlf::analysis::cycleClassName(CycleClass C) {
+  switch (C) {
+  case CycleClass::Schedulable:
+    return "schedulable";
+  case CycleClass::Guarded:
+    return "guarded";
+  case CycleClass::HBOrdered:
+    return "hb-ordered";
+  case CycleClass::SingleThread:
+    return "single-thread";
+  }
+  return "schedulable";
+}
+
+bool dlf::analysis::cycleClassFromName(const std::string &Name,
+                                       CycleClass &Out) {
+  for (CycleClass C :
+       {CycleClass::Schedulable, CycleClass::Guarded, CycleClass::HBOrdered,
+        CycleClass::SingleThread}) {
+    if (Name == cycleClassName(C)) {
+      Out = C;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CycleClassification::label() const {
+  std::string S = cycleClassName(Class);
+  if (Class == CycleClass::Guarded && !GuardLock.empty())
+    S += " (guard lock: " + GuardLock + ")";
+  return S;
+}
+
+namespace {
+
+/// Indices into Log.entries() that could witness one cycle component.
+using Candidates = std::vector<size_t>;
+
+/// Entries matching a component, preferring the exact (thread, lock,
+/// context) triple the closure actually chained; when the dedup in the
+/// dependency log or abstraction collapse lost that triple, any (thread,
+/// lock) match keeps the analysis conservative rather than vacuous.
+Candidates matchComponent(const std::vector<DependencyEntry> &Entries,
+                          const CycleComponent &Comp) {
+  Candidates Exact;
+  Candidates Loose;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const DependencyEntry &E = Entries[I];
+    if (E.Thread != Comp.Thread || E.Acquired != Comp.Lock)
+      continue;
+    Loose.push_back(I);
+    if (E.Context == Comp.Context)
+      Exact.push_back(I);
+  }
+  return Exact.empty() ? Loose : Exact;
+}
+
+/// True when some lock is held by every entry of the assignment. Held sets
+/// are tiny (lock-nesting depth), so the quadratic scan beats building
+/// hash sets.
+bool findCommonGuard(const std::vector<DependencyEntry> &Entries,
+                     const std::vector<size_t> &Assign, LockId &Guard) {
+  const DependencyEntry &First = Entries[Assign[0]];
+  LockId Best; // invalid
+  for (LockId L : First.Held) {
+    bool Everywhere = true;
+    for (size_t K = 1; K != Assign.size() && Everywhere; ++K) {
+      const std::vector<LockId> &Held = Entries[Assign[K]].Held;
+      Everywhere = std::find(Held.begin(), Held.end(), L) != Held.end();
+    }
+    if (Everywhere && (!Best.isValid() || L < Best))
+      Best = L;
+  }
+  Guard = Best;
+  return Best.isValid();
+}
+
+/// True when some pair of entries in the assignment is ordered by the
+/// recorded happens-before relation. Empty clocks (tracking off) yield
+/// NoInfo and never order anything away.
+bool hasOrderedPair(const std::vector<DependencyEntry> &Entries,
+                    const std::vector<size_t> &Assign) {
+  for (size_t I = 0; I != Assign.size(); ++I) {
+    for (size_t J = I + 1; J != Assign.size(); ++J) {
+      VcOrder O = vcOrder(Entries[Assign[I]].Clock, Entries[Assign[J]].Clock);
+      if (O == VcOrder::Before || O == VcOrder::After || O == VcOrder::Equal)
+        return true;
+    }
+  }
+  return false;
+}
+
+CycleClassification classifyOne(const LockDependencyLog &Log,
+                                const AbstractCycle &Cycle,
+                                const GuardPrunerOptions &Opts) {
+  CycleClassification Result;
+
+  std::unordered_set<ThreadId> Threads;
+  for (const CycleComponent &Comp : Cycle.Components)
+    Threads.insert(Comp.Thread);
+  if (Threads.size() < 2) {
+    Result.Class = CycleClass::SingleThread;
+    return Result;
+  }
+
+  const std::vector<DependencyEntry> &Entries = Log.entries();
+  std::vector<Candidates> PerComp;
+  uint64_t Assignments = 1;
+  for (const CycleComponent &Comp : Cycle.Components) {
+    Candidates C = matchComponent(Entries, Comp);
+    // A component with no witnessing entry (shouldn't happen for cycles the
+    // closure itself produced, but deserialized cycles from another run can
+    // get here): nothing provable, stay Schedulable.
+    if (C.empty())
+      return Result;
+    if (Assignments > Opts.MaxAssignments / C.size())
+      return Result;
+    Assignments *= C.size();
+    PerComp.push_back(std::move(C));
+  }
+
+  // A cycle is schedulable iff SOME assignment of witnessing entries is
+  // simultaneously reachable. Track the discharging evidence of the best
+  // non-schedulable verdict: a named guard beats a bare HB order because
+  // it tells the user which lock to look at.
+  bool SawGuard = false;
+  bool SawOrdered = false;
+  LockId GuardWitness;
+  std::vector<size_t> Pick(PerComp.size());
+  for (uint64_t N = 0; N != Assignments; ++N) {
+    uint64_t Rest = N;
+    for (size_t I = 0; I != PerComp.size(); ++I) {
+      Pick[I] = PerComp[I][Rest % PerComp[I].size()];
+      Rest /= PerComp[I].size();
+    }
+    LockId Guard;
+    if (findCommonGuard(Entries, Pick, Guard)) {
+      if (!SawGuard || Guard < GuardWitness)
+        GuardWitness = Guard;
+      SawGuard = true;
+      continue;
+    }
+    if (hasOrderedPair(Entries, Pick)) {
+      SawOrdered = true;
+      continue;
+    }
+    return Result; // this assignment is schedulable — the cycle is
+  }
+
+  if (SawGuard) {
+    Result.Class = CycleClass::Guarded;
+    Result.GuardLock = Log.lockInfo(GuardWitness).Name;
+  } else if (SawOrdered) {
+    Result.Class = CycleClass::HBOrdered;
+  }
+  return Result;
+}
+
+} // namespace
+
+std::vector<CycleClassification>
+dlf::analysis::classifyCycles(const LockDependencyLog &Log,
+                              const std::vector<AbstractCycle> &Cycles,
+                              const GuardPrunerOptions &Opts) {
+  std::vector<CycleClassification> Out;
+  Out.reserve(Cycles.size());
+  for (const AbstractCycle &Cycle : Cycles)
+    Out.push_back(classifyOne(Log, Cycle, Opts));
+  return Out;
+}

@@ -1,0 +1,250 @@
+//===- analysis/RaceDetector.cpp - Lockset + epoch race detector ------------===//
+
+#include "analysis/RaceDetector.h"
+
+#include "event/Ids.h"
+#include "event/VectorClock.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+using namespace dlf;
+using namespace dlf::analysis;
+
+std::string RaceReport::toString() const {
+  std::ostringstream OS;
+  OS << "race on object " << Object;
+  if (!ObjectAbs.empty())
+    OS << " [" << ObjectAbs << "]";
+  OS << "\n";
+  for (const RaceAccess *A : {&First, &Second}) {
+    OS << "  " << (A->IsWrite ? "write" : "read ") << " by thread "
+       << A->Thread;
+    if (!A->ThreadAbs.empty())
+      OS << " [" << A->ThreadAbs << "]";
+    OS << " at " << A->Site << "\n";
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// One summarized access: last occurrence of (thread, kind, site) on an
+/// object. Records keep their first-occurrence position in the vector, so
+/// pair iteration renders races in first-occurrence order.
+struct AccessRecord {
+  uint64_t Thread = 0;
+  bool IsWrite = false;
+  std::string Site;
+  std::vector<uint64_t> Lockset; // sorted lock ids held at the access
+  VectorClock Clock;
+};
+
+struct ObjectState {
+  std::string Abs;
+  std::vector<AccessRecord> Accesses;
+};
+
+bool sortedDisjoint(const std::vector<uint64_t> &A,
+                    const std::vector<uint64_t> &B) {
+  size_t I = 0;
+  size_t J = 0;
+  while (I != A.size() && J != B.size()) {
+    if (A[I] == B[J])
+      return false;
+    if (A[I] < B[J])
+      ++I;
+    else
+      ++J;
+  }
+  return true;
+}
+
+/// All racy pairs among one object's accesses, ordered by (first ordinal,
+/// second ordinal) — a pure function of the serial pass's summaries, which
+/// is what makes the sharded pass trivially deterministic.
+std::vector<RaceReport> checkObject(uint64_t Oid, const ObjectState &Obj,
+                                    const std::unordered_map<uint64_t,
+                                                             std::string>
+                                        &ThreadAbs) {
+  std::vector<RaceReport> Out;
+  const std::vector<AccessRecord> &As = Obj.Accesses;
+  for (size_t I = 0; I != As.size(); ++I) {
+    for (size_t J = I + 1; J != As.size(); ++J) {
+      const AccessRecord &A = As[I];
+      const AccessRecord &B = As[J];
+      if (A.Thread == B.Thread)
+        continue;
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      if (!vcConcurrent(A.Clock, B.Clock))
+        continue;
+      if (!sortedDisjoint(A.Lockset, B.Lockset))
+        continue;
+      RaceReport R;
+      R.Object = Oid;
+      R.ObjectAbs = Obj.Abs;
+      for (auto Pair : {std::make_pair(&R.First, &A),
+                        std::make_pair(&R.Second, &B)}) {
+        Pair.first->Thread = Pair.second->Thread;
+        Pair.first->IsWrite = Pair.second->IsWrite;
+        Pair.first->Site = Pair.second->Site;
+        auto It = ThreadAbs.find(Pair.second->Thread);
+        if (It != ThreadAbs.end())
+          Pair.first->ThreadAbs = It->second;
+      }
+      Out.push_back(std::move(R));
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+RaceAnalysis dlf::analysis::detectRaces(const TraceFile &Trace,
+                                        const RaceDetectorOptions &Opts) {
+  RaceAnalysis Result;
+
+  // --- Pass 1: serial event walk -----------------------------------------
+  //
+  // Clocks implement the full synchronization order: fork edges plus
+  // release→acquire edges through each lock. Every thread ticks after an
+  // event that publishes its clock (fork, release) so later events are
+  // strictly after, not equal.
+  struct ThreadState {
+    VectorClock Clock;
+    std::vector<uint64_t> Lockset; // sorted
+  };
+  std::unordered_map<uint64_t, ThreadState> Threads;
+  std::unordered_map<uint64_t, VectorClock> LockRelease;
+  std::unordered_map<uint64_t, std::string> ThreadAbs;
+  std::unordered_map<uint64_t, ObjectState> Objects;
+  std::vector<uint64_t> ObjectOrder; // first-seen order, the merge order
+
+  auto Thread = [&](uint64_t Tid) -> ThreadState & {
+    auto It = Threads.find(Tid);
+    if (It != Threads.end())
+      return It->second;
+    ThreadState &T = Threads[Tid];
+    vcTick(T.Clock, ThreadId(Tid));
+    return T;
+  };
+  auto Object = [&](uint64_t Oid) -> ObjectState & {
+    auto It = Objects.find(Oid);
+    if (It != Objects.end())
+      return It->second;
+    ObjectOrder.push_back(Oid);
+    return Objects[Oid];
+  };
+  auto Warn = [&](const std::string &Msg) {
+    if (Result.Warnings.size() < 32)
+      Result.Warnings.push_back(Msg);
+  };
+
+  for (const TraceEvent &E : Trace.Events) {
+    switch (E.K) {
+    case TraceEvent::Kind::ThreadNew:
+      Thread(E.A);
+      ThreadAbs[E.A] = E.Text;
+      break;
+    case TraceEvent::Kind::LockNew:
+      break;
+    case TraceEvent::Kind::Fork: {
+      ThreadState &Parent = Thread(E.A);
+      ThreadState &Child = Thread(E.B);
+      vcJoin(Child.Clock, Parent.Clock);
+      vcTick(Child.Clock, ThreadId(E.B));
+      vcTick(Parent.Clock, ThreadId(E.A));
+      break;
+    }
+    case TraceEvent::Kind::Acquire: {
+      ThreadState &T = Thread(E.A);
+      auto Rel = LockRelease.find(E.B);
+      if (Rel != LockRelease.end())
+        vcJoin(T.Clock, Rel->second);
+      auto Pos = std::lower_bound(T.Lockset.begin(), T.Lockset.end(), E.B);
+      if (Pos == T.Lockset.end() || *Pos != E.B)
+        T.Lockset.insert(Pos, E.B);
+      break;
+    }
+    case TraceEvent::Kind::Release: {
+      ThreadState &T = Thread(E.A);
+      LockRelease[E.B] = T.Clock;
+      vcTick(T.Clock, ThreadId(E.A));
+      auto Pos = std::lower_bound(T.Lockset.begin(), T.Lockset.end(), E.B);
+      if (Pos != T.Lockset.end() && *Pos == E.B)
+        T.Lockset.erase(Pos);
+      else
+        Warn("release of lock " + std::to_string(E.B) + " not held by thread " +
+             std::to_string(E.A));
+      break;
+    }
+    case TraceEvent::Kind::ObjectNew:
+      Object(E.A).Abs = E.Text;
+      break;
+    case TraceEvent::Kind::Read:
+    case TraceEvent::Kind::Write: {
+      ThreadState &T = Thread(E.A);
+      bool IsWrite = E.K == TraceEvent::Kind::Write;
+      ObjectState &Obj = Object(E.B);
+      ++Result.AccessesSeen;
+      // Keep the last record per (thread, kind, site): repeated accesses
+      // from a loop collapse, but every distinct racy site pair survives.
+      AccessRecord *Slot = nullptr;
+      for (AccessRecord &A : Obj.Accesses)
+        if (A.Thread == E.A && A.IsWrite == IsWrite && A.Site == E.Text) {
+          Slot = &A;
+          break;
+        }
+      if (!Slot) {
+        Obj.Accesses.emplace_back();
+        Slot = &Obj.Accesses.back();
+      }
+      Slot->Thread = E.A;
+      Slot->IsWrite = IsWrite;
+      Slot->Site = E.Text;
+      Slot->Lockset = T.Lockset;
+      Slot->Clock = T.Clock;
+      break;
+    }
+    }
+  }
+  Result.ObjectsSeen = ObjectOrder.size();
+
+  // --- Pass 2: per-object pair checks, sharded ---------------------------
+  unsigned Jobs =
+      Opts.Jobs ? Opts.Jobs : std::max(1u, std::thread::hardware_concurrency());
+  Jobs = static_cast<unsigned>(
+      std::min<size_t>(Jobs, std::max<size_t>(1, ObjectOrder.size())));
+
+  std::vector<std::vector<RaceReport>> PerObject(ObjectOrder.size());
+  auto Shard = [&](unsigned Worker) {
+    for (size_t I = Worker; I < ObjectOrder.size(); I += Jobs) {
+      uint64_t Oid = ObjectOrder[I];
+      PerObject[I] = checkObject(Oid, Objects.find(Oid)->second, ThreadAbs);
+    }
+  };
+  if (Jobs <= 1) {
+    Shard(0);
+  } else {
+    std::vector<std::thread> Workers;
+    Workers.reserve(Jobs);
+    for (unsigned W = 0; W != Jobs; ++W)
+      Workers.emplace_back(Shard, W);
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  // In-order merge: object-first-seen order, pair order within an object
+  // fixed by checkObject. Identical for every Jobs value.
+  for (std::vector<RaceReport> &Rs : PerObject) {
+    for (RaceReport &R : Rs) {
+      ++Result.RacyPairs;
+      if (Result.Races.size() < Opts.MaxReports)
+        Result.Races.push_back(std::move(R));
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===- analysis/RaceDetector.h - Lockset + epoch race detector --*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline data-race detection over recorded traces — the second analysis
+/// pass the trace already pays for. The algorithm is the classic hybrid:
+/// Eraser's lockset discipline filtered by FastTrack-style happens-before
+/// (reusing event/VectorClock), so an access pair is racy only when
+///
+///   * the accesses touch the same object from different threads,
+///   * at least one is a write,
+///   * their vector clocks are concurrent (fork and release→acquire edges
+///     both establish order — a consistently lock-protected handoff is
+///     ordered and never reported), and
+///   * the locksets held at the two accesses are disjoint.
+///
+/// Pass structure mirrors the closure engine's determinism contract: a
+/// serial event walk computes clocks, locksets and per-object access
+/// summaries (inherently ordered — clocks thread through the trace), then
+/// per-object pair checking shards across --analysis-jobs workers and
+/// results merge in object-first-seen order. Output is byte-identical for
+/// every job count, including 0 (= hardware concurrency).
+///
+/// Accesses come from the opt-in DLF_TRACE_ACCESSES preload knob (L/S/O
+/// trace lines); summaries keep the last access per (thread, kind, site)
+/// per object, which bounds memory on looping programs without losing any
+/// racy *pair of sites*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_ANALYSIS_RACEDETECTOR_H
+#define DLF_ANALYSIS_RACEDETECTOR_H
+
+#include "analysis/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace analysis {
+
+/// One side of a racy pair.
+struct RaceAccess {
+  uint64_t Thread = 0;
+  std::string ThreadAbs;
+  bool IsWrite = false;
+  std::string Site;
+};
+
+/// A racy access pair on one object.
+struct RaceReport {
+  uint64_t Object = 0;
+  std::string ObjectAbs;
+  RaceAccess First;
+  RaceAccess Second;
+
+  /// Multi-line human-readable rendering.
+  std::string toString() const;
+};
+
+struct RaceDetectorOptions {
+  /// Worker threads for the pair-checking pass; 0 = hardware concurrency.
+  unsigned Jobs = 1;
+  /// Cap on reported pairs (the walk still visits everything; reports past
+  /// the cap are counted, not rendered).
+  size_t MaxReports = 256;
+};
+
+/// Result of one detection run.
+struct RaceAnalysis {
+  std::vector<RaceReport> Races;
+  /// Racy pairs found in total, including any past MaxReports.
+  uint64_t RacyPairs = 0;
+  uint64_t ObjectsSeen = 0;
+  uint64_t AccessesSeen = 0;
+  /// Semantic oddities (accesses by unintroduced threads/objects).
+  std::vector<std::string> Warnings;
+};
+
+/// Runs the detector over \p Trace. Deterministic: identical Races order
+/// and content for every Jobs value.
+RaceAnalysis detectRaces(const TraceFile &Trace,
+                         const RaceDetectorOptions &Opts = {});
+
+} // namespace analysis
+} // namespace dlf
+
+#endif // DLF_ANALYSIS_RACEDETECTOR_H

@@ -1,0 +1,130 @@
+//===- analysis/Trace.cpp - Recorded-trace reader ---------------------------===//
+
+#include "analysis/Trace.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace dlf;
+using namespace dlf::analysis;
+
+namespace {
+
+/// Strict non-negative integer parse of one whitespace-delimited field.
+bool parseId(std::istringstream &Fields, uint64_t &Out) {
+  std::string Tok;
+  if (!(Fields >> Tok) || Tok.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Tok) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false;
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}
+
+bool parseText(std::istringstream &Fields, std::string &Out) {
+  return static_cast<bool>(Fields >> Out) && !Out.empty();
+}
+
+} // namespace
+
+TraceReadStatus dlf::analysis::readTrace(const std::string &Path,
+                                         TraceFile &Out, std::string *Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open trace file " + Path;
+    return TraceReadStatus::Unreadable;
+  }
+
+  std::string Line;
+  size_t LineNo = 0;
+  auto Malformed = [&](const char *Why) {
+    if (Error) {
+      std::ostringstream OS;
+      OS << Path << ":" << LineNo << ": " << Why << ": '" << Line
+         << "' (truncated or corrupt trace)";
+      *Error = OS.str();
+    }
+    return TraceReadStatus::Unreadable;
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Fields(Line);
+    char Kind = 0;
+    Fields >> Kind;
+
+    TraceEvent E;
+    switch (Kind) {
+    case 'T':
+      E.K = TraceEvent::Kind::ThreadNew;
+      if (!parseId(Fields, E.A) || !parseText(Fields, E.Text))
+        return Malformed("malformed thread event");
+      break;
+    case 'M':
+      E.K = TraceEvent::Kind::LockNew;
+      if (!parseId(Fields, E.A) || !parseText(Fields, E.Text))
+        return Malformed("malformed lock event");
+      break;
+    case 'A':
+      E.K = TraceEvent::Kind::Acquire;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B) ||
+          !parseText(Fields, E.Text))
+        return Malformed("malformed acquire event");
+      break;
+    case 'R':
+      E.K = TraceEvent::Kind::Release;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B))
+        return Malformed("malformed release event");
+      break;
+    case 'F':
+      E.K = TraceEvent::Kind::Fork;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B))
+        return Malformed("malformed fork event");
+      break;
+    case 'O':
+      E.K = TraceEvent::Kind::ObjectNew;
+      if (!parseId(Fields, E.A) || !parseText(Fields, E.Text))
+        return Malformed("malformed object event");
+      break;
+    case 'L':
+      E.K = TraceEvent::Kind::Read;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B) ||
+          !parseText(Fields, E.Text))
+        return Malformed("malformed read event");
+      break;
+    case 'S':
+      E.K = TraceEvent::Kind::Write;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B) ||
+          !parseText(Fields, E.Text))
+        return Malformed("malformed write event");
+      break;
+    default:
+      return Malformed("unknown event kind");
+    }
+    Out.Events.push_back(std::move(E));
+  }
+
+  if (In.bad()) {
+    if (Error)
+      *Error = "read error on trace file " + Path;
+    return TraceReadStatus::Unreadable;
+  }
+  if (Out.Events.empty()) {
+    if (Error)
+      *Error = "trace file " + Path +
+               " contains no events (did the traced program run under "
+               "LD_PRELOAD with DLF_PRELOAD_TRACE set?)";
+    return TraceReadStatus::NoEvents;
+  }
+  return TraceReadStatus::Ok;
+}

@@ -97,6 +97,11 @@ std::string CampaignReport::toString() const {
     const CycleCampaignStats &S = PerCycle[I];
     OS << "cycle #" << I << ": " << S.countsKey()
        << " p=" << S.probability() << "\n";
+    if (!S.Classification.empty() && S.Classification != "schedulable")
+      OS << "  classification: " << S.Classification
+         << (S.Skipped ? " (phase 2 skipped; rerun with --include-guarded)"
+                       : "")
+         << "\n";
     if (S.Quarantined)
       OS << "  quarantined: " << S.QuarantineReason << "\n";
   }
@@ -168,6 +173,62 @@ std::map<std::string, std::string> parseKvLine(const std::string &Line) {
   return Out;
 }
 
+/// Witness lock names travel on one whitespace/;-delimited protocol line
+/// (and through the journal); collapse any delimiter bytes they contain.
+std::string sanitizeWitness(std::string Name) {
+  for (char &C : Name)
+    if (C == ';' || C == '|' || C == ' ' || C == '\t' || C == '\n' ||
+        C == '\r')
+      C = '_';
+  return Name;
+}
+
+/// ';'-joined "<class>|<witness>" list, parallel to the cycle list — the
+/// pruner verdicts' wire/journal form.
+std::string serializePrune(
+    const std::vector<analysis::CycleClassification> &Classes) {
+  std::string Out;
+  for (size_t I = 0; I != Classes.size(); ++I) {
+    if (I)
+      Out += ';';
+    Out += analysis::cycleClassName(Classes[I].Class);
+    Out += '|';
+    Out += sanitizeWitness(Classes[I].GuardLock);
+  }
+  return Out;
+}
+
+/// Parses serializePrune output. Anything unparseable (old journal, count
+/// mismatch, unknown class name) yields all-Schedulable: the conservative
+/// reading that never skips a repetition it should have run.
+std::vector<analysis::CycleClassification> parsePrune(const std::string &Text,
+                                                      size_t NumCycles) {
+  std::vector<analysis::CycleClassification> Out(NumCycles);
+  if (Text.empty())
+    return Out;
+  std::vector<analysis::CycleClassification> Parsed;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find(';', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Item = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Bar = Item.find('|');
+    analysis::CycleClassification C;
+    if (!analysis::cycleClassFromName(Item.substr(0, Bar), C.Class))
+      return Out;
+    if (Bar != std::string::npos)
+      C.GuardLock = Item.substr(Bar + 1);
+    Parsed.push_back(std::move(C));
+    if (End == Text.size())
+      break;
+  }
+  if (Parsed.size() != NumCycles)
+    return Out;
+  return Parsed;
+}
+
 uint64_t backoffDelayMs(unsigned Attempt, uint64_t BaseMs, uint64_t CapMs) {
   uint64_t Ms = BaseMs ? BaseMs << std::min<unsigned>(Attempt, 20) : 0;
   return std::min(Ms, CapMs);
@@ -223,6 +284,9 @@ JsonValue CampaignRunner::headerRecord() const {
   H.set("timeout_ms", runTimeoutMs());
   H.set("max_retries", Config.MaxRetries);
   H.set("quarantine", Config.QuarantineThreshold);
+  // IncludeGuarded changes which repetitions exist at all (skipped cycles
+  // have none), so unlike Jobs it MUST fence journals apart.
+  H.set("include_guarded", Config.IncludeGuarded);
   return H;
 }
 
@@ -264,14 +328,21 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
 
     ActiveTesterConfig TC = Config.Tester;
     TC.PhaseOneSeed = Seed;
+    // The closure keeps guard-lock cycles so the pruner can see, classify,
+    // and *name* them; whether Phase II spends budget on them is the
+    // IncludeGuarded policy decision, applied at dispatch time.
+    TC.Goodlock.KeepGuardedCycles = true;
     SandboxResult SR = runInSandbox(
         [&](int Fd) {
           ActiveTester T(Config.Entry, TC);
           PhaseOneResult P1 = T.runPhaseOne();
+          std::vector<analysis::CycleClassification> Classes =
+              analysis::classifyCycles(P1.Log, P1.Cycles);
           std::ostringstream Head;
           Head << "p1 completed=" << (P1.Exec.Completed ? 1 : 0)
                << " exhausted=" << (P1.RetriesExhausted ? 1 : 0)
                << " seeds=" << P1.SeedsTried.size() << "\n";
+          Head << "prune " << serializePrune(Classes) << "\n";
           writeAll(Fd, Head.str());
           writeAll(Fd, serializeCycles(P1.Cycles));
           return 0;
@@ -283,6 +354,18 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
       std::string Head = SR.Payload.substr(0, Nl);
       std::string Doc =
           Nl == std::string::npos ? std::string() : SR.Payload.substr(Nl + 1);
+      // Optional second protocol line: the pruner verdicts. Peeled off
+      // before the cycle document; absent (defensively) means no verdicts.
+      std::string PruneText;
+      if (Doc.rfind("prune", 0) == 0) {
+        size_t PruneNl = Doc.find('\n');
+        std::string PruneLine =
+            Doc.substr(0, PruneNl == std::string::npos ? Doc.size() : PruneNl);
+        Doc = PruneNl == std::string::npos ? std::string()
+                                           : Doc.substr(PruneNl + 1);
+        if (PruneLine.size() > 6)
+          PruneText = PruneLine.substr(6);
+      }
       auto Kv = parseKvLine(Head);
       std::string ParseError;
       if (Kv.count("completed") == 0 ||
@@ -293,6 +376,7 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
         continue;
       }
       Report.PhaseOneCompleted = Kv["completed"] == "1";
+      Report.Classifications = parsePrune(PruneText, Report.Cycles.size());
 
       Record = JsonValue::object();
       Record.set("event", "phase1");
@@ -303,6 +387,7 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
         Seeds.push(JsonValue(S));
       Record.set("seeds", std::move(Seeds));
       Record.set("cycles", serializeCycles(Report.Cycles));
+      Record.set("prune", serializePrune(Report.Classifications));
       return true;
     }
 
@@ -404,6 +489,17 @@ void CampaignRunner::runPhaseTwo(
   Report.JobsUsed = Pool.jobs();
 
   std::vector<CycleProgress> Progress(NumCycles);
+  // Statically discharged cycles consume no repetition budget unless
+  // IncludeGuarded overrides: their frontier starts fully committed, so the
+  // commit walk, journal, and resume all agree the cycle has nothing to do.
+  for (unsigned C = 0; C != NumCycles; ++C) {
+    if (!Config.IncludeGuarded && C < Report.Classifications.size() &&
+        !Report.Classifications[C].schedulable()) {
+      Progress[C].Frontier = Reps;
+      Progress[C].NextDispatch = Reps;
+      Report.PerCycle[C].Skipped = true;
+    }
+  }
   // Journaled outcomes enter the commit queue up front; fresh results join
   // them as children finish (possibly out of order).
   std::map<std::pair<unsigned, unsigned>, PendingOutcome> Pending;
@@ -850,6 +946,9 @@ CampaignReport CampaignRunner::run(bool Resume) {
       Report.Error = "journal phase-1 cycles are corrupt: " + ParseError;
       return Report;
     }
+    // Missing/garbled verdicts degrade to all-Schedulable (nothing skipped).
+    Report.Classifications =
+        parsePrune(Phase1Rec["prune"].asString(), Report.Cycles.size());
   } else {
     JsonValue Record;
     if (!runPhaseOneSandboxed(Report, Record))
@@ -862,9 +961,13 @@ CampaignReport CampaignRunner::run(bool Resume) {
   }
 
   // -- Phase II --------------------------------------------------------------
+  if (Report.Classifications.size() != Report.Cycles.size())
+    Report.Classifications.assign(Report.Cycles.size(), {});
   Report.PerCycle.resize(Report.Cycles.size());
-  for (size_t I = 0; I != Report.Cycles.size(); ++I)
+  for (size_t I = 0; I != Report.Cycles.size(); ++I) {
     Report.PerCycle[I].Cycle = Report.Cycles[I];
+    Report.PerCycle[I].Classification = Report.Classifications[I].label();
+  }
 
   runPhaseTwo(Report, Replay, JournaledQuarantines, HaveDone);
 

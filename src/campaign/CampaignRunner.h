@@ -32,6 +32,7 @@
 #ifndef DLF_CAMPAIGN_CAMPAIGNRUNNER_H
 #define DLF_CAMPAIGN_CAMPAIGNRUNNER_H
 
+#include "analysis/GuardPruner.h"
 #include "campaign/Journal.h"
 #include "campaign/ProcessSandbox.h"
 #include "campaign/WorkerPool.h"
@@ -112,6 +113,13 @@ struct CampaignConfig {
   /// versa.
   unsigned Jobs = 1;
 
+  /// Spend Phase II repetitions on cycles the guard-lock pruner statically
+  /// discharged (guarded / hb-ordered / single-thread). Off by default:
+  /// discharged cycles are reported with their classification but consume
+  /// no repetition budget. Part of the journal fingerprint — skipping
+  /// changes which repetitions exist.
+  bool IncludeGuarded = false;
+
   /// rlimit caps applied to every child; 0 inherits.
   uint64_t RlimitAsMb = 0;
   uint64_t RlimitCpuS = 0;
@@ -168,6 +176,12 @@ struct CycleCampaignStats {
   double TotalWallMs = 0.0;
   bool Quarantined = false;
   std::string QuarantineReason;
+  /// Pruner verdict for this cycle ("schedulable", "guarded (guard lock:
+  /// m)", ...); empty for journals/campaigns that predate the pruner.
+  std::string Classification;
+  /// True when Phase II spent no budget on this cycle because the pruner
+  /// discharged it (and IncludeGuarded was off).
+  bool Skipped = false;
 
   double probability() const {
     return Reps ? static_cast<double>(Reproduced) / Reps : 0.0;
@@ -183,6 +197,9 @@ struct CampaignReport {
   unsigned PhaseOneAttempts = 0;
   std::vector<uint64_t> PhaseOneSeeds;
   std::vector<AbstractCycle> Cycles;
+  /// Guard-lock pruner verdict per cycle, parallel to Cycles (computed in
+  /// the Phase I child, journaled, restored on resume).
+  std::vector<analysis::CycleClassification> Classifications;
   std::vector<CycleCampaignStats> PerCycle;
 
   /// Fresh child repetitions executed by this invocation.

@@ -173,7 +173,8 @@ bool sortedDisjoint(const RelationIndex &Ix, uint32_t AIdx, uint32_t BIdx) {
 /// Thread and acquired-lock distinctness scan the chain (at most
 /// MaxCycleLength comparisons); held disjointness is the bitmask path.
 bool canExtend(const std::vector<DependencyEntry> &D, const RelationIndex &Ix,
-               const ChainLevel &Cur, size_t CI, uint32_t EIdx) {
+               const ChainLevel &Cur, size_t CI, uint32_t EIdx,
+               bool KeepGuardedCycles) {
   const DependencyEntry &E = D[EIdx];
   const EntryMeta &EM = Ix.Meta[EIdx];
   const ChainMeta &CM = Cur.Meta[CI];
@@ -194,8 +195,10 @@ bool canExtend(const std::vector<DependencyEntry> &D, const RelationIndex &Ix,
   // that lock, by construction.
   // 4. held sets pairwise disjoint: a clear AND of the folded masks always
   // proves disjointness; a shared bit is an exact reject when the fold is
-  // injective, otherwise the sorted intersection decides.
-  if (CM.HeldMask & EM.HeldMask) {
+  // injective, otherwise the sorted intersection decides. With
+  // KeepGuardedCycles the requirement is waived — the overlap is exactly a
+  // guard lock, and the pruner downstream classifies (and names) it.
+  if (!KeepGuardedCycles && (CM.HeldMask & EM.HeldMask)) {
     if (Ix.MaskExact)
       return false;
     for (unsigned I = 0; I != Cur.Len; ++I)
@@ -283,7 +286,7 @@ void processShard(const std::vector<DependencyEntry> &D,
     uint32_t CandEnd = Ix.CandOffsets[CM.LastDenseAcquired + 1];
     for (uint32_t Cand = CandBegin; Cand != CandEnd; ++Cand) {
       uint32_t EIdx = Ix.CandData[Cand];
-      if (!canExtend(D, Ix, Cur, CI, EIdx))
+      if (!canExtend(D, Ix, Cur, CI, EIdx, Opts.KeepGuardedCycles))
         continue;
       const EntryMeta &EM = Ix.Meta[EIdx];
       // Definition 3: cycle when the new acquired lock is held by the

@@ -52,6 +52,15 @@ struct IGoodlockOptions {
   /// the runtime recorded no clocks.
   bool FilterByHappensBefore = false;
 
+  /// When true, chains may extend through entries whose held sets overlap
+  /// with the chain's — the Definition 2 disjointness requirement is
+  /// dropped. The extra cycles this admits are exactly the guard-lock
+  /// (gate-lock) cycles a common held lock renders unschedulable; keeping
+  /// them lets the analysis::GuardPruner classify and *name* the guard in
+  /// reports instead of silently never seeing the cycle. Off by default:
+  /// Phase II should not chase them without classification.
+  bool KeepGuardedCycles = false;
+
   /// Worker threads for the closure: each level's chains are sharded across
   /// this many workers and merged deterministically, so cycles, stats, and
   /// truncation are byte-identical for every value. 1 = serial (default),

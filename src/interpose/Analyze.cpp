@@ -1,30 +1,42 @@
-//===- interpose/Analyze.cpp - Offline iGoodlock for preload traces ---------===//
+//===- interpose/Analyze.cpp - Offline analysis for preload traces ----------===//
 //
 // Part of the DeadlockFuzzer reproduction, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
 // dlf-analyze: reads a trace written by libdlf_preload.so (Phase I of the
-// LD_PRELOAD workflow), rebuilds the lock dependency relation, runs
-// iGoodlock, and prints each potential deadlock cycle both human-readably
-// and as a machine spec line
+// LD_PRELOAD workflow) and runs the offline analysis passes over it.
+//
+// Default mode rebuilds the lock dependency relation, runs iGoodlock with
+// guarded cycles kept, classifies every cycle through the guard-lock pruner
+// (analysis/GuardPruner.h), and prints each potential deadlock cycle both
+// human-readably and as a machine spec line
 //
 //   cycle-spec: <threadAbs>|<lockAbs>|<ctx,...>;<component>;...
 //
 // suitable for DLF_PRELOAD_CYCLE in Phase II.
 //
+// --races runs the lockset + vector-clock race detector instead
+// (analysis/RaceDetector.h) over the opt-in O/L/S access events. Its stdout
+// is byte-identical for every --analysis-jobs value; job/timing chatter
+// goes to stderr.
+//
 // Usage: dlf-analyze <trace-file> [--max-cycle-length N]
-//                    [--analysis-jobs N]
+//                    [--analysis-jobs N] [--races]
+//
+// Exit codes: 0 analysis ran; 1 usage error; 2 unreadable/corrupt trace;
+// 3 trace carries no events (see analysis/Trace.h for the rationale).
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/GuardPruner.h"
+#include "analysis/RaceDetector.h"
+#include "analysis/Trace.h"
 #include "igoodlock/IGoodlock.h"
 #include "runtime/Records.h"
 #include "support/Env.h"
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +44,10 @@
 using namespace dlf;
 
 namespace {
+
+constexpr int ExitUsage = 1;
+constexpr int ExitCorruptTrace = 2;
+constexpr int ExitNoEvents = 3;
 
 struct TraceThread {
   ThreadRecord Record;
@@ -49,114 +65,108 @@ AbstractionSet absFromString(const std::string &Text) {
   return Abs;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  const char *Usage = "usage: dlf-analyze <trace-file> "
-                      "[--max-cycle-length N] [--analysis-jobs N]\n";
-  if (Argc < 2) {
-    std::cerr << Usage;
-    return 1;
-  }
-  IGoodlockOptions Opts;
-  for (int I = 2; I + 1 < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg != "--max-cycle-length" && Arg != "--analysis-jobs")
-      continue;
-    // atoi would turn garbage into 0 and silently disable cycle search;
-    // malformed operands are a usage error instead.
-    uint64_t N = 0;
-    if (!parseUint64Strict(Argv[I + 1], N)) {
-      std::cerr << "error: " << Arg
-                << " expects a non-negative integer, got '" << Argv[I + 1]
-                << "'\n"
-                << Usage;
-      return 1;
-    }
-    if (Arg == "--max-cycle-length")
-      Opts.MaxCycleLength = static_cast<unsigned>(N);
-    else
-      Opts.AnalysisJobs = static_cast<unsigned>(N);
-  }
-
-  std::ifstream In(Argv[1]);
-  if (!In) {
-    std::cerr << "error: cannot open trace file " << Argv[1] << "\n";
-    return 1;
-  }
-
-  LockDependencyLog Log;
+/// Rebuilds the lock dependency relation from the parsed trace. Thread
+/// clocks are fork-only (ticked at each F edge): a must-order relation, so
+/// the pruner's HBOrdered verdict proves infeasibility instead of merely
+/// "didn't overlap this run" — the distinction §1 of the paper draws.
+void buildDependencyLog(const analysis::TraceFile &Trace,
+                        LockDependencyLog &Log) {
   std::unordered_map<uint64_t, TraceThread> Threads;
   std::unordered_map<uint64_t, LockRecord> Locks;
 
-  std::string Line;
-  size_t LineNo = 0;
-  while (std::getline(In, Line)) {
-    ++LineNo;
-    if (Line.empty() || Line[0] == '#')
-      continue;
-    std::istringstream Fields(Line);
-    char Kind = 0;
-    Fields >> Kind;
-    if (Kind == 'T') {
-      uint64_t Tid;
-      std::string Abs;
-      Fields >> Tid >> Abs;
-      TraceThread &T = Threads[Tid];
-      T.Record.Id = ThreadId(Tid);
-      T.Record.Name = Abs;
-      T.Record.Abs = absFromString(Abs);
+  size_t EventNo = 0;
+  for (const analysis::TraceEvent &E : Trace.Events) {
+    ++EventNo;
+    switch (E.K) {
+    case analysis::TraceEvent::Kind::ThreadNew: {
+      TraceThread &T = Threads[E.A];
+      T.Record.Id = ThreadId(E.A);
+      T.Record.Name = E.Text;
+      T.Record.Abs = absFromString(E.Text);
+      vcTick(T.Record.Clock, T.Record.Id);
       Log.onThreadCreated(T.Record);
-    } else if (Kind == 'M') {
-      uint64_t Lid;
-      std::string Abs;
-      Fields >> Lid >> Abs;
-      LockRecord &L = Locks[Lid];
-      L.Id = LockId(Lid);
-      L.Name = Abs;
-      L.Abs = absFromString(Abs);
+      break;
+    }
+    case analysis::TraceEvent::Kind::LockNew: {
+      LockRecord &L = Locks[E.A];
+      L.Id = LockId(E.A);
+      L.Name = E.Text;
+      L.Abs = absFromString(E.Text);
       Log.onLockCreated(L);
-    } else if (Kind == 'A') {
-      uint64_t Tid, Lid;
-      std::string Site;
-      Fields >> Tid >> Lid >> Site;
-      auto ThreadIt = Threads.find(Tid);
-      auto LockIt = Locks.find(Lid);
+      break;
+    }
+    case analysis::TraceEvent::Kind::Fork: {
+      auto Parent = Threads.find(E.A);
+      auto Child = Threads.find(E.B);
+      if (Parent == Threads.end() || Child == Threads.end()) {
+        std::cerr << "warning: event " << EventNo
+                  << ": fork references unknown thread\n";
+        break;
+      }
+      vcJoin(Child->second.Record.Clock, Parent->second.Record.Clock);
+      vcTick(Child->second.Record.Clock, Child->second.Record.Id);
+      vcTick(Parent->second.Record.Clock, Parent->second.Record.Id);
+      break;
+    }
+    case analysis::TraceEvent::Kind::Acquire: {
+      auto ThreadIt = Threads.find(E.A);
+      auto LockIt = Locks.find(E.B);
       if (ThreadIt == Threads.end() || LockIt == Locks.end()) {
-        std::cerr << "warning: line " << LineNo
+        std::cerr << "warning: event " << EventNo
                   << ": acquire references unknown thread/lock\n";
-        continue;
+        break;
       }
       TraceThread &T = ThreadIt->second;
       Log.onAcquireExecuted(T.Record, LockIt->second, T.Stack,
-                            Label::intern(Site));
-      T.Stack.push_back({LockId(Lid), Label::intern(Site)});
-    } else if (Kind == 'R') {
-      uint64_t Tid, Lid;
-      Fields >> Tid >> Lid;
-      auto ThreadIt = Threads.find(Tid);
+                            Label::intern(E.Text));
+      T.Stack.push_back({LockId(E.B), Label::intern(E.Text)});
+      break;
+    }
+    case analysis::TraceEvent::Kind::Release: {
+      auto ThreadIt = Threads.find(E.A);
       if (ThreadIt == Threads.end())
-        continue;
+        break;
       auto &Stack = ThreadIt->second.Stack;
       for (size_t I = Stack.size(); I-- > 0;) {
-        if (Stack[I].Lock == LockId(Lid)) {
+        if (Stack[I].Lock == LockId(E.B)) {
           Stack.erase(Stack.begin() + static_cast<long>(I));
           break;
         }
       }
-    } else {
-      std::cerr << "warning: line " << LineNo << ": unknown event '" << Kind
-                << "'\n";
+      break;
+    }
+    case analysis::TraceEvent::Kind::ObjectNew:
+    case analysis::TraceEvent::Kind::Read:
+    case analysis::TraceEvent::Kind::Write:
+      break; // race-detector events; inert for the deadlock passes
     }
   }
+}
+
+int runDeadlockAnalysis(const analysis::TraceFile &Trace,
+                        IGoodlockOptions Opts) {
+  LockDependencyLog Log;
+  buildDependencyLog(Trace, Log);
+
+  // Keep guarded cycles in the closure so the pruner can classify and name
+  // them; dlf-analyze is a reporting tool, Phase II budget is not at stake.
+  Opts.KeepGuardedCycles = true;
 
   IGoodlockStats Stats;
   std::vector<AbstractCycle> Cycles = runIGoodlock(Log, Opts, &Stats);
+  std::vector<analysis::CycleClassification> Classes =
+      analysis::classifyCycles(Log, Cycles);
+
+  size_t Schedulable = 0;
+  for (const analysis::CycleClassification &C : Classes)
+    Schedulable += C.schedulable();
 
   std::cout << "dlf-analyze: " << Log.entries().size()
             << " dependency entries, " << Log.acquireEvents()
             << " acquire events, " << Cycles.size()
             << " potential deadlock cycle(s)\n";
+  std::cout << "pruner: " << Schedulable << " schedulable, "
+            << (Cycles.size() - Schedulable) << " statically discharged\n";
   std::cout << "closure: " << Stats.ChainsExplored << " chains, "
             << Stats.ElapsedMicros << " us, "
             << static_cast<uint64_t>(Stats.entriesPerSecond())
@@ -166,6 +176,7 @@ int main(int Argc, char **Argv) {
   for (size_t I = 0; I != Cycles.size(); ++I) {
     const AbstractCycle &Cycle = Cycles[I];
     std::cout << "#" << I << " " << Cycle.toString();
+    std::cout << "classification: " << Classes[I].label() << "\n";
     std::cout << "cycle-spec: ";
     for (size_t C = 0; C != Cycle.Components.size(); ++C) {
       const CycleComponent &Comp = Cycle.Components[C];
@@ -181,4 +192,93 @@ int main(int Argc, char **Argv) {
     std::cout << "\n\n";
   }
   return 0;
+}
+
+int runRaceAnalysis(const analysis::TraceFile &Trace, unsigned Jobs) {
+  analysis::RaceDetectorOptions Opts;
+  Opts.Jobs = Jobs;
+  analysis::RaceAnalysis Result = analysis::detectRaces(Trace, Opts);
+
+  // Job count and any other run-dependent chatter stay on stderr: stdout is
+  // byte-identical for every --analysis-jobs value (the PR 3 determinism
+  // contract, extended to this pass).
+  std::cerr << "dlf-analyze: race pass over " << Trace.Events.size()
+            << " events, jobs " << Jobs << "\n";
+  for (const std::string &W : Result.Warnings)
+    std::cerr << "warning: " << W << "\n";
+
+  std::cout << "dlf-analyze: " << Result.ObjectsSeen << " shared object(s), "
+            << Result.AccessesSeen << " access event(s), " << Result.RacyPairs
+            << " racy pair(s)\n";
+  if (Result.RacyPairs == 0 && Result.AccessesSeen == 0)
+    std::cout << "note: trace has no access events; record them with "
+                 "DLF_TRACE_ACCESSES=1 and dlf_trace_read/dlf_trace_write\n";
+  if (Result.RacyPairs > Result.Races.size())
+    std::cout << "note: showing first " << Result.Races.size() << " of "
+              << Result.RacyPairs << " racy pairs\n";
+  std::cout << "\n";
+  for (size_t I = 0; I != Result.Races.size(); ++I)
+    std::cout << "#" << I << " " << Result.Races[I].toString() << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *Usage = "usage: dlf-analyze <trace-file> "
+                      "[--max-cycle-length N] [--analysis-jobs N] [--races]\n";
+  if (Argc < 2) {
+    std::cerr << Usage;
+    return ExitUsage;
+  }
+  IGoodlockOptions Opts;
+  bool Races = false;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--races") {
+      Races = true;
+      continue;
+    }
+    if (Arg != "--max-cycle-length" && Arg != "--analysis-jobs") {
+      std::cerr << "error: unknown option '" << Arg << "'\n" << Usage;
+      return ExitUsage;
+    }
+    if (I + 1 >= Argc) {
+      std::cerr << "error: " << Arg << " expects a value\n" << Usage;
+      return ExitUsage;
+    }
+    // atoi would turn garbage into 0 and silently disable cycle search;
+    // malformed operands are a usage error instead.
+    uint64_t N = 0;
+    if (!parseUint64Strict(Argv[I + 1], N)) {
+      std::cerr << "error: " << Arg << " expects a non-negative integer, got '"
+                << Argv[I + 1] << "'\n"
+                << Usage;
+      return ExitUsage;
+    }
+    if (Arg == "--max-cycle-length")
+      Opts.MaxCycleLength = static_cast<unsigned>(N);
+    else
+      Opts.AnalysisJobs = static_cast<unsigned>(N);
+    ++I;
+  }
+
+  analysis::TraceFile Trace;
+  std::string Error;
+  switch (analysis::readTrace(Argv[1], Trace, &Error)) {
+  case analysis::TraceReadStatus::Ok:
+    break;
+  case analysis::TraceReadStatus::Unreadable:
+    std::cerr << "error: " << Error << "\n";
+    return ExitCorruptTrace;
+  case analysis::TraceReadStatus::NoEvents:
+    std::cerr << "error: " << Error << "\n";
+    return ExitNoEvents;
+  }
+  for (const std::string &W : Trace.Warnings)
+    std::cerr << "warning: " << W << "\n";
+
+  if (Races)
+    return runRaceAnalysis(Trace, Opts.AnalysisJobs);
+  return runDeadlockAnalysis(Trace, Opts);
 }

@@ -146,17 +146,25 @@ struct CycleComponentSpec {
   std::vector<std::string> Context;
 };
 
+struct ObjectInfo {
+  uint64_t Id = 0;
+  std::string Abs; ///< "<first-access-site>#<n>"
+};
+
 /// All global state; created by the library constructor. Internal locking
 /// uses RealLock directly, so the interposition never recurses.
 struct GlobalState {
   pthread_mutex_t Mu = PTHREAD_MUTEX_INITIALIZER;
   FILE *Trace = nullptr;
+  bool TraceAccesses = false;
   std::vector<CycleComponentSpec> Cycle;
   unsigned PauseMs = 200;
 
   uint64_t NextTid = 1;
   uint64_t NextLockId = 1;
+  uint64_t NextObjectId = 1;
   std::unordered_map<pthread_mutex_t *, LockInfo> Locks;
+  std::unordered_map<const void *, ObjectInfo> Objects;
   std::vector<ThreadSlot *> Threads;
   std::unordered_map<std::string, uint64_t> SiteCounts;
 
@@ -169,12 +177,14 @@ GlobalState *State;
 /// Per-thread slot pointer; the main thread gets one lazily.
 thread_local ThreadSlot *Self;
 
-/// The site string recorded for the next spawned thread (stashed by the
-/// pthread_create interposition for the trampoline).
+/// Hand-off from the pthread_create interposition to the trampoline. The
+/// slot is created (and its T/F trace lines written) in the *parent*, so
+/// the fork edge is on file before any child event and the child's tid is
+/// deterministic in program order, not in thread start-up order.
 struct TrampolineArg {
   void *(*Routine)(void *);
   void *Arg;
-  std::string Abs;
+  ThreadSlot *Slot;
 };
 
 std::string bumpSite(GlobalState &G, const std::string &Site) {
@@ -404,6 +414,8 @@ __attribute__((constructor)) void dlfPreloadInit() {
     if (State->Trace)
       fprintf(State->Trace, "# dlf-preload trace v1\n");
   }
+  State->TraceAccesses =
+      State->Trace && getenv(dlf::interpose::AccessEnvVar) != nullptr;
   if (const char *Spec = getenv(dlf::interpose::CycleEnvVar))
     parseCycleSpec(Spec);
   if (const char *Ms = getenv(dlf::interpose::PauseMsEnvVar)) {
@@ -553,14 +565,9 @@ void releaseWithAnalysis(pthread_mutex_t *M, bool &Reentrant) {
 
 void *threadTrampoline(void *Raw) {
   auto *Arg = static_cast<TrampolineArg *>(Raw);
+  ThreadSlot *Slot = Arg->Slot;
   State->lock();
-  auto *Slot = new ThreadSlot();
-  Slot->Tid = State->NextTid++;
-  Slot->Abs = Arg->Abs;
   Slot->Live = true;
-  State->Threads.push_back(Slot);
-  if (State->Trace)
-    fprintf(State->Trace, "T %" PRIu64 " %s\n", Slot->Tid, Slot->Abs.c_str());
   State->unlock();
   Self = Slot;
 
@@ -573,6 +580,30 @@ void *threadTrampoline(void *Raw) {
   State->unlock();
   delete Arg;
   return Result;
+}
+
+/// Shared-access recording behind DLF_TRACE_ACCESSES (see TraceFormat.h).
+/// \p Site may be null, in which case the caller's return address resolves
+/// the site the same way acquires do.
+void recordAccess(const void *Addr, const char *Site, bool IsWrite,
+                  void *CallerAddr) {
+  if (!State || !State->TraceAccesses || !Addr)
+    return;
+  ThreadSlot *T = selfSlot();
+  std::string SiteText = Site && *Site ? Site : resolveSite(CallerAddr);
+  State->lock();
+  auto It = State->Objects.find(Addr);
+  if (It == State->Objects.end()) {
+    ObjectInfo Info;
+    Info.Id = State->NextObjectId++;
+    Info.Abs = bumpSite(*State, SiteText);
+    It = State->Objects.emplace(Addr, std::move(Info)).first;
+    fprintf(State->Trace, "O %" PRIu64 " %s\n", It->second.Id,
+            It->second.Abs.c_str());
+  }
+  fprintf(State->Trace, "%c %" PRIu64 " %" PRIu64 " %s\n", IsWrite ? 'S' : 'L',
+          T->Tid, It->second.Id, SiteText.c_str());
+  State->unlock();
 }
 
 } // namespace
@@ -708,17 +739,42 @@ int pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,
   if (!State->Trace && State->Cycle.empty())
     return RealCreate(Thread, Attr, Routine, Arg);
 
-  (void)selfSlot(); // make sure the creator (e.g. main) is registered
+  ThreadSlot *Parent = selfSlot(); // register the creator (e.g. main)
   std::string Site = resolveSite(__builtin_return_address(0));
   State->lock();
-  std::string Abs = bumpSite(*State, Site);
+  auto *Slot = new ThreadSlot();
+  Slot->Tid = State->NextTid++;
+  Slot->Abs = bumpSite(*State, Site);
+  State->Threads.push_back(Slot);
+  if (State->Trace) {
+    fprintf(State->Trace, "T %" PRIu64 " %s\n", Slot->Tid, Slot->Abs.c_str());
+    fprintf(State->Trace, "F %" PRIu64 " %" PRIu64 "\n", Parent->Tid,
+            Slot->Tid);
+  }
   State->unlock();
 
-  auto *Wrapped = new TrampolineArg{Routine, Arg, std::move(Abs)};
+  auto *Wrapped = new TrampolineArg{Routine, Arg, Slot};
   int Rc = RealCreate(Thread, Attr, threadTrampoline, Wrapped);
-  if (Rc != 0)
+  if (Rc != 0) {
+    // The slot stays registered (its tid and trace lines are already out);
+    // it just never goes live.
     delete Wrapped;
+  }
   return Rc;
+}
+
+// Shared-memory access hooks for the race detector. Programs (or test
+// fixtures) declare these weak and call them around interesting accesses;
+// without the preload library the weak reference is null and the calls are
+// skipped, so instrumented code runs unmodified everywhere. No-ops unless
+// both DLF_PRELOAD_TRACE and DLF_TRACE_ACCESSES are set.
+
+void dlf_trace_read(const void *Addr, const char *Site) {
+  recordAccess(Addr, Site, /*IsWrite=*/false, __builtin_return_address(0));
+}
+
+void dlf_trace_write(const void *Addr, const char *Site) {
+  recordAccess(Addr, Site, /*IsWrite=*/true, __builtin_return_address(0));
 }
 
 } // extern "C"

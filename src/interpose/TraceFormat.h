@@ -10,10 +10,22 @@
 /// per line:
 ///
 ///   # comment
-///   T <tid> <site> <n>          thread created; abstraction = <site>#<n>
-///   M <lid> <site> <n>          lock first observed; abstraction = <site>#<n>
+///   T <tid> <abs>               thread created; abstraction = <site>#<n>
+///   M <lid> <abs>               lock first observed; abstraction = <site>#<n>
 ///   A <tid> <lid> <acq-site>    acquire executed (0->1 transitions only)
 ///   R <tid> <lid>               release (1->0 transitions only)
+///   F <parent-tid> <child-tid>  pthread_create edge (happens-before)
+///   O <oid> <abs>               shared object first observed (opt-in)
+///   L <tid> <oid> <site>        shared-memory read (opt-in)
+///   S <tid> <oid> <site>        shared-memory write (opt-in)
+///
+/// F edges are written whenever tracing is on; they carry the fork-order
+/// part of happens-before that both the cycle pruner and the race detector
+/// consume. O/L/S lines appear only when DLF_TRACE_ACCESSES is also set:
+/// a preload library cannot see loads and stores, so the program under
+/// test (or its test fixture) calls the exported dlf_trace_read /
+/// dlf_trace_write hooks at the accesses it wants checked — the C analogue
+/// of the Java implementation's field-access instrumentation.
 ///
 /// Sites are "symbol+0xoffset" strings resolved via dladdr, which are
 /// stable across executions of the same binary (unlike raw return
@@ -48,6 +60,12 @@ inline constexpr const char *CycleEnvVar = "DLF_PRELOAD_CYCLE";
 /// Environment variable: total pause budget per matched acquire, in
 /// milliseconds (default 200).
 inline constexpr const char *PauseMsEnvVar = "DLF_PRELOAD_PAUSE_MS";
+
+/// Environment variable: when set (any value) alongside the trace path,
+/// the dlf_trace_read/dlf_trace_write hooks record O/L/S events for the
+/// race detector (dlf-analyze --races). Opt-in: access recording grows
+/// traces and is useless to the deadlock passes.
+inline constexpr const char *AccessEnvVar = "DLF_TRACE_ACCESSES";
 
 /// Exit code the preload runtime uses when it confirms a real deadlock
 /// (chosen to be distinguishable from crashes and clean exits).

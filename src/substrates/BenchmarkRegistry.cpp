@@ -22,6 +22,9 @@ const std::vector<BenchmarkInfo> &dlf::allBenchmarks() {
                     workloads::runHedc, 0, true, 0});
     List.push_back({"jspider", "web spider (deadlock-free)",
                     workloads::runJSpider, 0, true, 0});
+    List.push_back({"guarded",
+                    "gate-protected ABBA (guarded cycle, deadlock-free)",
+                    workloads::runGuarded, 0, true, 0});
     List.push_back({"jigsaw", "mini web server (many cycles, some false)",
                     jigsaw::runJigsawHarness, -1, false, -1});
     List.push_back({"logging", "java.util.logging analogue (3 cycles)",

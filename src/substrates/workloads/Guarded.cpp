@@ -1,0 +1,54 @@
+//===- substrates/workloads/Guarded.cpp - Gate-protected ABBA --------------===//
+
+#include "substrates/workloads/Workloads.h"
+
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+#include "substrates/Stagger.h"
+
+using namespace dlf;
+
+// The canonical gate-lock pattern: two threads invert the acquisition order
+// of the account monitors (ABBA), but both hold the same ledger gate across
+// the inversion, so the interleaving that would deadlock cannot be
+// scheduled. iGoodlock's default closure discards the cycle outright
+// (held-set disjointness); with KeepGuardedCycles the cycle surfaces and the
+// guard pruner must classify it Guarded with the ledger named as witness.
+void workloads::runGuarded() {
+  DLF_SCOPE("workloads::runGuarded");
+  Mutex Ledger("ledger", DLF_SITE(), nullptr);
+  Mutex AccountA("accountA", DLF_SITE(), nullptr);
+  Mutex AccountB("accountB", DLF_SITE(), nullptr);
+  int BalanceA = 100;
+  int BalanceB = 100;
+
+  Thread Debit(
+      [&] {
+        DLF_SCOPE("guarded::debit");
+        stagger(2);
+        MutexGuard Gate(Ledger, DLF_NAMED_SITE("debit::gate/ledger"));
+        MutexGuard First(AccountA, DLF_NAMED_SITE("debit::from/accountA"));
+        stagger(1);
+        MutexGuard Second(AccountB, DLF_NAMED_SITE("debit::to/accountB"));
+        BalanceA -= 10;
+        BalanceB += 10;
+      },
+      "guarded.debit", DLF_SITE(), nullptr);
+
+  Thread Credit(
+      [&] {
+        DLF_SCOPE("guarded::credit");
+        stagger(2);
+        MutexGuard Gate(Ledger, DLF_NAMED_SITE("credit::gate/ledger"));
+        MutexGuard First(AccountB, DLF_NAMED_SITE("credit::from/accountB"));
+        stagger(1);
+        MutexGuard Second(AccountA, DLF_NAMED_SITE("credit::to/accountA"));
+        BalanceB -= 10;
+        BalanceA += 10;
+      },
+      "guarded.credit", DLF_SITE(), nullptr);
+
+  Debit.join();
+  Credit.join();
+}

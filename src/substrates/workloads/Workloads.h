@@ -40,6 +40,11 @@ void runHedc();
 /// Spider workload (host locks in global order).
 void runJSpider();
 
+/// Gate-protected ABBA: inverted account-lock orders, both under one
+/// ledger gate, so the cycle exists in the dependency relation (when the
+/// closure keeps guarded cycles) but can never be scheduled.
+void runGuarded();
+
 } // namespace workloads
 } // namespace dlf
 

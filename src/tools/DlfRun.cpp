@@ -77,7 +77,11 @@ void printUsage() {
          "                         once (default 1 = serial; 0 = hardware\n"
          "                         concurrency); classification counts are\n"
          "                         identical for every N, and journals\n"
-         "                         resume across --jobs values\n";
+         "                         resume across --jobs values\n"
+         "  --include-guarded      spend phase 2 repetitions on cycles the\n"
+         "                         guard-lock pruner statically discharged\n"
+         "                         (by default they are reported with their\n"
+         "                         classification but consume no budget)\n";
 }
 
 /// Runs the fault-isolated campaign and prints its report. Returns the
@@ -113,7 +117,8 @@ int runCampaign(const BenchmarkInfo &Bench, campaign::CampaignConfig Config,
               Table::fmt(static_cast<uint64_t>(S.Oom)),
               Table::fmt(static_cast<uint64_t>(S.RetriesSpent)),
               Table::fmt(S.probability(), 2),
-              S.Quarantined ? "QUARANTINED" : ""});
+              S.Quarantined ? "QUARANTINED"
+                            : (S.Skipped ? "SKIPPED" : "")});
   }
   T.print(std::cout);
   for (size_t I = 0; I != Report.PerCycle.size(); ++I)
@@ -121,6 +126,11 @@ int runCampaign(const BenchmarkInfo &Bench, campaign::CampaignConfig Config,
       std::cout << "cycle #" << I
                 << " quarantined: " << Report.PerCycle[I].QuarantineReason
                 << "\n";
+  for (size_t I = 0; I != Report.PerCycle.size(); ++I)
+    if (Report.PerCycle[I].Skipped)
+      std::cout << "cycle #" << I << " statically discharged as "
+                << Report.PerCycle[I].Classification
+                << "; rerun with --include-guarded to spend reps on it\n";
   std::cout << "reps executed " << Report.RepsExecuted
             << ", replayed from journal " << Report.RepsReplayed << "\n";
   if (Report.RepsExecuted)
@@ -197,6 +207,7 @@ int main(int Argc, char **Argv) {
   bool Resume = false;
   bool JournalFlagGiven = false;
   bool JobsGiven = false;
+  bool IncludeGuarded = false;
   std::string JournalPath;
   uint64_t RunTimeoutMs = 0;
   uint64_t BudgetS = 0;
@@ -307,6 +318,8 @@ int main(int Argc, char **Argv) {
         return 1;
       Jobs = N;
       JobsGiven = true;
+    } else if (Arg == "--include-guarded") {
+      IncludeGuarded = true;
     } else {
       std::cerr << "error: unknown option '" << Arg << "'\n";
       printUsage();
@@ -316,6 +329,11 @@ int main(int Argc, char **Argv) {
 
   if (JobsGiven && !Campaign) {
     std::cerr << "error: --jobs only applies to --campaign (or --resume)\n";
+    return 1;
+  }
+  if (IncludeGuarded && !Campaign) {
+    std::cerr << "error: --include-guarded only applies to --campaign "
+                 "(or --resume)\n";
     return 1;
   }
   if (Resume && JournalFlagGiven) {
@@ -332,6 +350,7 @@ int main(int Argc, char **Argv) {
     CC.RunTimeoutMs = RunTimeoutMs;
     CC.BudgetS = BudgetS;
     CC.Jobs = static_cast<unsigned>(Jobs);
+    CC.IncludeGuarded = IncludeGuarded;
     if (MaxRetries >= 0)
       CC.MaxRetries = static_cast<unsigned>(MaxRetries);
     CC.JournalPath = JournalPath.empty()

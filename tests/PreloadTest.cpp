@@ -136,6 +136,140 @@ TEST(Preload, RichFixtureTracesCorrectly) {
       << Analysis;
 }
 
+TEST(Preload, GuardedFixtureClassifiedEndToEnd) {
+  // The discharged-cycle fixture: a gate-protected inversion and a
+  // fork-ordered inversion. Both cycles must surface (dlf-analyze keeps
+  // guarded cycles) and both must be statically discharged, with the gate
+  // named for the guarded one.
+  const std::string Trace = tmpPath("dlf_guarded.trace");
+  std::remove(Trace.c_str());
+
+  ASSERT_EQ(runCommand(std::string(DLF_GUARDED_BIN) + " >/dev/null 2>&1"), 0);
+  ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_PRELOAD_TRACE=" +
+                       Trace + " " DLF_GUARDED_BIN " >/dev/null 2>&1"),
+            0);
+
+  std::string Analysis =
+      captureCommand(std::string(DLF_ANALYZE_BIN) + " " + Trace);
+  EXPECT_NE(Analysis.find("2 potential deadlock cycle(s)"), std::string::npos)
+      << Analysis;
+  EXPECT_NE(Analysis.find("pruner: 0 schedulable, 2 statically discharged"),
+            std::string::npos)
+      << Analysis;
+  EXPECT_NE(Analysis.find("classification: guarded (guard lock: "),
+            std::string::npos)
+      << Analysis;
+  EXPECT_NE(Analysis.find("classification: hb-ordered"), std::string::npos)
+      << Analysis;
+}
+
+TEST(Preload, AbbaCycleStaysSchedulable) {
+  // The pruner must not discharge the genuinely schedulable inversion.
+  const std::string Trace = tmpPath("dlf_abba_sched.trace");
+  std::remove(Trace.c_str());
+  ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_PRELOAD_TRACE=" +
+                       Trace + " " DLF_ABBA_BIN " >/dev/null 2>&1"),
+            0);
+  std::string Analysis =
+      captureCommand(std::string(DLF_ANALYZE_BIN) + " " + Trace);
+  EXPECT_NE(Analysis.find("pruner: 1 schedulable, 0 statically discharged"),
+            std::string::npos)
+      << Analysis;
+  EXPECT_NE(Analysis.find("classification: schedulable"), std::string::npos)
+      << Analysis;
+}
+
+TEST(Preload, RaceDetectorFindsSeededRace) {
+  const std::string Trace = tmpPath("dlf_racy.trace");
+  std::remove(Trace.c_str());
+
+  // The weak hooks make the fixture self-sufficient without the preload.
+  ASSERT_EQ(runCommand(std::string(DLF_RACY_BIN) + " >/dev/null 2>&1"), 0);
+  ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_PRELOAD_TRACE=" +
+                       Trace + " DLF_TRACE_ACCESSES=1 " DLF_RACY_BIN
+                       " >/dev/null 2>&1"),
+            0);
+
+  std::string Races = captureCommand(std::string(DLF_ANALYZE_BIN) + " " +
+                                     Trace + " --races 2>/dev/null");
+  EXPECT_NE(Races.find("2 racy pair(s)"), std::string::npos) << Races;
+  EXPECT_NE(Races.find("racyWorker1::store"), std::string::npos) << Races;
+  EXPECT_NE(Races.find("racyWorker2::store"), std::string::npos) << Races;
+  // The lock-protected counter must not be reported.
+  EXPECT_EQ(Races.find("guardedStore"), std::string::npos) << Races;
+}
+
+TEST(Preload, RaceDetectorCleanOnRaceFreeRun) {
+  const std::string Trace = tmpPath("dlf_clean.trace");
+  std::remove(Trace.c_str());
+  ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_PRELOAD_TRACE=" +
+                       Trace + " DLF_TRACE_ACCESSES=1 " DLF_RACY_BIN
+                       " clean >/dev/null 2>&1"),
+            0);
+  std::string Races = captureCommand(std::string(DLF_ANALYZE_BIN) + " " +
+                                     Trace + " --races 2>/dev/null");
+  EXPECT_NE(Races.find("0 racy pair(s)"), std::string::npos) << Races;
+}
+
+TEST(Preload, RaceOutputIdenticalAcrossAnalysisJobs) {
+  // The determinism contract: --races stdout is byte-identical for every
+  // --analysis-jobs value, including 0 (hardware concurrency).
+  const std::string Trace = tmpPath("dlf_racy_jobs.trace");
+  std::remove(Trace.c_str());
+  ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_PRELOAD_TRACE=" +
+                       Trace + " DLF_TRACE_ACCESSES=1 " DLF_RACY_BIN
+                       " >/dev/null 2>&1"),
+            0);
+  std::string Baseline;
+  for (const char *Jobs : {"1", "2", "4", "0"}) {
+    std::string Out =
+        captureCommand(std::string(DLF_ANALYZE_BIN) + " " + Trace +
+                       " --races --analysis-jobs " + Jobs + " 2>/dev/null");
+    ASSERT_FALSE(Out.empty()) << "jobs " << Jobs;
+    if (Baseline.empty())
+      Baseline = Out;
+    else
+      EXPECT_EQ(Out, Baseline) << "jobs " << Jobs;
+  }
+}
+
+TEST(Preload, AnalyzeExitCodesDistinguishFailures) {
+  const std::string Empty = tmpPath("dlf_empty.trace");
+  const std::string Comments = tmpPath("dlf_comments.trace");
+  const std::string Corrupt = tmpPath("dlf_corrupt.trace");
+  std::ofstream(Empty.c_str()).close();
+  std::ofstream(Comments.c_str()) << "# dlf-preload trace v1\n";
+  std::ofstream(Corrupt.c_str()) << "T 1 main#1\nA 1 zzz\n";
+
+  // 3: the trace opened but carries no events (misconfigured run).
+  EXPECT_EQ(runCommand(std::string(DLF_ANALYZE_BIN) + " " + Empty +
+                       " >/dev/null 2>&1"),
+            3);
+  EXPECT_EQ(runCommand(std::string(DLF_ANALYZE_BIN) + " " + Comments +
+                       " >/dev/null 2>&1"),
+            3);
+  // 2: unreadable or corrupt (missing file, truncated line).
+  EXPECT_EQ(runCommand(std::string(DLF_ANALYZE_BIN) +
+                       " /nonexistent/trace >/dev/null 2>&1"),
+            2);
+  EXPECT_EQ(runCommand(std::string(DLF_ANALYZE_BIN) + " " + Corrupt +
+                       " >/dev/null 2>&1"),
+            2);
+  // The corrupt-trace diagnostic names the offending line.
+  std::string Err = captureCommand(std::string(DLF_ANALYZE_BIN) + " " +
+                                   Corrupt + " 2>&1 >/dev/null");
+  EXPECT_NE(Err.find(":2:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("truncated or corrupt"), std::string::npos) << Err;
+  // 1: usage errors, checked before the trace is touched.
+  EXPECT_EQ(runCommand(std::string(DLF_ANALYZE_BIN) + " " + Corrupt +
+                       " --bogus >/dev/null 2>&1"),
+            1);
+
+  std::remove(Empty.c_str());
+  std::remove(Comments.c_str());
+  std::remove(Corrupt.c_str());
+}
+
 TEST(Preload, MalformedNumericInputsFailFast) {
   // dlf-analyze: --max-cycle-length garbage used to atoi to 0 and silently
   // disable the cycle search; it must be a usage error now.

@@ -164,9 +164,34 @@ TEST(DlfRun, MalformedNumericFlagsAreUsageErrors) {
       << Err;
 }
 
+TEST(DlfRun, GuardedCampaignSkipsDischargedCycle) {
+  // Phase I on the gate-lock benchmark finds the guarded cycle; Phase II
+  // must spend no repetitions on it by default and name the verdict.
+  std::string Out =
+      captureCommand(tool() + " guarded --campaign --reps 3 --seed 7");
+  EXPECT_NE(Out.find("1 potential cycle(s)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("SKIPPED"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("statically discharged as guarded (guard lock: "),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("reps executed 0"), std::string::npos) << Out;
+
+  // --include-guarded buys the cycle its repetitions back; with the same
+  // seed the total executed reps must strictly exceed the skipping run's.
+  std::string Inc = captureCommand(
+      tool() + " guarded --campaign --reps 3 --seed 7 --include-guarded");
+  EXPECT_NE(Inc.find("reps executed 3"), std::string::npos) << Inc;
+  EXPECT_EQ(Inc.find("SKIPPED"), std::string::npos) << Inc;
+  // The guard protects the inversion: the cycle can never actually
+  // deadlock, so no repetition reproduces it.
+  EXPECT_NE(Inc.find("| 0/3"), std::string::npos) << Inc;
+}
+
 TEST(DlfRun, ConflictingCampaignFlagsAreRejected) {
   EXPECT_NE(runCommand(tool() + " dbcp --jobs 2 >/dev/null 2>&1"), 0)
       << "--jobs without --campaign";
+  EXPECT_NE(runCommand(tool() + " dbcp --include-guarded >/dev/null 2>&1"), 0)
+      << "--include-guarded without --campaign";
   EXPECT_NE(runCommand(tool() + " dbcp --campaign --resume a.jsonl "
                                 "--journal b.jsonl >/dev/null 2>&1"),
             0)

@@ -1,0 +1,82 @@
+//===- tests/fixtures/PreloadGuarded.cpp - Discharged-cycle target ---------===//
+//
+// A plain pthreads program whose lock-order inversions exist in the
+// dependency relation but can never deadlock, one per static-pruner
+// verdict:
+//
+//  * guardedWorker1/2 invert LockA/LockB under a common Gate, the paper's
+//    gate-lock pattern — dlf-analyze must classify the cycle "guarded"
+//    and name the gate.
+//  * main acquires LockC then LockD *before* creating hbWorker, which
+//    inverts them — the fork edge orders the two sides, so the cycle is
+//    "hb-ordered".
+//
+// Used by PreloadTest.cpp to check the classifications end to end. Like
+// PreloadAbba, deliberately uses no dlf headers.
+//
+//===----------------------------------------------------------------------===//
+
+#include <pthread.h>
+
+namespace {
+
+pthread_mutex_t Gate = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t LockA = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t LockB = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t LockC = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t LockD = PTHREAD_MUTEX_INITIALIZER;
+int SharedCounter = 0;
+
+} // namespace
+
+// Exported (non-static) so dladdr can resolve stable call sites.
+extern "C" void *guardedWorker1(void *) {
+  pthread_mutex_lock(&Gate);
+  pthread_mutex_lock(&LockA);
+  pthread_mutex_lock(&LockB);
+  ++SharedCounter;
+  pthread_mutex_unlock(&LockB);
+  pthread_mutex_unlock(&LockA);
+  pthread_mutex_unlock(&Gate);
+  return nullptr;
+}
+
+extern "C" void *guardedWorker2(void *) {
+  pthread_mutex_lock(&Gate);
+  pthread_mutex_lock(&LockB);
+  pthread_mutex_lock(&LockA);
+  ++SharedCounter;
+  pthread_mutex_unlock(&LockA);
+  pthread_mutex_unlock(&LockB);
+  pthread_mutex_unlock(&Gate);
+  return nullptr;
+}
+
+extern "C" void *hbWorker(void *) {
+  pthread_mutex_lock(&LockD);
+  pthread_mutex_lock(&LockC);
+  ++SharedCounter;
+  pthread_mutex_unlock(&LockC);
+  pthread_mutex_unlock(&LockD);
+  return nullptr;
+}
+
+int main() {
+  pthread_t T1, T2, T3;
+  pthread_create(&T1, nullptr, guardedWorker1, nullptr);
+  pthread_create(&T2, nullptr, guardedWorker2, nullptr);
+  pthread_join(T1, nullptr);
+  pthread_join(T2, nullptr);
+
+  // The C;D side of the hb-ordered inversion happens strictly before the
+  // fork of the D;C side.
+  pthread_mutex_lock(&LockC);
+  pthread_mutex_lock(&LockD);
+  ++SharedCounter;
+  pthread_mutex_unlock(&LockD);
+  pthread_mutex_unlock(&LockC);
+
+  pthread_create(&T3, nullptr, hbWorker, nullptr);
+  pthread_join(T3, nullptr);
+  return SharedCounter == 4 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+//===- tests/fixtures/PreloadRacy.cpp - Race-detector target ---------------===//
+//
+// A plain pthreads program carrying one textbook data race (two threads
+// store to Unprotected with no synchronization) next to a properly
+// lock-protected counter. The dlf_trace_read/dlf_trace_write hooks are
+// declared weak: without the preload library they are null and the program
+// runs unmodified; under LD_PRELOAD with DLF_TRACE_ACCESSES set they emit
+// the O/L/S trace lines dlf-analyze --races consumes.
+//
+// With argv[1] == "clean" the unsynchronized stores are skipped, turning
+// the same binary into the race-free control.
+//
+//===----------------------------------------------------------------------===//
+
+#include <pthread.h>
+#include <cstring>
+
+extern "C" {
+__attribute__((weak)) void dlf_trace_read(const void *Addr, const char *Site);
+__attribute__((weak)) void dlf_trace_write(const void *Addr, const char *Site);
+}
+
+namespace {
+
+void traceRead(const void *Addr, const char *Site) {
+  if (dlf_trace_read)
+    dlf_trace_read(Addr, Site);
+}
+
+void traceWrite(const void *Addr, const char *Site) {
+  if (dlf_trace_write)
+    dlf_trace_write(Addr, Site);
+}
+
+pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
+int Unprotected = 0;
+int Protected = 0;
+bool Racy = true;
+
+} // namespace
+
+// Exported (non-static) so dladdr can resolve stable call sites.
+extern "C" void *racyWorker1(void *) {
+  if (Racy) {
+    traceWrite(&Unprotected, "racyWorker1::store");
+    Unprotected = 1;
+  }
+  pthread_mutex_lock(&Lock);
+  traceWrite(&Protected, "racyWorker1::guardedStore");
+  ++Protected;
+  pthread_mutex_unlock(&Lock);
+  return nullptr;
+}
+
+extern "C" void *racyWorker2(void *) {
+  if (Racy) {
+    traceRead(&Unprotected, "racyWorker2::load");
+    int Observed = Unprotected;
+    traceWrite(&Unprotected, "racyWorker2::store");
+    Unprotected = Observed + 1;
+  }
+  pthread_mutex_lock(&Lock);
+  traceWrite(&Protected, "racyWorker2::guardedStore");
+  ++Protected;
+  pthread_mutex_unlock(&Lock);
+  return nullptr;
+}
+
+int main(int Argc, char **Argv) {
+  Racy = !(Argc > 1 && std::strcmp(Argv[1], "clean") == 0);
+  pthread_t T1, T2;
+  pthread_create(&T1, nullptr, racyWorker1, nullptr);
+  pthread_create(&T2, nullptr, racyWorker2, nullptr);
+  pthread_join(T1, nullptr);
+  pthread_join(T2, nullptr);
+  return Protected == 2 ? 0 : 1;
+}
