@@ -16,6 +16,7 @@
 #include "runtime/Mutex.h"
 #include "runtime/Runtime.h"
 #include "runtime/Thread.h"
+#include "telemetry/Metrics.h"
 
 #include <benchmark/benchmark.h>
 
@@ -88,6 +89,28 @@ void BM_ModeActive(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ModeActive)->Arg(2)->Arg(4);
+
+/// Active mode with the metrics registry armed: bounds the telemetry cost
+/// (bulk end-of-run recording — the hot path itself only ever pays one
+/// relaxed load, in the disabled case too). Compare against BM_ModeActive;
+/// the gap is the overhead budget DESIGN.md §10 claims is negligible.
+void BM_ModeActiveTelemetry(benchmark::State &State) {
+  telemetry::setEnabled(true);
+  for (auto _ : State) {
+    Options Opts;
+    Opts.Mode = RunMode::Active;
+    Opts.Seed = 42;
+    SimpleRandomStrategy Strategy;
+    Runtime RT(Opts, &Strategy);
+    ExecutionResult R = RT.run([&] {
+      lockHeavyWorkload(static_cast<unsigned>(State.range(0)), 64);
+    });
+    benchmark::DoNotOptimize(R.Steps);
+  }
+  telemetry::setEnabled(false);
+  telemetry::Registry::global().reset();
+}
+BENCHMARK(BM_ModeActiveTelemetry)->Arg(2)->Arg(4);
 
 /// The avoidance (immunity) extension's overhead: the same lock-heavy
 /// workload with an unrelated cycle spec armed — every acquire pays the

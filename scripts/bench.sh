@@ -35,4 +35,27 @@ for NAME in igoodlock abstraction scheduler analysis; do
            --benchmark_min_time="${MIN_TIME}" > "${OUT}"
 done
 
+# Merge every per-binary baseline into one flat name -> ns/op map; a
+# single file to eyeball (or diff) for the whole suite.
+python3 - <<'EOF'
+import json
+
+summary = {}
+for name in ["igoodlock", "abstraction", "scheduler", "analysis"]:
+    with open(f"BENCH_{name}.json") as f:
+        doc = json.load(f)
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        ns = bench["real_time"]
+        unit = bench.get("time_unit", "ns")
+        ns *= {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        summary[bench["name"]] = round(ns, 2)
+
+with open("BENCH_summary.json", "w") as f:
+    json.dump(summary, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"== bench: BENCH_summary.json ({len(summary)} benchmarks) ==")
+EOF
+
 echo "== bench: baselines written =="

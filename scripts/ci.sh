@@ -12,6 +12,9 @@
 # the suite default. Tier 3 (bench smoke): builds the micro-benchmark
 # binaries and runs one short closure case so bench-code rot is caught
 # here, not when someone finally reruns scripts/bench.sh.
+# Tier 4 (telemetry smoke): a small campaign with --metrics-out and
+# --timeline-out; the trace must parse as JSON and the metrics must carry
+# the expected dlf_* names — catching export-format rot end to end.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 #
@@ -53,5 +56,47 @@ build/bench/micro_igoodlock \
   --benchmark_min_time=0.02
 build/bench/micro_analysis \
   --benchmark_filter='BM_GuardPrune' --benchmark_min_time=0.02
+
+echo "== tier 4: telemetry smoke (campaign export formats) =="
+TELDIR="$(mktemp -d)"
+trap 'rm -rf "$TELDIR"' EXIT
+# guarded + --include-guarded is thrash-prone (the gate lock keeps the
+# cycle from closing), so the timeline must show thrash instants; dbcp
+# covers deadlock-found. --jobs 4 exercises the sidecar merge path.
+build/src/dlf-run guarded --campaign --include-guarded --reps 10 --jobs 4 \
+  --journal "$TELDIR/guarded.jsonl" \
+  --metrics-out "$TELDIR/m.json" --timeline-out "$TELDIR/t.json"
+build/src/dlf-run dbcp --campaign --reps 5 --jobs 4 \
+  --journal "$TELDIR/dbcp.jsonl" \
+  --metrics-out "$TELDIR/m.prom" --metrics-format prom
+python3 - "$TELDIR" <<'EOF'
+import json, sys
+
+teldir = sys.argv[1]
+with open(f"{teldir}/t.json") as f:
+    trace = json.load(f)  # must be well-formed JSON
+events = trace["traceEvents"]
+assert any(e.get("name") == "thrash" for e in events), \
+    "no thrash instant on a thrash-prone cycle"
+assert any(e.get("ph") == "X" for e in events), "no duration spans"
+
+with open(f"{teldir}/m.json") as f:
+    metrics = json.load(f)
+required = [
+    "dlf_scheduler_pauses_total",
+    "dlf_scheduler_thrashes_total",
+    "dlf_campaign_reps_total",
+    "dlf_igoodlock_cycles_total",
+]
+for name in required:
+    assert name in metrics["counters"], f"missing counter {name}"
+
+prom = open(f"{teldir}/m.prom").read()
+for name in ["dlf_scheduler_deadlocks_found_total",
+             "dlf_campaign_reps_total",
+             "dlf_campaign_rep_wall_ms_bucket{le=\"+Inf\"}"]:
+    assert name in prom, f"missing Prometheus metric {name}"
+print("== telemetry smoke: formats OK ==")
+EOF
 
 echo "== ci: all tiers passed =="

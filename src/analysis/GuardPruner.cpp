@@ -3,6 +3,7 @@
 #include "analysis/GuardPruner.h"
 
 #include "event/VectorClock.h"
+#include "telemetry/Metrics.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -179,5 +180,15 @@ dlf::analysis::classifyCycles(const LockDependencyLog &Log,
   Out.reserve(Cycles.size());
   for (const AbstractCycle &Cycle : Cycles)
     Out.push_back(classifyOne(Log, Cycle, Opts));
+  if (telemetry::enabled()) {
+    telemetry::Registry &R = telemetry::Registry::global();
+    for (const CycleClassification &C : Out) {
+      std::string Name = "dlf_analysis_cycles_";
+      for (const char *P = cycleClassName(C.Class); *P; ++P)
+        Name += *P == '-' ? '_' : *P;
+      Name += "_total";
+      R.counter(Name).inc();
+    }
+  }
   return Out;
 }

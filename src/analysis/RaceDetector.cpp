@@ -4,6 +4,7 @@
 
 #include "event/Ids.h"
 #include "event/VectorClock.h"
+#include "telemetry/Metrics.h"
 
 #include <algorithm>
 #include <sstream>
@@ -245,6 +246,12 @@ RaceAnalysis dlf::analysis::detectRaces(const TraceFile &Trace,
       if (Result.Races.size() < Opts.MaxReports)
         Result.Races.push_back(std::move(R));
     }
+  }
+  if (telemetry::enabled()) {
+    telemetry::Registry &Reg = telemetry::Registry::global();
+    Reg.counter("dlf_analysis_races_found_total").inc(Result.RacyPairs);
+    Reg.counter("dlf_analysis_accesses_total").inc(Result.AccessesSeen);
+    Reg.counter("dlf_analysis_shared_objects_total").inc(Result.ObjectsSeen);
   }
   return Result;
 }

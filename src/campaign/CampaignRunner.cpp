@@ -4,15 +4,18 @@
 
 #include "igoodlock/Serialize.h"
 #include "support/Debug.h"
+#include "telemetry/Sidecar.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <sstream>
 
 #include <csignal>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace dlf;
@@ -229,6 +232,25 @@ std::vector<analysis::CycleClassification> parsePrune(const std::string &Text,
   return Parsed;
 }
 
+/// Campaign-level counters for one committed repetition, recorded at the
+/// in-order commit frontier so totals are identical for every Jobs value.
+/// (Wall/cpu histograms are informational — wall-clock is never claimed
+/// deterministic.)
+void recordRepMetrics(telemetry::MetricsSnapshot &M, const RepOutcome &O) {
+  ++M.Counters["dlf_campaign_reps_total"];
+  std::string Cls = runClassName(O.Class);
+  for (char &Ch : Cls)
+    if (Ch == '-')
+      Ch = '_';
+  ++M.Counters["dlf_campaign_reps_" + Cls + "_total"];
+  if (O.Attempts > 1)
+    M.Counters["dlf_campaign_retries_total"] += O.Attempts - 1;
+  M.Histograms["dlf_campaign_rep_wall_ms"].observe(
+      static_cast<uint64_t>(O.WallMs));
+  M.Histograms["dlf_campaign_rep_cpu_ms"].observe(
+      static_cast<uint64_t>(O.CpuMs));
+}
+
 uint64_t backoffDelayMs(unsigned Attempt, uint64_t BaseMs, uint64_t CapMs) {
   uint64_t Ms = BaseMs ? BaseMs << std::min<unsigned>(Attempt, 20) : 0;
   return std::min(Ms, CapMs);
@@ -302,6 +324,24 @@ bool CampaignRunner::headerMatches(const JsonValue &Header,
   return false;
 }
 
+std::string CampaignRunner::resolveSidecarDir() {
+  if (!Config.Telemetry)
+    return std::string();
+  std::string Dir = Config.SidecarDir;
+  if (Dir.empty()) {
+    if (!Config.JournalPath.empty()) {
+      Dir = Config.JournalPath + ".sidecars";
+    } else {
+      const char *Tmp = std::getenv("TMPDIR");
+      Dir = std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/dlf-sidecars-" +
+            std::to_string(static_cast<unsigned long>(getpid()));
+    }
+  }
+  if (mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return std::string(); // degrade: campaign metrics without child detail
+  return Dir;
+}
+
 bool CampaignRunner::journalAppend(const JsonValue &Record) {
   if (!Writer.isOpen())
     return true; // campaigns without a journal are legal (no resume)
@@ -332,8 +372,20 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
     // and *name* them; whether Phase II spends budget on them is the
     // IncludeGuarded policy decision, applied at dispatch time.
     TC.Goodlock.KeepGuardedCycles = true;
+    std::string SidecarPath;
+    if (!SidecarDirInUse.empty())
+      SidecarPath =
+          SidecarDirInUse + "/p1_a" + std::to_string(Attempt) + ".sidecar";
+    uint64_t LaunchUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - TelemetryEpoch)
+            .count());
     SandboxResult SR = runInSandbox(
         [&](int Fd) {
+          if (!SidecarPath.empty()) {
+            setenv(telemetry::SidecarEnvVar, SidecarPath.c_str(), 1);
+            telemetry::beginChildTelemetry();
+          }
           ActiveTester T(Config.Entry, TC);
           PhaseOneResult P1 = T.runPhaseOne();
           std::vector<analysis::CycleClassification> Classes =
@@ -345,9 +397,41 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
           Head << "prune " << serializePrune(Classes) << "\n";
           writeAll(Fd, Head.str());
           writeAll(Fd, serializeCycles(P1.Cycles));
+          if (!SidecarPath.empty())
+            telemetry::flushChildTelemetry();
           return 0;
         },
         childLimits());
+
+    if (Config.Telemetry)
+      ++Report.Metrics.Counters["dlf_campaign_phase1_attempts_total"];
+    // Merges the Phase I child's own metrics (scheduler, closure, pruner)
+    // and rebases its timeline as pid 2. Called only on the attempt that
+    // definitively succeeds, so a retried attempt never double-counts.
+    auto MergePhaseOneSidecar = [&]() {
+      if (SidecarPath.empty())
+        return;
+      telemetry::MetricsSnapshot Snap;
+      std::vector<telemetry::TraceEvent> Events;
+      std::map<uint32_t, std::string> Threads;
+      bool Complete = false;
+      if (telemetry::readSidecar(SidecarPath, Snap, Events, Threads,
+                                 &Complete)) {
+        Report.Metrics.merge(Snap);
+        if (!Events.empty())
+          Report.TimelineProcessNames[2] = "phase 1";
+        for (telemetry::TraceEvent E : Events) {
+          E.Pid = 2;
+          E.TsUs += LaunchUs;
+          Report.Timeline.push_back(std::move(E));
+        }
+        for (const auto &KV : Threads)
+          Report.TimelineThreadNames[(uint64_t(2) << 32) | KV.first] =
+              KV.second;
+      }
+      if (!Complete)
+        ++Report.Metrics.Counters["dlf_campaign_sidecars_missing_total"];
+    };
 
     if (SR.Status == SandboxStatus::Completed) {
       size_t Nl = SR.Payload.find('\n');
@@ -371,12 +455,17 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
       if (Kv.count("completed") == 0 ||
           !deserializeCycles(Doc, Report.Cycles, &ParseError)) {
         LastTriage = "phase 1 result protocol violation: " + ParseError;
+        if (!SidecarPath.empty())
+          unlink(SidecarPath.c_str());
         if (Attempt < Config.MaxRetries)
           backoffSleep(Attempt, Config.BackoffBaseMs, Config.BackoffCapMs);
         continue;
       }
       Report.PhaseOneCompleted = Kv["completed"] == "1";
       Report.Classifications = parsePrune(PruneText, Report.Cycles.size());
+      MergePhaseOneSidecar();
+      if (!SidecarPath.empty())
+        unlink(SidecarPath.c_str());
 
       Record = JsonValue::object();
       Record.set("event", "phase1");
@@ -392,6 +481,8 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
     }
 
     LastTriage = SR.triage();
+    if (!SidecarPath.empty())
+      unlink(SidecarPath.c_str());
     DLF_DEBUG_LOG("phase 1 sandboxed attempt " << Attempt
                                                << " failed: " << LastTriage);
     if (Attempt < Config.MaxRetries)
@@ -454,6 +545,12 @@ struct FlightInfo {
   unsigned Cycle = 0;
   unsigned Rep = 0;
   unsigned Attempt = 0;
+  /// Child telemetry sidecar (empty when telemetry is off).
+  std::string SidecarPath;
+  /// Launch time in µs since the campaign telemetry epoch.
+  uint64_t StartUs = 0;
+  /// Worker-lane index for the timeline (smallest free slot at launch).
+  uint32_t Lane = 0;
 };
 
 /// A repetition waiting out its retry backoff before relaunch.
@@ -465,9 +562,19 @@ struct RetryItem {
 };
 
 /// A finalized outcome waiting for the in-order commit to reach it.
+/// Telemetry captured from the final attempt rides along so sidecar data
+/// is only merged if — and when — the outcome commits at the frontier.
 struct PendingOutcome {
   RepOutcome O;
   bool Replayed = false;
+  telemetry::MetricsSnapshot Metrics;
+  std::vector<telemetry::TraceEvent> Events;
+  std::map<uint32_t, std::string> ChildThreads;
+  bool HadSidecarPath = false;
+  bool SidecarComplete = false;
+  uint64_t StartUs = 0;
+  uint64_t EndUs = 0;
+  uint32_t Lane = 0;
 };
 
 } // namespace
@@ -510,6 +617,18 @@ void CampaignRunner::runPhaseTwo(
   std::vector<RetryItem> Retries;
   unsigned CommitCycle = 0;
 
+  // Timeline worker lanes: each launch takes the smallest free slot, so
+  // the trace shows pool occupancy directly.
+  std::vector<char> LaneBusy;
+  auto ElapsedUs = [&]() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - TelemetryEpoch)
+            .count());
+  };
+  if (Config.Telemetry)
+    Report.TimelineProcessNames[1] = "campaign workers";
+
   enum class StopReason { None, Sigint, Hook, Budget, Journal };
   StopReason Stop = StopReason::None;
 
@@ -520,8 +639,25 @@ void CampaignRunner::runPhaseTwo(
   auto LaunchAttempt = [&](unsigned C, unsigned R, unsigned Attempt) {
     uint64_t Seed = SeedFor(R, Attempt);
     const AbstractCycle &Cycle = Report.Cycles[C];
+    std::string SidecarPath;
+    if (!SidecarDirInUse.empty())
+      SidecarPath = SidecarDirInUse + "/c" + std::to_string(C) + "_r" +
+                    std::to_string(R) + "_a" + std::to_string(Attempt) +
+                    ".sidecar";
+    uint32_t Lane = 0;
+    if (Config.Telemetry) {
+      while (Lane < LaneBusy.size() && LaneBusy[Lane])
+        ++Lane;
+      if (Lane == LaneBusy.size())
+        LaneBusy.push_back(0);
+      LaneBusy[Lane] = 1;
+    }
     uint64_t Ticket = Pool.launch(
-        [this, C, R, Attempt, Seed, &Cycle](int Fd) {
+        [this, C, R, Attempt, Seed, &Cycle, SidecarPath](int Fd) {
+          if (!SidecarPath.empty()) {
+            setenv(telemetry::SidecarEnvVar, SidecarPath.c_str(), 1);
+            telemetry::beginChildTelemetry();
+          }
           if (Config.ChildFaultHook)
             Config.ChildFaultHook(C, R, Attempt);
           const ActiveTesterConfig &TC = Config.Tester;
@@ -540,10 +676,12 @@ void CampaignRunner::runPhaseTwo(
           Line << "p2 class=" << Cls << " thrashes=" << E.Thrashes
                << " unpauses=" << E.ForcedUnpauses << "\n";
           writeAll(Fd, Line.str());
+          if (!SidecarPath.empty())
+            telemetry::flushChildTelemetry();
           return 0;
         },
         childLimits());
-    Flight[Ticket] = {C, R, Attempt};
+    Flight[Ticket] = {C, R, Attempt, SidecarPath, ElapsedUs(), Lane};
   };
 
   auto Classify = [](const SandboxResult &SR, RepOutcome &O) {
@@ -600,9 +738,14 @@ void CampaignRunner::runPhaseTwo(
       return; // canceled speculative work
     FlightInfo FI = It->second;
     Flight.erase(It);
+    if (Config.Telemetry && FI.Lane < LaneBusy.size())
+      LaneBusy[FI.Lane] = 0;
     Report.ChildCpuMs += PC.Result.CpuMs;
-    if (Progress[FI.Cycle].Quarantined)
+    if (Progress[FI.Cycle].Quarantined) {
+      if (!FI.SidecarPath.empty())
+        unlink(FI.SidecarPath.c_str());
       return; // speculation past a quarantine; discard
+    }
 
     RepOutcome O;
     O.CycleIdx = FI.Cycle;
@@ -611,6 +754,10 @@ void CampaignRunner::runPhaseTwo(
     O.Seed = SeedFor(FI.Rep, FI.Attempt);
     bool Definitive = Classify(PC.Result, O);
     if (!Definitive && FI.Attempt < Config.MaxRetries) {
+      // Non-final attempt: its sidecar is discarded — only the final
+      // attempt's telemetry can merge, keeping totals jobs-deterministic.
+      if (!FI.SidecarPath.empty())
+        unlink(FI.SidecarPath.c_str());
       if (AllowRetry) {
         DLF_DEBUG_LOG("rep " << FI.Cycle << "/" << FI.Rep << " attempt "
                              << FI.Attempt << " " << runClassName(O.Class)
@@ -625,7 +772,19 @@ void CampaignRunner::runPhaseTwo(
       // reaches the same final classification.
       return;
     }
-    Pending[{FI.Cycle, FI.Rep}] = {std::move(O), /*Replayed=*/false};
+    PendingOutcome PO;
+    PO.O = std::move(O);
+    PO.Replayed = false;
+    PO.StartUs = FI.StartUs;
+    PO.EndUs = ElapsedUs();
+    PO.Lane = FI.Lane;
+    if (!FI.SidecarPath.empty()) {
+      PO.HadSidecarPath = true;
+      telemetry::readSidecar(FI.SidecarPath, PO.Metrics, PO.Events,
+                             PO.ChildThreads, &PO.SidecarComplete);
+      unlink(FI.SidecarPath.c_str());
+    }
+    Pending[{FI.Cycle, FI.Rep}] = std::move(PO);
   };
 
   // Quarantine kills the cycle's speculative children and retries, and
@@ -635,6 +794,10 @@ void CampaignRunner::runPhaseTwo(
     for (auto It = Flight.begin(); It != Flight.end();) {
       if (It->second.Cycle == C) {
         Pool.cancel(It->first);
+        if (Config.Telemetry && It->second.Lane < LaneBusy.size())
+          LaneBusy[It->second.Lane] = 0;
+        if (!It->second.SidecarPath.empty())
+          unlink(It->second.SidecarPath.c_str());
         It = Flight.erase(It);
       } else {
         ++It;
@@ -692,6 +855,37 @@ void CampaignRunner::runPhaseTwo(
       }
 
       accumulate(S, O);
+      if (Config.Telemetry) {
+        recordRepMetrics(Report.Metrics, O);
+        if (!PO.Replayed) {
+          // The frontier is the one place child telemetry enters the
+          // report: canceled speculation and non-final attempts never get
+          // here, so merged counter totals match the serial campaign.
+          Report.Metrics.merge(PO.Metrics);
+          if (PO.HadSidecarPath && !PO.SidecarComplete)
+            ++Report.Metrics.Counters["dlf_campaign_sidecars_missing_total"];
+          Report.Timeline.push_back(telemetry::TraceEvent{
+              'X', 1, PO.Lane, PO.StartUs, PO.EndUs - PO.StartUs,
+              "c" + std::to_string(O.CycleIdx) + "/r" +
+                  std::to_string(O.Rep) + ":" + runClassName(O.Class)});
+          Report.TimelineThreadNames[(uint64_t(1) << 32) | PO.Lane] =
+              "worker " + std::to_string(PO.Lane);
+          if (!PO.Events.empty()) {
+            uint32_t Pid = 10 + O.CycleIdx * Reps + O.Rep;
+            Report.TimelineProcessNames[Pid] =
+                "cycle " + std::to_string(O.CycleIdx) + " rep " +
+                std::to_string(O.Rep);
+            for (telemetry::TraceEvent E : PO.Events) {
+              E.Pid = Pid;
+              E.TsUs += PO.StartUs;
+              Report.Timeline.push_back(std::move(E));
+            }
+            for (const auto &KV : PO.ChildThreads)
+              Report.TimelineThreadNames[(uint64_t(Pid) << 32) | KV.first] =
+                  KV.second;
+          }
+        }
+      }
       if (runClassIsTransient(O.Class))
         ++P.ConsecutiveFailures;
       else
@@ -707,6 +901,8 @@ void CampaignRunner::runPhaseTwo(
                << runClassName(O.Class)
                << (O.Diagnostic.empty() ? "" : "; " + O.Diagnostic) << ")";
         S.QuarantineReason = Reason.str();
+        if (Config.Telemetry)
+          ++Report.Metrics.Counters["dlf_campaign_quarantines_total"];
         CancelCycle(CommitCycle);
         if (!JournaledQuarantines.count(CommitCycle)) {
           JsonValue Rec = JsonValue::object();
@@ -863,10 +1059,20 @@ void CampaignRunner::runPhaseTwo(
   Report.PeakConcurrency = Pool.peakConcurrency();
   Report.PhaseTwoWallMs =
       std::chrono::duration<double, std::milli>(Clock::now() - Start).count();
+  if (Config.Telemetry) {
+    // Watermark gauges (max-merged, explicitly not jobs-deterministic).
+    int64_t Peak = static_cast<int64_t>(Report.PeakConcurrency);
+    int64_t &G = Report.Metrics.Gauges["dlf_campaign_pool_peak_in_flight"];
+    G = std::max(G, Peak);
+    int64_t &J = Report.Metrics.Gauges["dlf_campaign_jobs"];
+    J = std::max(J, static_cast<int64_t>(Report.JobsUsed));
+  }
 }
 
 CampaignReport CampaignRunner::run(bool Resume) {
   CampaignReport Report;
+  TelemetryEpoch = std::chrono::steady_clock::now();
+  SidecarDirInUse = resolveSidecarDir();
 
   std::map<std::pair<unsigned, unsigned>, RepOutcome> Replay;
   std::map<unsigned, std::string> JournaledQuarantines;
@@ -970,6 +1176,9 @@ CampaignReport CampaignRunner::run(bool Resume) {
   }
 
   runPhaseTwo(Report, Replay, JournaledQuarantines, HaveDone);
+
+  if (!SidecarDirInUse.empty())
+    rmdir(SidecarDirInUse.c_str()); // best-effort; fails if files remain
 
   if (JournalFailed && Report.Error.empty())
     Report.Error = "journal append failed (" + Writer.lastError() +

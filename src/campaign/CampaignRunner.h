@@ -37,8 +37,11 @@
 #include "campaign/ProcessSandbox.h"
 #include "campaign/WorkerPool.h"
 #include "fuzzer/ActiveTester.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Timeline.h"
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -123,6 +126,19 @@ struct CampaignConfig {
   /// rlimit caps applied to every child; 0 inherits.
   uint64_t RlimitAsMb = 0;
   uint64_t RlimitCpuS = 0;
+
+  /// Campaign-wide telemetry (off by default; flipped on by --metrics-out
+  /// / --timeline-out). Children dump metrics + timeline sidecars which
+  /// the parent merges — only the final attempt of each *committed*
+  /// repetition, at the in-order commit frontier, so merged counter totals
+  /// are identical for every Jobs value. A missing or truncated sidecar
+  /// (crashed child) is counted, never a campaign failure.
+  bool Telemetry = false;
+
+  /// Directory for child sidecar files. Empty derives
+  /// "<JournalPath>.sidecars", falling back to a directory under TMPDIR
+  /// for journal-less campaigns.
+  std::string SidecarDir;
 
   /// Checkpoint file (JSON Lines). Empty runs without a journal (no
   /// resume, but still fault-isolated).
@@ -224,6 +240,19 @@ struct CampaignReport {
                                 : 0.0;
   }
 
+  /// Campaign-wide merged telemetry (populated when Config.Telemetry):
+  /// campaign-level counters plus every committed child's sidecar
+  /// snapshot. Counter totals are deterministic across Jobs; gauges and
+  /// wall-clock histograms are informational.
+  telemetry::MetricsSnapshot Metrics;
+  /// Merged timeline: campaign worker-lane spans (pid 1, one tid per
+  /// worker slot) plus committed children's scheduler events rebased into
+  /// the campaign clock (one pid per repetition).
+  std::vector<telemetry::TraceEvent> Timeline;
+  /// Display names for the timeline, keyed by pid and (pid<<32|tid).
+  std::map<uint32_t, std::string> TimelineProcessNames;
+  std::map<uint64_t, std::string> TimelineThreadNames;
+
   bool BudgetExhausted = false;
   bool Interrupted = false;
   /// Every cycle reached its repetition count (or was quarantined).
@@ -272,10 +301,18 @@ private:
                    bool HaveDone);
   static void accumulate(CycleCampaignStats &S, const RepOutcome &O);
   bool journalAppend(const JsonValue &Record);
+  /// Creates (if needed) and returns the sidecar directory; empty string
+  /// disables sidecars for this run (telemetry off or mkdir failure —
+  /// the campaign still runs, metrics just lose child detail).
+  std::string resolveSidecarDir();
 
   CampaignConfig Config;
   JournalWriter Writer;
   bool JournalFailed = false;
+  std::string SidecarDirInUse;
+  /// Zero point of the merged timeline (run() entry); child events are
+  /// rebased onto it via their launch offset.
+  std::chrono::steady_clock::time_point TelemetryEpoch;
 };
 
 } // namespace campaign

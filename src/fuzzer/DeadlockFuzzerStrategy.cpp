@@ -2,5 +2,33 @@
 
 #include "fuzzer/DeadlockFuzzerStrategy.h"
 
-// All behaviour is in the header; this file exists for one-cpp-per-header
-// symmetry and future out-of-line growth.
+#include <string>
+
+using namespace dlf;
+
+DeadlockFuzzerStrategy::DeadlockFuzzerStrategy(CycleSpec Spec)
+    : Spec(std::move(Spec)) {
+  // Handles are registered once per strategy (i.e. per Phase II rep), not
+  // per match; the component index is part of the metric name so reports
+  // show which edge of the target cycle the scheduler kept hitting.
+  if (telemetry::enabled()) {
+    telemetry::Registry &R = telemetry::Registry::global();
+    Matches = R.counter("dlf_fuzzer_context_matches_total");
+    ComponentMatches.reserve(this->Spec.size());
+    for (size_t I = 0; I != this->Spec.size(); ++I)
+      ComponentMatches.push_back(R.counter(
+          "dlf_fuzzer_context_matches_component_" + std::to_string(I)));
+  }
+}
+
+bool DeadlockFuzzerStrategy::shouldPause(
+    const ThreadRecord &T, const LockRecord &L,
+    const std::vector<LockStackEntry> &Tentative) {
+  size_t Component = Spec.matchingComponentIndex(T.Abs, L.Abs, Tentative);
+  if (Component == static_cast<size_t>(-1))
+    return false;
+  Matches.inc();
+  if (Component < ComponentMatches.size())
+    ComponentMatches[Component].inc();
+  return true;
+}

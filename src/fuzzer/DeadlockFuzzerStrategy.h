@@ -19,22 +19,25 @@
 
 #include "fuzzer/CycleSpec.h"
 #include "runtime/Strategy.h"
+#include "telemetry/Metrics.h"
+
+#include <vector>
 
 namespace dlf {
 
 /// Algorithm 3: biased random scheduling toward one target cycle.
 class DeadlockFuzzerStrategy : public SchedulerStrategy {
 public:
-  explicit DeadlockFuzzerStrategy(CycleSpec Spec) : Spec(std::move(Spec)) {}
+  explicit DeadlockFuzzerStrategy(CycleSpec Spec);
 
   const char *name() const override { return "deadlock-fuzzer"; }
 
   bool wantsDeadlockCheck() const override { return true; }
 
+  /// Out of line: counts context matches (total and per cycle component)
+  /// when telemetry is on, in addition to the Algorithm 3 line 12 match.
   bool shouldPause(const ThreadRecord &T, const LockRecord &L,
-                   const std::vector<LockStackEntry> &Tentative) override {
-    return Spec.matchesComponent(T.Abs, L.Abs, Tentative);
-  }
+                   const std::vector<LockStackEntry> &Tentative) override;
 
   bool shouldYield(const ThreadRecord &T, const LockRecord &L,
                    Label Site) override {
@@ -43,6 +46,9 @@ public:
 
 private:
   CycleSpec Spec;
+  /// Invalid (no-op) handles unless telemetry was enabled at construction.
+  telemetry::Counter Matches;
+  std::vector<telemetry::Counter> ComponentMatches;
 };
 
 } // namespace dlf

@@ -27,6 +27,7 @@
 #include "igoodlock/IGoodlock.h"
 
 #include "support/Hash.h"
+#include "telemetry/Metrics.h"
 
 #include <algorithm>
 #include <cassert>
@@ -504,6 +505,10 @@ std::vector<AbstractCycle> dlf::runIGoodlock(const LockDependencyLog &Log,
       NextCount += KeptExts;
     }
     LocalStats.ChainsExplored += NextCount;
+    if (telemetry::enabled())
+      telemetry::Registry::global()
+          .histogram("dlf_igoodlock_level_chains")
+          .observe(NextCount);
     Current = std::move(Next);
   }
 
@@ -511,6 +516,22 @@ std::vector<AbstractCycle> dlf::runIGoodlock(const LockDependencyLog &Log,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - StartTime)
           .count());
+  if (telemetry::enabled()) {
+    // Bulk-record from the stats the closure already keeps, so telemetry
+    // stays an exact mirror of IGoodlockStats (and jobs-invariant, since
+    // the merged stats themselves are).
+    telemetry::Registry &R = telemetry::Registry::global();
+    R.counter("dlf_igoodlock_runs_total").inc();
+    R.counter("dlf_igoodlock_entries_total").inc(LocalStats.Entries);
+    R.counter("dlf_igoodlock_chains_total").inc(LocalStats.ChainsExplored);
+    R.counter("dlf_igoodlock_cycles_total").inc(Cycles.size());
+    R.counter("dlf_igoodlock_chains_dropped_total")
+        .inc(LocalStats.ChainsDropped);
+    R.counter("dlf_igoodlock_cycles_dropped_total")
+        .inc(LocalStats.CyclesDropped);
+    R.counter("dlf_igoodlock_hb_filtered_total").inc(LocalStats.FilteredByHb);
+    R.histogram("dlf_igoodlock_elapsed_us").observe(LocalStats.ElapsedMicros);
+  }
   if (Stats)
     *Stats = LocalStats;
   return Cycles;

@@ -35,7 +35,9 @@
 #include "igoodlock/IGoodlock.h"
 #include "runtime/Records.h"
 #include "support/Env.h"
+#include "telemetry/Metrics.h"
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <unordered_map>
@@ -226,17 +228,47 @@ int runRaceAnalysis(const analysis::TraceFile &Trace, unsigned Jobs) {
 
 int main(int Argc, char **Argv) {
   const char *Usage = "usage: dlf-analyze <trace-file> "
-                      "[--max-cycle-length N] [--analysis-jobs N] [--races]\n";
+                      "[--max-cycle-length N] [--analysis-jobs N] [--races]\n"
+                      "                   [--metrics-out FILE] "
+                      "[--metrics-format json|prom]\n";
   if (Argc < 2) {
     std::cerr << Usage;
     return ExitUsage;
   }
   IGoodlockOptions Opts;
   bool Races = false;
+  std::string MetricsOut;
+  bool MetricsProm = false;
+  bool MetricsFormatGiven = false;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--races") {
       Races = true;
+      continue;
+    }
+    if (Arg == "--metrics-out") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: --metrics-out expects a value\n" << Usage;
+        return ExitUsage;
+      }
+      MetricsOut = Argv[++I];
+      continue;
+    }
+    if (Arg == "--metrics-format") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: --metrics-format expects a value\n" << Usage;
+        return ExitUsage;
+      }
+      MetricsFormatGiven = true;
+      std::string Fmt = Argv[++I];
+      if (Fmt == "json") {
+        MetricsProm = false;
+      } else if (Fmt == "prom") {
+        MetricsProm = true;
+      } else {
+        std::cerr << "error: --metrics-format must be json|prom\n" << Usage;
+        return ExitUsage;
+      }
       continue;
     }
     if (Arg != "--max-cycle-length" && Arg != "--analysis-jobs") {
@@ -262,6 +294,15 @@ int main(int Argc, char **Argv) {
       Opts.AnalysisJobs = static_cast<unsigned>(N);
     ++I;
   }
+  if (MetricsFormatGiven && MetricsOut.empty()) {
+    std::cerr << "error: --metrics-format only applies to --metrics-out\n"
+              << Usage;
+    return ExitUsage;
+  }
+  // Enable before the passes run so the closure/pruner/race counters
+  // (dlf_igoodlock_*, dlf_analysis_*) are recorded.
+  if (!MetricsOut.empty())
+    telemetry::setEnabled(true);
 
   analysis::TraceFile Trace;
   std::string Error;
@@ -278,7 +319,19 @@ int main(int Argc, char **Argv) {
   for (const std::string &W : Trace.Warnings)
     std::cerr << "warning: " << W << "\n";
 
-  if (Races)
-    return runRaceAnalysis(Trace, Opts.AnalysisJobs);
-  return runDeadlockAnalysis(Trace, Opts);
+  int Rc = Races ? runRaceAnalysis(Trace, Opts.AnalysisJobs)
+                 : runDeadlockAnalysis(Trace, Opts);
+  if (Rc == 0 && !MetricsOut.empty()) {
+    telemetry::MetricsSnapshot Snap =
+        telemetry::Registry::global().snapshot();
+    std::ofstream OS(MetricsOut, std::ios::binary | std::ios::trunc);
+    OS << (MetricsProm ? Snap.toPrometheus() : Snap.toJson());
+    OS.flush();
+    if (!OS) {
+      std::cerr << "error: cannot write " << MetricsOut << "\n";
+      return ExitUsage;
+    }
+    std::cerr << "metrics written to " << MetricsOut << "\n";
+  }
+  return Rc;
 }

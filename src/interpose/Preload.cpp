@@ -30,6 +30,11 @@
 
 #include "interpose/TraceFormat.h"
 #include "support/Env.h" // header-only; keeps the no-libdlf constraint
+// Telemetry depends only on the standard library; its .cpp files are
+// compiled directly into libdlf_preload.so (see src/CMakeLists.txt), so
+// the no-libdlf constraint holds.
+#include "telemetry/Metrics.h"
+#include "telemetry/Sidecar.h"
 
 #ifndef _GNU_SOURCE
 #define _GNU_SOURCE
@@ -176,6 +181,18 @@ GlobalState *State;
 
 /// Per-thread slot pointer; the main thread gets one lazily.
 thread_local ThreadSlot *Self;
+
+/// True while this thread is inside preload-internal code (telemetry) that
+/// takes std::mutex locks. std::mutex::lock() lands on the interposed
+/// pthread_mutex_lock, so without this flag the analysis would recurse into
+/// itself through its own bookkeeping locks; the interposed entry points
+/// route guarded calls straight to the real implementation instead.
+thread_local bool InInternal = false;
+
+struct InternalGuard {
+  InternalGuard() { InInternal = true; }
+  ~InternalGuard() { InInternal = false; }
+};
 
 /// Hand-off from the pthread_create interposition to the trampoline. The
 /// slot is created (and its T/F trace lines written) in the *parent*, so
@@ -357,6 +374,14 @@ bool findDeadlockLocked(std::string &Witness) {
 
 void reportDeadlockAndExit(const std::string &Witness) {
   fprintf(stderr, "DLF-PRELOAD: %s\n", Witness.c_str());
+  if (dlf::telemetry::enabled()) {
+    InternalGuard G;
+    dlf::telemetry::Registry::global()
+        .counter("dlf_preload_deadlocks_reported_total")
+        .inc();
+    // _exit skips the destructor, so the sidecar is written here.
+    dlf::telemetry::flushChildTelemetry();
+  }
   fflush(nullptr);
   _exit(dlf::interpose::DeadlockExitCode);
 }
@@ -409,6 +434,10 @@ void parseCycleSpec(const char *Spec) {
 __attribute__((constructor)) void dlfPreloadInit() {
   resolveReals();
   State = new GlobalState();
+  // A campaign (or operator) that wants metrics from the traced program
+  // points DLF_METRICS_SIDECAR at a file; the shutdown hook dumps there.
+  if (getenv(dlf::telemetry::SidecarEnvVar))
+    dlf::telemetry::setEnabled(true);
   if (const char *Path = getenv(dlf::interpose::TraceEnvVar)) {
     State->Trace = fopen(Path, "w");
     if (State->Trace)
@@ -438,6 +467,8 @@ __attribute__((destructor)) void dlfPreloadShutdown() {
     fclose(State->Trace);
     State->Trace = nullptr;
   }
+  InternalGuard G;
+  dlf::telemetry::flushChildTelemetry();
 }
 
 // -- Event handlers ------------------------------------------------------------------
@@ -446,6 +477,12 @@ __attribute__((destructor)) void dlfPreloadShutdown() {
 int acquireWithAnalysis(pthread_mutex_t *M, void *CallerAddr) {
   ThreadSlot *T = selfSlot();
   std::string Site = resolveSite(CallerAddr);
+  if (dlf::telemetry::enabled()) {
+    InternalGuard G;
+    dlf::telemetry::Registry::global()
+        .counter("dlf_preload_acquires_total")
+        .inc();
+  }
 
   bool Reentrant = false;
   bool ShouldPause = false;
@@ -464,6 +501,12 @@ int acquireWithAnalysis(pthread_mutex_t *M, void *CallerAddr) {
     return RealLock(M);
 
   if (ShouldPause) {
+    if (dlf::telemetry::enabled()) {
+      InternalGuard G;
+      dlf::telemetry::Registry::global()
+          .counter("dlf_preload_pauses_total")
+          .inc();
+    }
     // Algorithm 3's pause: sleep in slices, watching for the cycle to
     // physically form around us; give up after the budget (thrash /
     // livelock-monitor analogue).
@@ -621,6 +664,8 @@ int pthread_mutex_lock(pthread_mutex_t *M) {
           dlsym(RTLD_NEXT, "pthread_mutex_lock"));
     return RealLock(M);
   }
+  if (InInternal)
+    return RealLock(M); // our own telemetry locking: invisible to the analysis
   if (!State->Trace && State->Cycle.empty())
     return RealLock(M); // neither phase requested: pure passthrough
   return acquireWithAnalysis(M, __builtin_return_address(0));
@@ -633,7 +678,7 @@ int pthread_mutex_trylock(pthread_mutex_t *M) {
   if (!State)
     return RealTrylock(M);
   int Rc = RealTrylock(M);
-  if (Rc != 0 || (!State->Trace && State->Cycle.empty()))
+  if (Rc != 0 || InInternal || (!State->Trace && State->Cycle.empty()))
     return Rc;
   // Successful trylock: record the acquire (same bookkeeping, no pause).
   ThreadSlot *T = selfSlot();
@@ -661,7 +706,7 @@ int pthread_mutex_unlock(pthread_mutex_t *M) {
           dlsym(RTLD_NEXT, "pthread_mutex_unlock"));
     return RealUnlock(M);
   }
-  if (!State->Trace && State->Cycle.empty())
+  if (InInternal || (!State->Trace && State->Cycle.empty()))
     return RealUnlock(M);
   bool Reentrant = false;
   releaseWithAnalysis(M, Reentrant);

@@ -75,6 +75,10 @@ struct ExecutionResult {
   uint64_t Thrashes = 0;
   /// Times the livelock monitor force-removed a long-paused thread.
   uint64_t ForcedUnpauses = 0;
+  /// Times the active strategy paused a thread before an acquire.
+  uint64_t Pauses = 0;
+  /// Threads filtered from the pick set by yield-based filtering (§4).
+  uint64_t Yields = 0;
   /// Scheduler transitions committed.
   uint64_t Steps = 0;
   /// Acquire events executed (0->1 transitions only).

@@ -7,6 +7,8 @@
 #include "runtime/Scheduler.h"
 #include "runtime/Strategy.h"
 #include "support/Debug.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Timeline.h"
 
 #include <atomic>
 #include <cassert>
@@ -22,6 +24,44 @@ std::atomic<Runtime *> CurrentRuntime{nullptr};
 
 /// The calling thread's record within the current runtime.
 thread_local ThreadRecord *SelfTls = nullptr;
+
+/// Scheduler telemetry is recorded in bulk from the ExecutionResult at the
+/// end of run() — zero cost on the scheduler hot path, and the counters
+/// stay exactly the Result fields, so totals are jobs-deterministic.
+struct SchedulerMetrics {
+  telemetry::Counter Runs, Steps, Acquires, Pauses, UnpausesForced, Thrashes,
+      Yields, DeadlocksFound, Stalls;
+  telemetry::Histogram StepsPerRun;
+
+  SchedulerMetrics() {
+    telemetry::Registry &R = telemetry::Registry::global();
+    Runs = R.counter("dlf_scheduler_runs_total");
+    Steps = R.counter("dlf_scheduler_steps_total");
+    Acquires = R.counter("dlf_scheduler_acquires_total");
+    Pauses = R.counter("dlf_scheduler_pauses_total");
+    UnpausesForced = R.counter("dlf_scheduler_unpauses_forced_total");
+    Thrashes = R.counter("dlf_scheduler_thrashes_total");
+    Yields = R.counter("dlf_scheduler_yields_total");
+    DeadlocksFound = R.counter("dlf_scheduler_deadlocks_found_total");
+    Stalls = R.counter("dlf_scheduler_stalls_total");
+    StepsPerRun = R.histogram("dlf_scheduler_steps_per_run");
+  }
+
+  void record(const ExecutionResult &Result) {
+    Runs.inc();
+    Steps.inc(Result.Steps);
+    Acquires.inc(Result.AcquireEvents);
+    Pauses.inc(Result.Pauses);
+    UnpausesForced.inc(Result.ForcedUnpauses);
+    Thrashes.inc(Result.Thrashes);
+    Yields.inc(Result.Yields);
+    if (Result.DeadlockFound)
+      DeadlocksFound.inc();
+    if (Result.Stalled)
+      Stalls.inc();
+    StepsPerRun.observe(Result.Steps);
+  }
+};
 
 /// RAII for CurrentRuntime installation.
 class InstallGuard {
@@ -209,6 +249,18 @@ ExecutionResult Runtime::run(const std::function<void()> &Entry) {
   Result.WallMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - Start)
                       .count();
+  if (telemetry::enabled()) {
+    static SchedulerMetrics Metrics;
+    Metrics.record(Result);
+  }
+  {
+    telemetry::Timeline &TL = telemetry::Timeline::global();
+    if (TL.enabled()) {
+      TL.nameThread(0, "scheduler");
+      for (const ThreadRecord &T : threadRecords())
+        TL.nameThread(static_cast<uint32_t>(T.Id.Raw) + 1, T.Name);
+    }
+  }
   return Result;
 }
 

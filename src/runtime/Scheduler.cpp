@@ -8,12 +8,36 @@
 #include "runtime/Recorder.h"
 #include "runtime/Runtime.h"
 #include "support/Debug.h"
+#include "telemetry/Timeline.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 
 using namespace dlf;
+
+namespace {
+
+/// Timeline lane for a managed thread. Lane 0 is the scheduler itself, so
+/// thread lanes are offset by one.
+uint32_t timelineTid(const ThreadRecord &T) {
+  return static_cast<uint32_t>(T.Id.Raw) + 1;
+}
+
+/// Emit the "paused" span that ends now for a thread being unpaused
+/// (thrash or livelock monitor). The span start is reconstructed from the
+/// scheduler's own PausedSinceWall stamp.
+void timelinePausedSpan(telemetry::Timeline &TL, const ThreadRecord &T) {
+  uint64_t EndUs = TL.nowUs();
+  uint64_t PausedUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T.PausedSinceWall)
+          .count());
+  uint64_t StartUs = PausedUs < EndUs ? EndUs - PausedUs : 0;
+  TL.complete("paused", timelineTid(T), StartUs, EndUs);
+}
+
+} // namespace
 
 Scheduler::Scheduler(Runtime &RT, const Options &Opts, SchedulerStrategy &Strat,
                      DependencyRecorder *Recorder)
@@ -256,6 +280,13 @@ void Scheduler::runLivelockMonitor() {
     T.HasPausedPending = false;
     T.ForceExecute = true;
     ++Result.ForcedUnpauses;
+    {
+      telemetry::Timeline &TL = telemetry::Timeline::global();
+      if (TL.enabled()) {
+        timelinePausedSpan(TL, T);
+        TL.instant("unpause-forced", timelineTid(T));
+      }
+    }
     DLF_DEBUG_LOG("livelock monitor unpaused thread "
                   << T.Name << (WallExceeded ? " (wall-clock)" : ""));
   }
@@ -305,6 +336,18 @@ Scheduler::checkRealDeadlock(const ThreadRecord *For,
 void Scheduler::pickLoop() {
   // Invariant: called under Mu with no thread holding the token.
   assert(!RunningId.isValid() && "pick loop while a thread runs");
+  // One pickLoop call is one scheduling decision: when the timeline is on,
+  // it shows up as a "schedule" span on lane 0 (the scheduler lane).
+  struct ScheduleSpan {
+    telemetry::Timeline &TL = telemetry::Timeline::global();
+    bool On = TL.enabled();
+    uint64_t StartUs = On ? TL.nowUs() : 0;
+    ~ScheduleSpan() {
+      if (On)
+        TL.complete("schedule", 0, StartUs, TL.nowUs());
+    }
+  } Span;
+  (void)Span;
   uint64_t RoundsWithoutCommit = 0;
   for (;;) {
     if (AbortFlag || Done)
@@ -335,6 +378,11 @@ void Scheduler::pickLoop() {
       // for the report and classify communication deadlocks (threads
       // parked on never-notified conditions).
       Result.Stalled = true;
+      {
+        telemetry::Timeline &TL = telemetry::Timeline::global();
+        if (TL.enabled())
+          TL.instant("stall", 0);
+      }
       for (ThreadRecord &T : RT.threadRecords())
         if (T.State != ThreadState::Finished &&
             T.Pending.K == PendingOp::Kind::CondBlocked)
@@ -377,6 +425,13 @@ void Scheduler::pickLoop() {
         Victim->ForceExecute = true;
         ++Result.Thrashes;
         RoundsWithoutCommit = 0;
+        {
+          telemetry::Timeline &TL = telemetry::Timeline::global();
+          if (TL.enabled()) {
+            timelinePausedSpan(TL, *Victim);
+            TL.instant("thrash", timelineTid(*Victim));
+          }
+        }
         DLF_DEBUG_LOG("thrash #" << Result.Thrashes << ": unpaused "
                                  << Victim->Name);
         continue;
@@ -402,6 +457,8 @@ void Scheduler::pickLoop() {
                                           T->Pending.Site);
           T->YieldEval = Yields ? 1 : 0;
           T->YieldsRemaining = Yields ? Opts.YieldBudget : 0;
+          if (Yields)
+            ++Result.Yields;
         }
         if (T->YieldsRemaining == 0)
           Preferred.push_back(T);
@@ -578,6 +635,11 @@ bool Scheduler::commitAcquireAttempt(ThreadRecord &T) {
     if (auto Witness = checkRealDeadlock(&T, &Tentative)) {
       Result.DeadlockFound = true;
       Result.Witness = std::move(Witness);
+      {
+        telemetry::Timeline &TL = telemetry::Timeline::global();
+        if (TL.enabled())
+          TL.instant("deadlock-found", timelineTid(T));
+      }
       DLF_DEBUG_LOG("real deadlock found:\n" << Result.Witness->toString());
       abortAll();
       return true;
@@ -612,10 +674,16 @@ bool Scheduler::commitAcquireAttempt(ThreadRecord &T) {
   if (!T.ForceExecute && Strat.shouldPause(T, L, Tentative)) {
     T.Paused = true;
     ++T.TimesPaused;
+    ++Result.Pauses;
     T.PausedSinceStep = Result.Steps;
     T.PausedSinceWall = std::chrono::steady_clock::now();
     T.HasPausedPending = true;
     T.PausedPending = Tentative.back();
+    {
+      telemetry::Timeline &TL = telemetry::Timeline::global();
+      if (TL.enabled())
+        TL.instant("pause:" + L.Name, timelineTid(T));
+    }
     DLF_DEBUG_LOG("paused " << T.Name << " before acquiring " << L.Name
                             << " at " << Site.text());
     return false;

@@ -1,0 +1,79 @@
+//===- telemetry/Sidecar.h - cross-process metrics hand-off ------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-process telemetry aggregation. Sandboxed Phase II children are
+/// given a sidecar path via the DLF_METRICS_SIDECAR environment variable;
+/// at exit they serialize their metrics snapshot and timeline events to
+/// that file, and the campaign parent merges committed children's
+/// sidecars into the campaign-level report.
+///
+/// The format is deliberately line-based text rather than JSON: a child
+/// killed mid-write (timeout, rlimit, crash) leaves a truncated file, and
+/// a truncated line-based file still yields every complete line. A
+/// trailing "end" marker distinguishes clean files from partial ones —
+/// partial files are merged as far as they go and counted in
+/// dlf_campaign_sidecars_missing_total, never treated as campaign
+/// failures.
+///
+/// Grammar (space-separated tokens; names must not contain whitespace,
+/// writeSidecar sanitizes them):
+///
+///   # dlf-metrics-sidecar v1
+///   c <name> <value>                       counter
+///   g <name> <value>                       gauge
+///   h <name> <count> <sum> <idx>:<val>...  histogram (sparse buckets)
+///   e <ph> <pid> <tid> <ts> <dur> <name-to-end-of-line>   trace event
+///   n <tid> <name-to-end-of-line>          thread display name
+///   end
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_TELEMETRY_SIDECAR_H
+#define DLF_TELEMETRY_SIDECAR_H
+
+#include "telemetry/Metrics.h"
+#include "telemetry/Timeline.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlf {
+namespace telemetry {
+
+/// Environment variable naming the sidecar path a child should dump to.
+inline constexpr const char *SidecarEnvVar = "DLF_METRICS_SIDECAR";
+
+/// Serializes \p Snap plus \p Events / \p ThreadNames to \p Path.
+/// Returns false on I/O error.
+bool writeSidecar(const std::string &Path, const MetricsSnapshot &Snap,
+                  const std::vector<TraceEvent> &Events,
+                  const std::map<uint32_t, std::string> &ThreadNames);
+
+/// Parses \p Path, accumulating into the outputs (Snap merges, Events
+/// appends). Returns false only when the file cannot be opened or the
+/// header is wrong; a truncated tail parses as far as it goes. *Complete
+/// (optional) reports whether the trailing "end" marker was seen.
+bool readSidecar(const std::string &Path, MetricsSnapshot &Snap,
+                 std::vector<TraceEvent> &Events,
+                 std::map<uint32_t, std::string> &ThreadNames,
+                 bool *Complete = nullptr);
+
+/// Called by a forked child that inherited live telemetry: zeroes the
+/// global registry and timeline so parent-side values are not
+/// double-counted when this child's sidecar is merged back.
+void beginChildTelemetry();
+
+/// Called at child exit (or from the preload shutdown hook): if
+/// DLF_METRICS_SIDECAR is set and telemetry is enabled, dumps the global
+/// registry + timeline to the sidecar path.
+void flushChildTelemetry();
+
+} // namespace telemetry
+} // namespace dlf
+
+#endif // DLF_TELEMETRY_SIDECAR_H

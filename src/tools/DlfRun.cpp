@@ -23,11 +23,16 @@
 #include "substrates/BenchmarkRegistry.h"
 #include "support/Env.h"
 #include "support/Table.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Timeline.h"
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 using namespace dlf;
 
@@ -81,14 +86,87 @@ void printUsage() {
          "  --include-guarded      spend phase 2 repetitions on cycles the\n"
          "                         guard-lock pruner statically discharged\n"
          "                         (by default they are reported with their\n"
-         "                         classification but consume no budget)\n";
+         "                         classification but consume no budget)\n"
+         "  --metrics-out FILE     enable telemetry and export the metrics\n"
+         "                         registry to FILE at exit (campaign mode\n"
+         "                         exports the cross-process aggregate,\n"
+         "                         identical for every --jobs value)\n"
+         "  --metrics-format FMT   json (default) | prom (Prometheus text\n"
+         "                         exposition)\n"
+         "  --timeline-out FILE    write a Chrome trace-event timeline to\n"
+         "                         FILE (open in Perfetto or\n"
+         "                         about://tracing)\n";
+}
+
+/// CLI telemetry export options (--metrics-out / --timeline-out).
+struct TelemetryCli {
+  std::string MetricsOut;
+  std::string TimelineOut;
+  bool Prom = false;
+
+  bool any() const { return !MetricsOut.empty() || !TimelineOut.empty(); }
+};
+
+bool writeTextFile(const std::string &Path, const std::string &Body) {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  OS << Body;
+  OS.flush();
+  return static_cast<bool>(OS);
+}
+
+/// Writes the requested export files from an already-assembled snapshot
+/// and event list. Returns false (after reporting to stderr) on I/O error.
+bool exportTelemetry(const TelemetryCli &Cli,
+                     const telemetry::MetricsSnapshot &Snap,
+                     const std::vector<telemetry::TraceEvent> &Events,
+                     const std::map<uint32_t, std::string> &ProcessNames,
+                     const std::map<uint64_t, std::string> &ThreadNames) {
+  bool Ok = true;
+  if (!Cli.MetricsOut.empty()) {
+    if (!writeTextFile(Cli.MetricsOut,
+                       Cli.Prom ? Snap.toPrometheus() : Snap.toJson())) {
+      std::cerr << "error: cannot write " << Cli.MetricsOut << "\n";
+      Ok = false;
+    } else {
+      std::cout << "metrics written to " << Cli.MetricsOut << "\n";
+    }
+  }
+  if (!Cli.TimelineOut.empty()) {
+    std::string Err;
+    if (!telemetry::Timeline::writeChromeTrace(Cli.TimelineOut, Events,
+                                               ProcessNames, ThreadNames,
+                                               Err)) {
+      std::cerr << "error: " << Err << "\n";
+      Ok = false;
+    } else {
+      std::cout << "timeline written to " << Cli.TimelineOut
+                << " (load in Perfetto or about://tracing)\n";
+    }
+  }
+  return Ok;
+}
+
+/// Exports the in-process telemetry (global registry plus the pid-0
+/// timeline lane) for non-campaign runs.
+bool exportLocalTelemetry(const TelemetryCli &Cli) {
+  if (!Cli.any())
+    return true;
+  telemetry::MetricsSnapshot Snap = telemetry::Registry::global().snapshot();
+  std::vector<telemetry::TraceEvent> Events;
+  std::map<uint32_t, std::string> LocalThreads;
+  telemetry::Timeline::global().take(Events, LocalThreads);
+  std::map<uint32_t, std::string> ProcessNames{{0, "dlf-run"}};
+  std::map<uint64_t, std::string> ThreadNames;
+  for (const auto &KV : LocalThreads)
+    ThreadNames.emplace(uint64_t(KV.first), KV.second);
+  return exportTelemetry(Cli, Snap, Events, ProcessNames, ThreadNames);
 }
 
 /// Runs the fault-isolated campaign and prints its report. Returns the
 /// process exit code: 0 for a completed or cleanly-interrupted (resumable)
 /// campaign, 1 for configuration or journal errors.
 int runCampaign(const BenchmarkInfo &Bench, campaign::CampaignConfig Config,
-                bool Resume) {
+                bool Resume, const TelemetryCli &Telemetry) {
   campaign::CampaignRunner::installSigintHandler();
   campaign::CampaignRunner Runner(std::move(Config));
   campaign::CampaignReport Report = Runner.run(Resume);
@@ -150,6 +228,28 @@ int runCampaign(const BenchmarkInfo &Bench, campaign::CampaignConfig Config,
               << "--resume " << Runner.config().JournalPath << "\n";
   else
     std::cout << "campaign complete\n";
+
+  if (Telemetry.any()) {
+    // The campaign aggregate lives in the report; the parent's global
+    // registry and timeline (normally empty in campaign mode — all
+    // scheduling happens in children) are merged in as pid 0 so nothing
+    // recorded parent-side is lost.
+    telemetry::MetricsSnapshot Snap = Report.Metrics;
+    Snap.merge(telemetry::Registry::global().snapshot());
+    std::vector<telemetry::TraceEvent> Events;
+    std::map<uint32_t, std::string> ParentThreads;
+    telemetry::Timeline::global().take(Events, ParentThreads);
+    Events.insert(Events.end(), Report.Timeline.begin(),
+                  Report.Timeline.end());
+    std::map<uint32_t, std::string> ProcessNames =
+        Report.TimelineProcessNames;
+    ProcessNames.emplace(0, "dlf-run");
+    std::map<uint64_t, std::string> ThreadNames = Report.TimelineThreadNames;
+    for (const auto &KV : ParentThreads)
+      ThreadNames.emplace(uint64_t(KV.first), KV.second);
+    if (!exportTelemetry(Telemetry, Snap, Events, ProcessNames, ThreadNames))
+      return 1;
+  }
   return 0;
 }
 
@@ -208,6 +308,8 @@ int main(int Argc, char **Argv) {
   bool JournalFlagGiven = false;
   bool JobsGiven = false;
   bool IncludeGuarded = false;
+  bool MetricsFormatGiven = false;
+  TelemetryCli Telemetry;
   std::string JournalPath;
   uint64_t RunTimeoutMs = 0;
   uint64_t BudgetS = 0;
@@ -320,6 +422,23 @@ int main(int Argc, char **Argv) {
       JobsGiven = true;
     } else if (Arg == "--include-guarded") {
       IncludeGuarded = true;
+    } else if (Arg == "--metrics-out") {
+      if (I + 1 < Argc)
+        Telemetry.MetricsOut = Argv[++I];
+    } else if (Arg == "--metrics-format") {
+      MetricsFormatGiven = true;
+      std::string Fmt = I + 1 < Argc ? Argv[++I] : "";
+      if (Fmt == "json") {
+        Telemetry.Prom = false;
+      } else if (Fmt == "prom") {
+        Telemetry.Prom = true;
+      } else {
+        std::cerr << "error: --metrics-format must be json|prom\n";
+        return 1;
+      }
+    } else if (Arg == "--timeline-out") {
+      if (I + 1 < Argc)
+        Telemetry.TimelineOut = Argv[++I];
     } else {
       std::cerr << "error: unknown option '" << Arg << "'\n";
       printUsage();
@@ -341,6 +460,15 @@ int main(int Argc, char **Argv) {
                  "--journal conflicts with it\n";
     return 1;
   }
+  if (MetricsFormatGiven && Telemetry.MetricsOut.empty()) {
+    std::cerr << "error: --metrics-format only applies to --metrics-out\n";
+    return 1;
+  }
+
+  if (Telemetry.any())
+    telemetry::setEnabled(true);
+  if (!Telemetry.TimelineOut.empty())
+    telemetry::Timeline::global().setEnabled(true);
 
   if (Campaign) {
     campaign::CampaignConfig CC;
@@ -356,7 +484,8 @@ int main(int Argc, char **Argv) {
     CC.JournalPath = JournalPath.empty()
                          ? std::string(Bench->Name) + ".campaign.jsonl"
                          : JournalPath;
-    return runCampaign(*Bench, std::move(CC), Resume);
+    CC.Telemetry = Telemetry.any();
+    return runCampaign(*Bench, std::move(CC), Resume, Telemetry);
   }
 
   if (NormalRuns > 0) {
@@ -367,7 +496,7 @@ int main(int Argc, char **Argv) {
         ++Hung;
     std::cout << "uninstrumented runs: " << NormalRuns << ", deadlocked: "
               << Hung << "\n";
-    return 0;
+    return exportLocalTelemetry(Telemetry) ? 0 : 1;
   }
 
   ActiveTester Tester(Bench->Entry, Config);
@@ -405,7 +534,7 @@ int main(int Argc, char **Argv) {
     }
   }
   if (Phase1Only || P1.Cycles.empty())
-    return 0;
+    return exportLocalTelemetry(Telemetry) ? 0 : 1;
 
   Table T({"Cycle", "Reproduced", "Other", "Stalls", "Clean", "Probability",
            "Avg thrashes"});
@@ -445,5 +574,5 @@ int main(int Argc, char **Argv) {
               << " confirmed cycle(s); " << Completed << "/" << HealRuns
               << " random executions completed\n";
   }
-  return 0;
+  return exportLocalTelemetry(Telemetry) ? 0 : 1;
 }
