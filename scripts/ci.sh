@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-#===- scripts/ci.sh - Five-tier continuous integration ---------------------===#
+#===- scripts/ci.sh - Six-tier continuous integration ----------------------===#
 #
 # Tier 0 (lint): the clang-tidy wall (scripts/lint.sh) — skips cleanly when
 # clang-tidy is not installed. Tier 1: the plain build and full test suite
@@ -15,6 +15,12 @@
 # Tier 4 (telemetry smoke): a small campaign with --metrics-out and
 # --timeline-out; the trace must parse as JSON and the metrics must carry
 # the expected dlf_* names — catching export-format rot end to end.
+# Tier 5 (chaos smoke): scripts/chaos.sh drives crash-heavy and
+# disk-failure-heavy fault plans against the ASan build — injected child
+# segv/hangs, a runner SIGKILL after every third committed rep with a
+# checked resume, and a mid-campaign journal device death — asserting the
+# self-healing invariants (CRC-intact journal prefix, counts identical to
+# a fault-free reference, no stray processes) with memory errors fatal.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 #
@@ -98,5 +104,9 @@ for name in ["dlf_scheduler_deadlocks_found_total",
     assert name in prom, f"missing Prometheus metric {name}"
 print("== telemetry smoke: formats OK ==")
 EOF
+
+echo "== tier 5: chaos smoke (fault injection + self-healing under ASan) =="
+scripts/chaos.sh --bin build-asan/src/dlf-run --mode crash
+scripts/chaos.sh --bin build-asan/src/dlf-run --mode disk
 
 echo "== ci: all tiers passed =="

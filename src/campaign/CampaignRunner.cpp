@@ -2,8 +2,11 @@
 
 #include "campaign/CampaignRunner.h"
 
+#include "faultinject/FaultInject.h"
 #include "igoodlock/Serialize.h"
 #include "support/Debug.h"
+#include "support/Fs.h"
+#include "support/Retry.h"
 #include "telemetry/Sidecar.h"
 
 #include <algorithm>
@@ -20,11 +23,6 @@
 
 using namespace dlf;
 using namespace dlf::campaign;
-
-// Seed stride between retry attempts of the same repetition: far larger
-// than any realistic rep count, so retry seeds never collide with another
-// repetition's seed.
-static constexpr uint64_t RetrySeedStride = 1'000'003;
 
 const char *dlf::campaign::runClassName(RunClass C) {
   switch (C) {
@@ -117,10 +115,17 @@ std::string CampaignReport::toString() const {
        << PeakConcurrency << " concurrent child(ren), jobs " << JobsUsed
        << "\n";
   }
+  if (JournalDegraded)
+    OS << "journal degraded: " << JournalError
+       << " — results computed in-memory; journal renamed aside "
+          "(non-resumable)\n";
+  const char *ResumeHint =
+      JournalDegraded ? " (journal degraded; resume unavailable)\n"
+                      : "; resume with --resume\n";
   if (BudgetExhausted)
-    OS << "wall-clock budget exhausted; resume with --resume\n";
+    OS << "wall-clock budget exhausted" << ResumeHint;
   else if (Interrupted)
-    OS << "interrupted; resume with --resume\n";
+    OS << "interrupted" << ResumeHint;
   else if (CampaignComplete)
     OS << "campaign complete\n";
   return OS.str();
@@ -150,17 +155,9 @@ bool CampaignRunner::interruptRequested() { return GInterruptRequested != 0; }
 namespace {
 
 void writeAll(int Fd, const std::string &Data) {
-  size_t Off = 0;
-  while (Off < Data.size()) {
-    ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
-    if (N > 0) {
-      Off += static_cast<size_t>(N);
-      continue;
-    }
-    if (N < 0 && errno == EINTR)
-      continue;
-    return; // parent vanished; nothing sensible left to do in the child
-  }
+  // Best-effort: if the parent vanished there is nothing sensible left to
+  // do in the child.
+  (void)writeFully(Fd, Data.data(), Data.size());
 }
 
 /// Parses a "key=value key=value" payload line.
@@ -337,32 +334,46 @@ std::string CampaignRunner::resolveSidecarDir() {
             std::to_string(static_cast<unsigned long>(getpid()));
     }
   }
-  if (mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST)
+  if (!makeDirs(Dir))
     return std::string(); // degrade: campaign metrics without child detail
   return Dir;
 }
 
-bool CampaignRunner::journalAppend(const JsonValue &Record) {
-  if (!Writer.isOpen())
-    return true; // campaigns without a journal are legal (no resume)
-  if (JournalFailed)
-    return false;
-  if (!Writer.append(Record)) {
-    JournalFailed = true;
-    return false;
-  }
-  return true;
+void CampaignRunner::journalAppend(const JsonValue &Record) {
+  if (!Writer.isOpen() || JournalDegraded)
+    return; // journal-less campaigns are legal; degraded ones run in memory
+  if (!Writer.append(Record))
+    degradeJournal(Writer.lastError());
+}
+
+void CampaignRunner::degradeJournal(const std::string &Why) {
+  // Persistent journal failure (ENOSPC, EIO, ...): self-heal by finishing
+  // the campaign in memory. The prefix already on disk is still valid, but
+  // it no longer reflects the work this process goes on to do, so the
+  // epilogue renames it aside to make it non-resumable.
+  JournalDegraded = true;
+  JournalDegradedWhy = Why;
+  Writer.close();
+  std::fprintf(stderr,
+               "dlf-campaign: journal append failed (%s); continuing "
+               "in-memory — results will be complete but the journal is no "
+               "longer resumable\n",
+               Why.c_str());
 }
 
 bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
                                           JsonValue &Record) {
   std::string LastTriage = "never ran";
+  // ActiveTester consumes PhaseOneRetries+1 consecutive seeds internally; a
+  // sandbox-level retry after the child actually ran (hung, crashed, broke
+  // the protocol) steps past that range so every observation uses a fresh
+  // seed. A spawn failure (fork EAGAIN — the child never ran) restarts with
+  // the SAME seed, so transient resource pressure cannot change which
+  // cycles phase 1 observes.
+  unsigned SeedSteps = 0;
   for (unsigned Attempt = 0; Attempt <= Config.MaxRetries; ++Attempt) {
-    // ActiveTester consumes PhaseOneRetries+1 consecutive seeds internally;
-    // a sandbox-level retry (the whole child hung or crashed) starts past
-    // that range so every observation uses a fresh seed.
     uint64_t Seed = Config.Tester.PhaseOneSeed +
-                    Attempt * (Config.Tester.PhaseOneRetries + 1);
+                    SeedSteps * (Config.Tester.PhaseOneRetries + 1);
     Report.PhaseOneSeeds.push_back(Seed);
     ++Report.PhaseOneAttempts;
 
@@ -455,10 +466,14 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
       if (Kv.count("completed") == 0 ||
           !deserializeCycles(Doc, Report.Cycles, &ParseError)) {
         LastTriage = "phase 1 result protocol violation: " + ParseError;
+        ++SeedSteps; // the child ran; take a fresh observation seed
         if (!SidecarPath.empty())
           unlink(SidecarPath.c_str());
-        if (Attempt < Config.MaxRetries)
+        if (Attempt < Config.MaxRetries) {
+          if (Config.Telemetry)
+            ++Report.Metrics.Counters["dlf_campaign_worker_restarts_total"];
           backoffSleep(Attempt, Config.BackoffBaseMs, Config.BackoffCapMs);
+        }
         continue;
       }
       Report.PhaseOneCompleted = Kv["completed"] == "1";
@@ -481,12 +496,17 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
     }
 
     LastTriage = SR.triage();
+    if (SR.Status != SandboxStatus::ForkFailed)
+      ++SeedSteps; // the child ran; take a fresh observation seed
     if (!SidecarPath.empty())
       unlink(SidecarPath.c_str());
     DLF_DEBUG_LOG("phase 1 sandboxed attempt " << Attempt
                                                << " failed: " << LastTriage);
-    if (Attempt < Config.MaxRetries)
+    if (Attempt < Config.MaxRetries) {
+      if (Config.Telemetry)
+        ++Report.Metrics.Counters["dlf_campaign_worker_restarts_total"];
       backoffSleep(Attempt, Config.BackoffBaseMs, Config.BackoffCapMs);
+    }
   }
   Report.Error = "phase 1 failed after " +
                  std::to_string(Config.MaxRetries + 1) +
@@ -629,16 +649,25 @@ void CampaignRunner::runPhaseTwo(
   if (Config.Telemetry)
     Report.TimelineProcessNames[1] = "campaign workers";
 
-  enum class StopReason { None, Sigint, Hook, Budget, Journal };
+  enum class StopReason { None, Sigint, Hook, Budget };
   StopReason Stop = StopReason::None;
 
-  auto SeedFor = [&](unsigned Rep, unsigned Attempt) {
-    return Config.Tester.PhaseTwoSeedBase + Rep + Attempt * RetrySeedStride;
+  // Every attempt of a repetition runs the SAME seed: a supervised restart
+  // after a transient failure must converge to the classification a
+  // fault-free run would have produced, otherwise environmental crashes
+  // (and injected chaos) would perturb the campaign's committed counts.
+  auto SeedFor = [&](unsigned Rep) {
+    return Config.Tester.PhaseTwoSeedBase + Rep;
   };
 
   auto LaunchAttempt = [&](unsigned C, unsigned R, unsigned Attempt) {
-    uint64_t Seed = SeedFor(R, Attempt);
+    uint64_t Seed = SeedFor(R);
     const AbstractCycle &Cycle = Report.Cycles[C];
+    // Child-site faults are decided here, in the parent, where the plan's
+    // counters live; the child just applies the verdict after the fork.
+    faultinject::ChildFaults CF;
+    if (faultinject::enabled())
+      CF = faultinject::plan().childFaults(C, R, Attempt);
     std::string SidecarPath;
     if (!SidecarDirInUse.empty())
       SidecarPath = SidecarDirInUse + "/c" + std::to_string(C) + "_r" +
@@ -653,11 +682,14 @@ void CampaignRunner::runPhaseTwo(
       LaneBusy[Lane] = 1;
     }
     uint64_t Ticket = Pool.launch(
-        [this, C, R, Attempt, Seed, &Cycle, SidecarPath](int Fd) {
+        [this, C, R, Attempt, Seed, &Cycle, SidecarPath, CF](int Fd) {
           if (!SidecarPath.empty()) {
             setenv(telemetry::SidecarEnvVar, SidecarPath.c_str(), 1);
             telemetry::beginChildTelemetry();
           }
+          // Unconditional: also marks this process as a campaign child so
+          // the inherited global plan cannot double-fire sidecar faults.
+          faultinject::applyChildFaults(CF);
           if (Config.ChildFaultHook)
             Config.ChildFaultHook(C, R, Attempt);
           const ActiveTesterConfig &TC = Config.Tester;
@@ -751,7 +783,7 @@ void CampaignRunner::runPhaseTwo(
     O.CycleIdx = FI.Cycle;
     O.Rep = FI.Rep;
     O.Attempts = FI.Attempt + 1;
-    O.Seed = SeedFor(FI.Rep, FI.Attempt);
+    O.Seed = SeedFor(FI.Rep);
     bool Definitive = Classify(PC.Result, O);
     if (!Definitive && FI.Attempt < Config.MaxRetries) {
       // Non-final attempt: its sidecar is discarded — only the final
@@ -761,7 +793,14 @@ void CampaignRunner::runPhaseTwo(
       if (AllowRetry) {
         DLF_DEBUG_LOG("rep " << FI.Cycle << "/" << FI.Rep << " attempt "
                              << FI.Attempt << " " << runClassName(O.Class)
-                             << "; retrying");
+                             << "; restarting with the same seed");
+        // Counted live at restart-scheduling time, so an operator watching
+        // the metrics sees supervision working as it happens. Unlike
+        // dlf_campaign_retries_total (counted at the commit frontier) this
+        // includes restarts of work a drain later drops, so it is
+        // operational — not jobs-deterministic.
+        if (Config.Telemetry)
+          ++Report.Metrics.Counters["dlf_campaign_worker_restarts_total"];
         uint64_t DelayMs = backoffDelayMs(FI.Attempt, Config.BackoffBaseMs,
                                           Config.BackoffCapMs);
         Retries.push_back({FI.Cycle, FI.Rep, FI.Attempt + 1,
@@ -818,7 +857,7 @@ void CampaignRunner::runPhaseTwo(
   // ones only), accumulate, and apply the quarantine policy at the commit
   // frontier — identical to the serial walk whatever order children finish.
   auto CommitReady = [&]() {
-    while (CommitCycle < NumCycles && !JournalFailed) {
+    while (CommitCycle < NumCycles) {
       CycleProgress &P = Progress[CommitCycle];
       CycleCampaignStats &S = Report.PerCycle[CommitCycle];
       if (P.Quarantined || P.Frontier == Reps) {
@@ -850,8 +889,14 @@ void CampaignRunner::runPhaseTwo(
         Rec.set("cpu_ms", O.CpuMs);
         if (!O.Diagnostic.empty())
           Rec.set("diag", O.Diagnostic);
-        if (!journalAppend(Rec))
-          return;
+        journalAppend(Rec);
+        if (faultinject::fires("runner.kill")) {
+          // Chaos: abrupt runner death right after this record became
+          // durable. PDEATHSIG takes the children down with us; resume
+          // must pick up from exactly this point.
+          Writer.close();
+          ::raise(SIGKILL);
+        }
       }
 
       accumulate(S, O);
@@ -909,8 +954,7 @@ void CampaignRunner::runPhaseTwo(
           Rec.set("event", "quarantine");
           Rec.set("cycle", CommitCycle);
           Rec.set("reason", S.QuarantineReason);
-          if (!journalAppend(Rec))
-            return;
+          journalAppend(Rec);
         }
       }
     }
@@ -973,8 +1017,6 @@ void CampaignRunner::runPhaseTwo(
   // -- Dispatch/collect loop.
   for (;;) {
     CommitReady();
-    if (JournalFailed)
-      Stop = StopReason::Journal;
     if (Stop != StopReason::None)
       break;
     // The interrupt check precedes the completion check: a SIGINT that
@@ -1025,8 +1067,6 @@ void CampaignRunner::runPhaseTwo(
     for (PoolCompletion &PC : Rest)
       HandleCompletion(PC, /*AllowRetry=*/false);
     CommitReady();
-    if (JournalFailed)
-      Stop = StopReason::Journal;
   }
 
   switch (Stop) {
@@ -1052,8 +1092,6 @@ void CampaignRunner::runPhaseTwo(
       Report.BudgetExhausted = true;
     break;
   }
-  case StopReason::Journal:
-    break; // the run() epilogue surfaces the journal error
   }
 
   Report.PeakConcurrency = Pool.peakConcurrency();
@@ -1086,8 +1124,9 @@ CampaignReport CampaignRunner::run(bool Resume) {
       return Report;
     }
     JournalContents JC;
+    JournalSalvage Salvage;
     std::string Err;
-    if (!loadJournal(Config.JournalPath, JC, &Err)) {
+    if (!loadJournal(Config.JournalPath, JC, &Err, &Salvage)) {
       Report.Error = "cannot load journal: " + Err;
       return Report;
     }
@@ -1095,6 +1134,25 @@ CampaignReport CampaignRunner::run(bool Resume) {
     if (!headerMatches(JC.Header, &Why)) {
       Report.Error = Why;
       return Report;
+    }
+    if (!Salvage.clean()) {
+      // Torn or corrupt tail (power loss mid-append, bit rot): quarantine
+      // it to <journal>.corrupt and truncate back to the valid prefix so
+      // our appends extend a fully valid file — then say so, loudly enough
+      // to be seen but without failing a resume that is fine to continue.
+      std::string QErr;
+      if (!quarantineJournalTail(Config.JournalPath, Salvage, &QErr)) {
+        Report.Error = "cannot quarantine corrupt journal tail: " + QErr;
+        return Report;
+      }
+      std::fprintf(stderr,
+                   "dlf-campaign: journal %s: salvaged %u intact record(s); "
+                   "dropped %u torn/corrupt line(s) to %s.corrupt\n",
+                   Config.JournalPath.c_str(), Salvage.Records,
+                   Salvage.DroppedLines, Config.JournalPath.c_str());
+      Report.JournalTailDropped = Salvage.DroppedLines;
+      Report.Metrics.Counters["dlf_journal_torn_tail_total"] +=
+          Salvage.DroppedLines;
     }
     for (JsonValue &Rec : JC.Records) {
       const std::string &Event = Rec["event"].asString();
@@ -1129,14 +1187,17 @@ CampaignReport CampaignRunner::run(bool Resume) {
       return Report;
     }
   } else if (!Config.JournalPath.empty()) {
+    std::string Dir = parentDir(Config.JournalPath);
+    std::string MkErr;
+    if (!Dir.empty() && !makeDirs(Dir, &MkErr)) {
+      Report.Error = "cannot create journal directory: " + MkErr;
+      return Report;
+    }
     if (!Writer.open(Config.JournalPath, /*Truncate=*/true)) {
       Report.Error = "cannot create journal: " + Writer.lastError();
       return Report;
     }
-    if (!journalAppend(headerRecord())) {
-      Report.Error = "cannot write journal header: " + Writer.lastError();
-      return Report;
-    }
+    journalAppend(headerRecord()); // a failure here degrades, like any other
   }
 
   // -- Phase I ---------------------------------------------------------------
@@ -1159,11 +1220,7 @@ CampaignReport CampaignRunner::run(bool Resume) {
     JsonValue Record;
     if (!runPhaseOneSandboxed(Report, Record))
       return Report; // Error is set; nothing journaled, resume retries.
-    if (!journalAppend(Record)) {
-      Report.Error = "journal append failed (" + Writer.lastError() +
-                     "); campaign stopped before phase 2";
-      return Report;
-    }
+    journalAppend(Record);
   }
 
   // -- Phase II --------------------------------------------------------------
@@ -1180,9 +1237,20 @@ CampaignReport CampaignRunner::run(bool Resume) {
   if (!SidecarDirInUse.empty())
     rmdir(SidecarDirInUse.c_str()); // best-effort; fails if files remain
 
-  if (JournalFailed && Report.Error.empty())
-    Report.Error = "journal append failed (" + Writer.lastError() +
-                   "); campaign stopped; the journaled prefix remains "
-                   "resumable with --resume";
+  if (JournalDegraded) {
+    Report.JournalDegraded = true;
+    Report.JournalError = JournalDegradedWhy;
+    if (Config.Telemetry)
+      ++Report.Metrics.Counters["dlf_campaign_journal_degraded_total"];
+    // Mark the journal non-resumable: its prefix no longer reflects the
+    // work this process went on to do in memory. Renamed (best-effort, and
+    // only if it is a regular file — never a device node someone pointed
+    // the journal at) rather than deleted, for post-mortems.
+    struct stat St = {};
+    if (!Config.JournalPath.empty() &&
+        ::stat(Config.JournalPath.c_str(), &St) == 0 && S_ISREG(St.st_mode))
+      ::rename(Config.JournalPath.c_str(),
+               (Config.JournalPath + ".broken").c_str());
+  }
   return Report;
 }

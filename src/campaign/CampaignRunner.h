@@ -14,11 +14,17 @@
 /// child, communicates results back over the sandbox pipe using a
 /// TraceFormat-style line protocol, classifies each run (completed /
 /// reproduced / other-deadlock / stalled / hung / crashed-signal /
-/// crashed-exit / oom), retries transient failures with capped
-/// exponential backoff and fresh seeds, and journals progress after every
-/// repetition so an interrupted campaign resumes exactly where it left
-/// off. A cycle whose repetitions keep failing is quarantined with a
-/// diagnostic record instead of aborting the campaign.
+/// crashed-exit / oom), supervises transient failures with bounded
+/// same-seed restarts under capped exponential backoff (a restarted
+/// repetition re-runs its original seed, so a crash that was environmental
+/// — OOM kill, injected fault, machine pressure — converges to the
+/// fault-free classification and committed counts stay byte-identical to
+/// an undisturbed run), and journals progress after every repetition so an
+/// interrupted campaign resumes exactly where it left off. A cycle whose
+/// repetitions keep failing is quarantined with a diagnostic record
+/// instead of aborting the campaign; a journal whose writes start failing
+/// (ENOSPC, EIO) degrades the campaign to in-memory results instead of
+/// aborting it.
 ///
 /// Phase II is sharded over a WorkerPool of up to Jobs concurrent
 /// children. Results complete out of order but are committed — journaled
@@ -89,8 +95,12 @@ struct CampaignConfig {
   /// SIGTERM -> SIGKILL grace (0: use Tester.Base.WatchdogGraceMs).
   uint64_t GraceMs = 0;
 
-  /// Retries per repetition for transient failures; each retry uses a
-  /// fresh seed.
+  /// Supervised restarts per repetition for transient failures (hung /
+  /// crashed / oom children). Every restart re-runs the SAME seed: per-seed
+  /// determinism means a deterministic workload failure keeps failing (and
+  /// eventually quarantines the cycle, which is the honest answer), while
+  /// an environmental failure converges to the classification a fault-free
+  /// run would have produced.
   unsigned MaxRetries = 3;
 
   /// Exponential backoff between retries: min(Base << attempt, Cap).
@@ -257,6 +267,15 @@ struct CampaignReport {
   bool Interrupted = false;
   /// Every cycle reached its repetition count (or was quarantined).
   bool CampaignComplete = false;
+  /// Journal writes started failing persistently (ENOSPC, EIO): the
+  /// campaign finished in memory, the results above are complete, and the
+  /// on-disk journal was renamed to "<path>.broken" (non-resumable).
+  bool JournalDegraded = false;
+  /// The append failure that triggered the degradation.
+  std::string JournalError;
+  /// Corrupt/torn trailing journal lines dropped by the salvage pass on
+  /// resume (also counted as dlf_journal_torn_tail_total).
+  unsigned JournalTailDropped = 0;
   /// Set on configuration/journal errors; the report is then empty.
   std::string Error;
 
@@ -300,7 +319,13 @@ private:
                    std::map<unsigned, std::string> &JournaledQuarantines,
                    bool HaveDone);
   static void accumulate(CycleCampaignStats &S, const RepOutcome &O);
-  bool journalAppend(const JsonValue &Record);
+  /// Appends \p Record if a journal is open and healthy. An append failure
+  /// degrades the journal (once) instead of stopping the campaign: the
+  /// campaign keeps running in memory and the epilogue marks the journal
+  /// non-resumable.
+  void journalAppend(const JsonValue &Record);
+  /// Switches to in-memory mode after a persistent journal write failure.
+  void degradeJournal(const std::string &Why);
   /// Creates (if needed) and returns the sidecar directory; empty string
   /// disables sidecars for this run (telemetry off or mkdir failure —
   /// the campaign still runs, metrics just lose child detail).
@@ -308,7 +333,8 @@ private:
 
   CampaignConfig Config;
   JournalWriter Writer;
-  bool JournalFailed = false;
+  bool JournalDegraded = false;
+  std::string JournalDegradedWhy;
   std::string SidecarDirInUse;
   /// Zero point of the merged timeline (run() entry); child events are
   /// rebased onto it via their launch offset.

@@ -10,8 +10,18 @@
 /// quarantine, interruption, completion), appended and flushed after every
 /// repetition. Append-only means an interrupted campaign (SIGKILL, machine
 /// death, exhausted wall-clock budget) loses at most the repetition in
-/// flight; resume replays the journaled prefix and continues. A torn final
-/// line (death mid-write) is tolerated and dropped on load.
+/// flight; resume replays the journaled prefix and continues.
+///
+/// Every record line carries a CRC32 integrity tag: `<json>\t<8 hex>\n`,
+/// where the checksum covers the JSON text. A raw tab can never appear
+/// inside the JSON (dump() escapes it as the two-character sequence `\t`),
+/// so the last tab on a line unambiguously separates record from tag.
+/// Loading salvages the longest valid prefix: the first torn or corrupt
+/// line — wherever it is, not just at the tail — stops the scan, and the
+/// caller gets a JournalSalvage report saying how many bytes are intact and
+/// how many lines were dropped, so resume can quarantine the corrupt tail
+/// and truncate the journal back to the valid prefix before appending.
+/// Untagged lines (journals written before the tag existed) still load.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,11 +49,11 @@ public:
   /// Opens \p Path for appending (\p Truncate starts a fresh journal).
   bool open(const std::string &Path, bool Truncate);
 
-  /// Writes \p Record as one line and makes it durable (flush + fsync,
-  /// with every return value checked). Returns false on any I/O or sync
-  /// failure — the record may not have reached stable storage, so the
-  /// campaign stops rather than keep executing work whose checkpoints are
-  /// silently lost; the journaled prefix stays resumable.
+  /// Writes \p Record as one CRC-tagged line and makes it durable (flush +
+  /// fsync, with every return value checked). Returns false on any I/O or
+  /// sync failure — the record may not have reached stable storage. The
+  /// campaign runner reacts by degrading to in-memory results (the journaled
+  /// prefix stays valid; it is just no longer growing).
   bool append(const JsonValue &Record);
 
   /// Human-readable description of the last open/append failure.
@@ -63,11 +73,31 @@ struct JournalContents {
   std::vector<JsonValue> Records;
 };
 
-/// Parses \p Path. A torn final line is dropped silently; any other
-/// malformed content fails with \p Error. Returns false when the file
-/// cannot be read or has no intact header.
+/// What the salvage pass found while loading a journal.
+struct JournalSalvage {
+  size_t TotalBytes = 0;   ///< File size at load time.
+  size_t ValidBytes = 0;   ///< Length of the longest valid record prefix.
+  unsigned Records = 0;    ///< Intact records loaded (excluding the header).
+  unsigned DroppedLines = 0; ///< Torn/corrupt trailing lines not loaded.
+
+  bool clean() const { return DroppedLines == 0; }
+};
+
+/// Parses \p Path, salvaging the longest valid prefix. Corrupt or torn
+/// content after that prefix is dropped and counted in \p Salvage (when
+/// provided) rather than failing the load. Returns false only when the file
+/// cannot be read or no intact header line exists.
 bool loadJournal(const std::string &Path, JournalContents &Out,
-                 std::string *Error = nullptr);
+                 std::string *Error = nullptr,
+                 JournalSalvage *Salvage = nullptr);
+
+/// Moves the corrupt tail reported by \p Salvage out of the journal: the
+/// bytes past the valid prefix are appended to `<Path>.corrupt` and the
+/// journal is truncated back to the prefix, so subsequent appends extend a
+/// fully valid file. No-op when the salvage report is clean.
+bool quarantineJournalTail(const std::string &Path,
+                           const JournalSalvage &Salvage,
+                           std::string *Error = nullptr);
 
 } // namespace campaign
 } // namespace dlf

@@ -2,6 +2,9 @@
 
 #include "campaign/ProcessSandbox.h"
 
+#include "faultinject/FaultInject.h"
+#include "support/Retry.h"
+
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -13,6 +16,10 @@
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
 
 using namespace dlf;
 using namespace dlf::campaign;
@@ -72,11 +79,7 @@ namespace {
 /// runner must not leak a zombie or misclassify the child). rusage gives
 /// the reaped child's CPU time for the throughput report.
 pid_t wait4EintrSafe(pid_t Pid, int *Status, int Flags, struct rusage *RU) {
-  for (;;) {
-    pid_t R = wait4(Pid, Status, Flags, RU);
-    if (R >= 0 || errno != EINTR)
-      return R;
-  }
+  return retryEintr([&] { return wait4(Pid, Status, Flags, RU); });
 }
 
 void applyRlimit(int Resource, uint64_t Value) {
@@ -104,7 +107,7 @@ void SandboxProcess::Drain::pump() {
     return;
   char Buf[4096];
   for (;;) {
-    ssize_t N = read(Fd, Buf, sizeof(Buf));
+    ssize_t N = retryEintr([&] { return read(Fd, Buf, sizeof(Buf)); });
     if (N > 0) {
       Out->append(Buf, static_cast<size_t>(N));
       if (Out->size() > Cap) {
@@ -119,8 +122,6 @@ void SandboxProcess::Drain::pump() {
       Eof = true;
       return;
     }
-    if (errno == EINTR)
-      continue;
     return; // EAGAIN (or a real error): nothing more right now
   }
 }
@@ -153,6 +154,14 @@ void SandboxProcess::closePipes() {
 bool SandboxProcess::start(const std::function<int(int PayloadFd)> &Fn,
                            const SandboxLimits &L) {
   Limits = L;
+  if (int E = faultinject::failErrno("worker.spawn", EAGAIN)) {
+    // Injected spawn failure: behaves exactly like a failed fork — the
+    // result stays ForkFailed and the campaign's supervised-restart path
+    // retries with the same seed (the child never ran).
+    errno = E;
+    Finished = true;
+    return false;
+  }
   int PayloadPipe[2] = {-1, -1};
   int StderrPipe[2] = {-1, -1};
   if (pipe(PayloadPipe) != 0) {
@@ -167,6 +176,7 @@ bool SandboxProcess::start(const std::function<int(int PayloadFd)> &Fn,
   }
 
   StartTime = std::chrono::steady_clock::now();
+  pid_t Parent = getpid();
   pid_t Child = fork();
   if (Child < 0) {
     close(PayloadPipe[0]);
@@ -185,6 +195,16 @@ bool SandboxProcess::start(const std::function<int(int PayloadFd)> &Fn,
     // user code runs.
     signal(SIGTERM, SIG_DFL);
     signal(SIGINT, SIG_DFL);
+#ifdef __linux__
+    // If the runner dies abruptly (SIGKILL, chaos runner.kill injection)
+    // its watchdogs die with it; tie the child's lifetime to the parent so
+    // an orphaned hang can never outlive the campaign.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (getppid() != Parent)
+      _exit(125); // parent died in the fork/prctl window
+#else
+    (void)Parent;
+#endif
     close(PayloadPipe[0]);
     if (Limits.CaptureStderr) {
       close(StderrPipe[0]);

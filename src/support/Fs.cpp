@@ -1,0 +1,63 @@
+//===- support/Fs.cpp - Small filesystem helpers --------------------------===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fs.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+namespace dlf {
+
+std::string parentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return "";
+  if (Slash == 0)
+    return "/";
+  return Path.substr(0, Slash);
+}
+
+bool makeDirs(const std::string &Path, std::string *Error) {
+  if (Path.empty())
+    return true;
+  // Walk the path one component at a time, creating as we go. mkdir on an
+  // existing directory is EEXIST and fine; anything else (a file in the
+  // way, permissions, a read-only filesystem) is reported with the exact
+  // prefix that failed.
+  size_t Pos = 0;
+  while (Pos <= Path.size()) {
+    size_t Slash = Path.find('/', Pos);
+    size_t End = Slash == std::string::npos ? Path.size() : Slash;
+    if (End > 0) {
+      std::string Prefix = Path.substr(0, End);
+      if (!Prefix.empty() && Prefix != "/" &&
+          ::mkdir(Prefix.c_str(), 0777) != 0) {
+        if (errno != EEXIST) {
+          if (Error)
+            *Error = "mkdir " + Prefix + ": " + std::strerror(errno);
+          return false;
+        }
+        // Something already exists there — make sure it is a directory
+        // (EEXIST is also what a plain file in the way produces).
+        struct stat St = {};
+        if (::stat(Prefix.c_str(), &St) != 0 || !S_ISDIR(St.st_mode)) {
+          if (Error)
+            *Error = Prefix + " exists and is not a directory";
+          return false;
+        }
+      }
+    }
+    if (Slash == std::string::npos)
+      break;
+    Pos = Slash + 1;
+  }
+  return true;
+}
+
+} // namespace dlf

@@ -19,11 +19,35 @@
 #ifndef DLF_SUPPORT_HASH_H
 #define DLF_SUPPORT_HASH_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 
 namespace dlf {
+
+/// CRC-32 (the IEEE 802.3 polynomial, reflected 0xEDB88320) over \p Len
+/// bytes at \p Data. This is the one hash in the tree that IS stable across
+/// runs and toolchains by contract: the campaign journal persists it as a
+/// per-record integrity tag, and external tools (e.g. Python's zlib.crc32)
+/// must reproduce it bit-for-bit. Table-driven, built once on first use.
+inline uint32_t crc32(const void *Data, size_t Len) {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xFFFFFFFFu;
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  while (Len--)
+    C = Table[(C ^ *P++) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
 
 /// A 128-bit hash value with total ordering (used to pick canonical
 /// rotations) and std::hash support (used as an unordered key).

@@ -1,0 +1,67 @@
+//===- support/Retry.h - EINTR-safe syscall wrappers ------------*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared retry helpers for the handful of syscalls the campaign layer makes
+/// while children are being signalled: every sandbox carries a watchdog that
+/// SIGTERM/SIGKILLs its child, so the parent's read/wait4/write/fsync calls
+/// routinely return EINTR under load. These wrappers replace the ad-hoc
+/// `while (errno == EINTR)` loops that had grown independently in
+/// ProcessSandbox, CampaignRunner, and Journal.
+///
+/// Deliberately NOT wrapped: the `::poll`/`usleep` pacing calls in
+/// WorkerPool::poll and the campaign dispatch loop. There an early EINTR
+/// return is the feature — it is how a SIGINT wakes the loop promptly so the
+/// drain can start — and retrying would trade Ctrl-C latency for nothing.
+///
+/// Header-only so the standalone tools and the LD_PRELOAD library (which do
+/// not link the support library) can share it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_SUPPORT_RETRY_H
+#define DLF_SUPPORT_RETRY_H
+
+#include <cerrno>
+#include <cstddef>
+
+#include <unistd.h>
+
+namespace dlf {
+
+/// Calls \p F until it stops failing with EINTR. \p F must return a signed
+/// value with the usual syscall convention (negative result + errno on
+/// failure). Returns the first non-EINTR result.
+template <typename Fn> auto retryEintr(Fn F) -> decltype(F()) {
+  decltype(F()) R;
+  do {
+    R = F();
+  } while (R < 0 && errno == EINTR);
+  return R;
+}
+
+/// Writes all \p Size bytes of \p Data to \p Fd, retrying both EINTR and
+/// short writes. Returns false on any other error (errno is preserved).
+inline bool writeFully(int Fd, const void *Data, size_t Size) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size > 0) {
+    ssize_t N = ::write(Fd, P, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace dlf
+
+#endif // DLF_SUPPORT_RETRY_H

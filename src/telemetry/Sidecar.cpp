@@ -6,6 +6,8 @@
 
 #include "telemetry/Sidecar.h"
 
+#include "faultinject/FaultInject.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,6 +60,9 @@ bool parseI64(const std::string &Tok, int64_t &Out) {
 bool writeSidecar(const std::string &Path, const MetricsSnapshot &Snap,
                   const std::vector<TraceEvent> &Events,
                   const std::map<uint32_t, std::string> &ThreadNames) {
+  int Fault = faultinject::sidecarWriteFault();
+  if (Fault == 2)
+    return false; // sidecar.missing: the file is simply never produced
   std::string Body;
   Body.reserve(4096);
   Body += HeaderLine;
@@ -126,12 +131,17 @@ bool writeSidecar(const std::string &Path, const MetricsSnapshot &Snap,
   }
   Body += "end\n";
 
+  // sidecar.truncate: stop mid-file, as a child killed mid-write would —
+  // the `end` marker never lands, so readers must treat the file as
+  // partial. Exercises the truncation tolerance in readSidecar.
+  size_t WriteBytes = Fault == 1 ? Body.size() / 2 : Body.size();
+
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
     return false;
-  bool Ok = std::fwrite(Body.data(), 1, Body.size(), F) == Body.size();
+  bool Ok = std::fwrite(Body.data(), 1, WriteBytes, F) == WriteBytes;
   Ok = std::fclose(F) == 0 && Ok;
-  return Ok;
+  return Ok && Fault == 0;
 }
 
 bool readSidecar(const std::string &Path, MetricsSnapshot &Snap,

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "campaign/CampaignRunner.h"
+#include "faultinject/FaultInject.h"
 #include "fuzzer/ActiveTester.h"
 #include "igoodlock/Serialize.h"
 #include "substrates/BenchmarkRegistry.h"
@@ -87,6 +88,16 @@ void printUsage() {
          "                         guard-lock pruner statically discharged\n"
          "                         (by default they are reported with their\n"
          "                         classification but consume no budget)\n"
+         "  --faults PLAN          inject deterministic faults into the\n"
+         "                         campaign runtime; PLAN is a `;`-separated\n"
+         "                         list of site[:action]@trigger clauses,\n"
+         "                         e.g. 'journal.fsync:enospc@3;\n"
+         "                         child.crash@rep=7' (see also DLF_FAULTS)\n"
+         "  --chaos SEED           generate a randomized fault plan from\n"
+         "                         SEED (child crashes/hangs, spawn\n"
+         "                         failures, sidecar loss, journal errors)\n"
+         "                         and run the campaign under it; combine\n"
+         "                         with --faults to add explicit clauses\n"
          "  --metrics-out FILE     enable telemetry and export the metrics\n"
          "                         registry to FILE at exit (campaign mode\n"
          "                         exports the cross-process aggregate,\n"
@@ -217,17 +228,31 @@ int runCampaign(const BenchmarkInfo &Bench, campaign::CampaignConfig Config,
               << " s, child cpu " << Table::fmt(Report.ChildCpuMs / 1000.0, 2)
               << " s), peak " << Report.PeakConcurrency
               << " concurrent child(ren), jobs " << Report.JobsUsed << "\n";
+  if (Report.JournalTailDropped)
+    std::cout << "journal salvage: dropped " << Report.JournalTailDropped
+              << " torn/corrupt line(s); the tail was quarantined to "
+              << Runner.config().JournalPath << ".corrupt\n";
+  if (Report.JournalDegraded)
+    std::cout << "journal degraded (" << Report.JournalError
+              << "); results were computed in-memory and the unusable "
+              << "journal was moved to " << Runner.config().JournalPath
+              << ".broken\n";
   // The journal fingerprint covers seeds, reps, and abstraction settings,
-  // so the resume invocation must repeat this one's options.
-  if (Report.BudgetExhausted)
-    std::cout << "wall-clock budget exhausted; resume with the same "
-              << "options plus: --resume " << Runner.config().JournalPath
-              << "\n";
-  else if (Report.Interrupted)
-    std::cout << "interrupted; resume with the same options plus: "
-              << "--resume " << Runner.config().JournalPath << "\n";
-  else
+  // so the resume invocation must repeat this one's options. A degraded
+  // journal cannot seed a resume: suppress the advice rather than point the
+  // user at a known-incomplete record stream.
+  if (Report.BudgetExhausted || Report.Interrupted) {
+    const char *Why = Report.BudgetExhausted ? "wall-clock budget exhausted"
+                                             : "interrupted";
+    if (Report.JournalDegraded)
+      std::cout << Why << "; the journal is degraded, so this campaign "
+                << "cannot be resumed — rerun it from scratch\n";
+    else
+      std::cout << Why << "; resume with the same options plus: --resume "
+                << Runner.config().JournalPath << "\n";
+  } else {
     std::cout << "campaign complete\n";
+  }
 
   if (Telemetry.any()) {
     // The campaign aggregate lives in the report; the parent's global
@@ -315,6 +340,9 @@ int main(int Argc, char **Argv) {
   uint64_t BudgetS = 0;
   uint64_t Jobs = 1;
   int MaxRetries = -1;
+  std::string FaultsSpec;
+  bool ChaosGiven = false;
+  uint64_t ChaosSeed = 0;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     // Every numeric option is validated strictly: a missing, negative,
@@ -422,6 +450,20 @@ int main(int Argc, char **Argv) {
       JobsGiven = true;
     } else if (Arg == "--include-guarded") {
       IncludeGuarded = true;
+    } else if (Arg == "--faults") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: --faults expects a plan "
+                     "(site[:action]@trigger;...)\n";
+        return 1;
+      }
+      if (!FaultsSpec.empty())
+        FaultsSpec += ";";
+      FaultsSpec += Argv[++I];
+    } else if (Arg == "--chaos") {
+      if (!NextUint(N))
+        return 1;
+      ChaosGiven = true;
+      ChaosSeed = N;
     } else if (Arg == "--metrics-out") {
       if (I + 1 < Argc)
         Telemetry.MetricsOut = Argv[++I];
@@ -455,6 +497,11 @@ int main(int Argc, char **Argv) {
                  "(or --resume)\n";
     return 1;
   }
+  if ((!FaultsSpec.empty() || ChaosGiven) && !Campaign) {
+    std::cerr << "error: --faults/--chaos only apply to --campaign "
+                 "(or --resume)\n";
+    return 1;
+  }
   if (Resume && JournalFlagGiven) {
     std::cerr << "error: --resume FILE already names the journal; "
                  "--journal conflicts with it\n";
@@ -471,6 +518,28 @@ int main(int Argc, char **Argv) {
     telemetry::Timeline::global().setEnabled(true);
 
   if (Campaign) {
+    // Arm the fault plan before the campaign starts so every injection
+    // site (including the journal open) sees it. Chaos clauses come first;
+    // explicit --faults clauses extend them.
+    faultinject::FaultPlan Plan;
+    if (ChaosGiven)
+      Plan = faultinject::FaultPlan::chaos(ChaosSeed);
+    if (!FaultsSpec.empty()) {
+      std::string Error;
+      if (!Plan.parse(FaultsSpec, &Error)) {
+        std::cerr << "error: " << Error << "\n";
+        return 1;
+      }
+    }
+    if (!Plan.empty()) {
+      if (ChaosGiven)
+        std::cout << "chaos plan (seed " << ChaosSeed
+                  << "): " << Plan.describe() << "\n";
+      else
+        std::cout << "fault plan: " << Plan.describe() << "\n";
+      faultinject::setPlan(std::move(Plan));
+    }
+
     campaign::CampaignConfig CC;
     CC.BenchmarkName = Bench->Name;
     CC.Entry = Bench->Entry;

@@ -198,6 +198,50 @@ TEST(DlfRun, ConflictingCampaignFlagsAreRejected) {
       << "--resume FILE and --journal FILE conflict";
 }
 
+TEST(DlfRun, InjectedRunnerKillLeavesAResumableJournal) {
+  std::string Journal = ::testing::TempDir() + "dlfrun-kill.jsonl";
+  std::remove(Journal.c_str());
+  // The runner SIGKILLs itself right after committing the third rep
+  // record — the closest a test can get to a host dying mid-campaign. The
+  // shell reports the signal death as 128 + SIGKILL.
+  EXPECT_EQ(runCommand(tool() + " dbcp --campaign --reps 3 --journal " +
+                       Journal + " --faults runner.kill@3 >/dev/null 2>&1"),
+            137);
+  // The journal survives as a clean CRC-intact prefix: resuming (without
+  // the fault plan) replays the three committed reps and finishes the rest.
+  std::string Resumed = captureCommand(
+      tool() + " dbcp --campaign --reps 3 --resume " + Journal);
+  EXPECT_NE(Resumed.find("campaign complete"), std::string::npos) << Resumed;
+  EXPECT_NE(Resumed.find("reps executed 3, replayed from journal 3"),
+            std::string::npos)
+      << Resumed;
+  std::remove(Journal.c_str());
+}
+
+TEST(DlfRun, FaultAndChaosFlagsAreValidated) {
+  EXPECT_NE(
+      runCommand(tool() + " dbcp --faults runner.kill@1 >/dev/null 2>&1"), 0)
+      << "--faults without --campaign";
+  EXPECT_NE(runCommand(tool() + " dbcp --chaos 3 >/dev/null 2>&1"), 0)
+      << "--chaos without --campaign";
+  std::string Err = captureCommand(
+      tool() + " dbcp --campaign --faults journal.bogus@1 2>&1 >/dev/null");
+  EXPECT_NE(Err.find("unknown site"), std::string::npos) << Err;
+}
+
+TEST(DlfRun, ChaosCampaignCompletesAndEchoesItsPlan) {
+  std::string Journal = ::testing::TempDir() + "dlfrun-chaos.jsonl";
+  std::remove(Journal.c_str());
+  std::remove((Journal + ".broken").c_str());
+  std::string Out = captureCommand(tool() + " dbcp --campaign --reps 2" +
+                                   " --run-timeout-ms 2000 --chaos 5" +
+                                   " --journal " + Journal + " 2>/dev/null");
+  EXPECT_NE(Out.find("chaos plan (seed 5):"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("campaign complete"), std::string::npos) << Out;
+  std::remove(Journal.c_str());
+  std::remove((Journal + ".broken").c_str());
+}
+
 TEST(DlfRun, ParallelCampaignMatchesSerialCounts) {
   std::string SerialJ = ::testing::TempDir() + "dlfrun-jobs1.jsonl";
   std::string ParallelJ = ::testing::TempDir() + "dlfrun-jobs4.jsonl";
