@@ -51,7 +51,8 @@ void addEntry(LockDependencyLog &Log, uint64_t Tid,
                                               std::to_string(H))});
   Log.onAcquireExecuted(
       T, L, Stack,
-      Label::intern("site:" + SiteTag + ":" + std::to_string(Acq)));
+      Label::intern("site:" + SiteTag + ":" + std::to_string(Acq)),
+      LockMode::Exclusive);
 }
 
 /// A gate-guarded inversion whose components re-occur at \p Occurrences

@@ -44,7 +44,8 @@ void addEntry(LockDependencyLog &Log, uint64_t Tid,
         {LockId(H), Label::intern("site:" + std::to_string(H))});
   }
   Log.onAcquireExecuted(T, L, Stack,
-                        Label::intern("site:" + std::to_string(Acq)));
+                        Label::intern("site:" + std::to_string(Acq)),
+                        LockMode::Exclusive);
 }
 
 /// T threads, each acquiring a private inner lock while holding a shared
@@ -139,6 +140,71 @@ void BM_ClosureWideHeldSets(benchmark::State &State) {
 }
 BENCHMARK(BM_ClosureWideHeldSets)->Arg(8)->Arg(32);
 
+/// Mode-aware variant of addEntry: held entries carry their LockMode and
+/// the acquire itself has one (rwlock read sides record Shared).
+void addModedEntry(LockDependencyLog &Log, uint64_t Tid,
+                   const std::vector<std::pair<uint64_t, LockMode>> &Held,
+                   uint64_t Acq, LockMode Mode) {
+  ThreadRecord T;
+  T.Id = ThreadId(Tid);
+  T.Name = "t" + std::to_string(Tid);
+  Log.onThreadCreated(T);
+
+  LockRecord L;
+  L.Id = LockId(Acq);
+  L.Name = "l" + std::to_string(Acq);
+  Log.onLockCreated(L);
+
+  std::vector<LockStackEntry> Stack;
+  for (const auto &[H, HMode] : Held) {
+    LockRecord HeldLock;
+    HeldLock.Id = LockId(H);
+    HeldLock.Name = "l" + std::to_string(H);
+    Log.onLockCreated(HeldLock);
+    Stack.push_back(
+        {LockId(H), Label::intern("site:" + std::to_string(H)), HMode});
+  }
+  Log.onAcquireExecuted(T, L, Stack,
+                        Label::intern("site:" + std::to_string(Acq)), Mode);
+}
+
+/// The widened-alphabet closure case: N pairwise inversions that all
+/// read-hold one global registry (mutex semantics would prune every one
+/// as gate-guarded; shared-shared holds keep them all), plus per-thread
+/// read-side traffic whose candidate pairs the mode conflict rule must
+/// reject one by one. Pairs with BM_ClosureScaling to price the
+/// per-extension mode checks.
+void BM_ClosureMixedModes(benchmark::State &State) {
+  const uint64_t Threads = static_cast<uint64_t>(State.range(0));
+  LockDependencyLog Log;
+  for (uint64_t T = 1; T <= Threads; ++T) {
+    // Inversion pair between threads T and Threads+T, under the shared
+    // registry (lock 1): one kept cycle each.
+    addModedEntry(Log, T,
+                  {{1, LockMode::Shared}, {10 + T, LockMode::Exclusive}},
+                  10000 + T, LockMode::Exclusive);
+    addModedEntry(Log, Threads + T,
+                  {{1, LockMode::Shared}, {10000 + T, LockMode::Exclusive}},
+                  10 + T, LockMode::Exclusive);
+    // Read-read chains: shared waits against shared holds produce
+    // candidate pairs but never edges.
+    addModedEntry(Log, T, {{1, LockMode::Shared}}, 500 + T,
+                  LockMode::Shared);
+    addModedEntry(Log, T,
+                  {{1, LockMode::Shared}, {500 + T, LockMode::Shared}},
+                  500 + T + 1, LockMode::Shared);
+  }
+  uint64_t Found = 0;
+  for (auto _ : State) {
+    auto Cycles = runIGoodlock(Log);
+    benchmark::DoNotOptimize(Cycles);
+    Found = Cycles.size();
+  }
+  State.SetLabel(std::to_string(Log.entries().size()) + " entries, " +
+                 std::to_string(Found) + " cycles kept");
+}
+BENCHMARK(BM_ClosureMixedModes)->Arg(8)->Arg(32)->Arg(128);
+
 /// A single ring of N threads (one cycle of length N): the closure must
 /// iterate to depth N, measuring the cost of deepening.
 void BM_RingDeepening(benchmark::State &State) {
@@ -169,7 +235,7 @@ void BM_RecorderDedup(benchmark::State &State) {
     Log.onThreadCreated(T);
     Log.onLockCreated(L);
     for (int I = 0; I != State.range(0); ++I)
-      Log.onAcquireExecuted(T, L, Stack, Site);
+      Log.onAcquireExecuted(T, L, Stack, Site, LockMode::Exclusive);
     benchmark::DoNotOptimize(Log.entries().size());
   }
 }

@@ -38,6 +38,10 @@ echo "== tier 1: normal build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+# Widened-alphabet workloads end to end (rwlock modes, cond-wait
+# reacquire): both phases, deterministic confirmation.
+build/src/dlf-run rwlock-abba --reps 5 --seed 1 >/dev/null
+build/src/dlf-run condvar-hybrid --reps 5 --seed 1 >/dev/null
 
 echo "== tier 2: ASan+UBSan build + full test suite =="
 cmake -B build-asan -S . -DDLF_SANITIZE=address >/dev/null
@@ -49,10 +53,14 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" --timeout 90
 echo "== tier 2b: TSan build + runtime/scheduler suites =="
 cmake -B build-tsan -S . -DDLF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  runtime_test scheduler_test parallel_closure_test
+  runtime_test scheduler_test parallel_closure_test dlf-run
 build-tsan/tests/runtime_test
 build-tsan/tests/scheduler_test
 build-tsan/tests/parallel_closure_test
+# The rwlock/condvar instrumentation paths under TSan: shared-mode
+# bookkeeping and the wakeup/reacquire handoff must be race-free.
+build-tsan/src/dlf-run rwlock-abba --reps 3 --seed 1 >/dev/null
+build-tsan/src/dlf-run condvar-hybrid --reps 3 --seed 1 >/dev/null
 
 echo "== tier 3: bench smoke (build + one short closure case) =="
 cmake --build build -j "$JOBS" --target \

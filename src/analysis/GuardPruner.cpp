@@ -69,20 +69,37 @@ Candidates matchComponent(const std::vector<DependencyEntry> &Entries,
   return Exact.empty() ? Loose : Exact;
 }
 
-/// True when some lock is held by every entry of the assignment. Held sets
-/// are tiny (lock-nesting depth), so the quadratic scan beats building
-/// hash sets.
+/// The mode of a held occurrence; entries recorded without modes default
+/// to Exclusive (the pre-mode semantics).
+LockMode heldModeAt(const DependencyEntry &E, size_t K) {
+  return K < E.HeldModes.size() ? E.HeldModes[K] : LockMode::Exclusive;
+}
+
+/// True when some lock is held by every entry of the assignment *and*
+/// actually excludes: a lock held Shared by every entry lets all of them
+/// hold it simultaneously, so it discharges nothing — a guard needs at
+/// least one exclusive holder (which then conflicts with every other
+/// holder). Held sets are tiny (lock-nesting depth), so the quadratic
+/// scan beats building hash sets.
 bool findCommonGuard(const std::vector<DependencyEntry> &Entries,
                      const std::vector<size_t> &Assign, LockId &Guard) {
   const DependencyEntry &First = Entries[Assign[0]];
   LockId Best; // invalid
-  for (LockId L : First.Held) {
+  for (size_t K0 = 0; K0 != First.Held.size(); ++K0) {
+    LockId L = First.Held[K0];
     bool Everywhere = true;
+    bool AnyExclusive = heldModeAt(First, K0) == LockMode::Exclusive;
     for (size_t K = 1; K != Assign.size() && Everywhere; ++K) {
-      const std::vector<LockId> &Held = Entries[Assign[K]].Held;
-      Everywhere = std::find(Held.begin(), Held.end(), L) != Held.end();
+      const DependencyEntry &E = Entries[Assign[K]];
+      bool Found = false;
+      for (size_t H = 0; H != E.Held.size(); ++H)
+        if (E.Held[H] == L) {
+          Found = true;
+          AnyExclusive |= heldModeAt(E, H) == LockMode::Exclusive;
+        }
+      Everywhere = Found;
     }
-    if (Everywhere && (!Best.isValid() || L < Best))
+    if (Everywhere && AnyExclusive && (!Best.isValid() || L < Best))
       Best = L;
   }
   Guard = Best;

@@ -120,6 +120,9 @@ RaceAnalysis dlf::analysis::detectRaces(const TraceFile &Trace,
   };
   std::unordered_map<uint64_t, ThreadState> Threads;
   std::unordered_map<uint64_t, VectorClock> LockRelease;
+  /// Last notify clock per condvar: a wakeup joins it (signal→wake is a
+  /// genuine happens-before edge the preload front end records as N/V).
+  std::unordered_map<uint64_t, VectorClock> CondNotifyClock;
   std::unordered_map<uint64_t, std::string> ThreadAbs;
   std::unordered_map<uint64_t, ObjectState> Objects;
   std::vector<uint64_t> ObjectOrder; // first-seen order, the merge order
@@ -160,6 +163,11 @@ RaceAnalysis dlf::analysis::detectRaces(const TraceFile &Trace,
       vcTick(Parent.Clock, ThreadId(E.A));
       break;
     }
+    // The read side of a rwlock is treated like an exclusive hold by this
+    // lockset pass (an approximation: it can mask write-under-read-lock
+    // races between concurrent readers, a distinct bug class), but its
+    // release→acquire clock edges are sound either way.
+    case TraceEvent::Kind::SharedAcquire:
     case TraceEvent::Kind::Acquire: {
       ThreadState &T = Thread(E.A);
       auto Rel = LockRelease.find(E.B);
@@ -170,6 +178,7 @@ RaceAnalysis dlf::analysis::detectRaces(const TraceFile &Trace,
         T.Lockset.insert(Pos, E.B);
       break;
     }
+    case TraceEvent::Kind::SharedRelease:
     case TraceEvent::Kind::Release: {
       ThreadState &T = Thread(E.A);
       LockRelease[E.B] = T.Clock;
@@ -180,6 +189,21 @@ RaceAnalysis dlf::analysis::detectRaces(const TraceFile &Trace,
       else
         Warn("release of lock " + std::to_string(E.B) + " not held by thread " +
              std::to_string(E.A));
+      break;
+    }
+    case TraceEvent::Kind::TryProbe:
+      break; // a failed probe synchronizes nothing
+    case TraceEvent::Kind::CondNotify: {
+      ThreadState &T = Thread(E.A);
+      CondNotifyClock[E.B] = T.Clock;
+      vcTick(T.Clock, ThreadId(E.A));
+      break;
+    }
+    case TraceEvent::Kind::CondWake: {
+      ThreadState &T = Thread(E.A);
+      auto It = CondNotifyClock.find(E.B);
+      if (It != CondNotifyClock.end())
+        vcJoin(T.Clock, It->second);
       break;
     }
     case TraceEvent::Kind::ObjectNew:

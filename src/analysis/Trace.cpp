@@ -86,6 +86,33 @@ TraceReadStatus dlf::analysis::readTrace(const std::string &Path,
       if (!parseId(Fields, E.A) || !parseId(Fields, E.B))
         return Malformed("malformed release event");
       break;
+    case 'Q':
+      E.K = TraceEvent::Kind::SharedAcquire;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B) ||
+          !parseText(Fields, E.Text))
+        return Malformed("malformed shared-acquire event");
+      break;
+    case 'U':
+      E.K = TraceEvent::Kind::SharedRelease;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B))
+        return Malformed("malformed shared-release event");
+      break;
+    case 'P':
+      E.K = TraceEvent::Kind::TryProbe;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B) ||
+          !parseText(Fields, E.Text))
+        return Malformed("malformed trylock-probe event");
+      break;
+    case 'N':
+      E.K = TraceEvent::Kind::CondNotify;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B))
+        return Malformed("malformed cond-notify event");
+      break;
+    case 'V':
+      E.K = TraceEvent::Kind::CondWake;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B))
+        return Malformed("malformed cond-wake event");
+      break;
     case 'F':
       E.K = TraceEvent::Kind::Fork;
       if (!parseId(Fields, E.A) || !parseId(Fields, E.B))

@@ -35,19 +35,32 @@ namespace dlf {
 namespace analysis {
 
 /// One parsed trace event. Field use per kind:
-///   ThreadNew:  A = tid, Text = abstraction
-///   LockNew:    A = lid, Text = abstraction
-///   Acquire:    A = tid, B = lid, Text = acquire site
-///   Release:    A = tid, B = lid
-///   Fork:       A = parent tid, B = child tid
-///   ObjectNew:  A = oid, Text = abstraction
-///   Read/Write: A = tid, B = oid, Text = access site
+///   ThreadNew:     A = tid, Text = abstraction
+///   LockNew:       A = lid, Text = abstraction
+///   Acquire:       A = tid, B = lid, Text = acquire site (exclusive)
+///   Release:       A = tid, B = lid (exclusive)
+///   SharedAcquire: A = tid, B = lid, Text = acquire site (rwlock read side)
+///   SharedRelease: A = tid, B = lid (rwlock read side)
+///   TryProbe:      A = tid, B = lid, Text = site (failed trylock; inert
+///                  for the wait-for analysis, recorded for visibility)
+///   CondNotify:    A = tid, B = cid (signal/broadcast; happens-before
+///                  source for subsequent wakeups)
+///   CondWake:      A = tid, B = cid (waiter resumed after a notify;
+///                  happens-before sink)
+///   Fork:          A = parent tid, B = child tid
+///   ObjectNew:     A = oid, Text = abstraction
+///   Read/Write:    A = tid, B = oid, Text = access site
 struct TraceEvent {
   enum class Kind {
     ThreadNew,
     LockNew,
     Acquire,
     Release,
+    SharedAcquire,
+    SharedRelease,
+    TryProbe,
+    CondNotify,
+    CondWake,
     Fork,
     ObjectNew,
     Read,

@@ -55,6 +55,24 @@ struct ThreadIdTag {};
 struct LockIdTag {};
 struct ObjectIdTag {};
 
+/// The mode a lock is (being) acquired in. Plain mutexes and rwlock write
+/// sides are Exclusive; rwlock read sides are Shared. Two Shared holds of
+/// the same lock coexist, which is what the closure's held-set disjointness
+/// check, the guard pruner, and checkRealDeadlock must all respect: a
+/// wait/hold pair on one lock is a deadlock edge iff NOT both sides are
+/// Shared.
+enum class LockMode : uint8_t {
+  Exclusive,
+  Shared,
+};
+
+/// True when a thread waiting for \p Wait conflicts with a thread holding
+/// the same lock in \p Held — i.e. the waiter cannot proceed while the
+/// holder keeps its hold. Only shared/shared pairs are compatible.
+constexpr bool lockModesConflict(LockMode Wait, LockMode Held) {
+  return !(Wait == LockMode::Shared && Held == LockMode::Shared);
+}
+
 /// Identifies one dynamic thread within a single execution.
 using ThreadId = detail::StrongId<ThreadIdTag>;
 /// Identifies one dynamic lock object within a single execution.

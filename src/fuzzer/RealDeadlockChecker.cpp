@@ -33,13 +33,14 @@ public:
           UsedLocks.clear();
           Path.clear();
           StartLock = Stack[From].Lock;
+          StartHeldMode = Stack[From].Mode;
           UsedThreads.insert(V);
           UsedLocks.insert(StartLock.Raw);
           Path.push_back({V, To});
           if (Stack[To].Lock == StartLock)
             continue; // degenerate; locks in one stack are distinct anyway
           UsedLocks.insert(Stack[To].Lock.Raw);
-          if (extend(Stack[To].Lock, Path))
+          if (extend(Stack[To].Lock, Stack[To].Mode, Path))
             return true;
         }
       }
@@ -48,7 +49,12 @@ public:
   }
 
 private:
-  bool extend(LockId Current, std::vector<std::pair<size_t, size_t>> &Path) {
+  /// Extends a chain whose previous thread wants/holds \p Current in
+  /// \p CurrentWantMode. An edge through another thread only exists when
+  /// that thread's hold of Current conflicts with the want (a shared hold
+  /// never blocks a shared want — rwlock read-read non-exclusion).
+  bool extend(LockId Current, LockMode CurrentWantMode,
+              std::vector<std::pair<size_t, size_t>> &Path) {
     for (size_t V = 0; V != Views.size(); ++V) {
       if (UsedThreads.count(V))
         continue;
@@ -57,9 +63,14 @@ private:
       for (size_t From = 0; From != Stack.size(); ++From) {
         if (Stack[From].Lock != Current)
           continue;
+        if (!lockModesConflict(CurrentWantMode, Stack[From].Mode))
+          break; // shared-shared: the previous thread is not blocked here
         for (size_t To = From + 1; To != Stack.size(); ++To) {
           LockId Next = Stack[To].Lock;
           if (Next == StartLock) {
+            // The closing edge must conflict with the start thread's hold.
+            if (!lockModesConflict(Stack[To].Mode, StartHeldMode))
+              continue;
             Path.push_back({V, To});
             return true; // closed the cycle
           }
@@ -68,7 +79,7 @@ private:
           UsedThreads.insert(V);
           UsedLocks.insert(Next.Raw);
           Path.push_back({V, To});
-          if (extend(Next, Path))
+          if (extend(Next, Stack[To].Mode, Path))
             return true;
           Path.pop_back();
           UsedLocks.erase(Next.Raw);
@@ -82,6 +93,7 @@ private:
 
   const std::vector<ThreadStackView> &Views;
   LockId StartLock;
+  LockMode StartHeldMode = LockMode::Exclusive;
   std::unordered_set<size_t> UsedThreads;
   std::unordered_set<uint64_t> UsedLocks;
 };

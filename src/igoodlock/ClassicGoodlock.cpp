@@ -9,17 +9,24 @@ using namespace dlf;
 
 namespace {
 
+/// The mode of a held occurrence; entries from recorders that predate
+/// lock modes default to Exclusive (the pre-mode semantics).
+LockMode heldModeOf(const DependencyEntry &E, size_t K) {
+  return K < E.HeldModes.size() ? E.HeldModes[K] : LockMode::Exclusive;
+}
+
 /// DFS context over the dependency relation, viewed as a lock-order graph:
-/// an edge exists from entry e to entry e' when e.Acquired ∈ e'.Held (the
-/// chain-link condition of Definition 2).
+/// an edge exists from entry e to entry e' when e.Acquired ∈ e'.Held in a
+/// conflicting mode (the chain-link condition of Definition 2, widened for
+/// reader-writer locks: a shared wait only blocks on an exclusive hold).
 class DfsSearch {
 public:
   DfsSearch(const LockDependencyLog &Log, const IGoodlockOptions &Opts,
             ClassicGoodlockStats &Stats)
       : D(Log.entries()), Log(Log), Opts(Opts), Stats(Stats) {
     for (uint32_t I = 0; I != D.size(); ++I)
-      for (LockId Held : D[I].Held)
-        HeldIndex[Held.Raw].push_back(I);
+      for (size_t K = 0; K != D[I].Held.size(); ++K)
+        HeldIndex[D[I].Held[K].Raw].push_back({I, heldModeOf(D[I], K)});
   }
 
   std::vector<AbstractCycle> run() {
@@ -39,7 +46,10 @@ private:
     Chain.push_back(Idx);
     Threads.push_back(E.Thread);
     Acquired.push_back(E.Acquired);
+    AcquiredModes.push_back(E.AcquiredMode);
     HeldUnion.insert(HeldUnion.end(), E.Held.begin(), E.Held.end());
+    for (size_t K = 0; K != E.Held.size(); ++K)
+      HeldUnionModes.push_back(heldModeOf(E, K));
     HeldSizes.push_back(E.Held.size());
     ++Stats.ChainsExplored;
     Stats.PeakDepth = std::max(Stats.PeakDepth, Chain.size());
@@ -48,7 +58,9 @@ private:
   void popEntry() {
     const DependencyEntry &E = D[Chain.back()];
     HeldUnion.resize(HeldUnion.size() - E.Held.size());
+    HeldUnionModes.resize(HeldUnionModes.size() - E.Held.size());
     HeldSizes.pop_back();
+    AcquiredModes.pop_back();
     Acquired.pop_back();
     Threads.pop_back();
     Chain.pop_back();
@@ -69,11 +81,27 @@ private:
     // Distinct acquired locks.
     if (contains(Acquired, E.Acquired))
       return false;
-    // Pairwise-disjoint guard sets.
-    for (LockId Held : E.Held)
-      if (contains(HeldUnion, Held))
-        return false;
+    // Pairwise-compatible guard sets: a common lock is only a violation
+    // when at least one side holds it exclusively (read-read overlap is
+    // not exclusion).
+    for (size_t K = 0; K != E.Held.size(); ++K) {
+      bool EExcl = heldModeOf(E, K) == LockMode::Exclusive;
+      for (size_t U = 0; U != HeldUnion.size(); ++U)
+        if (HeldUnion[U] == E.Held[K] &&
+            (EExcl || HeldUnionModes[U] == LockMode::Exclusive))
+          return false;
+    }
     return true;
+  }
+
+  /// Definition 3's closing test: the head entry holds \p L in a mode that
+  /// conflicts with acquiring it in \p Want.
+  bool headHoldsConflicting(LockId L, LockMode Want) const {
+    const DependencyEntry &Head = D[Chain.front()];
+    for (size_t K = 0; K != Head.Held.size(); ++K)
+      if (Head.Held[K] == L && lockModesConflict(Want, heldModeOf(Head, K)))
+        return true;
+    return false;
   }
 
   void dfs() {
@@ -82,11 +110,15 @@ private:
     auto CandIt = HeldIndex.find(Acquired.back().Raw);
     if (CandIt == HeldIndex.end())
       return;
-    for (uint32_t Next : CandIt->second) {
+    for (auto [Next, HoldMode] : CandIt->second) {
       const DependencyEntry &E = D[Next];
+      // The wait-for link must actually block: a shared wait on a shared
+      // hold is no edge.
+      if (!lockModesConflict(AcquiredModes.back(), HoldMode))
+        continue;
       if (!canExtend(E))
         continue;
-      if (contains(D[Chain.front()].Held, E.Acquired)) {
+      if (headHoldsConflicting(E.Acquired, E.AcquiredMode)) {
         // Cycle closed; report, do not extend (no complex cycles).
         if (!hbFeasible(E))
           ++Stats.FilteredByHb;
@@ -147,13 +179,16 @@ private:
   const IGoodlockOptions &Opts;
   ClassicGoodlockStats &Stats;
 
-  std::unordered_map<uint64_t, std::vector<uint32_t>> HeldIndex;
+  std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, LockMode>>>
+      HeldIndex;
 
   // The single live chain (the DFS memory story).
   std::vector<uint32_t> Chain;
   std::vector<ThreadId> Threads;
   std::vector<LockId> Acquired;
+  std::vector<LockMode> AcquiredModes;
   std::vector<LockId> HeldUnion;
+  std::vector<LockMode> HeldUnionModes;
   std::vector<size_t> HeldSizes;
 
   std::vector<AbstractCycle> Cycles;

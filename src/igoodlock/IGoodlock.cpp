@@ -50,6 +50,11 @@ uint64_t lockBit(uint32_t Dense) { return uint64_t(1) << (Dense & 63); }
 struct EntryMeta {
   /// Folded bits of the held set (see lockBit).
   uint64_t HeldMask = 0;
+  /// Folded bits of the *exclusively* held subset. Two held sets conflict
+  /// only when a common lock is held exclusively by at least one side —
+  /// read-read overlap is not exclusion. For mutex-only logs this equals
+  /// HeldMask, so the mode-aware tests degenerate to the old ones.
+  uint64_t HeldMaskExcl = 0;
   uint32_t DenseAcquired = 0;
   /// Slice of RelationIndex::HeldSorted holding the sorted dense held set.
   uint32_t HeldBegin = 0;
@@ -57,10 +62,14 @@ struct EntryMeta {
 };
 
 /// Per-chain accumulated state: the union of the members' held masks and
-/// the last acquired lock (the link the next entry must hold).
+/// the last acquired lock (the link the next entry must hold), plus the
+/// mode it was requested in (a shared wait is only blocked by an
+/// exclusive hold).
 struct ChainMeta {
   uint64_t HeldMask = 0;
+  uint64_t HeldMaskExcl = 0;
   uint32_t LastDenseAcquired = 0;
+  LockMode LastAcquiredMode = LockMode::Exclusive;
 };
 
 /// One closure level in flat-arena form: chain I occupies
@@ -79,6 +88,9 @@ struct RelationIndex {
   std::vector<EntryMeta> Meta;
   /// All held sets as sorted dense ids, sliced by EntryMeta::HeldBegin/End.
   std::vector<uint32_t> HeldSorted;
+  /// Parallel to HeldSorted: 1 when that occurrence is an exclusive hold
+  /// (the >64-lock fallback needs per-occurrence modes, not just masks).
+  std::vector<uint8_t> HeldSortedExcl;
   /// CSR candidate index: for dense lock id L, CandData[CandOffsets[L],
   /// CandOffsets[L+1]) are the entries whose held set contains L, in entry
   /// order — the extension candidates for a chain whose last acquired lock
@@ -86,6 +98,10 @@ struct RelationIndex {
   /// thus discovery order) matches the pre-arena engine exactly.
   std::vector<uint32_t> CandOffsets;
   std::vector<uint32_t> CandData;
+  /// Parallel to CandData: the mode of the held occurrence that put the
+  /// entry on the candidate list. A chain whose last acquire is Shared
+  /// only waits on candidates whose hold of that lock is Exclusive.
+  std::vector<LockMode> CandMode;
   uint32_t NumLocks = 0;
   /// True when lockBit is injective (<= 64 distinct locks): mask tests are
   /// then exact in both directions and the sorted fallback is never needed.
@@ -102,22 +118,37 @@ RelationIndex buildIndex(const std::vector<DependencyEntry> &D) {
     return It->second;
   };
 
+  // Entries without recorded modes (legacy logs) default to Exclusive,
+  // which reproduces the pre-mode engine exactly.
+  auto HeldModeOf = [](const DependencyEntry &E, size_t K) {
+    return K < E.HeldModes.size() ? E.HeldModes[K] : LockMode::Exclusive;
+  };
+
   size_t HeldTotal = 0;
   for (const DependencyEntry &E : D)
     HeldTotal += E.Held.size();
   Ix.Meta.resize(D.size());
   Ix.HeldSorted.reserve(HeldTotal);
+  Ix.HeldSortedExcl.reserve(HeldTotal);
+  std::vector<std::pair<uint32_t, uint8_t>> HeldBuf;
   for (uint32_t I = 0; I != D.size(); ++I) {
     EntryMeta &M = Ix.Meta[I];
     M.HeldBegin = static_cast<uint32_t>(Ix.HeldSorted.size());
-    for (LockId Held : D[I].Held) {
-      uint32_t Dense = Densify(Held);
-      Ix.HeldSorted.push_back(Dense);
+    HeldBuf.clear();
+    for (size_t K = 0; K != D[I].Held.size(); ++K) {
+      uint32_t Dense = Densify(D[I].Held[K]);
+      bool Excl = HeldModeOf(D[I], K) == LockMode::Exclusive;
+      HeldBuf.emplace_back(Dense, Excl ? 1 : 0);
       M.HeldMask |= lockBit(Dense);
+      if (Excl)
+        M.HeldMaskExcl |= lockBit(Dense);
+    }
+    std::sort(HeldBuf.begin(), HeldBuf.end());
+    for (auto [Dense, Excl] : HeldBuf) {
+      Ix.HeldSorted.push_back(Dense);
+      Ix.HeldSortedExcl.push_back(Excl);
     }
     M.HeldEnd = static_cast<uint32_t>(Ix.HeldSorted.size());
-    std::sort(Ix.HeldSorted.begin() + M.HeldBegin,
-              Ix.HeldSorted.begin() + M.HeldEnd);
     M.DenseAcquired = Densify(D[I].Acquired);
   }
   Ix.MaskExact = Ix.NumLocks <= 64;
@@ -131,37 +162,59 @@ RelationIndex buildIndex(const std::vector<DependencyEntry> &D) {
   for (uint32_t L = 0; L != Ix.NumLocks; ++L)
     Ix.CandOffsets[L + 1] += Ix.CandOffsets[L];
   Ix.CandData.resize(HeldTotal);
+  Ix.CandMode.resize(HeldTotal);
   std::vector<uint32_t> Cursor(Ix.CandOffsets.begin(),
                                Ix.CandOffsets.end() - 1);
   for (uint32_t I = 0; I != D.size(); ++I)
-    for (LockId Held : D[I].Held)
-      Ix.CandData[Cursor[DenseLock[Held.Raw]]++] = I;
+    for (size_t K = 0; K != D[I].Held.size(); ++K) {
+      uint32_t Slot = Cursor[DenseLock[D[I].Held[K].Raw]]++;
+      Ix.CandData[Slot] = I;
+      Ix.CandMode[Slot] = HeldModeOf(D[I], K);
+    }
   return Ix;
 }
 
-/// Is \p DenseLock in \p M's held set? A clear folded bit is an exact "no";
-/// a set bit needs the binary search only when the fold is lossy.
-bool heldContains(const RelationIndex &Ix, const EntryMeta &M,
-                  uint32_t DenseLock) {
-  if (!(M.HeldMask & lockBit(DenseLock)))
+/// Would acquiring \p DenseLock in \p WantMode block on \p M's holds? An
+/// exclusive want conflicts with any hold; a shared want only with an
+/// exclusive hold. Clear folded bits are exact "no"s; set bits fall back
+/// to the sorted slice only when the fold is lossy.
+bool heldConflicts(const RelationIndex &Ix, const EntryMeta &M,
+                   uint32_t DenseLock, LockMode WantMode) {
+  uint64_t Mask =
+      WantMode == LockMode::Exclusive ? M.HeldMask : M.HeldMaskExcl;
+  if (!(Mask & lockBit(DenseLock)))
     return false;
   if (Ix.MaskExact)
     return true;
-  return std::binary_search(Ix.HeldSorted.begin() + M.HeldBegin,
-                            Ix.HeldSorted.begin() + M.HeldEnd, DenseLock);
+  auto Begin = Ix.HeldSorted.begin() + M.HeldBegin;
+  auto End = Ix.HeldSorted.begin() + M.HeldEnd;
+  auto Range = std::equal_range(Begin, End, DenseLock);
+  for (auto It = Range.first; It != Range.second; ++It)
+    if (WantMode == LockMode::Exclusive ||
+        Ix.HeldSortedExcl[static_cast<size_t>(It - Ix.HeldSorted.begin())])
+      return true;
+  return false;
 }
 
-/// Exact held-set disjointness of two entries via sorted-merge intersection
-/// (the >= 64-dense-ids fallback).
-bool sortedDisjoint(const RelationIndex &Ix, uint32_t AIdx, uint32_t BIdx) {
+/// Exact mode-aware held-set compatibility of two entries via sorted-merge
+/// intersection (the >= 64-dense-ids fallback): a common lock is only a
+/// violation when at least one side holds it exclusively.
+bool sortedConflictFree(const RelationIndex &Ix, uint32_t AIdx,
+                        uint32_t BIdx) {
   const EntryMeta &A = Ix.Meta[AIdx];
   const EntryMeta &B = Ix.Meta[BIdx];
   uint32_t I = A.HeldBegin, J = B.HeldBegin;
   while (I != A.HeldEnd && J != B.HeldEnd) {
     uint32_t AV = Ix.HeldSorted[I], BV = Ix.HeldSorted[J];
-    if (AV == BV)
-      return false;
-    if (AV < BV)
+    if (AV == BV) {
+      bool AnyExcl = false;
+      while (I != A.HeldEnd && Ix.HeldSorted[I] == AV)
+        AnyExcl |= Ix.HeldSortedExcl[I] != 0, ++I;
+      while (J != B.HeldEnd && Ix.HeldSorted[J] == BV)
+        AnyExcl |= Ix.HeldSortedExcl[J] != 0, ++J;
+      if (AnyExcl)
+        return false;
+    } else if (AV < BV)
       ++I;
     else
       ++J;
@@ -191,19 +244,24 @@ bool canExtend(const std::vector<DependencyEntry> &D, const RelationIndex &Ix,
     if (Prev.Acquired == E.Acquired)
       return false;
   }
-  // 3. (previous acquired lock held by this entry) needs no check: the CSR
-  // candidate list for CM.LastDenseAcquired only contains entries holding
-  // that lock, by construction.
-  // 4. held sets pairwise disjoint: a clear AND of the folded masks always
-  // proves disjointness; a shared bit is an exact reject when the fold is
+  // 3. (previous acquired lock held by this entry, in a conflicting mode)
+  // is checked at the candidate loop via CandMode: the CSR list for
+  // CM.LastDenseAcquired only contains entries holding that lock, and the
+  // per-occurrence mode filter rejects shared-wait-on-shared-hold there.
+  // 4. held sets pairwise compatible: a conflict needs a common lock held
+  // exclusively by at least one side, so the test ANDs each side's full
+  // mask against the other's exclusive mask (for all-exclusive logs both
+  // masks coincide and this is the old disjointness test). A clear result
+  // is always exact; a set bit is an exact reject when the fold is
   // injective, otherwise the sorted intersection decides. With
   // KeepGuardedCycles the requirement is waived — the overlap is exactly a
   // guard lock, and the pruner downstream classifies (and names) it.
-  if (!KeepGuardedCycles && (CM.HeldMask & EM.HeldMask)) {
+  if (!KeepGuardedCycles &&
+      ((CM.HeldMaskExcl & EM.HeldMask) | (CM.HeldMask & EM.HeldMaskExcl))) {
     if (Ix.MaskExact)
       return false;
     for (unsigned I = 0; I != Cur.Len; ++I)
-      if (!sortedDisjoint(Ix, C[I], EIdx))
+      if (!sortedConflictFree(Ix, C[I], EIdx))
         return false;
   }
   return true;
@@ -287,13 +345,18 @@ void processShard(const std::vector<DependencyEntry> &D,
     uint32_t CandEnd = Ix.CandOffsets[CM.LastDenseAcquired + 1];
     for (uint32_t Cand = CandBegin; Cand != CandEnd; ++Cand) {
       uint32_t EIdx = Ix.CandData[Cand];
+      // The wait-for link: the chain's pending acquire must actually block
+      // on this candidate's hold. Only a shared wait on a shared hold
+      // fails (mutex-only logs never skip here).
+      if (!lockModesConflict(CM.LastAcquiredMode, Ix.CandMode[Cand]))
+        continue;
       if (!canExtend(D, Ix, Cur, CI, EIdx, Opts.KeepGuardedCycles))
         continue;
       const EntryMeta &EM = Ix.Meta[EIdx];
       // Definition 3: cycle when the new acquired lock is held by the
-      // chain's first thread. Cycles are reported, not extended (no
-      // complex cycles, §2.2.2).
-      if (heldContains(Ix, Head, EM.DenseAcquired)) {
+      // chain's first thread in a conflicting mode. Cycles are reported,
+      // not extended (no complex cycles, §2.2.2).
+      if (heldConflicts(Ix, Head, EM.DenseAcquired, D[EIdx].AcquiredMode)) {
         bool HbOk = !Opts.FilterByHappensBefore ||
                     hbFeasible(Chain, Len, EIdx, Hb);
         Out.Cycles.push_back(
@@ -302,7 +365,9 @@ void processShard(const std::vector<DependencyEntry> &D,
       }
       Out.NextIdx.insert(Out.NextIdx.end(), Chain, Chain + Len);
       Out.NextIdx.push_back(EIdx);
-      Out.NextMeta.push_back({CM.HeldMask | EM.HeldMask, EM.DenseAcquired});
+      Out.NextMeta.push_back({CM.HeldMask | EM.HeldMask,
+                              CM.HeldMaskExcl | EM.HeldMaskExcl,
+                              EM.DenseAcquired, D[EIdx].AcquiredMode});
       ++Exts;
     }
     Out.ExtsAfterChain.push_back(Exts);
@@ -420,7 +485,8 @@ std::vector<AbstractCycle> dlf::runIGoodlock(const LockDependencyLog &Log,
     if (D[I].Held.empty())
       continue;
     Current.Idx.push_back(I);
-    Current.Meta.push_back({Ix.Meta[I].HeldMask, Ix.Meta[I].DenseAcquired});
+    Current.Meta.push_back({Ix.Meta[I].HeldMask, Ix.Meta[I].HeldMaskExcl,
+                            Ix.Meta[I].DenseAcquired, D[I].AcquiredMode});
   }
   LocalStats.ChainsExplored += Current.size();
 

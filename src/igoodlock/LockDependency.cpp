@@ -16,16 +16,19 @@ void LockDependencyLog::onLockCreated(const LockRecord &L) {
 
 void LockDependencyLog::onAcquireExecuted(
     const ThreadRecord &T, const LockRecord &L,
-    const std::vector<LockStackEntry> &HeldBefore, Label Site) {
+    const std::vector<LockStackEntry> &HeldBefore, Label Site, LockMode Mode) {
   ++AcquireEvents;
 
   DependencyEntry Entry;
   Entry.Thread = T.Id;
   Entry.Acquired = L.Id;
+  Entry.AcquiredMode = Mode;
   Entry.Held.reserve(HeldBefore.size());
+  Entry.HeldModes.reserve(HeldBefore.size());
   Entry.Context.reserve(HeldBefore.size() + 1);
   for (const LockStackEntry &E : HeldBefore) {
     Entry.Held.push_back(E.Lock);
+    Entry.HeldModes.push_back(E.Mode);
     Entry.Context.push_back(E.Site);
   }
   Entry.Context.push_back(Site);
@@ -34,13 +37,18 @@ void LockDependencyLog::onAcquireExecuted(
   // Deduplicate: D is a relation, and loops re-acquiring the same locks in
   // the same context would otherwise flood the closure. The key is a
   // structural 128-bit hash (length-framed so held and context streams
-  // cannot alias); see support/Hash.h for the collision stance.
+  // cannot alias); see support/Hash.h for the collision stance. Modes are
+  // folded in so a read and a write acquisition of the same lock in the
+  // same context stay distinct entries.
   Hasher128 Key;
   Key.add(Entry.Thread.Raw);
   Key.add(Entry.Acquired.Raw);
+  Key.add(static_cast<uint64_t>(Entry.AcquiredMode));
   Key.add(Entry.Held.size());
   for (LockId Held : Entry.Held)
     Key.add(Held.Raw);
+  for (LockMode M : Entry.HeldModes)
+    Key.add(static_cast<uint64_t>(M));
   Key.add(Entry.Context.size());
   for (Label C : Entry.Context)
     Key.add(C.raw());

@@ -40,6 +40,11 @@ struct DependencyEntry {
   LockId Acquired;
   /// C: acquire-site labels for Held, followed by the site of Acquired.
   std::vector<Label> Context;
+  /// Mode of each held lock, parallel to Held (all Exclusive for
+  /// mutex-only programs).
+  std::vector<LockMode> HeldModes;
+  /// Mode of the acquire itself.
+  LockMode AcquiredMode = LockMode::Exclusive;
 
   /// Happens-before timestamp of the acquire (empty when tracking is off).
   /// Deduplication keeps the first observed instance's clock; the HB
@@ -68,7 +73,7 @@ public:
   void onLockCreated(const LockRecord &L) override;
   void onAcquireExecuted(const ThreadRecord &T, const LockRecord &L,
                          const std::vector<LockStackEntry> &HeldBefore,
-                         Label Site) override;
+                         Label Site, LockMode Mode) override;
 
   const std::vector<DependencyEntry> &entries() const { return Entries; }
 

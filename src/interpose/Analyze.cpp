@@ -75,6 +75,9 @@ void buildDependencyLog(const analysis::TraceFile &Trace,
                         LockDependencyLog &Log) {
   std::unordered_map<uint64_t, TraceThread> Threads;
   std::unordered_map<uint64_t, LockRecord> Locks;
+  // Last notify clock per condvar id: a V event joins it into the waking
+  // thread (the signal→wake happens-before edge of the widened alphabet).
+  std::unordered_map<uint64_t, VectorClock> CondNotify;
 
   size_t EventNo = 0;
   for (const analysis::TraceEvent &E : Trace.Events) {
@@ -110,7 +113,8 @@ void buildDependencyLog(const analysis::TraceFile &Trace,
       vcTick(Parent->second.Record.Clock, Parent->second.Record.Id);
       break;
     }
-    case analysis::TraceEvent::Kind::Acquire: {
+    case analysis::TraceEvent::Kind::Acquire:
+    case analysis::TraceEvent::Kind::SharedAcquire: {
       auto ThreadIt = Threads.find(E.A);
       auto LockIt = Locks.find(E.B);
       if (ThreadIt == Threads.end() || LockIt == Locks.end()) {
@@ -118,13 +122,17 @@ void buildDependencyLog(const analysis::TraceFile &Trace,
                   << ": acquire references unknown thread/lock\n";
         break;
       }
+      LockMode Mode = E.K == analysis::TraceEvent::Kind::SharedAcquire
+                          ? LockMode::Shared
+                          : LockMode::Exclusive;
       TraceThread &T = ThreadIt->second;
       Log.onAcquireExecuted(T.Record, LockIt->second, T.Stack,
-                            Label::intern(E.Text));
-      T.Stack.push_back({LockId(E.B), Label::intern(E.Text)});
+                            Label::intern(E.Text), Mode);
+      T.Stack.push_back({LockId(E.B), Label::intern(E.Text), Mode});
       break;
     }
-    case analysis::TraceEvent::Kind::Release: {
+    case analysis::TraceEvent::Kind::Release:
+    case analysis::TraceEvent::Kind::SharedRelease: {
       auto ThreadIt = Threads.find(E.A);
       if (ThreadIt == Threads.end())
         break;
@@ -137,6 +145,34 @@ void buildDependencyLog(const analysis::TraceFile &Trace,
       }
       break;
     }
+    case analysis::TraceEvent::Kind::CondNotify: {
+      auto ThreadIt = Threads.find(E.A);
+      if (ThreadIt == Threads.end()) {
+        std::cerr << "warning: event " << EventNo
+                  << ": cond-notify references unknown thread\n";
+        break;
+      }
+      TraceThread &T = ThreadIt->second;
+      vcTick(T.Record.Clock, T.Record.Id);
+      CondNotify[E.B] = T.Record.Clock;
+      break;
+    }
+    case analysis::TraceEvent::Kind::CondWake: {
+      auto ThreadIt = Threads.find(E.A);
+      if (ThreadIt == Threads.end()) {
+        std::cerr << "warning: event " << EventNo
+                  << ": cond-wake references unknown thread\n";
+        break;
+      }
+      auto NotifyIt = CondNotify.find(E.B);
+      if (NotifyIt != CondNotify.end())
+        vcJoin(ThreadIt->second.Record.Clock, NotifyIt->second);
+      break;
+    }
+    case analysis::TraceEvent::Kind::TryProbe:
+      // A failed probe never blocks, so it contributes no wait-for edge;
+      // the preload records it for visibility only.
+      break;
     case analysis::TraceEvent::Kind::ObjectNew:
     case analysis::TraceEvent::Kind::Read:
     case analysis::TraceEvent::Kind::Write:

@@ -19,8 +19,15 @@
 // threads, the closest LD_PRELOAD analogue of Algorithm 3's Paused set
 // (pauses expire after DLF_PRELOAD_PAUSE_MS, playing the role of the
 // thrash handler / livelock monitor). Interposed: pthread_mutex_lock /
-// trylock / unlock / destroy, pthread_cond_wait / timedwait, and
-// pthread_create.
+// trylock / unlock / destroy, pthread_rwlock_rdlock / wrlock / tryrdlock /
+// trywrlock / unlock / destroy, pthread_cond_wait / timedwait / signal /
+// broadcast, and pthread_create.
+//
+// The synchronization alphabet is wider than mutexes: rwlock read-side
+// holds carry a shared flag (read-read overlap is not a wait-for edge),
+// condvar signal/broadcast and post-wait wakeups are recorded as N/V
+// happens-before edges, and a failed trylock is a P probe line — the
+// thread asked and bailed out, so it is never treated as blocked.
 //
 // This file is deliberately self-contained (no dependency on libdlf): a
 // preload library must not drag in anything that might initialize before
@@ -40,6 +47,7 @@
 #define _GNU_SOURCE
 #endif
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -65,6 +73,8 @@ using MutexDestroyFn = int (*)(pthread_mutex_t *);
 using CondWaitFn = int (*)(pthread_cond_t *, pthread_mutex_t *);
 using CondTimedwaitFn = int (*)(pthread_cond_t *, pthread_mutex_t *,
                                 const struct timespec *);
+using CondNotifyFn = int (*)(pthread_cond_t *);
+using RwlockOpFn = int (*)(pthread_rwlock_t *);
 using CreateFn = int (*)(pthread_t *, const pthread_attr_t *,
                          void *(*)(void *), void *);
 
@@ -74,6 +84,14 @@ MutexTrylockFn RealTrylock;
 MutexDestroyFn RealDestroy;
 CondWaitFn RealCondWait;
 CondTimedwaitFn RealCondTimedwait;
+CondNotifyFn RealCondSignal;
+CondNotifyFn RealCondBroadcast;
+RwlockOpFn RealRdlock;
+RwlockOpFn RealWrlock;
+RwlockOpFn RealTryRdlock;
+RwlockOpFn RealTryWrlock;
+RwlockOpFn RealRwUnlock;
+RwlockOpFn RealRwDestroy;
 CreateFn RealCreate;
 
 void resolveReals() {
@@ -90,6 +108,22 @@ void resolveReals() {
                                                     "pthread_cond_wait"));
   RealCondTimedwait = reinterpret_cast<CondTimedwaitFn>(
       dlsym(RTLD_NEXT, "pthread_cond_timedwait"));
+  RealCondSignal = reinterpret_cast<CondNotifyFn>(
+      dlsym(RTLD_NEXT, "pthread_cond_signal"));
+  RealCondBroadcast = reinterpret_cast<CondNotifyFn>(
+      dlsym(RTLD_NEXT, "pthread_cond_broadcast"));
+  RealRdlock = reinterpret_cast<RwlockOpFn>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_rdlock"));
+  RealWrlock = reinterpret_cast<RwlockOpFn>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_wrlock"));
+  RealTryRdlock = reinterpret_cast<RwlockOpFn>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_tryrdlock"));
+  RealTryWrlock = reinterpret_cast<RwlockOpFn>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_trywrlock"));
+  RealRwUnlock = reinterpret_cast<RwlockOpFn>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_unlock"));
+  RealRwDestroy = reinterpret_cast<RwlockOpFn>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_destroy"));
   RealCreate = reinterpret_cast<CreateFn>(dlsym(RTLD_NEXT, "pthread_create"));
 }
 
@@ -126,6 +160,9 @@ constexpr unsigned MaxStackDepth = 64;
 struct HeldEntry {
   uint64_t LockId;
   std::string AcqSite;
+  /// True for the read side of a rwlock: a shared hold only conflicts
+  /// with exclusive waiters.
+  bool Shared = false;
 };
 
 struct ThreadSlot {
@@ -136,6 +173,8 @@ struct ThreadSlot {
   /// Lock this thread is blocked on / paused before; 0 when none.
   uint64_t PendingLock = 0;
   std::string PendingSite;
+  /// True when the pending acquire is a rwlock read-side one.
+  bool PendingShared = false;
 };
 
 struct LockInfo {
@@ -143,6 +182,8 @@ struct LockInfo {
   std::string Abs; ///< "<site>#<n>"
   uint64_t OwnerTid = 0;
   unsigned Recursion = 0;
+  /// Read-side holders (rwlocks only; empty for mutexes).
+  std::vector<uint64_t> ReaderTids;
 };
 
 struct CycleComponentSpec {
@@ -168,7 +209,12 @@ struct GlobalState {
   uint64_t NextTid = 1;
   uint64_t NextLockId = 1;
   uint64_t NextObjectId = 1;
+  uint64_t NextCondId = 1;
   std::unordered_map<pthread_mutex_t *, LockInfo> Locks;
+  /// Rwlocks share the id space (NextLockId) and LockInfo shape with
+  /// mutexes; only the keying pointer type differs.
+  std::unordered_map<pthread_rwlock_t *, LockInfo> RwLocks;
+  std::unordered_map<pthread_cond_t *, uint64_t> Conds;
   std::unordered_map<const void *, ObjectInfo> Objects;
   std::vector<ThreadSlot *> Threads;
   std::unordered_map<std::string, uint64_t> SiteCounts;
@@ -241,6 +287,27 @@ LockInfo &lockInfoLocked(pthread_mutex_t *M, const std::string &Site) {
   return NewIt->second;
 }
 
+LockInfo &rwlockInfoLocked(pthread_rwlock_t *RW, const std::string &Site) {
+  auto It = State->RwLocks.find(RW);
+  if (It != State->RwLocks.end())
+    return It->second;
+  LockInfo Info;
+  Info.Id = State->NextLockId++;
+  Info.Abs = bumpSite(*State, Site);
+  auto [NewIt, Inserted] = State->RwLocks.emplace(RW, std::move(Info));
+  if (State->Trace)
+    fprintf(State->Trace, "M %" PRIu64 " %s\n", NewIt->second.Id,
+            NewIt->second.Abs.c_str());
+  return NewIt->second;
+}
+
+uint64_t condIdLocked(pthread_cond_t *C) {
+  auto [It, Inserted] = State->Conds.try_emplace(C, State->NextCondId);
+  if (Inserted)
+    ++State->NextCondId;
+  return It->second;
+}
+
 // -- Cycle matching (Phase II) -------------------------------------------------------
 
 bool matchesComponent(const ThreadSlot &T, const LockInfo &L,
@@ -259,14 +326,22 @@ bool matchesComponent(const ThreadSlot &T, const LockInfo &L,
   return false;
 }
 
+/// Do a wait in \p WantShared mode and a hold in \p HeldShared mode
+/// conflict? Only read-read pairs coexist.
+bool modesConflict(bool WantShared, bool HeldShared) {
+  return !(WantShared && HeldShared);
+}
+
 /// Algorithm 4 over the global registry: looks for a wait-for cycle among
-/// held stacks + pending locks. Caller holds the state lock.
+/// held stacks + pending locks. Caller holds the state lock. Positions
+/// carry the hold/wait mode so a shared hold never blocks a shared wait.
 bool findDeadlockLocked(std::string &Witness) {
   // Build per-thread ordered lock lists: held locks then the pending one.
   struct View {
     const ThreadSlot *T;
     std::vector<uint64_t> Locks;
     std::vector<std::string> Sites;
+    std::vector<bool> Shared;
   };
   std::vector<View> Views;
   for (ThreadSlot *T : State->Threads) {
@@ -277,10 +352,12 @@ bool findDeadlockLocked(std::string &Witness) {
     for (const HeldEntry &H : T->Stack) {
       V.Locks.push_back(H.LockId);
       V.Sites.push_back(H.AcqSite);
+      V.Shared.push_back(H.Shared);
     }
     if (T->PendingLock) {
       V.Locks.push_back(T->PendingLock);
       V.Sites.push_back(T->PendingSite);
+      V.Shared.push_back(T->PendingShared);
     }
     Views.push_back(std::move(V));
   }
@@ -291,6 +368,9 @@ bool findDeadlockLocked(std::string &Witness) {
     std::vector<bool> UsedThread;
     std::vector<uint64_t> UsedLocks;
     uint64_t StartLock = 0;
+    /// Mode the start thread holds StartLock in: the closing wait must
+    /// conflict with it.
+    bool StartHeldShared = false;
     std::vector<std::pair<size_t, size_t>> Path;
 
     explicit Search(const std::vector<View> &Views)
@@ -303,7 +383,7 @@ bool findDeadlockLocked(std::string &Witness) {
       return false;
     }
 
-    bool extend(uint64_t Current) {
+    bool extend(uint64_t Current, bool CurrentWantShared) {
       for (size_t V = 0; V != Views.size(); ++V) {
         if (UsedThread[V])
           continue;
@@ -311,8 +391,14 @@ bool findDeadlockLocked(std::string &Witness) {
         for (size_t From = 0; From != Locks.size(); ++From) {
           if (Locks[From] != Current)
             continue;
+          // The hold must actually block the wait: a shared hold of the
+          // wanted lock is no obstacle to a shared wait.
+          if (!modesConflict(CurrentWantShared, Views[V].Shared[From]))
+            break;
           for (size_t To = From + 1; To != Locks.size(); ++To) {
             if (Locks[To] == StartLock) {
+              if (!modesConflict(Views[V].Shared[To], StartHeldShared))
+                continue;
               Path.push_back({V, To});
               return true;
             }
@@ -321,7 +407,7 @@ bool findDeadlockLocked(std::string &Witness) {
             UsedThread[V] = true;
             UsedLocks.push_back(Locks[To]);
             Path.push_back({V, To});
-            if (extend(Locks[To]))
+            if (extend(Locks[To], Views[V].Shared[To]))
               return true;
             Path.pop_back();
             UsedLocks.pop_back();
@@ -342,13 +428,14 @@ bool findDeadlockLocked(std::string &Witness) {
             UsedLocks.clear();
             Path.clear();
             StartLock = Locks[From];
+            StartHeldShared = Views[V].Shared[From];
             UsedThread[V] = true;
             UsedLocks.push_back(StartLock);
             UsedLocks.push_back(Locks[To]);
             Path.push_back({V, To});
             if (Locks[To] == StartLock)
               continue;
-            if (extend(Locks[To]))
+            if (extend(Locks[To], Views[V].Shared[To]))
               return true;
           }
         }
@@ -473,6 +560,65 @@ __attribute__((destructor)) void dlfPreloadShutdown() {
 
 // -- Event handlers ------------------------------------------------------------------
 
+/// Algorithm 3's pause, shared by the mutex and rwlock acquire paths:
+/// register the wait-for edge, then sleep in slices watching for the cycle
+/// to physically form around us; give up after the budget (thrash /
+/// livelock-monitor analogue).
+void pauseAndWatch(ThreadSlot *T, uint64_t LockId, const std::string &Site,
+                   bool Shared) {
+  if (dlf::telemetry::enabled()) {
+    InternalGuard G;
+    dlf::telemetry::Registry::global()
+        .counter("dlf_preload_pauses_total")
+        .inc();
+  }
+  State->lock();
+  T->PendingLock = LockId;
+  T->PendingSite = Site;
+  T->PendingShared = Shared;
+  std::string Witness;
+  bool Found = findDeadlockLocked(Witness);
+  State->unlock();
+  if (Found)
+    reportDeadlockAndExit(Witness);
+
+  unsigned Waited = 0;
+  const unsigned Slice = 2;
+  while (Waited < State->PauseMs) {
+    sleepMs(Slice);
+    Waited += Slice;
+    State->lock();
+    std::string SliceWitness;
+    bool SliceFound = findDeadlockLocked(SliceWitness);
+    State->unlock();
+    if (SliceFound)
+      reportDeadlockAndExit(SliceWitness);
+  }
+  State->lock();
+  T->PendingLock = 0;
+  T->PendingSite.clear();
+  T->PendingShared = false;
+  State->unlock();
+}
+
+/// Register a blocking wait-for edge and check for a completed deadlock
+/// (the last edge is ours) right before blocking for real.
+void registerBlockedAndCheck(ThreadSlot *T, uint64_t LockId,
+                             const std::string &Site, bool Shared) {
+  std::string Witness;
+  bool Found = false;
+  {
+    State->lock();
+    T->PendingLock = LockId;
+    T->PendingSite = Site;
+    T->PendingShared = Shared;
+    Found = findDeadlockLocked(Witness);
+    State->unlock();
+  }
+  if (Found)
+    reportDeadlockAndExit(Witness);
+}
+
 /// Core acquire protocol shared by lock and cond_wait re-acquire.
 int acquireWithAnalysis(pthread_mutex_t *M, void *CallerAddr) {
   ThreadSlot *T = selfSlot();
@@ -486,9 +632,11 @@ int acquireWithAnalysis(pthread_mutex_t *M, void *CallerAddr) {
 
   bool Reentrant = false;
   bool ShouldPause = false;
+  uint64_t LockId = 0;
   {
     State->lock();
     LockInfo &L = lockInfoLocked(M, Site);
+    LockId = L.Id;
     if (L.OwnerTid == T->Tid) {
       ++L.Recursion;
       Reentrant = true; // invisible to the analysis (footnote 2)
@@ -500,62 +648,18 @@ int acquireWithAnalysis(pthread_mutex_t *M, void *CallerAddr) {
   if (Reentrant)
     return RealLock(M);
 
-  if (ShouldPause) {
-    if (dlf::telemetry::enabled()) {
-      InternalGuard G;
-      dlf::telemetry::Registry::global()
-          .counter("dlf_preload_pauses_total")
-          .inc();
-    }
-    // Algorithm 3's pause: sleep in slices, watching for the cycle to
-    // physically form around us; give up after the budget (thrash /
-    // livelock-monitor analogue).
-    State->lock();
-    T->PendingLock = State->Locks[M].Id;
-    T->PendingSite = Site;
-    std::string Witness;
-    bool Found = findDeadlockLocked(Witness);
-    State->unlock();
-    if (Found)
-      reportDeadlockAndExit(Witness);
-
-    unsigned Waited = 0;
-    const unsigned Slice = 2;
-    while (Waited < State->PauseMs) {
-      sleepMs(Slice);
-      Waited += Slice;
-      State->lock();
-      std::string SliceWitness;
-      bool SliceFound = findDeadlockLocked(SliceWitness);
-      State->unlock();
-      if (SliceFound)
-        reportDeadlockAndExit(SliceWitness);
-    }
-    State->lock();
-    T->PendingLock = 0;
-    T->PendingSite.clear();
-    State->unlock();
-  }
+  if (ShouldPause)
+    pauseAndWatch(T, LockId, Site, /*Shared=*/false);
 
   // Execute the acquire: try fast, else register the wait-for edge, check
   // for a completed deadlock (the last edge is ours), then block for real.
   if (RealTrylock(M) != 0) {
-    std::string Witness;
-    bool Found = false;
-    {
-      State->lock();
-      LockInfo &L = lockInfoLocked(M, Site);
-      T->PendingLock = L.Id;
-      T->PendingSite = Site;
-      Found = findDeadlockLocked(Witness);
-      State->unlock();
-    }
-    if (Found)
-      reportDeadlockAndExit(Witness);
+    registerBlockedAndCheck(T, LockId, Site, /*Shared=*/false);
     int Rc = RealLock(M);
     if (Rc != 0) {
       State->lock();
       T->PendingLock = 0;
+      T->PendingShared = false;
       State->unlock();
       return Rc;
     }
@@ -567,12 +671,110 @@ int acquireWithAnalysis(pthread_mutex_t *M, void *CallerAddr) {
   L.Recursion = 1;
   T->PendingLock = 0;
   T->PendingSite.clear();
+  T->PendingShared = false;
   if (State->Trace)
     fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
             Site.c_str());
   T->Stack.push_back({L.Id, Site});
   State->unlock();
   return 0;
+}
+
+/// Acquire protocol for the rwlock sides: same pause/edge/deadlock-check
+/// shape as the mutex path, with the shared flag threaded through so the
+/// wait-for search applies read-read non-exclusion.
+int rwAcquireWithAnalysis(pthread_rwlock_t *RW, bool Shared,
+                          void *CallerAddr) {
+  ThreadSlot *T = selfSlot();
+  std::string Site = resolveSite(CallerAddr);
+  if (dlf::telemetry::enabled()) {
+    InternalGuard G;
+    dlf::telemetry::Registry::global()
+        .counter("dlf_preload_acquires_total")
+        .inc();
+  }
+
+  bool ShouldPause = false;
+  uint64_t LockId = 0;
+  {
+    State->lock();
+    LockInfo &L = rwlockInfoLocked(RW, Site);
+    LockId = L.Id;
+    if (!State->Cycle.empty())
+      ShouldPause = matchesComponent(*T, L, Site);
+    State->unlock();
+  }
+
+  if (ShouldPause)
+    pauseAndWatch(T, LockId, Site, Shared);
+
+  if ((Shared ? RealTryRdlock(RW) : RealTryWrlock(RW)) != 0) {
+    registerBlockedAndCheck(T, LockId, Site, Shared);
+    int Rc = Shared ? RealRdlock(RW) : RealWrlock(RW);
+    if (Rc != 0) {
+      State->lock();
+      T->PendingLock = 0;
+      T->PendingShared = false;
+      State->unlock();
+      return Rc;
+    }
+  }
+
+  State->lock();
+  LockInfo &L = rwlockInfoLocked(RW, Site);
+  if (Shared)
+    L.ReaderTids.push_back(T->Tid);
+  else {
+    L.OwnerTid = T->Tid;
+    L.Recursion = 1;
+  }
+  T->PendingLock = 0;
+  T->PendingSite.clear();
+  T->PendingShared = false;
+  if (State->Trace)
+    fprintf(State->Trace, "%c %" PRIu64 " %" PRIu64 " %s\n",
+            Shared ? 'Q' : 'A', T->Tid, L.Id, Site.c_str());
+  T->Stack.push_back({L.Id, Site, Shared});
+  State->unlock();
+  return 0;
+}
+
+/// Model-side release for one rwlock side; emits the matching R/U line.
+/// The side is determined from the registry (pthread_rwlock_unlock does
+/// not say which side it releases).
+void rwReleaseWithAnalysis(pthread_rwlock_t *RW) {
+  ThreadSlot *T = selfSlot();
+  State->lock();
+  auto It = State->RwLocks.find(RW);
+  if (It == State->RwLocks.end()) {
+    State->unlock();
+    return; // never observed the acquire (pre-init lock) — pass through
+  }
+  LockInfo &L = It->second;
+  bool Shared;
+  if (L.OwnerTid == T->Tid) {
+    Shared = false;
+    L.OwnerTid = 0;
+    L.Recursion = 0;
+  } else {
+    auto Rd = std::find(L.ReaderTids.begin(), L.ReaderTids.end(), T->Tid);
+    if (Rd == L.ReaderTids.end()) {
+      State->unlock();
+      return;
+    }
+    Shared = true;
+    L.ReaderTids.erase(Rd);
+  }
+  for (size_t I = T->Stack.size(); I-- > 0;) {
+    if (T->Stack[I].LockId == L.Id) {
+      T->Stack.erase(T->Stack.begin() + static_cast<long>(I));
+      break;
+    }
+  }
+  if (State->Trace)
+    fprintf(State->Trace, "%c %" PRIu64 " %" PRIu64 "\n", Shared ? 'U' : 'R',
+            T->Tid, L.Id);
+  State->unlock();
 }
 
 void releaseWithAnalysis(pthread_mutex_t *M, bool &Reentrant) {
@@ -606,6 +808,53 @@ void releaseWithAnalysis(pthread_mutex_t *M, bool &Reentrant) {
   State->unlock();
 }
 
+/// Shared body of the cond-wait wrappers: cond_wait releases and
+/// re-acquires the mutex, so the model releases first, runs the real wait,
+/// then records the wakeup edge and the re-acquire. A timed-out wait
+/// (ETIMEDOUT) still re-acquires the mutex — only the V wakeup edge is
+/// conditional on a zero return. The re-acquire's site is the caller's
+/// real wait site, not a synthetic constant, so Phase II contexts match.
+template <typename RealWaitFn>
+int condWaitWithAnalysis(pthread_cond_t *Cond, pthread_mutex_t *M,
+                         void *CallerAddr, RealWaitFn RealWait) {
+  ThreadSlot *T = selfSlot();
+  std::string Site = resolveSite(CallerAddr);
+  uint64_t CondId;
+  {
+    State->lock();
+    CondId = condIdLocked(Cond);
+    State->unlock();
+  }
+  bool Reentrant = false;
+  releaseWithAnalysis(M, Reentrant);
+  int Rc = RealWait();
+  State->lock();
+  if (State->Trace && Rc == 0)
+    fprintf(State->Trace, "V %" PRIu64 " %" PRIu64 "\n", T->Tid, CondId);
+  if (!Reentrant) {
+    LockInfo &L = lockInfoLocked(M, Site);
+    L.OwnerTid = T->Tid;
+    L.Recursion = 1;
+    if (State->Trace)
+      fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+              Site.c_str());
+    T->Stack.push_back({L.Id, Site});
+  }
+  State->unlock();
+  return Rc;
+}
+
+/// Records the N notify line for signal/broadcast. Written *before* the
+/// real call so a woken waiter's V line can never precede its N source in
+/// the trace.
+void recordNotify(pthread_cond_t *Cond, ThreadSlot *T) {
+  State->lock();
+  uint64_t CondId = condIdLocked(Cond);
+  if (State->Trace)
+    fprintf(State->Trace, "N %" PRIu64 " %" PRIu64 "\n", T->Tid, CondId);
+  State->unlock();
+}
+
 void *threadTrampoline(void *Raw) {
   auto *Arg = static_cast<TrampolineArg *>(Raw);
   ThreadSlot *Slot = Arg->Slot;
@@ -620,6 +869,7 @@ void *threadTrampoline(void *Raw) {
   Slot->Live = false;
   Slot->Stack.clear();
   Slot->PendingLock = 0;
+  Slot->PendingShared = false;
   State->unlock();
   delete Arg;
   return Result;
@@ -678,8 +928,23 @@ int pthread_mutex_trylock(pthread_mutex_t *M) {
   if (!State)
     return RealTrylock(M);
   int Rc = RealTrylock(M);
-  if (Rc != 0 || InInternal || (!State->Trace && State->Cycle.empty()))
+  if (InInternal || (!State->Trace && State->Cycle.empty()))
     return Rc;
+  if (Rc != 0) {
+    // Failed probe: the thread asked and bailed out without blocking — no
+    // wait-for edge, no pending registration, just a P line so offline
+    // passes can see the attempt happened.
+    if (State->Trace) {
+      ThreadSlot *T = selfSlot();
+      std::string Site = resolveSite(__builtin_return_address(0));
+      State->lock();
+      LockInfo &L = lockInfoLocked(M, Site);
+      fprintf(State->Trace, "P %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+              Site.c_str());
+      State->unlock();
+    }
+    return Rc;
+  }
   // Successful trylock: record the acquire (same bookkeeping, no pause).
   ThreadSlot *T = selfSlot();
   std::string Site = resolveSite(__builtin_return_address(0));
@@ -715,37 +980,30 @@ int pthread_mutex_unlock(pthread_mutex_t *M) {
 }
 
 int pthread_mutex_destroy(pthread_mutex_t *M) {
-  if (State && RealDestroy) {
+  if (!RealDestroy) {
+    // Resolve lazily like every other wrapper: destroy can be reached
+    // before our constructor runs (static destructor ordering, early
+    // libc teardown paths), and returning success without destroying the
+    // real mutex would leak its kernel state.
+    RealDestroy = reinterpret_cast<MutexDestroyFn>(
+        dlsym(RTLD_NEXT, "pthread_mutex_destroy"));
+  }
+  if (State) {
     State->lock();
     State->Locks.erase(M);
     State->unlock();
   }
-  return RealDestroy ? RealDestroy(M) : 0;
+  return RealDestroy(M);
 }
 
 int pthread_cond_wait(pthread_cond_t *Cond, pthread_mutex_t *M) {
   if (!RealCondWait)
     RealCondWait = reinterpret_cast<CondWaitFn>(
         dlsym(RTLD_NEXT, "pthread_cond_wait"));
-  if (!State || (!State->Trace && State->Cycle.empty()))
+  if (!State || InInternal || (!State->Trace && State->Cycle.empty()))
     return RealCondWait(Cond, M);
-  // cond_wait releases and re-acquires the mutex: keep our model in sync.
-  bool Reentrant = false;
-  releaseWithAnalysis(M, Reentrant);
-  int Rc = RealCondWait(Cond, M);
-  if (!Reentrant) {
-    ThreadSlot *T = selfSlot();
-    State->lock();
-    LockInfo &L = lockInfoLocked(M, "cond-reacquire");
-    L.OwnerTid = T->Tid;
-    L.Recursion = 1;
-    if (State->Trace)
-      fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " cond-reacquire\n",
-              T->Tid, L.Id);
-    T->Stack.push_back({L.Id, "cond-reacquire"});
-    State->unlock();
-  }
-  return Rc;
+  return condWaitWithAnalysis(Cond, M, __builtin_return_address(0),
+                              [&] { return RealCondWait(Cond, M); });
 }
 
 int pthread_cond_timedwait(pthread_cond_t *Cond, pthread_mutex_t *M,
@@ -753,24 +1011,137 @@ int pthread_cond_timedwait(pthread_cond_t *Cond, pthread_mutex_t *M,
   if (!RealCondTimedwait)
     RealCondTimedwait = reinterpret_cast<CondTimedwaitFn>(
         dlsym(RTLD_NEXT, "pthread_cond_timedwait"));
-  if (!State || (!State->Trace && State->Cycle.empty()))
+  if (!State || InInternal || (!State->Trace && State->Cycle.empty()))
     return RealCondTimedwait(Cond, M, Abstime);
-  bool Reentrant = false;
-  releaseWithAnalysis(M, Reentrant);
-  int Rc = RealCondTimedwait(Cond, M, Abstime);
-  if (!Reentrant) {
-    ThreadSlot *T = selfSlot();
-    State->lock();
-    LockInfo &L = lockInfoLocked(M, "cond-reacquire");
+  return condWaitWithAnalysis(
+      Cond, M, __builtin_return_address(0),
+      [&] { return RealCondTimedwait(Cond, M, Abstime); });
+}
+
+int pthread_cond_signal(pthread_cond_t *Cond) {
+  if (!RealCondSignal)
+    RealCondSignal = reinterpret_cast<CondNotifyFn>(
+        dlsym(RTLD_NEXT, "pthread_cond_signal"));
+  if (State && !InInternal && State->Trace)
+    recordNotify(Cond, selfSlot());
+  return RealCondSignal(Cond);
+}
+
+int pthread_cond_broadcast(pthread_cond_t *Cond) {
+  if (!RealCondBroadcast)
+    RealCondBroadcast = reinterpret_cast<CondNotifyFn>(
+        dlsym(RTLD_NEXT, "pthread_cond_broadcast"));
+  if (State && !InInternal && State->Trace)
+    recordNotify(Cond, selfSlot());
+  return RealCondBroadcast(Cond);
+}
+
+int pthread_rwlock_rdlock(pthread_rwlock_t *RW) {
+  if (!State || !RealRdlock) {
+    if (!RealRdlock)
+      RealRdlock = reinterpret_cast<RwlockOpFn>(
+          dlsym(RTLD_NEXT, "pthread_rwlock_rdlock"));
+    return RealRdlock(RW);
+  }
+  if (InInternal || (!State->Trace && State->Cycle.empty()))
+    return RealRdlock(RW);
+  return rwAcquireWithAnalysis(RW, /*Shared=*/true,
+                               __builtin_return_address(0));
+}
+
+int pthread_rwlock_wrlock(pthread_rwlock_t *RW) {
+  if (!State || !RealWrlock) {
+    if (!RealWrlock)
+      RealWrlock = reinterpret_cast<RwlockOpFn>(
+          dlsym(RTLD_NEXT, "pthread_rwlock_wrlock"));
+    return RealWrlock(RW);
+  }
+  if (InInternal || (!State->Trace && State->Cycle.empty()))
+    return RealWrlock(RW);
+  return rwAcquireWithAnalysis(RW, /*Shared=*/false,
+                               __builtin_return_address(0));
+}
+
+int pthread_rwlock_tryrdlock(pthread_rwlock_t *RW) {
+  if (!RealTryRdlock)
+    RealTryRdlock = reinterpret_cast<RwlockOpFn>(
+        dlsym(RTLD_NEXT, "pthread_rwlock_tryrdlock"));
+  if (!State)
+    return RealTryRdlock(RW);
+  int Rc = RealTryRdlock(RW);
+  if (InInternal || (!State->Trace && State->Cycle.empty()))
+    return Rc;
+  ThreadSlot *T = selfSlot();
+  std::string Site = resolveSite(__builtin_return_address(0));
+  State->lock();
+  LockInfo &L = rwlockInfoLocked(RW, Site);
+  if (Rc != 0) {
+    if (State->Trace)
+      fprintf(State->Trace, "P %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+              Site.c_str());
+  } else {
+    L.ReaderTids.push_back(T->Tid);
+    if (State->Trace)
+      fprintf(State->Trace, "Q %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+              Site.c_str());
+    T->Stack.push_back({L.Id, Site, /*Shared=*/true});
+  }
+  State->unlock();
+  return Rc;
+}
+
+int pthread_rwlock_trywrlock(pthread_rwlock_t *RW) {
+  if (!RealTryWrlock)
+    RealTryWrlock = reinterpret_cast<RwlockOpFn>(
+        dlsym(RTLD_NEXT, "pthread_rwlock_trywrlock"));
+  if (!State)
+    return RealTryWrlock(RW);
+  int Rc = RealTryWrlock(RW);
+  if (InInternal || (!State->Trace && State->Cycle.empty()))
+    return Rc;
+  ThreadSlot *T = selfSlot();
+  std::string Site = resolveSite(__builtin_return_address(0));
+  State->lock();
+  LockInfo &L = rwlockInfoLocked(RW, Site);
+  if (Rc != 0) {
+    if (State->Trace)
+      fprintf(State->Trace, "P %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+              Site.c_str());
+  } else {
     L.OwnerTid = T->Tid;
     L.Recursion = 1;
     if (State->Trace)
-      fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " cond-reacquire\n",
-              T->Tid, L.Id);
-    T->Stack.push_back({L.Id, "cond-reacquire"});
+      fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+              Site.c_str());
+    T->Stack.push_back({L.Id, Site, /*Shared=*/false});
+  }
+  State->unlock();
+  return Rc;
+}
+
+int pthread_rwlock_unlock(pthread_rwlock_t *RW) {
+  if (!State || !RealRwUnlock) {
+    if (!RealRwUnlock)
+      RealRwUnlock = reinterpret_cast<RwlockOpFn>(
+          dlsym(RTLD_NEXT, "pthread_rwlock_unlock"));
+    return RealRwUnlock(RW);
+  }
+  if (InInternal || (!State->Trace && State->Cycle.empty()))
+    return RealRwUnlock(RW);
+  rwReleaseWithAnalysis(RW);
+  return RealRwUnlock(RW);
+}
+
+int pthread_rwlock_destroy(pthread_rwlock_t *RW) {
+  if (!RealRwDestroy)
+    RealRwDestroy = reinterpret_cast<RwlockOpFn>(
+        dlsym(RTLD_NEXT, "pthread_rwlock_destroy"));
+  if (State) {
+    State->lock();
+    State->RwLocks.erase(RW);
     State->unlock();
   }
-  return Rc;
+  return RealRwDestroy(RW);
 }
 
 int pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,

@@ -12,12 +12,30 @@
 ///   # comment
 ///   T <tid> <abs>               thread created; abstraction = <site>#<n>
 ///   M <lid> <abs>               lock first observed; abstraction = <site>#<n>
-///   A <tid> <lid> <acq-site>    acquire executed (0->1 transitions only)
-///   R <tid> <lid>               release (1->0 transitions only)
+///   A <tid> <lid> <acq-site>    exclusive acquire executed (mutex, or the
+///                               write side of a rwlock; 0->1 only)
+///   R <tid> <lid>               exclusive release (1->0 transitions only)
+///   Q <tid> <lid> <acq-site>    shared acquire (rwlock read side)
+///   U <tid> <lid>               shared release (rwlock read side)
+///   P <tid> <lid> <site>        failed trylock probe: the thread asked and
+///                               bailed out without blocking. No wait-for
+///                               edge; recorded so traces show the attempt
+///   N <tid> <cid>               cond signal/broadcast (wakeup-edge source)
+///   V <tid> <cid>               cond waiter woke after a notify
+///                               (wakeup-edge sink; the reacquire of the
+///                               wait mutex is a separate A line)
 ///   F <parent-tid> <child-tid>  pthread_create edge (happens-before)
 ///   O <oid> <abs>               shared object first observed (opt-in)
 ///   L <tid> <oid> <site>        shared-memory read (opt-in)
 ///   S <tid> <oid> <site>        shared-memory write (opt-in)
+///
+/// Q/U widen the alphabet for pthread_rwlock_*: the analyzer rebuilds held
+/// sets with per-lock modes so read-read overlap is not treated as
+/// exclusion, while any pair involving the write side still conflicts.
+/// N/V carry the condvar wakeup edges into happens-before: V joins the
+/// waiter's clock with the clock of the last N on the same condvar.
+/// Mutex-only programs emit none of these lines, so their traces — and the
+/// analyzer's stdout over them — are byte-identical to the narrow format.
 ///
 /// F edges are written whenever tracing is on; they carry the fork-order
 /// part of happens-before that both the cycle pruner and the race detector

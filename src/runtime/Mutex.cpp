@@ -78,7 +78,8 @@ void Mutex::lock(Label Site) {
     if (RT->options().HappensBefore != HbMode::Off)
       vcTick(Self->Clock, Self->Id);
     if (DependencyRecorder *Recorder = RT->recorder())
-      Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site);
+      Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site,
+                                  LockMode::Exclusive);
     RT->noteRecordedAcquire();
     Self->LockStack.push_back({Rec->Id, Site});
     Rec->Owner = Self->Id;
@@ -129,7 +130,8 @@ bool Mutex::tryLock(Label Site) {
     if (RT->options().HappensBefore != HbMode::Off)
       vcTick(Self->Clock, Self->Id);
     if (DependencyRecorder *Recorder = RT->recorder())
-      Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site);
+      Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site,
+                                  LockMode::Exclusive);
     RT->noteRecordedAcquire();
     Self->LockStack.push_back({Rec->Id, Site});
     Rec->Owner = Self->Id;

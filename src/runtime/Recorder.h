@@ -34,12 +34,14 @@ public:
   /// A lock was created.
   virtual void onLockCreated(const LockRecord &L) {}
 
-  /// Thread \p T executed `Site : Acquire(L)` while holding \p HeldBefore
-  /// (its lock stack before the push). This is the paper's
-  /// "add (t, LockSet[t], l, Context[t]) to D" step.
+  /// Thread \p T executed `Site : Acquire(L)` in \p Mode while holding
+  /// \p HeldBefore (its lock stack before the push; entries carry their own
+  /// modes). This is the paper's "add (t, LockSet[t], l, Context[t]) to D"
+  /// step, widened with acquisition modes so the closure can apply read-read
+  /// non-exclusion.
   virtual void onAcquireExecuted(const ThreadRecord &T, const LockRecord &L,
                                  const std::vector<LockStackEntry> &HeldBefore,
-                                 Label Site) {}
+                                 Label Site, LockMode Mode) {}
 };
 
 } // namespace dlf

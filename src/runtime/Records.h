@@ -37,6 +37,10 @@ namespace dlf {
 struct LockStackEntry {
   LockId Lock;
   Label Site;
+  /// Exclusive for mutexes and rwlock write sides, Shared for read sides.
+  /// Not part of identity: a stack never holds the same lock at the same
+  /// site in two modes, and release matches on (Lock, Site) alone.
+  LockMode Mode = LockMode::Exclusive;
 
   friend bool operator==(const LockStackEntry &A, const LockStackEntry &B) {
     return A.Lock == B.Lock && A.Site == B.Site;
@@ -69,10 +73,14 @@ struct PendingOp {
   uint64_t Cond = 0;
   /// Notify-all flag for Kind::Notify.
   bool NotifyAll = false;
+  /// Acquire mode for AcquireAttempt/CompleteAcquire (condvar reacquires
+  /// are always Exclusive — a condvar is bound to a mutex).
+  LockMode Mode = LockMode::Exclusive;
 
   static PendingOp threadStart() { return {Kind::ThreadStart, {}, {}, {}}; }
-  static PendingOp acquireAttempt(LockId L, Label Site) {
-    return {Kind::AcquireAttempt, L, Site, {}};
+  static PendingOp acquireAttempt(LockId L, Label Site,
+                                  LockMode M = LockMode::Exclusive) {
+    return {Kind::AcquireAttempt, L, Site, {}, 0, false, M};
   }
   static PendingOp release(LockId L, Label Site) {
     return {Kind::Release, L, Site, {}};
@@ -182,8 +190,19 @@ struct LockRecord {
   /// are Acquire events and only 1->0 transitions are Release events.
   uint32_t Recursion = 0;
 
+  /// Threads currently holding this lock in Shared mode (rwlock read side;
+  /// always empty for plain mutexes, which is what keeps mutex-only runs
+  /// byte-identical to the pre-rwlock model). Exclusive ownership and
+  /// shared ownership are mutually exclusive.
+  std::vector<ThreadId> Readers;
+
   /// Timestamp of the last release (FullSync happens-before mode only).
   VectorClock Clock;
+
+  /// Join of the read-side release timestamps since the last write-side
+  /// acquire (FullSync only): a write acquire orders after every reader
+  /// that released, but a read acquire orders only after the last writer.
+  VectorClock ReadersClock;
 };
 
 } // namespace dlf

@@ -83,6 +83,9 @@ struct ExecutionResult {
   uint64_t Steps = 0;
   /// Acquire events executed (0->1 transitions only).
   uint64_t AcquireEvents = 0;
+  /// Failed tryLock probes: the thread observed the lock busy and bailed
+  /// out without ever blocking (never a wait-for edge, never paused).
+  uint64_t TryProbes = 0;
   /// Wall-clock duration of the execution in milliseconds.
   double WallMs = 0.0;
 };

@@ -1,0 +1,191 @@
+//===- runtime/RwLock.cpp - Instrumented reader-writer lock ----------------===//
+
+#include "runtime/RwLock.h"
+
+#include "runtime/Recorder.h"
+#include "runtime/Records.h"
+#include "runtime/Runtime.h"
+#include "runtime/Scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dlf;
+
+RwLock::RwLock(const std::string &Name, Label Site, const void *Parent) {
+  Runtime *Current = Runtime::current();
+  if (!Current || Current->mode() == RunMode::Passthrough)
+    return;
+  RT = Current;
+  if (!Site.isValid())
+    Site = Label::intern("rwlock:" + Name);
+  Rec = &RT->createLockRecord(Name, this, Parent, Site);
+}
+
+RwLock::~RwLock() {
+  if (RT && RT == Runtime::current())
+    RT->objectDestroyed(this);
+}
+
+void RwLock::lock(Label Site) { acquire(Site, /*Shared=*/false); }
+void RwLock::lockShared(Label Site) { acquire(Site, /*Shared=*/true); }
+bool RwLock::tryLock(Label Site) { return tryAcquire(Site, /*Shared=*/false); }
+bool RwLock::tryLockShared(Label Site) {
+  return tryAcquire(Site, /*Shared=*/true);
+}
+void RwLock::unlock() { releaseSide(/*Shared=*/false); }
+void RwLock::unlockShared() { releaseSide(/*Shared=*/true); }
+
+void RwLock::acquire(Label Site, bool Shared) {
+  if (!RT || !Rec) {
+    if (Shared)
+      Real.lock_shared();
+    else
+      Real.lock();
+    return;
+  }
+
+  assert(RT == Runtime::current() &&
+         "rwlock bound to a different runtime than the one running");
+  LockMode Mode = Shared ? LockMode::Shared : LockMode::Exclusive;
+
+  if (RT->mode() == RunMode::Active) {
+    ThreadRecord *Self = RT->selfRecord();
+    Scheduler *Sched = RT->scheduler();
+    assert(Self && Sched && "unmanaged thread touched an active-mode rwlock");
+    Sched->acquire(*Self, *Rec, Site, Mode);
+    return;
+  }
+
+  // Record mode: real blocking first, then the event under the record
+  // mutex so the dependency relation sees a consistent LockSet.
+  assert(RT->mode() == RunMode::Record && "unexpected runtime mode");
+  ThreadRecord *Self = RT->selfRecord();
+  assert(Self && "unmanaged thread touched a record-mode rwlock");
+  if (Shared)
+    Real.lock_shared();
+  else
+    Real.lock();
+  {
+    std::lock_guard<std::mutex> Guard(RT->recordMu());
+    if (RT->options().HappensBefore == HbMode::FullSync) {
+      vcJoin(Self->Clock, Rec->Clock);
+      if (!Shared)
+        vcJoin(Self->Clock, Rec->ReadersClock);
+    }
+    if (RT->options().HappensBefore != HbMode::Off)
+      vcTick(Self->Clock, Self->Id);
+    if (DependencyRecorder *Recorder = RT->recorder())
+      Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site, Mode);
+    RT->noteRecordedAcquire();
+    Self->LockStack.push_back({Rec->Id, Site, Mode});
+    if (Shared) {
+      Rec->Readers.push_back(Self->Id);
+    } else {
+      Rec->Owner = Self->Id;
+      Rec->Recursion = 1;
+      Rec->ReadersClock = VectorClock();
+    }
+  }
+}
+
+bool RwLock::tryAcquire(Label Site, bool Shared) {
+  if (!RT || !Rec)
+    return Shared ? Real.try_lock_shared() : Real.try_lock();
+
+  assert(RT == Runtime::current() &&
+         "rwlock bound to a different runtime than the one running");
+  LockMode Mode = Shared ? LockMode::Shared : LockMode::Exclusive;
+
+  if (RT->mode() == RunMode::Active) {
+    ThreadRecord *Self = RT->selfRecord();
+    Scheduler *Sched = RT->scheduler();
+    assert(Self && Sched && "unmanaged thread touched an active-mode rwlock");
+    return Sched->tryAcquire(*Self, *Rec, Site, Mode);
+  }
+
+  assert(RT->mode() == RunMode::Record && "unexpected runtime mode");
+  if (!(Shared ? Real.try_lock_shared() : Real.try_lock()))
+    return false;
+  ThreadRecord *Self = RT->selfRecord();
+  assert(Self && "unmanaged thread touched a record-mode rwlock");
+  {
+    std::lock_guard<std::mutex> Guard(RT->recordMu());
+    if (RT->options().HappensBefore == HbMode::FullSync) {
+      vcJoin(Self->Clock, Rec->Clock);
+      if (!Shared)
+        vcJoin(Self->Clock, Rec->ReadersClock);
+    }
+    if (RT->options().HappensBefore != HbMode::Off)
+      vcTick(Self->Clock, Self->Id);
+    if (DependencyRecorder *Recorder = RT->recorder())
+      Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site, Mode);
+    RT->noteRecordedAcquire();
+    Self->LockStack.push_back({Rec->Id, Site, Mode});
+    if (Shared) {
+      Rec->Readers.push_back(Self->Id);
+    } else {
+      Rec->Owner = Self->Id;
+      Rec->Recursion = 1;
+      Rec->ReadersClock = VectorClock();
+    }
+  }
+  return true;
+}
+
+void RwLock::releaseSide(bool Shared) {
+  if (!RT || !Rec) {
+    if (Shared)
+      Real.unlock_shared();
+    else
+      Real.unlock();
+    return;
+  }
+
+  assert(RT == Runtime::current() &&
+         "rwlock bound to a different runtime than the one running");
+
+  if (RT->mode() == RunMode::Active) {
+    ThreadRecord *Self = RT->selfRecord();
+    Scheduler *Sched = RT->scheduler();
+    assert(Self && Sched && "active-mode unlock off a managed thread");
+    // The scheduler pops the stack entry, whose mode is the released side.
+    Sched->release(*Self, *Rec, Label());
+    return;
+  }
+
+  assert(RT->mode() == RunMode::Record && "unexpected runtime mode");
+  ThreadRecord *Self = RT->selfRecord();
+  assert(Self && "unmanaged thread touched a record-mode rwlock");
+  {
+    std::lock_guard<std::mutex> Guard(RT->recordMu());
+    for (size_t I = Self->LockStack.size(); I-- > 0;) {
+      if (Self->LockStack[I].Lock == Rec->Id) {
+        assert((Self->LockStack[I].Mode == LockMode::Shared) == Shared &&
+               "rwlock released on the wrong side");
+        Self->LockStack.erase(Self->LockStack.begin() + static_cast<long>(I));
+        break;
+      }
+    }
+    if (Shared) {
+      Rec->Readers.erase(
+          std::remove(Rec->Readers.begin(), Rec->Readers.end(), Self->Id),
+          Rec->Readers.end());
+      if (RT->options().HappensBefore == HbMode::FullSync) {
+        vcTick(Self->Clock, Self->Id);
+        vcJoin(Rec->ReadersClock, Self->Clock);
+      }
+    } else {
+      Rec->Owner = ThreadId();
+      Rec->Recursion = 0;
+      if (RT->options().HappensBefore == HbMode::FullSync) {
+        vcTick(Self->Clock, Self->Id);
+        Rec->Clock = Self->Clock;
+      }
+    }
+  }
+  if (Shared)
+    Real.unlock_shared();
+  else
+    Real.unlock();
+}

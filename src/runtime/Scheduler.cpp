@@ -81,6 +81,8 @@ void Scheduler::threadBodyEnd(ThreadRecord &Self) {
       L.Owner = ThreadId();
       L.Recursion = 0;
     }
+    L.Readers.erase(std::remove(L.Readers.begin(), L.Readers.end(), Self.Id),
+                    L.Readers.end());
   }
   Self.LockStack.clear();
 
@@ -106,20 +108,43 @@ void Scheduler::mainThreadDone(ThreadRecord &Main) {
   // scheduling point); OS-level joins happen in dlf::Thread.
 }
 
-void Scheduler::acquire(ThreadRecord &Self, LockRecord &L, Label Site) {
+bool Scheduler::lockAvailable(const LockRecord &L, LockMode Mode) {
+  if (L.Owner.isValid())
+    return false;
+  return Mode == LockMode::Shared || L.Readers.empty();
+}
+
+namespace {
+[[maybe_unused]] bool holdsShared(const LockRecord &L, ThreadId T) {
+  return std::find(L.Readers.begin(), L.Readers.end(), T) != L.Readers.end();
+}
+} // namespace
+
+void Scheduler::acquire(ThreadRecord &Self, LockRecord &L, Label Site,
+                        LockMode Mode) {
   {
     std::lock_guard<std::mutex> Guard(Mu);
     if (AbortFlag)
       throw ExecutionAborted();
     assert(RunningId == Self.Id && "acquire outside of the thread's turn");
     // Re-entrant acquires are invisible to the analysis (footnote 2).
-    if (L.Owner == Self.Id) {
+    // Only the exclusive side is re-entrant; recursive read acquires and
+    // upgrades/downgrades are out of the model (pthread rwlocks make the
+    // upgrade a real single-lock deadlock, which Algorithm 4's
+    // distinct-locks cycles cannot represent).
+    if (Mode == LockMode::Exclusive && L.Owner == Self.Id) {
       ++L.Recursion;
       return;
     }
+    assert(!holdsShared(L, Self.Id) &&
+           "recursive or upgrading rwlock acquire is unsupported");
+    assert(!(Mode == LockMode::Shared && L.Owner == Self.Id) &&
+           "rwlock downgrade (read acquire while write-held) is unsupported");
   }
-  announceAndWait(Self, PendingOp::acquireAttempt(L.Id, Site));
-  assert(L.Owner == Self.Id && "acquire returned without ownership");
+  announceAndWait(Self, PendingOp::acquireAttempt(L.Id, Site, Mode));
+  assert((Mode == LockMode::Shared ? holdsShared(L, Self.Id)
+                                   : L.Owner == Self.Id) &&
+         "acquire returned without ownership");
 }
 
 void Scheduler::release(ThreadRecord &Self, LockRecord &L, Label Site) {
@@ -128,8 +153,9 @@ void Scheduler::release(ThreadRecord &Self, LockRecord &L, Label Site) {
     if (AbortFlag)
       return; // silent: called from RAII guards during unwinding
     assert(RunningId == Self.Id && "release outside of the thread's turn");
-    assert(L.Owner == Self.Id && "releasing a lock we do not own");
-    if (L.Recursion > 1) {
+    assert((L.Owner == Self.Id || holdsShared(L, Self.Id)) &&
+           "releasing a lock we do not own");
+    if (L.Owner == Self.Id && L.Recursion > 1) {
       --L.Recursion;
       return;
     }
@@ -138,28 +164,44 @@ void Scheduler::release(ThreadRecord &Self, LockRecord &L, Label Site) {
                   /*NoThrowOnAbort=*/true);
 }
 
-bool Scheduler::tryAcquire(ThreadRecord &Self, LockRecord &L, Label Site) {
+bool Scheduler::tryAcquire(ThreadRecord &Self, LockRecord &L, Label Site,
+                           LockMode Mode) {
   std::lock_guard<std::mutex> Guard(Mu);
   if (AbortFlag)
     throw ExecutionAborted();
   assert(RunningId == Self.Id && "tryAcquire outside of the thread's turn");
-  if (L.Owner == Self.Id) {
+  if (Mode == LockMode::Exclusive && L.Owner == Self.Id) {
     ++L.Recursion;
     return true;
   }
-  if (L.Owner.isValid())
+  assert(!holdsShared(L, Self.Id) &&
+         "recursive or upgrading rwlock tryAcquire is unsupported");
+  if (!lockAvailable(L, Mode)) {
+    // A failed probe: the thread observed the lock busy and bails out. It
+    // never blocks, so it must never appear as a wait-for edge or be
+    // paused; the probe is only counted.
+    ++Result.TryProbes;
     return false;
+  }
   // A successful tryLock is an Acquire event like any other.
-  if (Opts.HappensBefore == HbMode::FullSync)
+  if (Opts.HappensBefore == HbMode::FullSync) {
     vcJoin(Self.Clock, L.Clock);
+    if (Mode == LockMode::Exclusive)
+      vcJoin(Self.Clock, L.ReadersClock); // every read release precedes us
+  }
   if (Opts.HappensBefore != HbMode::Off)
     vcTick(Self.Clock, Self.Id);
   if (Recorder)
-    Recorder->onAcquireExecuted(Self, L, Self.LockStack, Site);
+    Recorder->onAcquireExecuted(Self, L, Self.LockStack, Site, Mode);
   ++Result.AcquireEvents;
-  Self.LockStack.push_back({L.Id, Site});
-  L.Owner = Self.Id;
-  L.Recursion = 1;
+  Self.LockStack.push_back({L.Id, Site, Mode});
+  if (Mode == LockMode::Shared) {
+    L.Readers.push_back(Self.Id);
+  } else {
+    L.Owner = Self.Id;
+    L.Recursion = 1;
+    L.ReadersClock = VectorClock();
+  }
   return true;
 }
 
@@ -233,8 +275,9 @@ bool Scheduler::isSchedulable(const ThreadRecord &T) const {
   case PendingOp::Kind::CompleteAcquire:
   case PendingOp::Kind::ReacquireAfterWait:
     // Disabled while "waiting to acquire a lock already held by some other
-    // thread" (paper §2.1).
-    return !RT.lockById(T.Pending.Lock).Owner.isValid();
+    // thread" (paper §2.1) — in a conflicting mode: a paused or blocked
+    // reader is enabled while only other readers hold the lock.
+    return lockAvailable(RT.lockById(T.Pending.Lock), T.Pending.Mode);
   case PendingOp::Kind::Join:
     return RT.threadById(T.Pending.JoinTarget).State == ThreadState::Finished;
   case PendingOp::Kind::ThreadStart:
@@ -323,6 +366,17 @@ Scheduler::checkRealDeadlock(const ThreadRecord *For,
     if (&T != For && T.Paused && T.HasPausedPending) {
       PausedStacks.push_back(*Stack);
       PausedStacks.back().push_back(T.PausedPending);
+      Stack = &PausedStacks.back();
+    } else if (&T != For &&
+               T.Pending.K == PendingOp::Kind::ReacquireAfterWait) {
+      // A notified waiter is committed to re-acquiring the condvar's lock,
+      // but that lock was popped from its stack when the wait released it —
+      // extend the view so the reacquire is a visible wait-for edge. (A
+      // still-parked CondBlocked thread gets no edge: it waits for a
+      // notify, not for the lock.)
+      PausedStacks.push_back(*Stack);
+      PausedStacks.back().push_back(
+          {T.Pending.Lock, T.Pending.Site, LockMode::Exclusive});
       Stack = &PausedStacks.back();
     }
     if (Stack->empty())
@@ -503,9 +557,15 @@ bool Scheduler::commitOp(ThreadRecord &T) {
   case PendingOp::Kind::CompleteAcquire: {
     ++Result.Steps;
     LockRecord &L = RT.lockById(T.Pending.Lock);
-    assert(!L.Owner.isValid() && "completing acquire of a held lock");
-    L.Owner = T.Id;
-    L.Recursion = 1;
+    assert(lockAvailable(L, T.Pending.Mode) &&
+           "completing acquire of an unavailable lock");
+    if (T.Pending.Mode == LockMode::Shared) {
+      L.Readers.push_back(T.Id);
+    } else {
+      L.Owner = T.Id;
+      L.Recursion = 1;
+      L.ReadersClock = VectorClock();
+    }
     giveToken(T);
     return true;
   }
@@ -513,20 +573,36 @@ bool Scheduler::commitOp(ThreadRecord &T) {
   case PendingOp::Kind::Release: {
     ++Result.Steps;
     LockRecord &L = RT.lockById(T.Pending.Lock);
-    assert(L.Owner == T.Id && "releasing an unowned lock");
+    assert((L.Owner == T.Id || holdsShared(L, T.Id)) &&
+           "releasing an unowned lock");
     // Pop the topmost matching entry; supports non-nested release orders
-    // (the paper's "can easily be extended" case).
+    // (the paper's "can easily be extended" case). The entry's mode tells
+    // us which side of a rwlock is being released.
+    LockMode Mode = LockMode::Exclusive;
     for (size_t I = T.LockStack.size(); I-- > 0;) {
       if (T.LockStack[I].Lock == L.Id) {
+        Mode = T.LockStack[I].Mode;
         T.LockStack.erase(T.LockStack.begin() + static_cast<long>(I));
         break;
       }
     }
-    L.Owner = ThreadId();
-    L.Recursion = 0;
-    if (Opts.HappensBefore == HbMode::FullSync) {
-      vcTick(T.Clock, T.Id);
-      L.Clock = T.Clock;
+    if (Mode == LockMode::Shared) {
+      L.Readers.erase(std::remove(L.Readers.begin(), L.Readers.end(), T.Id),
+                      L.Readers.end());
+      if (Opts.HappensBefore == HbMode::FullSync) {
+        // Read releases accumulate: the next *write* acquire orders after
+        // every reader, but the next read acquire only after the last
+        // writer (readers do not order among themselves).
+        vcTick(T.Clock, T.Id);
+        vcJoin(L.ReadersClock, T.Clock);
+      }
+    } else {
+      L.Owner = ThreadId();
+      L.Recursion = 0;
+      if (Opts.HappensBefore == HbMode::FullSync) {
+        vcTick(T.Clock, T.Id);
+        L.Clock = T.Clock;
+      }
     }
     // A release can clear avoidance conflicts: let deferred threads retry.
     for (ThreadRecord &U : RT.threadRecords())
@@ -575,6 +651,33 @@ bool Scheduler::commitOp(ThreadRecord &T) {
     ++Result.Steps;
     LockRecord &L = RT.lockById(T.Pending.Lock);
     assert(!L.Owner.isValid() && "reacquire of a held lock");
+    // The reacquire is pausable just like a plain acquire: a cycle whose
+    // wait-for edge exists only through the wakeup path (waiter holds a
+    // lock across wait, another thread takes the wait mutex and then wants
+    // the held lock) is reproducible only if the scheduler can hold the
+    // notified waiter right before it re-enters the lock.
+    if (!T.ForceExecute) {
+      std::vector<LockStackEntry> Tentative = T.LockStack;
+      Tentative.push_back({L.Id, T.Pending.Site, LockMode::Exclusive});
+      if (Strat.shouldPause(T, L, Tentative)) {
+        T.Paused = true;
+        ++T.TimesPaused;
+        ++Result.Pauses;
+        T.PausedSinceStep = Result.Steps;
+        T.PausedSinceWall = std::chrono::steady_clock::now();
+        T.HasPausedPending = true;
+        T.PausedPending = Tentative.back();
+        {
+          telemetry::Timeline &TL = telemetry::Timeline::global();
+          if (TL.enabled())
+            TL.instant("pause:" + L.Name, timelineTid(T));
+        }
+        DLF_DEBUG_LOG("paused " << T.Name << " before reacquiring " << L.Name
+                                << " after wait");
+        return false;
+      }
+    }
+    T.ForceExecute = false;
     // The re-acquisition is an Acquire event (the wait's monitorexit /
     // monitorenter pair in the Java model).
     if (Opts.HappensBefore == HbMode::FullSync)
@@ -582,9 +685,10 @@ bool Scheduler::commitOp(ThreadRecord &T) {
     if (Opts.HappensBefore != HbMode::Off)
       vcTick(T.Clock, T.Id);
     if (Recorder)
-      Recorder->onAcquireExecuted(T, L, T.LockStack, T.Pending.Site);
+      Recorder->onAcquireExecuted(T, L, T.LockStack, T.Pending.Site,
+                                  LockMode::Exclusive);
     ++Result.AcquireEvents;
-    T.LockStack.push_back({L.Id, T.Pending.Site});
+    T.LockStack.push_back({L.Id, T.Pending.Site, LockMode::Exclusive});
     L.Owner = T.Id;
     L.Recursion = 1;
     giveToken(T);
@@ -597,11 +701,18 @@ bool Scheduler::commitOp(ThreadRecord &T) {
     size_t WakeCount = T.Pending.NotifyAll ? CV.Waiting.size()
                                            : std::min<size_t>(
                                                  1, CV.Waiting.size());
+    // The wakeup is a synchronization edge: everything the notifier did
+    // before signal() happens-before everything the waiter does after its
+    // wait() returns (FullSync only — ForkJoin stays fork/join-edged).
+    if (Opts.HappensBefore == HbMode::FullSync && WakeCount)
+      vcTick(T.Clock, T.Id);
     for (size_t I = 0; I != WakeCount; ++I) {
       ThreadRecord &Waiter = RT.threadById(CV.Waiting[I]);
       assert(Waiter.Pending.K == PendingOp::Kind::CondBlocked &&
              "waiter not parked");
       Waiter.Pending.K = PendingOp::Kind::ReacquireAfterWait;
+      if (Opts.HappensBefore == HbMode::FullSync)
+        vcJoin(Waiter.Clock, T.Clock);
     }
     CV.Waiting.erase(CV.Waiting.begin(),
                      CV.Waiting.begin() + static_cast<long>(WakeCount));
@@ -627,10 +738,11 @@ bool Scheduler::commitAcquireAttempt(ThreadRecord &T) {
   }
   LockRecord &L = RT.lockById(T.Pending.Lock);
   Label Site = T.Pending.Site;
+  LockMode Mode = T.Pending.Mode;
 
   // Algorithm 3 lines 9-11: push (tentatively), then checkRealDeadlock.
   std::vector<LockStackEntry> Tentative = T.LockStack;
-  Tentative.push_back({L.Id, Site});
+  Tentative.push_back({L.Id, Site, Mode});
   if (Strat.wantsDeadlockCheck()) {
     if (auto Witness = checkRealDeadlock(&T, &Tentative)) {
       Result.DeadlockFound = true;
@@ -691,25 +803,35 @@ bool Scheduler::commitAcquireAttempt(ThreadRecord &T) {
   T.ForceExecute = false;
 
   // Execute the acquire: this is the event Phase I records (Definition 1).
-  if (Opts.HappensBefore == HbMode::FullSync)
+  if (Opts.HappensBefore == HbMode::FullSync) {
     vcJoin(T.Clock, L.Clock); // release -> acquire edge
+    if (Mode == LockMode::Exclusive)
+      vcJoin(T.Clock, L.ReadersClock); // every read release precedes a write
+  }
   if (Opts.HappensBefore != HbMode::Off)
     vcTick(T.Clock, T.Id);
   if (Recorder)
-    Recorder->onAcquireExecuted(T, L, T.LockStack, Site);
+    Recorder->onAcquireExecuted(T, L, T.LockStack, Site, Mode);
   ++Result.AcquireEvents;
-  T.LockStack.push_back({L.Id, Site});
+  T.LockStack.push_back({L.Id, Site, Mode});
 
-  if (!L.Owner.isValid()) {
-    L.Owner = T.Id;
-    L.Recursion = 1;
+  if (lockAvailable(L, Mode)) {
+    if (Mode == LockMode::Shared) {
+      L.Readers.push_back(T.Id);
+    } else {
+      L.Owner = T.Id;
+      L.Recursion = 1;
+      L.ReadersClock = VectorClock();
+    }
     giveToken(T);
     return true;
   }
-  // The lock is held: the thread is now disabled until the owner releases.
-  // Its pending lock stays in the stack, which is what lets Algorithm 4 see
-  // the wait-for edge.
+  // The lock is unavailable: the thread is now disabled until the
+  // conflicting holders release. Its pending lock stays in the stack, which
+  // is what lets Algorithm 4 see the wait-for edge.
   T.State = ThreadState::Blocked;
-  T.Pending = PendingOp{PendingOp::Kind::CompleteAcquire, L.Id, Site, {}};
+  T.Pending =
+      PendingOp{PendingOp::Kind::CompleteAcquire, L.Id, Site, {}, 0, false,
+                Mode};
   return false;
 }

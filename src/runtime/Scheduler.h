@@ -80,19 +80,26 @@ public:
 
   /// Full acquire protocol for `Site : Acquire(L)` by \p Self, including
   /// the re-entrancy fast path (footnote 2), announcing, pausing, blocking
-  /// and completion. Returns once Self owns L.
-  void acquire(ThreadRecord &Self, LockRecord &L, Label Site);
+  /// and completion. Returns once Self owns L. \p Mode distinguishes the
+  /// rwlock read side (Shared acquires of the same lock coexist; an
+  /// Exclusive acquire is disabled until every reader releases).
+  void acquire(ThreadRecord &Self, LockRecord &L, Label Site,
+               LockMode Mode = LockMode::Exclusive);
 
   /// Release protocol; the matching stack entry is popped and waiters
   /// become schedulable. Non-throwing during abort (so RAII guards can
-  /// unwind safely).
+  /// unwind safely). The released mode is taken from the stack entry, so
+  /// read and write releases need no separate entry point.
   void release(ThreadRecord &Self, LockRecord &L, Label Site);
 
-  /// Non-blocking acquire: takes \p L if it is free (recording the
-  /// dependency event) and returns true; returns false when held by
-  /// another thread. Not a scheduling point — the paper's model has no
-  /// tryLock, so this is a conservative extension.
-  bool tryAcquire(ThreadRecord &Self, LockRecord &L, Label Site);
+  /// Non-blocking acquire: takes \p L if it is available in \p Mode
+  /// (recording the dependency event) and returns true; returns false when
+  /// the probe fails (counted in ExecutionResult::TryProbes — a failed
+  /// probe is never a wait-for edge and never pauses the thread). Not a
+  /// scheduling point — the paper's model has no tryLock, so this is a
+  /// conservative extension.
+  bool tryAcquire(ThreadRecord &Self, LockRecord &L, Label Site,
+                  LockMode Mode = LockMode::Exclusive);
 
   /// Managed join: Self is disabled until \p Target finishes.
   void join(ThreadRecord &Self, ThreadRecord &Target);
@@ -142,9 +149,15 @@ private:
   bool commitAcquireAttempt(ThreadRecord &T);
 
   /// True when \p T can be committed right now: announced and, for blocked
-  /// operations, the resource condition holds (lock free / target
-  /// finished).
+  /// operations, the resource condition holds (lock available in the
+  /// pending mode / target finished).
   bool isSchedulable(const ThreadRecord &T) const;
+
+  /// Active-mode lock availability: a Shared acquire only needs no
+  /// exclusive owner (readers coexist); an Exclusive acquire additionally
+  /// needs an empty reader set. Plain mutexes never have readers, so this
+  /// degrades to the old "no owner" test.
+  static bool lockAvailable(const LockRecord &L, LockMode Mode);
 
   /// Removes long-paused threads from the Paused set (the livelock
   /// monitor).

@@ -25,6 +25,13 @@ const std::vector<BenchmarkInfo> &dlf::allBenchmarks() {
     List.push_back({"guarded",
                     "gate-protected ABBA (guarded cycle, deadlock-free)",
                     workloads::runGuarded, 0, true, 0});
+    List.push_back({"rwlock-abba",
+                    "reader-held ABBA via rwlock write sides (1 cycle)",
+                    workloads::runRwlockAbba, 1, false, 1});
+    List.push_back({"condvar-hybrid",
+                    "lost-wakeup + lock-order hybrid via cond-wait "
+                    "reacquire (1 cycle)",
+                    workloads::runCondvarHybrid, 1, false, 1});
     List.push_back({"jigsaw", "mini web server (many cycles, some false)",
                     jigsaw::runJigsawHarness, -1, false, -1});
     List.push_back({"logging", "java.util.logging analogue (3 cycles)",

@@ -21,12 +21,31 @@
 
 #include "runtime/Runtime.h"
 
+#include <chrono>
+#include <thread>
+
 namespace dlf {
 
 /// Executes \p Points scheduling points of benign work.
 inline void stagger(unsigned Points) {
   for (unsigned I = 0; I != Points; ++I)
     yieldNow();
+}
+
+/// stagger() for hazard windows that are entered at OS latency rather than
+/// at scheduling points. Under the Active scheduler this is exactly
+/// stagger(\p Points) — yields are real scheduling points there, and wall
+/// time must not influence the (deterministic) schedule. In any other mode
+/// a yield returns in nanoseconds while e.g. waking a cond waiter takes
+/// microseconds, so yields alone cannot keep a wakeup-shaped deadlock rare;
+/// sleep \p Micros of real time instead.
+inline void staggerWall(unsigned Points, unsigned Micros) {
+  Runtime *RT = Runtime::current();
+  if (RT && RT->mode() == RunMode::Active) {
+    stagger(Points);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(Micros));
 }
 
 } // namespace dlf

@@ -1,0 +1,80 @@
+//===- substrates/workloads/CondvarHybrid.cpp - Wakeup/lock-order hybrid ----===//
+
+#include "substrates/workloads/Workloads.h"
+
+#include "runtime/ConditionVariable.h"
+#include "runtime/Mutex.h"
+#include "runtime/Runtime.h"
+#include "runtime/Thread.h"
+#include "substrates/Stagger.h"
+
+using namespace dlf;
+
+// The lost-wakeup + lock-order hybrid: the flusher parks on a condition
+// with the state lock while holding the journal, so its *reacquire* of the
+// state lock (inside the wait, after the producer's signal) runs with the
+// journal held. The producer appends by taking the journal under the state
+// lock. Every plain acquisition uses the same state->journal order — no
+// mutex-only inversion exists anywhere — yet between the signal and the
+// flusher's reacquire there is a window in which the producer can take the
+// state lock and want the journal, closing a cycle that is only visible
+// when the analysis models cond-wait as release + wakeup edge + reacquire.
+// Phase II holds the notified flusher right before the reacquire (the
+// scheduler treats it as a pausable acquire), widening that window
+// deterministically.
+void workloads::runCondvarHybrid() {
+  DLF_SCOPE("workloads::runCondvarHybrid");
+  Mutex State("state", DLF_SITE(), nullptr);
+  Mutex Journal("journal", DLF_SITE(), nullptr);
+  ConditionVariable Drained("drained");
+  bool FlusherParked = false;
+  bool QueueDrained = false;
+  int Flushed = 0;
+
+  Thread Flusher(
+      [&] {
+        DLF_SCOPE("condvarHybrid::flusher");
+        MutexGuard S(State, DLF_NAMED_SITE("flusher::state"));
+        MutexGuard J(Journal, DLF_NAMED_SITE("flusher::journal"));
+        FlusherParked = true;
+        Drained.waitUntil(State, [&] { return QueueDrained; },
+                          DLF_NAMED_SITE("flusher::wait-reacquire/state"));
+        ++Flushed;
+      },
+      "condvarHybrid.flusher", DLF_SITE(), nullptr);
+
+  Thread Producer(
+      [&] {
+        DLF_SCOPE("condvarHybrid::producer");
+        // Drain only once the flusher is parked (checked under the state
+        // lock), so the wait/wakeup pair occurs in every execution.
+        for (;;) {
+          bool Parked;
+          {
+            MutexGuard S(State, DLF_NAMED_SITE("producer::drain/state"));
+            Parked = FlusherParked;
+            if (Parked) {
+              QueueDrained = true;
+              Drained.notifyOne();
+            }
+          }
+          if (Parked)
+            break;
+          yieldNow();
+        }
+        // Separation between the signal and the append: the woken flusher
+        // must reacquire the state lock before the append re-takes it, so
+        // the plain program terminates; the biased scheduler closes that
+        // gap by holding the flusher instead. The window is entered at
+        // cond-wakeup latency (microseconds), so outside the Active
+        // scheduler the separation must be wall time, not yields.
+        staggerWall(12, 2000);
+        MutexGuard S(State, DLF_NAMED_SITE("producer::append/state"));
+        MutexGuard J(Journal, DLF_NAMED_SITE("producer::append/journal"));
+        ++Flushed;
+      },
+      "condvarHybrid.producer", DLF_SITE(), nullptr);
+
+  Flusher.join();
+  Producer.join();
+}

@@ -45,6 +45,18 @@ void runJSpider();
 /// closure keeps guarded cycles) but can never be scheduled.
 void runGuarded();
 
+/// Reader-held ABBA over rwlocks: inverted write acquisitions under
+/// read-held tables and a read-held registry. A real deadlock that a
+/// mutex-only model would discard as gate-guarded — only read-read
+/// non-exclusion keeps (and schedules) the cycle.
+void runRwlockAbba();
+
+/// Lost-wakeup + lock-order hybrid: a cond-wait's reacquire of the state
+/// lock (with the journal held) inverts against an append that takes the
+/// journal under the state lock. No plain-mutex inversion exists; the
+/// cycle manifests only through the wait's release/wakeup/reacquire.
+void runCondvarHybrid();
+
 } // namespace workloads
 } // namespace dlf
 

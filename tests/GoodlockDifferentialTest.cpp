@@ -103,7 +103,8 @@ TEST_P(RandomRelationDifferential, SameCyclesOnGeneratedRelations) {
     Acquired.Abs.Index.Elements = {static_cast<uint32_t>(Acq)};
     Log.onLockCreated(Acquired);
     Log.onAcquireExecuted(T, Acquired, Stack,
-                          Label::intern("gd:" + std::to_string(Acq)));
+                          Label::intern("gd:" + std::to_string(Acq)),
+                          LockMode::Exclusive);
   }
 
   IGoodlockOptions Opts;
@@ -133,7 +134,8 @@ TEST(GoodlockTrade, DfsKeepsOneChainIterativeMaterializesLevels) {
     std::vector<LockStackEntry> Stack = {
         {Held.Id, Label::intern("ring:" + std::to_string(T))}};
     Log.onAcquireExecuted(Rec, Acq, Stack,
-                          Label::intern("ring:a" + std::to_string(T)));
+                          Label::intern("ring:a" + std::to_string(T)),
+                          LockMode::Exclusive);
   }
   IGoodlockOptions Opts;
   Opts.MaxCycleLength = N;

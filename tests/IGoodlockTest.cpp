@@ -43,7 +43,8 @@ public:
       Stack.push_back({LockId(H), site(H)});
     }
     LockRecord Acq = EnsureLock(Acquired);
-    Log.onAcquireExecuted(T, Acq, Stack, site(Acquired));
+    Log.onAcquireExecuted(T, Acq, Stack, site(Acquired),
+                          LockMode::Exclusive);
     return *this;
   }
 
@@ -197,7 +198,8 @@ TEST(IGoodlock, MultiplicityCountsCollapsedChains) {
       Log.onLockCreated(Acq);
       std::vector<LockStackEntry> Stack = {
           {Held.Id, Label::intern("mult:outer")}};
-      Log.onAcquireExecuted(T, Acq, Stack, Label::intern("mult:inner"));
+      Log.onAcquireExecuted(T, Acq, Stack, Label::intern("mult:inner"),
+                            LockMode::Exclusive);
     }
   };
   AddPair(1, 10);
@@ -231,8 +233,10 @@ TEST(IGoodlock, DifferentContextsAreDifferentEntries) {
   Log.onLockCreated(Held);
   Log.onLockCreated(Acq);
   std::vector<LockStackEntry> Stack = {{Held.Id, Label::intern("dc:a")}};
-  Log.onAcquireExecuted(T, Acq, Stack, Label::intern("dc:x"));
-  Log.onAcquireExecuted(T, Acq, Stack, Label::intern("dc:y"));
+  Log.onAcquireExecuted(T, Acq, Stack, Label::intern("dc:x"),
+                        LockMode::Exclusive);
+  Log.onAcquireExecuted(T, Acq, Stack, Label::intern("dc:y"),
+                        LockMode::Exclusive);
   EXPECT_EQ(Log.entries().size(), 2u);
 }
 

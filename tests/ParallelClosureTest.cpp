@@ -49,7 +49,8 @@ void addDep(LockDependencyLog &Log, uint64_t Thread,
   }
   LockRecord Acq = EnsureLock(Acquired);
   Log.onAcquireExecuted(T, Acq, Stack,
-                        Label::intern("pc:" + std::to_string(Acquired)));
+                        Label::intern("pc:" + std::to_string(Acquired)),
+                        LockMode::Exclusive);
 }
 
 /// A random relation: \p Entries acquires over \p Threads threads and

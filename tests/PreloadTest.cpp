@@ -136,6 +136,84 @@ TEST(Preload, RichFixtureTracesCorrectly) {
       << Analysis;
 }
 
+TEST(Preload, AlphabetFixtureCoversWidenedGrammar) {
+  // The widened-alphabet fixture exercises rwlock read/write sides,
+  // trylock success and failure, a signalled cond wait, a timed wait that
+  // expires, and a destroy-before-any-other-call mutex. The event *kinds*
+  // it emits are deterministic even though their order is not.
+  const std::string Trace = tmpPath("dlf_alphabet.trace");
+  std::remove(Trace.c_str());
+
+  // The fixture is deadlock-free and self-checking (ETIMEDOUT reacquire,
+  // failed probe really failing): nonzero exit means the wrappers broke
+  // its semantics, with or without the preload.
+  ASSERT_EQ(runCommand(std::string(DLF_ALPHABET_BIN) + " >/dev/null 2>&1"),
+            0);
+  ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_PRELOAD_TRACE=" +
+                       Trace + " " DLF_ALPHABET_BIN " >/dev/null 2>&1"),
+            0);
+
+  std::ifstream TraceIn(Trace);
+  ASSERT_TRUE(TraceIn.good()) << "preload produced no trace";
+  std::string Line;
+  unsigned SharedAcquires = 0, SharedReleases = 0, FailedProbes = 0,
+           Notifies = 0, Wakes = 0;
+  while (std::getline(TraceIn, Line)) {
+    if (Line.rfind("Q ", 0) == 0)
+      ++SharedAcquires;
+    else if (Line.rfind("U ", 0) == 0)
+      ++SharedReleases;
+    else if (Line.rfind("P ", 0) == 0)
+      ++FailedProbes;
+    else if (Line.rfind("N ", 0) == 0)
+      ++Notifies;
+    else if (Line.rfind("V ", 0) == 0)
+      ++Wakes;
+  }
+  EXPECT_GE(SharedAcquires, 1u) << "rdlock never traced";
+  EXPECT_EQ(SharedAcquires, SharedReleases)
+      << "read side acquire/release must pair";
+  EXPECT_GE(FailedProbes, 1u) << "the Busy probe always fails";
+  // One pthread_cond_signal with a waiter parked; the expired timedwait
+  // must NOT manufacture a wakeup edge.
+  EXPECT_EQ(Notifies, 1u);
+  EXPECT_EQ(Wakes, 1u);
+
+  // No lock-order inversion anywhere in the fixture.
+  std::string Analysis =
+      captureCommand(std::string(DLF_ANALYZE_BIN) + " " + Trace);
+  EXPECT_NE(Analysis.find("0 potential deadlock cycle(s)"),
+            std::string::npos)
+      << Analysis;
+}
+
+TEST(Preload, MutexOnlyTraceAvoidsWidenedGrammar) {
+  // Byte-compatibility: a program that uses only plain mutexes must
+  // produce a trace with none of the new event kinds, so pre-existing
+  // tooling sees identical files.
+  const std::string Trace = tmpPath("dlf_abba_grammar.trace");
+  std::remove(Trace.c_str());
+  ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_PRELOAD_TRACE=" +
+                       Trace + " " DLF_ABBA_BIN " >/dev/null 2>&1"),
+            0);
+  std::ifstream TraceIn(Trace);
+  ASSERT_TRUE(TraceIn.good());
+  std::string Line;
+  while (std::getline(TraceIn, Line)) {
+    ASSERT_FALSE(Line.empty());
+    switch (Line[0]) {
+    case 'Q':
+    case 'U':
+    case 'P':
+    case 'N':
+    case 'V':
+      FAIL() << "mutex-only trace contains widened-alphabet line: " << Line;
+    default:
+      break;
+    }
+  }
+}
+
 TEST(Preload, GuardedFixtureClassifiedEndToEnd) {
   // The discharged-cycle fixture: a gate-protected inversion and a
   // fork-ordered inversion. Both cycles must surface (dlf-analyze keeps

@@ -330,7 +330,8 @@ TEST_P(ClosureInvariance, CycleCountInvariantUnderThreadRenaming) {
       Acq.Abs.Index.Elements = {static_cast<uint32_t>(E.Acq)};
       Log.onLockCreated(Acq);
       Log.onAcquireExecuted(T, Acq, Stack,
-                            Label::intern("inv:l" + std::to_string(E.Acq)));
+                            Label::intern("inv:l" + std::to_string(E.Acq)),
+                            LockMode::Exclusive);
     }
     IGoodlockOptions Opts;
     Opts.MaxCycleLength = 4;

@@ -11,8 +11,10 @@
 #include "fuzzer/CycleSpec.h"
 #include "fuzzer/DeadlockFuzzerStrategy.h"
 #include "fuzzer/RandomStrategy.h"
+#include "runtime/ConditionVariable.h"
 #include "runtime/Mutex.h"
 #include "runtime/Runtime.h"
+#include "runtime/RwLock.h"
 #include "runtime/Thread.h"
 
 #include <gtest/gtest.h>
@@ -319,6 +321,196 @@ TEST(YieldOptimization, ImprovesGateProgramReproduction) {
   EXPECT_LT(No.PerCycle[0].probability(),
             Yes.PerCycle[0].probability())
       << "no-yields should underperform";
+}
+
+// -- Widened alphabet: rwlocks, trylock probes, condvar wakeup edges -----------
+
+TEST(WidenedAlphabet, ReadReadOverlapIsSchedulable) {
+  // Two readers rendezvous *while both hold the shared side*: the program
+  // only terminates if a paused/blocked reader stays enabled when the lock
+  // is held by readers alone. A mutex-shaped model would stall here.
+  for (uint64_t Seed = 1; Seed != 6; ++Seed) {
+    Options Opts;
+    Opts.Mode = RunMode::Active;
+    Opts.Seed = Seed;
+    SimpleRandomStrategy Strategy;
+    Runtime RT(Opts, &Strategy);
+    ExecutionResult R = RT.run([] {
+      RwLock Table("table", DLF_SITE());
+      bool R1In = false, R2In = false;
+      Thread T1([&] {
+        RwReadGuard G(Table, DLF_NAMED_SITE("rr:t1"));
+        R1In = true;
+        while (!R2In)
+          yieldNow();
+      });
+      Thread T2([&] {
+        RwReadGuard G(Table, DLF_NAMED_SITE("rr:t2"));
+        R2In = true;
+        while (!R1In)
+          yieldNow();
+      });
+      T1.join();
+      T2.join();
+    });
+    EXPECT_TRUE(R.Completed) << "seed " << Seed;
+    EXPECT_FALSE(R.Stalled) << "seed " << Seed;
+  }
+}
+
+TEST(WidenedAlphabet, ReaderHeldAbbaStallsWithWitness) {
+  // Each thread holds one lock on the read side and wants the other on the
+  // write side; the rendezvous flags make the inversion unconditional. The
+  // stall detector must produce the two-edge wait-for witness even though
+  // the held edges are shared-mode.
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy);
+  ExecutionResult R = RT.run([] {
+    RwLock A("rwa", DLF_SITE());
+    RwLock B("rwb", DLF_SITE());
+    bool T1HasA = false, T2HasB = false;
+    Thread T1([&] {
+      RwReadGuard First(A, DLF_NAMED_SITE("rwabba:t1a"));
+      T1HasA = true;
+      while (!T2HasB)
+        yieldNow();
+      RwWriteGuard Second(B, DLF_NAMED_SITE("rwabba:t1b"));
+    });
+    Thread T2([&] {
+      RwReadGuard First(B, DLF_NAMED_SITE("rwabba:t2b"));
+      T2HasB = true;
+      while (!T1HasA)
+        yieldNow();
+      RwWriteGuard Second(A, DLF_NAMED_SITE("rwabba:t2a"));
+    });
+    T1.join();
+    T2.join();
+  });
+  EXPECT_FALSE(R.Completed);
+  EXPECT_TRUE(R.Stalled);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_EQ(R.Witness->Edges.size(), 2u);
+  std::string Text = R.Witness->toString();
+  EXPECT_NE(Text.find("rwa"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("rwb"), std::string::npos) << Text;
+}
+
+TEST(WidenedAlphabet, FailedTryLockIsANonBlockingProbe) {
+  // Probing a write-held lock from another thread must neither block nor
+  // wedge the run; both the exclusive and the shared probe count.
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy);
+  bool WriteProbeHit = false, ReadProbeHit = false;
+  ExecutionResult R = RT.run([&] {
+    RwLock L("probe", DLF_SITE());
+    bool Held = false, Probed = false;
+    Thread Holder([&] {
+      RwWriteGuard G(L, DLF_NAMED_SITE("probe:holder"));
+      Held = true;
+      while (!Probed)
+        yieldNow();
+    });
+    Thread Prober([&] {
+      while (!Held)
+        yieldNow();
+      WriteProbeHit = L.tryLock(DLF_NAMED_SITE("probe:try-write"));
+      if (WriteProbeHit)
+        L.unlock();
+      ReadProbeHit = L.tryLockShared(DLF_NAMED_SITE("probe:try-read"));
+      if (ReadProbeHit)
+        L.unlockShared();
+      Probed = true;
+    });
+    Holder.join();
+    Prober.join();
+  });
+  EXPECT_TRUE(R.Completed);
+  EXPECT_FALSE(WriteProbeHit);
+  EXPECT_FALSE(ReadProbeHit);
+  EXPECT_GE(R.TryProbes, 2u);
+}
+
+TEST(WidenedAlphabet, UnnotifiedWaiterIsACommunicationStall) {
+  // A waiter nobody signals leaves no runnable thread: the scheduler must
+  // report a stall flagged as communication-induced, not a lock deadlock,
+  // and must not hand the blocked thread a wait-for edge.
+  Options Opts;
+  Opts.Mode = RunMode::Active;
+  SimpleRandomStrategy Strategy;
+  Runtime RT(Opts, &Strategy);
+  ExecutionResult R = RT.run([] {
+    Mutex M("cm", DLF_SITE());
+    ConditionVariable Never("never");
+    Thread Waiter([&] {
+      MutexGuard G(M, DLF_NAMED_SITE("cs:lock"));
+      Never.wait(M, DLF_NAMED_SITE("cs:reacquire"));
+    });
+    Waiter.join();
+  });
+  EXPECT_FALSE(R.Completed);
+  EXPECT_TRUE(R.Stalled);
+  EXPECT_TRUE(R.CommunicationStall);
+  EXPECT_FALSE(R.DeadlockFound);
+}
+
+/// Minimal cond-wait reacquire inversion (the condvar-hybrid shape): both
+/// threads take state->journal in program order; the only inverted edge is
+/// the wait's reacquire of the state lock with the journal held.
+void condReacquireProgram() {
+  Mutex State("crState", DLF_SITE());
+  Mutex Journal("crJournal", DLF_SITE());
+  ConditionVariable Drained("crDrained");
+  bool Parked = false, DrainedFlag = false;
+
+  Thread Flusher([&] {
+    MutexGuard S(State, DLF_NAMED_SITE("cr:flusher-state"));
+    MutexGuard J(Journal, DLF_NAMED_SITE("cr:flusher-journal"));
+    Parked = true;
+    Drained.waitUntil(State, [&] { return DrainedFlag; },
+                      DLF_NAMED_SITE("cr:flusher-reacquire"));
+  });
+  Thread Producer([&] {
+    for (;;) {
+      bool SawParked;
+      {
+        MutexGuard S(State, DLF_NAMED_SITE("cr:producer-drain"));
+        SawParked = Parked;
+        if (SawParked) {
+          DrainedFlag = true;
+          Drained.notifyOne();
+        }
+      }
+      if (SawParked)
+        break;
+      yieldNow();
+    }
+    for (int I = 0; I != 12; ++I)
+      yieldNow();
+    MutexGuard S(State, DLF_NAMED_SITE("cr:producer-state"));
+    MutexGuard J(Journal, DLF_NAMED_SITE("cr:producer-journal"));
+  });
+  Flusher.join();
+  Producer.join();
+}
+
+TEST(WidenedAlphabet, CondReacquireCycleIsFoundAndConfirmed) {
+  // Phase I must record the reacquire as an acquire under the journal (the
+  // only way the cycle enters the dependency relation), and Phase II must
+  // be able to *pause* the notified waiter right before it re-enters the
+  // state lock — the reacquire path goes through shouldPause like any
+  // other acquire.
+  ActiveTesterConfig Config;
+  Config.PhaseTwoReps = 8;
+  ActiveTester Tester(condReacquireProgram, Config);
+  ActiveTesterReport Report = Tester.run();
+  ASSERT_EQ(Report.PhaseOne.Cycles.size(), 1u) << Report.toString();
+  EXPECT_EQ(Report.confirmedCycles(), 1u) << Report.toString();
+  EXPECT_EQ(Report.PerCycle[0].ReproducedTarget, Report.PerCycle[0].Runs)
+      << Report.toString();
 }
 
 } // namespace

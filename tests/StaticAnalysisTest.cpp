@@ -47,15 +47,26 @@ public:
   /// Thread \p Tid acquires \p Lid while holding \p Held (in order).
   LogBuilder &acquire(uint64_t Tid, uint64_t Lid,
                       std::vector<uint64_t> Held) {
+    std::vector<std::pair<uint64_t, LockMode>> HeldModes;
+    for (uint64_t H : Held)
+      HeldModes.emplace_back(H, LockMode::Exclusive);
+    return acquire(Tid, Lid, std::move(HeldModes), LockMode::Exclusive);
+  }
+
+  /// Mode-aware variant: each held entry carries its LockMode and the
+  /// acquire itself has one (rwlock read sides record Shared).
+  LogBuilder &acquire(uint64_t Tid, uint64_t Lid,
+                      std::vector<std::pair<uint64_t, LockMode>> Held,
+                      LockMode Mode) {
     ThreadRecord T;
     T.Id = ThreadId(Tid);
     T.Clock = Clocks[Tid];
     LockRecord L;
     L.Id = LockId(Lid);
     std::vector<LockStackEntry> Stack;
-    for (uint64_t H : Held)
-      Stack.push_back({LockId(H), siteOf(Tid, H)});
-    Log.onAcquireExecuted(T, L, Stack, siteOf(Tid, Lid));
+    for (const auto &[H, HMode] : Held)
+      Stack.push_back({LockId(H), siteOf(Tid, H), HMode});
+    Log.onAcquireExecuted(T, L, Stack, siteOf(Tid, Lid), Mode);
     return *this;
   }
 
@@ -111,6 +122,84 @@ TEST(KeepGuardedCycles, UnguardedCyclesIdenticalEitherWay) {
   B.acquire(1, 12, {11}).acquire(2, 11, {12});
   EXPECT_EQ(closure(B.log(), false).size(), 1u);
   EXPECT_EQ(closure(B.log(), true).size(), 1u);
+}
+
+// -- Closure: lock modes ------------------------------------------------------
+
+constexpr LockMode S = LockMode::Shared;
+constexpr LockMode X = LockMode::Exclusive;
+
+/// The gate pattern with a chosen mode per hold: both threads hold the
+/// gate in \p GateMode and their first table in \p TableMode when they
+/// acquire the second table in \p AcqMode.
+LogBuilder modedGatePattern(LockMode GateMode, LockMode TableMode,
+                            LockMode AcqMode) {
+  LogBuilder B;
+  B.thread(1).thread(2);
+  B.lock(10, "gate").lock(11, "a").lock(12, "b");
+  B.acquire(1, 12, {{10, GateMode}, {11, TableMode}}, AcqMode);
+  B.acquire(2, 11, {{10, GateMode}, {12, TableMode}}, AcqMode);
+  return B;
+}
+
+TEST(LockModes, SharedGateSurvivesDefaultClosure) {
+  // Two read-holds of the gate exclude nothing, so the held-set check must
+  // NOT discard the inversion — this is the rwlock-abba shape.
+  LogBuilder B = modedGatePattern(S, S, X);
+  std::vector<AbstractCycle> Cycles = closure(B.log(), false);
+  ASSERT_EQ(Cycles.size(), 1u)
+      << "a shared-shared gate overlap is not a guard";
+  EXPECT_EQ(Cycles[0].Components.size(), 2u);
+}
+
+TEST(LockModes, ExclusiveGateStillDiscarded) {
+  // Same shape with the gate held exclusively: the mutex-era guard rule
+  // must keep working unchanged.
+  LogBuilder B = modedGatePattern(X, S, X);
+  EXPECT_EQ(closure(B.log(), false).size(), 0u);
+}
+
+TEST(LockModes, ReadReadWaitEdgesFormNoCycle) {
+  // Waiting for the read side of a lock that is only read-held is not a
+  // wait at all: no edges, no cycle, under either closure switch.
+  LogBuilder B;
+  B.thread(1).thread(2);
+  B.lock(11, "a").lock(12, "b");
+  B.acquire(1, 12, {{11, S}}, S);
+  B.acquire(2, 11, {{12, S}}, S);
+  EXPECT_EQ(closure(B.log(), false).size(), 0u);
+  EXPECT_EQ(closure(B.log(), true).size(), 0u);
+}
+
+TEST(LockModes, AllSharedCommonLockIsNotAGuardForPruner) {
+  // The pruner's guard verdict needs mutual exclusion on the common lock;
+  // read-holds on every entry provide none, so the cycle stays
+  // schedulable.
+  LogBuilder B = modedGatePattern(S, S, X);
+  std::vector<AbstractCycle> Cycles = closure(B.log(), true);
+  ASSERT_EQ(Cycles.size(), 1u);
+  std::vector<CycleClassification> Classes =
+      classifyCycles(B.log(), Cycles);
+  ASSERT_EQ(Classes.size(), 1u);
+  EXPECT_EQ(Classes[0].Class, CycleClass::Schedulable);
+  EXPECT_TRUE(Classes[0].schedulable());
+}
+
+TEST(LockModes, OneExclusiveHoldRestoresTheGuard) {
+  // Mixed modes on the common lock: one writer among the holders is
+  // enough to serialize the windows, so the guard verdict returns.
+  LogBuilder B;
+  B.thread(1).thread(2);
+  B.lock(10, "gate").lock(11, "a").lock(12, "b");
+  B.acquire(1, 12, {{10, S}, {11, X}}, X);
+  B.acquire(2, 11, {{10, X}, {12, X}}, X);
+  std::vector<AbstractCycle> Cycles = closure(B.log(), true);
+  ASSERT_EQ(Cycles.size(), 1u);
+  std::vector<CycleClassification> Classes =
+      classifyCycles(B.log(), Cycles);
+  ASSERT_EQ(Classes.size(), 1u);
+  EXPECT_EQ(Classes[0].Class, CycleClass::Guarded);
+  EXPECT_EQ(Classes[0].GuardLock, "gate");
 }
 
 // -- Guard pruner -------------------------------------------------------------

@@ -73,6 +73,28 @@ TEST(SwingBenchmark, OneCycleConfirmed) {
   EXPECT_EQ(Report.confirmedCycles(), 1u) << Report.toString();
 }
 
+TEST(RwlockAbbaBenchmark, OneCycleConfirmed) {
+  // Exists only in the widened alphabet: the shared registry gate and the
+  // read-side table holds would make a mutex-only closure discard the
+  // inversion as guarded; with modes it survives and Phase II schedules it.
+  const BenchmarkInfo &Info = bench("rwlock-abba");
+  ActiveTester Tester(Info.Entry, testConfig(8));
+  ActiveTesterReport Report = Tester.run();
+  EXPECT_EQ(Report.PhaseOne.Cycles.size(), 1u) << Report.toString();
+  EXPECT_EQ(Report.confirmedCycles(), 1u) << Report.toString();
+}
+
+TEST(CondvarHybridBenchmark, OneCycleConfirmed) {
+  // Every plain acquisition is state->journal; the cycle exists only
+  // through the cond-wait reacquire edge, and confirming it requires the
+  // scheduler to pause the notified waiter before it re-enters the lock.
+  const BenchmarkInfo &Info = bench("condvar-hybrid");
+  ActiveTester Tester(Info.Entry, testConfig(8));
+  ActiveTesterReport Report = Tester.run();
+  EXPECT_EQ(Report.PhaseOne.Cycles.size(), 1u) << Report.toString();
+  EXPECT_EQ(Report.confirmedCycles(), 1u) << Report.toString();
+}
+
 TEST(ListsBenchmark, TwentySevenCyclesHighProbability) {
   const BenchmarkInfo &Info = bench("collections-lists");
   ActiveTester Tester(Info.Entry, testConfig(4));
