@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-#===- scripts/ci.sh - Six-tier continuous integration ----------------------===#
+#===- scripts/ci.sh - Seven-tier continuous integration --------------------===#
 #
 # Tier 0 (lint): the clang-tidy wall (scripts/lint.sh) — skips cleanly when
 # clang-tidy is not installed. Tier 1: the plain build and full test suite
@@ -21,6 +21,11 @@
 # checked resume, and a mid-campaign journal device death — asserting the
 # self-healing invariants (CRC-intact journal prefix, counts identical to
 # a fault-free reference, no stray processes) with memory errors fatal.
+# Tier 6 (ring): the out-of-process observation path — one execution
+# recorded both as a text trace and through the shared-memory event ring,
+# asserting dlf-observe's cycle report is equivalent to dlf-analyze's,
+# that the dlf_ring_* telemetry flows through both ends, and that
+# dlf-observe's launch mode (memfd + DLF_RING=fd:<n>) works end to end.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 #
@@ -53,10 +58,13 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" --timeout 90
 echo "== tier 2b: TSan build + runtime/scheduler suites =="
 cmake -B build-tsan -S . -DDLF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  runtime_test scheduler_test parallel_closure_test dlf-run
+  runtime_test scheduler_test parallel_closure_test ring_test dlf-run
 build-tsan/tests/runtime_test
 build-tsan/tests/scheduler_test
 build-tsan/tests/parallel_closure_test
+# The lock-free ring writer/reader under TSan: the seqlock stamps, the
+# cached head/tail refreshes, and the cross-shard merge must be race-free.
+build-tsan/tests/ring_test
 # The rwlock/condvar instrumentation paths under TSan: shared-mode
 # bookkeeping and the wakeup/reacquire handoff must be race-free.
 build-tsan/src/dlf-run rwlock-abba --reps 3 --seed 1 >/dev/null
@@ -116,5 +124,48 @@ EOF
 echo "== tier 5: chaos smoke (fault injection + self-healing under ASan) =="
 scripts/chaos.sh --bin build-asan/src/dlf-run --mode crash
 scripts/chaos.sh --bin build-asan/src/dlf-run --mode disk
+
+echo "== tier 6: ring transport (out-of-process observation equivalence) =="
+RINGDIR="$(mktemp -d)"
+trap 'rm -rf "$TELDIR" "$RINGDIR"' EXIT
+# One execution, two recordings: the per-cycle report blocks (and the
+# cycle count) from dlf-observe on the ring must equal dlf-analyze on the
+# text trace. The closure timing line is run-dependent and excluded.
+summarize_cycles() {
+  grep -oE '[0-9]+ potential deadlock cycle\(s\)' "$1"
+  grep -E '^#|^pruner: |^classification: |^cycle-spec: |^  ' "$1" || true
+}
+for WORKLOAD in rwlock-abba condvar-hybrid; do
+  LD_PRELOAD=build/src/libdlf_preload.so \
+    DLF_PRELOAD_TRACE="$RINGDIR/$WORKLOAD.trace" \
+    DLF_RING="$RINGDIR/$WORKLOAD.ring" \
+    DLF_METRICS_SIDECAR="$RINGDIR/$WORKLOAD.sidecar.json" \
+    build/tests/preload_ring_work "$WORKLOAD"
+  build/src/dlf-analyze "$RINGDIR/$WORKLOAD.trace" \
+    > "$RINGDIR/$WORKLOAD.analyze.out" 2>/dev/null
+  build/src/dlf-observe "$RINGDIR/$WORKLOAD.ring" \
+    --metrics-out "$RINGDIR/$WORKLOAD.metrics.json" \
+    > "$RINGDIR/$WORKLOAD.observe.out" 2>/dev/null
+  summarize_cycles "$RINGDIR/$WORKLOAD.analyze.out" \
+    > "$RINGDIR/$WORKLOAD.analyze.cycles"
+  summarize_cycles "$RINGDIR/$WORKLOAD.observe.out" \
+    > "$RINGDIR/$WORKLOAD.observe.cycles"
+  diff -u "$RINGDIR/$WORKLOAD.analyze.cycles" \
+          "$RINGDIR/$WORKLOAD.observe.cycles" \
+    || { echo "ring/text cycle reports diverge for $WORKLOAD"; exit 1; }
+  # The ring telemetry counters flow through both ends: the writer's
+  # sidecar (per-event ring occupancy and totals) and the observer's
+  # --metrics-out (drain accounting).
+  grep -q 'dlf_ring_records_total' "$RINGDIR/$WORKLOAD.sidecar.json"
+  grep -q 'dlf_ring_drained_total' "$RINGDIR/$WORKLOAD.metrics.json"
+  echo "== ring: $WORKLOAD reports equivalent =="
+done
+# Launch mode end to end: dlf-observe owns the ring on a memfd and hands
+# it to the forked target as DLF_RING=fd:<n>.
+build/src/dlf-observe --preload build/src/libdlf_preload.so \
+  -- build/tests/preload_ring_work rwlock-abba \
+  > "$RINGDIR/launch.out" 2>/dev/null
+grep -q '1 potential deadlock cycle(s)' "$RINGDIR/launch.out"
+echo "== ring: launch mode OK =="
 
 echo "== ci: all tiers passed =="

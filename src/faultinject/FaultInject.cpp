@@ -40,6 +40,7 @@ const SiteInfo Sites[] = {
     {"child.hang", nullptr},
     {"sidecar.truncate", nullptr},
     {"sidecar.missing", nullptr},
+    {"ring.write.halfslot", nullptr},
 };
 
 const SiteInfo *findSite(const std::string &Name) {

@@ -30,6 +30,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/GuardPruner.h"
+#include "analysis/LogBuilder.h"
 #include "analysis/RaceDetector.h"
 #include "analysis/Trace.h"
 #include "igoodlock/IGoodlock.h"
@@ -40,7 +41,6 @@
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 using namespace dlf;
@@ -51,184 +51,25 @@ constexpr int ExitUsage = 1;
 constexpr int ExitCorruptTrace = 2;
 constexpr int ExitNoEvents = 3;
 
-struct TraceThread {
-  ThreadRecord Record;
-  std::vector<LockStackEntry> Stack;
-};
-
-/// Builds an Abstraction whose single element is the interned label of the
-/// preload abstraction string ("site#n"): equality of strings is equality
-/// of abstractions, which is all the closure needs.
-AbstractionSet absFromString(const std::string &Text) {
-  AbstractionSet Abs;
-  uint32_t Raw = Label::intern(Text).raw();
-  Abs.Index.Elements = {Raw, 1};
-  Abs.KObject.Elements = {Raw};
-  return Abs;
-}
-
-/// Rebuilds the lock dependency relation from the parsed trace. Thread
-/// clocks are fork-only (ticked at each F edge): a must-order relation, so
-/// the pruner's HBOrdered verdict proves infeasibility instead of merely
-/// "didn't overlap this run" — the distinction §1 of the paper draws.
-void buildDependencyLog(const analysis::TraceFile &Trace,
-                        LockDependencyLog &Log) {
-  std::unordered_map<uint64_t, TraceThread> Threads;
-  std::unordered_map<uint64_t, LockRecord> Locks;
-  // Last notify clock per condvar id: a V event joins it into the waking
-  // thread (the signal→wake happens-before edge of the widened alphabet).
-  std::unordered_map<uint64_t, VectorClock> CondNotify;
-
-  size_t EventNo = 0;
-  for (const analysis::TraceEvent &E : Trace.Events) {
-    ++EventNo;
-    switch (E.K) {
-    case analysis::TraceEvent::Kind::ThreadNew: {
-      TraceThread &T = Threads[E.A];
-      T.Record.Id = ThreadId(E.A);
-      T.Record.Name = E.Text;
-      T.Record.Abs = absFromString(E.Text);
-      vcTick(T.Record.Clock, T.Record.Id);
-      Log.onThreadCreated(T.Record);
-      break;
-    }
-    case analysis::TraceEvent::Kind::LockNew: {
-      LockRecord &L = Locks[E.A];
-      L.Id = LockId(E.A);
-      L.Name = E.Text;
-      L.Abs = absFromString(E.Text);
-      Log.onLockCreated(L);
-      break;
-    }
-    case analysis::TraceEvent::Kind::Fork: {
-      auto Parent = Threads.find(E.A);
-      auto Child = Threads.find(E.B);
-      if (Parent == Threads.end() || Child == Threads.end()) {
-        std::cerr << "warning: event " << EventNo
-                  << ": fork references unknown thread\n";
-        break;
-      }
-      vcJoin(Child->second.Record.Clock, Parent->second.Record.Clock);
-      vcTick(Child->second.Record.Clock, Child->second.Record.Id);
-      vcTick(Parent->second.Record.Clock, Parent->second.Record.Id);
-      break;
-    }
-    case analysis::TraceEvent::Kind::Acquire:
-    case analysis::TraceEvent::Kind::SharedAcquire: {
-      auto ThreadIt = Threads.find(E.A);
-      auto LockIt = Locks.find(E.B);
-      if (ThreadIt == Threads.end() || LockIt == Locks.end()) {
-        std::cerr << "warning: event " << EventNo
-                  << ": acquire references unknown thread/lock\n";
-        break;
-      }
-      LockMode Mode = E.K == analysis::TraceEvent::Kind::SharedAcquire
-                          ? LockMode::Shared
-                          : LockMode::Exclusive;
-      TraceThread &T = ThreadIt->second;
-      Log.onAcquireExecuted(T.Record, LockIt->second, T.Stack,
-                            Label::intern(E.Text), Mode);
-      T.Stack.push_back({LockId(E.B), Label::intern(E.Text), Mode});
-      break;
-    }
-    case analysis::TraceEvent::Kind::Release:
-    case analysis::TraceEvent::Kind::SharedRelease: {
-      auto ThreadIt = Threads.find(E.A);
-      if (ThreadIt == Threads.end())
-        break;
-      auto &Stack = ThreadIt->second.Stack;
-      for (size_t I = Stack.size(); I-- > 0;) {
-        if (Stack[I].Lock == LockId(E.B)) {
-          Stack.erase(Stack.begin() + static_cast<long>(I));
-          break;
-        }
-      }
-      break;
-    }
-    case analysis::TraceEvent::Kind::CondNotify: {
-      auto ThreadIt = Threads.find(E.A);
-      if (ThreadIt == Threads.end()) {
-        std::cerr << "warning: event " << EventNo
-                  << ": cond-notify references unknown thread\n";
-        break;
-      }
-      TraceThread &T = ThreadIt->second;
-      vcTick(T.Record.Clock, T.Record.Id);
-      CondNotify[E.B] = T.Record.Clock;
-      break;
-    }
-    case analysis::TraceEvent::Kind::CondWake: {
-      auto ThreadIt = Threads.find(E.A);
-      if (ThreadIt == Threads.end()) {
-        std::cerr << "warning: event " << EventNo
-                  << ": cond-wake references unknown thread\n";
-        break;
-      }
-      auto NotifyIt = CondNotify.find(E.B);
-      if (NotifyIt != CondNotify.end())
-        vcJoin(ThreadIt->second.Record.Clock, NotifyIt->second);
-      break;
-    }
-    case analysis::TraceEvent::Kind::TryProbe:
-      // A failed probe never blocks, so it contributes no wait-for edge;
-      // the preload records it for visibility only.
-      break;
-    case analysis::TraceEvent::Kind::ObjectNew:
-    case analysis::TraceEvent::Kind::Read:
-    case analysis::TraceEvent::Kind::Write:
-      break; // race-detector events; inert for the deadlock passes
-    }
-  }
-}
-
 int runDeadlockAnalysis(const analysis::TraceFile &Trace,
                         IGoodlockOptions Opts) {
-  LockDependencyLog Log;
-  buildDependencyLog(Trace, Log);
+  // The dependency-log construction and the report format live in
+  // analysis/LogBuilder.{h,cpp}, shared with dlf-observe; a one-shot feed
+  // of the whole trace is the batch case of the incremental builder.
+  analysis::IncrementalLogBuilder Builder(&std::cerr);
+  Builder.feed(Trace.Events);
 
   // Keep guarded cycles in the closure so the pruner can classify and name
   // them; dlf-analyze is a reporting tool, Phase II budget is not at stake.
   Opts.KeepGuardedCycles = true;
 
   IGoodlockStats Stats;
-  std::vector<AbstractCycle> Cycles = runIGoodlock(Log, Opts, &Stats);
+  std::vector<AbstractCycle> Cycles = runIGoodlock(Builder.log(), Opts,
+                                                   &Stats);
   std::vector<analysis::CycleClassification> Classes =
-      analysis::classifyCycles(Log, Cycles);
-
-  size_t Schedulable = 0;
-  for (const analysis::CycleClassification &C : Classes)
-    Schedulable += C.schedulable();
-
-  std::cout << "dlf-analyze: " << Log.entries().size()
-            << " dependency entries, " << Log.acquireEvents()
-            << " acquire events, " << Cycles.size()
-            << " potential deadlock cycle(s)\n";
-  std::cout << "pruner: " << Schedulable << " schedulable, "
-            << (Cycles.size() - Schedulable) << " statically discharged\n";
-  std::cout << "closure: " << Stats.ChainsExplored << " chains, "
-            << Stats.ElapsedMicros << " us, "
-            << static_cast<uint64_t>(Stats.entriesPerSecond())
-            << " entries/s, "
-            << static_cast<uint64_t>(Stats.chainsPerSecond())
-            << " chains/s, jobs " << Stats.JobsUsed << "\n\n";
-  for (size_t I = 0; I != Cycles.size(); ++I) {
-    const AbstractCycle &Cycle = Cycles[I];
-    std::cout << "#" << I << " " << Cycle.toString();
-    std::cout << "classification: " << Classes[I].label() << "\n";
-    std::cout << "cycle-spec: ";
-    for (size_t C = 0; C != Cycle.Components.size(); ++C) {
-      const CycleComponent &Comp = Cycle.Components[C];
-      if (C)
-        std::cout << ';';
-      std::cout << Comp.ThreadName << '|' << Comp.LockName << '|';
-      for (size_t S = 0; S != Comp.Context.size(); ++S) {
-        if (S)
-          std::cout << ',';
-        std::cout << Comp.Context[S].text();
-      }
-    }
-    std::cout << "\n\n";
-  }
+      analysis::classifyCycles(Builder.log(), Cycles);
+  analysis::printCycleReport(std::cout, "dlf-analyze", Builder.log(), Cycles,
+                             Classes, Stats);
   return 0;
 }
 
@@ -245,18 +86,7 @@ int runRaceAnalysis(const analysis::TraceFile &Trace, unsigned Jobs) {
   for (const std::string &W : Result.Warnings)
     std::cerr << "warning: " << W << "\n";
 
-  std::cout << "dlf-analyze: " << Result.ObjectsSeen << " shared object(s), "
-            << Result.AccessesSeen << " access event(s), " << Result.RacyPairs
-            << " racy pair(s)\n";
-  if (Result.RacyPairs == 0 && Result.AccessesSeen == 0)
-    std::cout << "note: trace has no access events; record them with "
-                 "DLF_TRACE_ACCESSES=1 and dlf_trace_read/dlf_trace_write\n";
-  if (Result.RacyPairs > Result.Races.size())
-    std::cout << "note: showing first " << Result.Races.size() << " of "
-              << Result.RacyPairs << " racy pairs\n";
-  std::cout << "\n";
-  for (size_t I = 0; I != Result.Races.size(); ++I)
-    std::cout << "#" << I << " " << Result.Races[I].toString() << "\n";
+  analysis::printRaceReport(std::cout, "dlf-analyze", Result);
   return 0;
 }
 

@@ -36,6 +36,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "interpose/TraceFormat.h"
+// The ring transport is standard-library + POSIX only; Ring.cpp is compiled
+// directly into libdlf_preload.so (see src/CMakeLists.txt), so the
+// no-libdlf constraint holds.
+#include "ring/Ring.h"
 #include "support/Env.h" // header-only; keeps the no-libdlf constraint
 // Telemetry depends only on the standard library; its .cpp files are
 // compiled directly into libdlf_preload.so (see src/CMakeLists.txt), so
@@ -203,6 +207,11 @@ struct GlobalState {
   pthread_mutex_t Mu = PTHREAD_MUTEX_INITIALIZER;
   FILE *Trace = nullptr;
   bool TraceAccesses = false;
+  /// Shared-memory event transport (DLF_RING); null when not requested.
+  dlf::ring::RingWriter *Ring = nullptr;
+  /// Ring with neither text trace nor Phase II cycle: the hot path takes
+  /// no lock and resolves no site — one ring write per event.
+  bool RingOnly = false;
   std::vector<CycleComponentSpec> Cycle;
   unsigned PauseMs = 200;
 
@@ -236,9 +245,85 @@ thread_local ThreadSlot *Self;
 thread_local bool InInternal = false;
 
 struct InternalGuard {
-  InternalGuard() { InInternal = true; }
-  ~InternalGuard() { InInternal = false; }
+  // Save/restore rather than set/clear: guarded regions nest (an internal
+  // helper called from inside another guarded region must not drop the
+  // outer region's protection on destruction).
+  bool Prev;
+  InternalGuard() : Prev(InInternal) { InInternal = true; }
+  ~InternalGuard() { InInternal = Prev; }
 };
+
+// -- Ring transport ------------------------------------------------------------------
+
+/// Per-thread SPSC shard; claimed lazily on first event, released when the
+/// trampoline sees the thread routine return (the main thread never
+/// releases — the ring outlives it anyway).
+thread_local dlf::ring::ShardHandle RingShard;
+thread_local bool RingShardClaimed = false;
+
+dlf::ring::ShardHandle &ringShardHandle() {
+  if (!RingShardClaimed) {
+    // claimShard serializes on a std::mutex; guard so our own interposed
+    // pthread_mutex_lock passes it through.
+    InternalGuard G;
+    RingShard = State->Ring->claimShard();
+    RingShardClaimed = true;
+  }
+  return RingShard;
+}
+
+/// One fixed-size ring write; the entire per-event cost of the ring path.
+/// Telemetry (occupancy histogram, drop counter) only runs when a sidecar
+/// asked for metrics — the default hot path is the write alone.
+void ringEmit(dlf::ring::RecordKind Kind, uint64_t Tid, uint64_t Addr,
+              uint32_t Site) {
+  bool WantStats = dlf::telemetry::enabled();
+  uint64_t Occupancy = 0;
+  bool Ok = State->Ring->write(ringShardHandle(), Kind,
+                               static_cast<uint32_t>(Tid), Addr, Site,
+                               WantStats ? &Occupancy : nullptr);
+  if (WantStats) {
+    InternalGuard G;
+    // Registered once and cached: the name-lookup takes the registry lock,
+    // and this path runs per event — sometimes from contexts (thread-exit
+    // TLS destructors) where re-entering the registry is not safe.
+    static dlf::telemetry::Counter Records =
+        dlf::telemetry::Registry::global().counter("dlf_ring_records_total");
+    static dlf::telemetry::Counter Dropped =
+        dlf::telemetry::Registry::global().counter("dlf_ring_dropped_total");
+    static dlf::telemetry::Histogram Occ =
+        dlf::telemetry::Registry::global().histogram("dlf_ring_occupancy");
+    Records.inc();
+    if (!Ok)
+      Dropped.inc();
+    Occ.observe(Occupancy);
+  }
+}
+
+/// Interns a site string into the ring's shared string table (slow, mutex
+/// under the hood — callers cache).
+uint32_t ringInternString(const std::string &Site) {
+  InternalGuard G;
+  return State->Ring->internSite(Site);
+}
+
+/// Return-address -> interned site id, cached per thread so the steady
+/// state is one hash lookup — no dladdr, no snprintf, no intern mutex.
+uint32_t ringSiteId(void *CallerAddr) {
+  thread_local std::unordered_map<void *, uint32_t> Cache;
+  auto It = Cache.find(CallerAddr);
+  if (It != Cache.end())
+    return It->second;
+  uint32_t Id = ringInternString(resolveSite(CallerAddr));
+  Cache.emplace(CallerAddr, Id);
+  return Id;
+}
+
+/// No observation mode (text trace, Phase II cycle, ring) wants events:
+/// pure passthrough.
+bool analysisOff() {
+  return !State->Trace && State->Cycle.empty() && !State->Ring;
+}
 
 /// Hand-off from the pthread_create interposition to the trampoline. The
 /// slot is created (and its T/F trace lines written) in the *parent*, so
@@ -263,11 +348,17 @@ ThreadSlot *selfSlot() {
   State->lock();
   auto *Slot = new ThreadSlot();
   Slot->Tid = State->NextTid++;
-  Slot->Abs = bumpSite(*State, Slot->Tid == 1 ? "main" : "unknown-thread");
+  const char *Base = Slot->Tid == 1 ? "main" : "unknown-thread";
+  Slot->Abs = bumpSite(*State, Base);
   Slot->Live = true;
   State->Threads.push_back(Slot);
   if (State->Trace)
     fprintf(State->Trace, "T %" PRIu64 " %s\n", Slot->Tid, Slot->Abs.c_str());
+  // The ring carries the raw site; the observer replays the #n bumping
+  // (same order: registration points are serialized by the state lock).
+  if (State->Ring)
+    ringEmit(dlf::ring::RecordKind::ThreadSelf, Slot->Tid, 0,
+             ringInternString(Base));
   State->unlock();
   Self = Slot;
   return Slot;
@@ -284,6 +375,9 @@ LockInfo &lockInfoLocked(pthread_mutex_t *M, const std::string &Site) {
   if (State->Trace)
     fprintf(State->Trace, "M %" PRIu64 " %s\n", NewIt->second.Id,
             NewIt->second.Abs.c_str());
+  if (State->Ring)
+    ringEmit(dlf::ring::RecordKind::LockSeen, 0,
+             reinterpret_cast<uintptr_t>(M), ringInternString(Site));
   return NewIt->second;
 }
 
@@ -298,13 +392,22 @@ LockInfo &rwlockInfoLocked(pthread_rwlock_t *RW, const std::string &Site) {
   if (State->Trace)
     fprintf(State->Trace, "M %" PRIu64 " %s\n", NewIt->second.Id,
             NewIt->second.Abs.c_str());
+  if (State->Ring)
+    ringEmit(dlf::ring::RecordKind::LockSeen, 0,
+             reinterpret_cast<uintptr_t>(RW), ringInternString(Site));
   return NewIt->second;
 }
 
 uint64_t condIdLocked(pthread_cond_t *C) {
   auto [It, Inserted] = State->Conds.try_emplace(C, State->NextCondId);
-  if (Inserted)
+  if (Inserted) {
     ++State->NextCondId;
+    // Mirror the id-assignment point so the observer numbers condvars in
+    // the same order the in-process model does.
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::CondSeen, 0,
+               reinterpret_cast<uintptr_t>(C), 0);
+  }
   return It->second;
 }
 
@@ -461,6 +564,10 @@ bool findDeadlockLocked(std::string &Witness) {
 
 void reportDeadlockAndExit(const std::string &Witness) {
   fprintf(stderr, "DLF-PRELOAD: %s\n", Witness.c_str());
+  if (State && State->Ring)
+    State->Ring->markDone(); // _exit skips the destructor
+  if (State && State->Trace)
+    fflush(State->Trace);
   if (dlf::telemetry::enabled()) {
     InternalGuard G;
     dlf::telemetry::Registry::global()
@@ -530,10 +637,24 @@ __attribute__((constructor)) void dlfPreloadInit() {
     if (State->Trace)
       fprintf(State->Trace, "# dlf-preload trace v1\n");
   }
-  State->TraceAccesses =
-      State->Trace && getenv(dlf::interpose::AccessEnvVar) != nullptr;
+  if (const char *Spec = getenv(dlf::ring::RingEnvVar)) {
+    std::string Err;
+    State->Ring = dlf::ring::RingWriter::openSpec(
+        Spec, dlf::ring::shardsFromEnv(), dlf::ring::slotsFromEnv(), &Err);
+    if (!State->Ring) {
+      // Fail fast: silently recording nothing would make dlf-observe
+      // report a clean run for an execution that was never observed.
+      fprintf(stderr, "dlf-preload: %s: %s\n", dlf::ring::RingEnvVar,
+              Err.c_str());
+      _exit(2);
+    }
+  }
+  State->TraceAccesses = (State->Trace || State->Ring) &&
+                         getenv(dlf::interpose::AccessEnvVar) != nullptr;
   if (const char *Spec = getenv(dlf::interpose::CycleEnvVar))
     parseCycleSpec(Spec);
+  State->RingOnly =
+      State->Ring && !State->Trace && State->Cycle.empty();
   if (const char *Ms = getenv(dlf::interpose::PauseMsEnvVar)) {
     // atoi would map a typo to PauseMs = 0, silently disarming the biased
     // scheduler; fail fast before the program under test starts instead.
@@ -554,6 +675,8 @@ __attribute__((destructor)) void dlfPreloadShutdown() {
     fclose(State->Trace);
     State->Trace = nullptr;
   }
+  if (State && State->Ring)
+    State->Ring->markDone(); // tells dlf-observe to finish draining
   InternalGuard G;
   dlf::telemetry::flushChildTelemetry();
 }
@@ -675,6 +798,9 @@ int acquireWithAnalysis(pthread_mutex_t *M, void *CallerAddr) {
   if (State->Trace)
     fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
             Site.c_str());
+  if (State->Ring)
+    ringEmit(dlf::ring::RecordKind::Acquire, T->Tid,
+             reinterpret_cast<uintptr_t>(M), ringInternString(Site));
   T->Stack.push_back({L.Id, Site});
   State->unlock();
   return 0;
@@ -734,6 +860,10 @@ int rwAcquireWithAnalysis(pthread_rwlock_t *RW, bool Shared,
   if (State->Trace)
     fprintf(State->Trace, "%c %" PRIu64 " %" PRIu64 " %s\n",
             Shared ? 'Q' : 'A', T->Tid, L.Id, Site.c_str());
+  if (State->Ring)
+    ringEmit(Shared ? dlf::ring::RecordKind::SharedAcquire
+                    : dlf::ring::RecordKind::Acquire,
+             T->Tid, reinterpret_cast<uintptr_t>(RW), ringInternString(Site));
   T->Stack.push_back({L.Id, Site, Shared});
   State->unlock();
   return 0;
@@ -774,6 +904,11 @@ void rwReleaseWithAnalysis(pthread_rwlock_t *RW) {
   if (State->Trace)
     fprintf(State->Trace, "%c %" PRIu64 " %" PRIu64 "\n", Shared ? 'U' : 'R',
             T->Tid, L.Id);
+  // The observer re-resolves the side from its own owner/reader registry,
+  // which mirrors this one record for record.
+  if (State->Ring)
+    ringEmit(dlf::ring::RecordKind::RwUnlock, T->Tid,
+             reinterpret_cast<uintptr_t>(RW), 0);
   State->unlock();
 }
 
@@ -805,6 +940,9 @@ void releaseWithAnalysis(pthread_mutex_t *M, bool &Reentrant) {
   }
   if (State->Trace)
     fprintf(State->Trace, "R %" PRIu64 " %" PRIu64 "\n", T->Tid, L.Id);
+  if (State->Ring)
+    ringEmit(dlf::ring::RecordKind::Release, T->Tid,
+             reinterpret_cast<uintptr_t>(M), 0);
   State->unlock();
 }
 
@@ -829,8 +967,13 @@ int condWaitWithAnalysis(pthread_cond_t *Cond, pthread_mutex_t *M,
   releaseWithAnalysis(M, Reentrant);
   int Rc = RealWait();
   State->lock();
-  if (State->Trace && Rc == 0)
-    fprintf(State->Trace, "V %" PRIu64 " %" PRIu64 "\n", T->Tid, CondId);
+  if (Rc == 0) {
+    if (State->Trace)
+      fprintf(State->Trace, "V %" PRIu64 " %" PRIu64 "\n", T->Tid, CondId);
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::CondWake, T->Tid,
+               reinterpret_cast<uintptr_t>(Cond), 0);
+  }
   if (!Reentrant) {
     LockInfo &L = lockInfoLocked(M, Site);
     L.OwnerTid = T->Tid;
@@ -838,6 +981,9 @@ int condWaitWithAnalysis(pthread_cond_t *Cond, pthread_mutex_t *M,
     if (State->Trace)
       fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
               Site.c_str());
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::Acquire, T->Tid,
+               reinterpret_cast<uintptr_t>(M), ringInternString(Site));
     T->Stack.push_back({L.Id, Site});
   }
   State->unlock();
@@ -852,6 +998,9 @@ void recordNotify(pthread_cond_t *Cond, ThreadSlot *T) {
   uint64_t CondId = condIdLocked(Cond);
   if (State->Trace)
     fprintf(State->Trace, "N %" PRIu64 " %" PRIu64 "\n", T->Tid, CondId);
+  if (State->Ring)
+    ringEmit(dlf::ring::RecordKind::CondNotify, T->Tid,
+             reinterpret_cast<uintptr_t>(Cond), 0);
   State->unlock();
 }
 
@@ -871,6 +1020,12 @@ void *threadTrampoline(void *Raw) {
   Slot->PendingLock = 0;
   Slot->PendingShared = false;
   State->unlock();
+  if (State->Ring && RingShardClaimed) {
+    // Return the shard to the pool so later threads reuse it instead of
+    // spilling into the shared overflow shard.
+    State->Ring->releaseShard(RingShard);
+    RingShardClaimed = false;
+  }
   delete Arg;
   return Result;
 }
@@ -883,6 +1038,15 @@ void recordAccess(const void *Addr, const char *Site, bool IsWrite,
   if (!State || !State->TraceAccesses || !Addr)
     return;
   ThreadSlot *T = selfSlot();
+  if (State->RingOnly) {
+    // One ring write; the observer assigns object ids and abstractions.
+    uint32_t SiteId = Site && *Site ? ringInternString(Site)
+                                    : ringSiteId(CallerAddr);
+    ringEmit(IsWrite ? dlf::ring::RecordKind::AccessWrite
+                     : dlf::ring::RecordKind::AccessRead,
+             T->Tid, reinterpret_cast<uintptr_t>(Addr), SiteId);
+    return;
+  }
   std::string SiteText = Site && *Site ? Site : resolveSite(CallerAddr);
   State->lock();
   auto It = State->Objects.find(Addr);
@@ -891,11 +1055,18 @@ void recordAccess(const void *Addr, const char *Site, bool IsWrite,
     Info.Id = State->NextObjectId++;
     Info.Abs = bumpSite(*State, SiteText);
     It = State->Objects.emplace(Addr, std::move(Info)).first;
-    fprintf(State->Trace, "O %" PRIu64 " %s\n", It->second.Id,
-            It->second.Abs.c_str());
+    if (State->Trace)
+      fprintf(State->Trace, "O %" PRIu64 " %s\n", It->second.Id,
+              It->second.Abs.c_str());
   }
-  fprintf(State->Trace, "%c %" PRIu64 " %" PRIu64 " %s\n", IsWrite ? 'S' : 'L',
-          T->Tid, It->second.Id, SiteText.c_str());
+  if (State->Trace)
+    fprintf(State->Trace, "%c %" PRIu64 " %" PRIu64 " %s\n",
+            IsWrite ? 'S' : 'L', T->Tid, It->second.Id, SiteText.c_str());
+  if (State->Ring)
+    ringEmit(IsWrite ? dlf::ring::RecordKind::AccessWrite
+                     : dlf::ring::RecordKind::AccessRead,
+             T->Tid, reinterpret_cast<uintptr_t>(Addr),
+             ringInternString(SiteText));
   State->unlock();
 }
 
@@ -916,7 +1087,18 @@ int pthread_mutex_lock(pthread_mutex_t *M) {
   }
   if (InInternal)
     return RealLock(M); // our own telemetry locking: invisible to the analysis
-  if (!State->Trace && State->Cycle.empty())
+  if (State->RingOnly) {
+    // The hot path the ring exists for: no state lock, no site resolution
+    // after the first call from a site — one fixed-size ring write.
+    uint64_t Tid = selfSlot()->Tid;
+    uint32_t SiteId = ringSiteId(__builtin_return_address(0));
+    int Rc = RealLock(M);
+    if (Rc == 0)
+      ringEmit(dlf::ring::RecordKind::Acquire, Tid,
+               reinterpret_cast<uintptr_t>(M), SiteId);
+    return Rc;
+  }
+  if (analysisOff())
     return RealLock(M); // neither phase requested: pure passthrough
   return acquireWithAnalysis(M, __builtin_return_address(0));
 }
@@ -925,22 +1107,35 @@ int pthread_mutex_trylock(pthread_mutex_t *M) {
   if (!RealTrylock)
     RealTrylock = reinterpret_cast<MutexTrylockFn>(
         dlsym(RTLD_NEXT, "pthread_mutex_trylock"));
-  if (!State)
+  if (!State || InInternal)
     return RealTrylock(M);
+  if (State->RingOnly) {
+    uint64_t Tid = selfSlot()->Tid;
+    uint32_t SiteId = ringSiteId(__builtin_return_address(0));
+    int Rc = RealTrylock(M);
+    ringEmit(Rc == 0 ? dlf::ring::RecordKind::Acquire
+                     : dlf::ring::RecordKind::TryProbe,
+             Tid, reinterpret_cast<uintptr_t>(M), SiteId);
+    return Rc;
+  }
   int Rc = RealTrylock(M);
-  if (InInternal || (!State->Trace && State->Cycle.empty()))
+  if (analysisOff())
     return Rc;
   if (Rc != 0) {
     // Failed probe: the thread asked and bailed out without blocking — no
     // wait-for edge, no pending registration, just a P line so offline
     // passes can see the attempt happened.
-    if (State->Trace) {
+    if (State->Trace || State->Ring) {
       ThreadSlot *T = selfSlot();
       std::string Site = resolveSite(__builtin_return_address(0));
       State->lock();
       LockInfo &L = lockInfoLocked(M, Site);
-      fprintf(State->Trace, "P %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
-              Site.c_str());
+      if (State->Trace)
+        fprintf(State->Trace, "P %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
+                Site.c_str());
+      if (State->Ring)
+        ringEmit(dlf::ring::RecordKind::TryProbe, T->Tid,
+                 reinterpret_cast<uintptr_t>(M), ringInternString(Site));
       State->unlock();
     }
     return Rc;
@@ -958,6 +1153,9 @@ int pthread_mutex_trylock(pthread_mutex_t *M) {
     if (State->Trace)
       fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
               Site.c_str());
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::Acquire, T->Tid,
+               reinterpret_cast<uintptr_t>(M), ringInternString(Site));
     T->Stack.push_back({L.Id, Site});
   }
   State->unlock();
@@ -971,7 +1169,16 @@ int pthread_mutex_unlock(pthread_mutex_t *M) {
           dlsym(RTLD_NEXT, "pthread_mutex_unlock"));
     return RealUnlock(M);
   }
-  if (InInternal || (!State->Trace && State->Cycle.empty()))
+  if (InInternal)
+    return RealUnlock(M);
+  if (State->RingOnly) {
+    // Source side: the record precedes the real unlock so a dependent
+    // acquire can never be sequenced before its release.
+    ringEmit(dlf::ring::RecordKind::Release, selfSlot()->Tid,
+             reinterpret_cast<uintptr_t>(M), 0);
+    return RealUnlock(M);
+  }
+  if (analysisOff())
     return RealUnlock(M);
   bool Reentrant = false;
   releaseWithAnalysis(M, Reentrant);
@@ -988,10 +1195,18 @@ int pthread_mutex_destroy(pthread_mutex_t *M) {
     RealDestroy = reinterpret_cast<MutexDestroyFn>(
         dlsym(RTLD_NEXT, "pthread_mutex_destroy"));
   }
-  if (State) {
-    State->lock();
-    State->Locks.erase(M);
-    State->unlock();
+  if (State && !InInternal) {
+    if (State->RingOnly) {
+      ringEmit(dlf::ring::RecordKind::LockDestroy, 0,
+               reinterpret_cast<uintptr_t>(M), 0);
+    } else {
+      State->lock();
+      State->Locks.erase(M);
+      if (State->Ring)
+        ringEmit(dlf::ring::RecordKind::LockDestroy, 0,
+                 reinterpret_cast<uintptr_t>(M), 0);
+      State->unlock();
+    }
   }
   return RealDestroy(M);
 }
@@ -1000,7 +1215,22 @@ int pthread_cond_wait(pthread_cond_t *Cond, pthread_mutex_t *M) {
   if (!RealCondWait)
     RealCondWait = reinterpret_cast<CondWaitFn>(
         dlsym(RTLD_NEXT, "pthread_cond_wait"));
-  if (!State || InInternal || (!State->Trace && State->Cycle.empty()))
+  if (!State || InInternal)
+    return RealCondWait(Cond, M);
+  if (State->RingOnly) {
+    uint64_t Tid = selfSlot()->Tid;
+    uint32_t SiteId = ringSiteId(__builtin_return_address(0));
+    ringEmit(dlf::ring::RecordKind::Release, Tid,
+             reinterpret_cast<uintptr_t>(M), 0);
+    int Rc = RealCondWait(Cond, M);
+    if (Rc == 0)
+      ringEmit(dlf::ring::RecordKind::CondWake, Tid,
+               reinterpret_cast<uintptr_t>(Cond), 0);
+    ringEmit(dlf::ring::RecordKind::Acquire, Tid,
+             reinterpret_cast<uintptr_t>(M), SiteId);
+    return Rc;
+  }
+  if (analysisOff())
     return RealCondWait(Cond, M);
   return condWaitWithAnalysis(Cond, M, __builtin_return_address(0),
                               [&] { return RealCondWait(Cond, M); });
@@ -1011,7 +1241,22 @@ int pthread_cond_timedwait(pthread_cond_t *Cond, pthread_mutex_t *M,
   if (!RealCondTimedwait)
     RealCondTimedwait = reinterpret_cast<CondTimedwaitFn>(
         dlsym(RTLD_NEXT, "pthread_cond_timedwait"));
-  if (!State || InInternal || (!State->Trace && State->Cycle.empty()))
+  if (!State || InInternal)
+    return RealCondTimedwait(Cond, M, Abstime);
+  if (State->RingOnly) {
+    uint64_t Tid = selfSlot()->Tid;
+    uint32_t SiteId = ringSiteId(__builtin_return_address(0));
+    ringEmit(dlf::ring::RecordKind::Release, Tid,
+             reinterpret_cast<uintptr_t>(M), 0);
+    int Rc = RealCondTimedwait(Cond, M, Abstime);
+    if (Rc == 0)
+      ringEmit(dlf::ring::RecordKind::CondWake, Tid,
+               reinterpret_cast<uintptr_t>(Cond), 0);
+    ringEmit(dlf::ring::RecordKind::Acquire, Tid,
+             reinterpret_cast<uintptr_t>(M), SiteId);
+    return Rc;
+  }
+  if (analysisOff())
     return RealCondTimedwait(Cond, M, Abstime);
   return condWaitWithAnalysis(
       Cond, M, __builtin_return_address(0),
@@ -1022,8 +1267,13 @@ int pthread_cond_signal(pthread_cond_t *Cond) {
   if (!RealCondSignal)
     RealCondSignal = reinterpret_cast<CondNotifyFn>(
         dlsym(RTLD_NEXT, "pthread_cond_signal"));
-  if (State && !InInternal && State->Trace)
-    recordNotify(Cond, selfSlot());
+  if (State && !InInternal) {
+    if (State->RingOnly)
+      ringEmit(dlf::ring::RecordKind::CondNotify, selfSlot()->Tid,
+               reinterpret_cast<uintptr_t>(Cond), 0);
+    else if (State->Trace || State->Ring)
+      recordNotify(Cond, selfSlot());
+  }
   return RealCondSignal(Cond);
 }
 
@@ -1031,8 +1281,13 @@ int pthread_cond_broadcast(pthread_cond_t *Cond) {
   if (!RealCondBroadcast)
     RealCondBroadcast = reinterpret_cast<CondNotifyFn>(
         dlsym(RTLD_NEXT, "pthread_cond_broadcast"));
-  if (State && !InInternal && State->Trace)
-    recordNotify(Cond, selfSlot());
+  if (State && !InInternal) {
+    if (State->RingOnly)
+      ringEmit(dlf::ring::RecordKind::CondNotify, selfSlot()->Tid,
+               reinterpret_cast<uintptr_t>(Cond), 0);
+    else if (State->Trace || State->Ring)
+      recordNotify(Cond, selfSlot());
+  }
   return RealCondBroadcast(Cond);
 }
 
@@ -1043,7 +1298,18 @@ int pthread_rwlock_rdlock(pthread_rwlock_t *RW) {
           dlsym(RTLD_NEXT, "pthread_rwlock_rdlock"));
     return RealRdlock(RW);
   }
-  if (InInternal || (!State->Trace && State->Cycle.empty()))
+  if (InInternal)
+    return RealRdlock(RW);
+  if (State->RingOnly) {
+    uint64_t Tid = selfSlot()->Tid;
+    uint32_t SiteId = ringSiteId(__builtin_return_address(0));
+    int Rc = RealRdlock(RW);
+    if (Rc == 0)
+      ringEmit(dlf::ring::RecordKind::SharedAcquire, Tid,
+               reinterpret_cast<uintptr_t>(RW), SiteId);
+    return Rc;
+  }
+  if (analysisOff())
     return RealRdlock(RW);
   return rwAcquireWithAnalysis(RW, /*Shared=*/true,
                                __builtin_return_address(0));
@@ -1056,7 +1322,18 @@ int pthread_rwlock_wrlock(pthread_rwlock_t *RW) {
           dlsym(RTLD_NEXT, "pthread_rwlock_wrlock"));
     return RealWrlock(RW);
   }
-  if (InInternal || (!State->Trace && State->Cycle.empty()))
+  if (InInternal)
+    return RealWrlock(RW);
+  if (State->RingOnly) {
+    uint64_t Tid = selfSlot()->Tid;
+    uint32_t SiteId = ringSiteId(__builtin_return_address(0));
+    int Rc = RealWrlock(RW);
+    if (Rc == 0)
+      ringEmit(dlf::ring::RecordKind::Acquire, Tid,
+               reinterpret_cast<uintptr_t>(RW), SiteId);
+    return Rc;
+  }
+  if (analysisOff())
     return RealWrlock(RW);
   return rwAcquireWithAnalysis(RW, /*Shared=*/false,
                                __builtin_return_address(0));
@@ -1066,10 +1343,19 @@ int pthread_rwlock_tryrdlock(pthread_rwlock_t *RW) {
   if (!RealTryRdlock)
     RealTryRdlock = reinterpret_cast<RwlockOpFn>(
         dlsym(RTLD_NEXT, "pthread_rwlock_tryrdlock"));
-  if (!State)
+  if (!State || InInternal)
     return RealTryRdlock(RW);
+  if (State->RingOnly) {
+    uint64_t Tid = selfSlot()->Tid;
+    uint32_t SiteId = ringSiteId(__builtin_return_address(0));
+    int Rc = RealTryRdlock(RW);
+    ringEmit(Rc == 0 ? dlf::ring::RecordKind::SharedAcquire
+                     : dlf::ring::RecordKind::TryProbe,
+             Tid, reinterpret_cast<uintptr_t>(RW), SiteId);
+    return Rc;
+  }
   int Rc = RealTryRdlock(RW);
-  if (InInternal || (!State->Trace && State->Cycle.empty()))
+  if (analysisOff())
     return Rc;
   ThreadSlot *T = selfSlot();
   std::string Site = resolveSite(__builtin_return_address(0));
@@ -1079,11 +1365,17 @@ int pthread_rwlock_tryrdlock(pthread_rwlock_t *RW) {
     if (State->Trace)
       fprintf(State->Trace, "P %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
               Site.c_str());
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::TryProbe, T->Tid,
+               reinterpret_cast<uintptr_t>(RW), ringInternString(Site));
   } else {
     L.ReaderTids.push_back(T->Tid);
     if (State->Trace)
       fprintf(State->Trace, "Q %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
               Site.c_str());
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::SharedAcquire, T->Tid,
+               reinterpret_cast<uintptr_t>(RW), ringInternString(Site));
     T->Stack.push_back({L.Id, Site, /*Shared=*/true});
   }
   State->unlock();
@@ -1094,10 +1386,19 @@ int pthread_rwlock_trywrlock(pthread_rwlock_t *RW) {
   if (!RealTryWrlock)
     RealTryWrlock = reinterpret_cast<RwlockOpFn>(
         dlsym(RTLD_NEXT, "pthread_rwlock_trywrlock"));
-  if (!State)
+  if (!State || InInternal)
     return RealTryWrlock(RW);
+  if (State->RingOnly) {
+    uint64_t Tid = selfSlot()->Tid;
+    uint32_t SiteId = ringSiteId(__builtin_return_address(0));
+    int Rc = RealTryWrlock(RW);
+    ringEmit(Rc == 0 ? dlf::ring::RecordKind::Acquire
+                     : dlf::ring::RecordKind::TryProbe,
+             Tid, reinterpret_cast<uintptr_t>(RW), SiteId);
+    return Rc;
+  }
   int Rc = RealTryWrlock(RW);
-  if (InInternal || (!State->Trace && State->Cycle.empty()))
+  if (analysisOff())
     return Rc;
   ThreadSlot *T = selfSlot();
   std::string Site = resolveSite(__builtin_return_address(0));
@@ -1107,12 +1408,18 @@ int pthread_rwlock_trywrlock(pthread_rwlock_t *RW) {
     if (State->Trace)
       fprintf(State->Trace, "P %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
               Site.c_str());
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::TryProbe, T->Tid,
+               reinterpret_cast<uintptr_t>(RW), ringInternString(Site));
   } else {
     L.OwnerTid = T->Tid;
     L.Recursion = 1;
     if (State->Trace)
       fprintf(State->Trace, "A %" PRIu64 " %" PRIu64 " %s\n", T->Tid, L.Id,
               Site.c_str());
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::Acquire, T->Tid,
+               reinterpret_cast<uintptr_t>(RW), ringInternString(Site));
     T->Stack.push_back({L.Id, Site, /*Shared=*/false});
   }
   State->unlock();
@@ -1126,7 +1433,14 @@ int pthread_rwlock_unlock(pthread_rwlock_t *RW) {
           dlsym(RTLD_NEXT, "pthread_rwlock_unlock"));
     return RealRwUnlock(RW);
   }
-  if (InInternal || (!State->Trace && State->Cycle.empty()))
+  if (InInternal)
+    return RealRwUnlock(RW);
+  if (State->RingOnly) {
+    ringEmit(dlf::ring::RecordKind::RwUnlock, selfSlot()->Tid,
+             reinterpret_cast<uintptr_t>(RW), 0);
+    return RealRwUnlock(RW);
+  }
+  if (analysisOff())
     return RealRwUnlock(RW);
   rwReleaseWithAnalysis(RW);
   return RealRwUnlock(RW);
@@ -1136,10 +1450,18 @@ int pthread_rwlock_destroy(pthread_rwlock_t *RW) {
   if (!RealRwDestroy)
     RealRwDestroy = reinterpret_cast<RwlockOpFn>(
         dlsym(RTLD_NEXT, "pthread_rwlock_destroy"));
-  if (State) {
-    State->lock();
-    State->RwLocks.erase(RW);
-    State->unlock();
+  if (State && !InInternal) {
+    if (State->RingOnly) {
+      ringEmit(dlf::ring::RecordKind::LockDestroy, 0,
+               reinterpret_cast<uintptr_t>(RW), 0);
+    } else {
+      State->lock();
+      State->RwLocks.erase(RW);
+      if (State->Ring)
+        ringEmit(dlf::ring::RecordKind::LockDestroy, 0,
+                 reinterpret_cast<uintptr_t>(RW), 0);
+      State->unlock();
+    }
   }
   return RealRwDestroy(RW);
 }
@@ -1152,9 +1474,12 @@ int pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,
                                                     "pthread_create"));
     return RealCreate(Thread, Attr, Routine, Arg);
   }
-  if (!State->Trace && State->Cycle.empty())
+  if (analysisOff())
     return RealCreate(Thread, Attr, Routine, Arg);
 
+  // Even in ring-only mode thread creation goes through the registry: the
+  // child's tid must be allocated centrally, and creates are rare enough
+  // that the state lock does not matter here.
   ThreadSlot *Parent = selfSlot(); // register the creator (e.g. main)
   std::string Site = resolveSite(__builtin_return_address(0));
   State->lock();
@@ -1167,6 +1492,10 @@ int pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,
     fprintf(State->Trace, "F %" PRIu64 " %" PRIu64 "\n", Parent->Tid,
             Slot->Tid);
   }
+  // One record covers both lines: the observer expands it to T then F.
+  if (State->Ring)
+    ringEmit(dlf::ring::RecordKind::ThreadFork, Parent->Tid, Slot->Tid,
+             ringInternString(Site));
   State->unlock();
 
   auto *Wrapped = new TrampolineArg{Routine, Arg, Slot};

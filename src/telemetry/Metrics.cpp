@@ -63,11 +63,34 @@ struct Shard {
   }
 };
 
+/// The registry lock is deliberately NOT a std::mutex. The LD_PRELOAD
+/// interposer calls into telemetry both from interposed entry points and
+/// from thread-exit TLS destructors (ThreadShards below retires under this
+/// lock). A std::mutex would route through the interposed
+/// pthread_mutex_lock; in contexts where the interposer's reentrancy flag
+/// is not set (TLS destruction runs outside any interposed call), the
+/// instrumented path acquires the real mutex and then re-enters the
+/// registry to count the event — a guaranteed self-deadlock on this very
+/// lock. A raw spinlock never touches pthread, so the interposer never
+/// sees it. Contention is registration/snapshot/retire only (writers go to
+/// lock-free shards), so spinning is also the right perf trade.
+struct SpinMutex {
+  std::atomic_flag F = ATOMIC_FLAG_INIT;
+  void lock() {
+    while (F.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void unlock() { F.clear(std::memory_order_release); }
+};
+
 /// Shared state of one Registry. Held by shared_ptr from the Registry and
 /// from every thread-local shard entry, so a shard outliving its Registry
 /// (a thread that exits later) still has somewhere safe to retire into.
 struct Core {
-  mutable std::mutex Mu;
+  mutable SpinMutex Mu;
   std::vector<std::string> CounterNames;
   std::vector<std::string> GaugeNames;
   std::vector<std::string> HistNames;
@@ -129,7 +152,7 @@ Shard &Core::localShard(const std::shared_ptr<Core> &Self) {
   auto S = std::make_unique<Shard>();
   Shard *Raw = S.get();
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    std::lock_guard<detail::SpinMutex> Lock(Mu);
     Shards.push_back(Raw);
   }
   TLShards.Entries.push_back({Self, std::move(S)});
@@ -139,7 +162,7 @@ Shard &Core::localShard(const std::shared_ptr<Core> &Self) {
 }
 
 void Core::retire(Shard *S) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::lock_guard<detail::SpinMutex> Lock(Mu);
   for (size_t I = 0; I != CounterNames.size(); ++I)
     RetiredCounters[I] += S->Counters[I].load(std::memory_order_relaxed);
   for (size_t I = 0; I != HistNames.size(); ++I) {
@@ -217,7 +240,7 @@ Registry &Registry::global() {
 }
 
 Counter Registry::counter(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(C->Mu);
+  std::lock_guard<detail::SpinMutex> Lock(C->Mu);
   auto It = std::find(C->CounterNames.begin(), C->CounterNames.end(), Name);
   if (It != C->CounterNames.end())
     return Counter(C.get(),
@@ -229,7 +252,7 @@ Counter Registry::counter(const std::string &Name) {
 }
 
 Gauge Registry::gauge(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(C->Mu);
+  std::lock_guard<detail::SpinMutex> Lock(C->Mu);
   auto It = std::find(C->GaugeNames.begin(), C->GaugeNames.end(), Name);
   if (It != C->GaugeNames.end())
     return Gauge(C.get(), static_cast<uint32_t>(It - C->GaugeNames.begin()));
@@ -240,7 +263,7 @@ Gauge Registry::gauge(const std::string &Name) {
 }
 
 Histogram Registry::histogram(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(C->Mu);
+  std::lock_guard<detail::SpinMutex> Lock(C->Mu);
   auto It = std::find(C->HistNames.begin(), C->HistNames.end(), Name);
   if (It != C->HistNames.end())
     return Histogram(C.get(),
@@ -254,7 +277,7 @@ Histogram Registry::histogram(const std::string &Name) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot Out;
-  std::lock_guard<std::mutex> Lock(C->Mu);
+  std::lock_guard<detail::SpinMutex> Lock(C->Mu);
   for (size_t I = 0; I != C->CounterNames.size(); ++I) {
     uint64_t Total = C->RetiredCounters[I];
     for (Shard *S : C->Shards)
@@ -279,7 +302,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> Lock(C->Mu);
+  std::lock_guard<detail::SpinMutex> Lock(C->Mu);
   C->RetiredCounters.fill(0);
   C->RetiredHists.fill(HistogramData{});
   for (auto &G : C->Gauges)

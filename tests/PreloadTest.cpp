@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include <sys/wait.h>
@@ -365,6 +366,111 @@ TEST(Preload, MalformedNumericInputsFailFast) {
                        " DLF_PRELOAD_PAUSE_MS=50 " DLF_ABBA_BIN
                        " >/dev/null 2>&1"),
             0);
+}
+
+/// Reduces a cycle report to its run-invariant lines: the cycle count
+/// (tool prefix stripped), the pruner line, and every per-cycle block. The
+/// closure timing line is run-dependent and excluded. This is the shape of
+/// report that must match between dlf-analyze on a text trace and
+/// dlf-observe on a ring recording of the same execution.
+std::string cycleSummary(const std::string &Report) {
+  std::istringstream In(Report);
+  std::string Line, Out;
+  while (std::getline(In, Line)) {
+    size_t Tool = Line.find(": ");
+    if (Line.find(" potential deadlock cycle(s)") != std::string::npos &&
+        Tool != std::string::npos) {
+      Out += Line.substr(Tool + 2) + "\n";
+      continue;
+    }
+    if (Line.rfind("#", 0) == 0 || Line.rfind("pruner: ", 0) == 0 ||
+        Line.rfind("classification: ", 0) == 0 ||
+        Line.rfind("cycle-spec: ", 0) == 0 || Line.rfind("  ", 0) == 0)
+      Out += Line + "\n";
+  }
+  return Out;
+}
+
+TEST(PreloadRing, CombinedModeMatchesTextAnalysis) {
+  // One execution, two recordings: the text trace and the binary ring.
+  // dlf-analyze on the former and dlf-observe on the latter must report
+  // the same cycles — the ring acceptance criterion, for both workloads.
+  for (const char *Workload : {"rwlock-abba", "condvar-hybrid"}) {
+    const std::string Trace = tmpPath((std::string("dlf_ring_") + Workload +
+                                       ".trace").c_str());
+    const std::string Ring = tmpPath((std::string("dlf_ring_") + Workload +
+                                      ".ring").c_str());
+    std::remove(Trace.c_str());
+    std::remove(Ring.c_str());
+
+    ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_PRELOAD_TRACE=" +
+                         Trace + " DLF_RING=" + Ring + " " DLF_RINGWORK_BIN
+                         " " + Workload + " >/dev/null 2>&1"),
+              0)
+        << Workload;
+
+    std::string Analyzed =
+        captureCommand(std::string(DLF_ANALYZE_BIN) + " " + Trace +
+                       " 2>/dev/null");
+    std::string Observed =
+        captureCommand(std::string(DLF_OBSERVE_BIN) + " " + Ring +
+                       " 2>/dev/null");
+    ASSERT_FALSE(Analyzed.empty()) << Workload;
+    ASSERT_FALSE(Observed.empty()) << Workload;
+    EXPECT_EQ(cycleSummary(Analyzed), cycleSummary(Observed)) << Workload;
+
+    std::remove(Trace.c_str());
+    std::remove(Ring.c_str());
+  }
+}
+
+TEST(PreloadRing, RingOnlyModeFindsTheRwlockCycle) {
+  // No text trace at all: DLF_RING alone, observer attaches after exit and
+  // rebuilds the model (ids, site#n, unlock sides) from raw records.
+  const std::string Ring = tmpPath("dlf_ringonly.ring");
+  std::remove(Ring.c_str());
+  ASSERT_EQ(runCommand("LD_PRELOAD=" DLF_PRELOAD_LIB " DLF_RING=" + Ring +
+                       " " DLF_RINGWORK_BIN " rwlock-abba >/dev/null 2>&1"),
+            0);
+  std::string Observed =
+      captureCommand(std::string(DLF_OBSERVE_BIN) + " " + Ring +
+                     " 2>/dev/null");
+  EXPECT_NE(Observed.find("1 potential deadlock cycle(s)"),
+            std::string::npos)
+      << Observed;
+  EXPECT_NE(Observed.find("cycle-spec: "), std::string::npos) << Observed;
+  std::remove(Ring.c_str());
+}
+
+TEST(PreloadRing, LaunchModeHandsTheTargetAMemfd) {
+  // dlf-observe creates the ring on an anonymous memfd, forks the target
+  // with DLF_RING=fd:<n>, and observes live: no ring file ever exists.
+  std::string Observed = captureCommand(
+      std::string(DLF_OBSERVE_BIN) + " --preload " DLF_PRELOAD_LIB
+      " -- " DLF_RINGWORK_BIN " rwlock-abba 2>/dev/null");
+  EXPECT_NE(Observed.find("1 potential deadlock cycle(s)"),
+            std::string::npos)
+      << Observed;
+}
+
+TEST(PreloadRing, ObserveExitCodesDistinguishFailures) {
+  // 2: not a ring.
+  const std::string Bogus = tmpPath("dlf_bogus.ring");
+  std::ofstream(Bogus) << "this is not a ring\n";
+  EXPECT_EQ(runCommand(std::string(DLF_OBSERVE_BIN) + " " + Bogus +
+                       " >/dev/null 2>&1"),
+            2);
+  std::remove(Bogus.c_str());
+  // 2: missing file.
+  EXPECT_EQ(runCommand(std::string(DLF_OBSERVE_BIN) +
+                       " /nonexistent/no.ring >/dev/null 2>&1"),
+            2);
+  // 1: usage errors.
+  EXPECT_EQ(runCommand(std::string(DLF_OBSERVE_BIN) + " >/dev/null 2>&1"),
+            1);
+  EXPECT_EQ(runCommand(std::string(DLF_OBSERVE_BIN) +
+                       " a.ring --max-cycle-length abc >/dev/null 2>&1"),
+            1);
 }
 
 } // namespace

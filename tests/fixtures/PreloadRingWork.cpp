@@ -1,0 +1,129 @@
+//===- tests/fixtures/PreloadRingWork.cpp - Ring transport workloads -------===//
+//
+// Plain-pthreads ports of the rwlock-abba and condvar-hybrid substrate
+// workloads, selected by argv[1], used by the ring CI tier and
+// PreloadTest.cpp to check that dlf-observe on a ring recording reports
+// the same cycles as dlf-analyze on the text trace of the same execution.
+//
+//   rwlock-abba:    scan holds registry(r)+tableA(r) and write-locks
+//                   tableB; merge holds registry(r)+tableB(r) and
+//                   write-locks tableA. The threads run sequentially on
+//                   purpose: inverted lock orders meet in the dependency
+//                   log without temporal overlap, so the fixture can never
+//                   actually deadlock under test-machine load, while the
+//                   shared registry read lock exercises the pruner's
+//                   shared-guard reasoning.
+//
+//   condvar-hybrid: flusher takes state -> journal after a cond wait;
+//                   producer takes journal -> state around the signal.
+//                   The inverted pair meets in the log, and the
+//                   signal->wake edge orders the two dependencies, so the
+//                   cycle's classification depends on both pipelines
+//                   rebuilding the condvar clock join identically.
+//
+// Deliberately uses no dlf headers: the target stays unmodified.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstring>
+#include <pthread.h>
+#include <unistd.h>
+
+namespace {
+
+pthread_rwlock_t Registry = PTHREAD_RWLOCK_INITIALIZER;
+pthread_rwlock_t TableA = PTHREAD_RWLOCK_INITIALIZER;
+pthread_rwlock_t TableB = PTHREAD_RWLOCK_INITIALIZER;
+
+pthread_mutex_t StateLock = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t Journal = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t Flushed = PTHREAD_COND_INITIALIZER;
+int Dirty = 0;
+int Work = 0;
+
+} // namespace
+
+// Exported (non-static) so dladdr can resolve stable call sites.
+extern "C" void *ringScan(void *) {
+  pthread_rwlock_rdlock(&Registry);
+  pthread_rwlock_rdlock(&TableA);
+  pthread_rwlock_wrlock(&TableB);
+  ++Work;
+  pthread_rwlock_unlock(&TableB);
+  pthread_rwlock_unlock(&TableA);
+  pthread_rwlock_unlock(&Registry);
+  return nullptr;
+}
+
+extern "C" void *ringMerge(void *) {
+  pthread_rwlock_rdlock(&Registry);
+  pthread_rwlock_rdlock(&TableB);
+  pthread_rwlock_wrlock(&TableA);
+  ++Work;
+  pthread_rwlock_unlock(&TableA);
+  pthread_rwlock_unlock(&TableB);
+  pthread_rwlock_unlock(&Registry);
+  return nullptr;
+}
+
+extern "C" void *ringFlusher(void *) {
+  pthread_mutex_lock(&StateLock);
+  while (!Dirty)
+    pthread_cond_wait(&Flushed, &StateLock);
+  pthread_mutex_lock(&Journal);
+  ++Work;
+  pthread_mutex_unlock(&Journal);
+  pthread_mutex_unlock(&StateLock);
+  return nullptr;
+}
+
+extern "C" void *ringProducer(void *) {
+  usleep(3 * 1000); // let the flusher park in the wait first (best effort)
+  pthread_mutex_lock(&Journal);
+  pthread_mutex_lock(&StateLock);
+  Dirty = 1;
+  ++Work;
+  pthread_cond_signal(&Flushed);
+  pthread_mutex_unlock(&StateLock);
+  pthread_mutex_unlock(&Journal);
+  return nullptr;
+}
+
+namespace {
+
+int runRwlockAbba() {
+  pthread_t Scan, Merge;
+  if (pthread_create(&Scan, nullptr, ringScan, nullptr) != 0)
+    return 1;
+  pthread_join(Scan, nullptr);
+  if (pthread_create(&Merge, nullptr, ringMerge, nullptr) != 0)
+    return 1;
+  pthread_join(Merge, nullptr);
+  return Work == 2 ? 0 : 1;
+}
+
+int runCondvarHybrid() {
+  // The producer never blocks while holding a lock the flusher needs
+  // before the signal, so this cannot deadlock at runtime; the inverted
+  // order exists only in the dependency log.
+  pthread_t Flusher, Producer;
+  if (pthread_create(&Flusher, nullptr, ringFlusher, nullptr) != 0)
+    return 1;
+  if (pthread_create(&Producer, nullptr, ringProducer, nullptr) != 0)
+    return 1;
+  pthread_join(Flusher, nullptr);
+  pthread_join(Producer, nullptr);
+  return Work == 2 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return 2;
+  if (std::strcmp(Argv[1], "rwlock-abba") == 0)
+    return runRwlockAbba();
+  if (std::strcmp(Argv[1], "condvar-hybrid") == 0)
+    return runCondvarHybrid();
+  return 2;
+}
