@@ -3,7 +3,9 @@
 #
 # Tier 0 (lint): the clang-tidy wall (scripts/lint.sh) — skips cleanly when
 # clang-tidy is not installed. Tier 1: the plain build and full test suite
-# (the gate every change must hold). Tier 2: the same suite under ASan+UBSan
+# (the gate every change must hold), plus end-to-end workload smokes
+# including the --phase1 predict engine (sound cycles certified, guarded
+# ones skipped). Tier 2: the same suite under ASan+UBSan
 # (DLF_SANITIZE=address), which is how the sandbox/journal/pool code gets
 # its memory-error coverage. Tier 2b: the runtime and scheduler suites under
 # ThreadSanitizer (DLF_SANITIZE=thread) — the code that juggles real
@@ -47,6 +49,17 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 # reacquire): both phases, deterministic confirmation.
 build/src/dlf-run rwlock-abba --reps 5 --seed 1 >/dev/null
 build/src/dlf-run condvar-hybrid --reps 5 --seed 1 >/dev/null
+# Sync-preserving prediction smoke: the predict engine must certify both
+# known-real registry deadlocks and discharge the gate-protected one
+# without spending phase 2 budget on it.
+PREDICTDIR="$(mktemp -d)"
+build/src/dlf-run rwlock-abba --campaign --phase1 predict --reps 3 \
+  --journal "$PREDICTDIR/rwlock.jsonl" | grep -q 'PREDICTED-SOUND'
+build/src/dlf-run condvar-hybrid --campaign --phase1 predict --reps 3 \
+  --journal "$PREDICTDIR/condvar.jsonl" | grep -q 'PREDICTED-SOUND'
+build/src/dlf-run guarded --campaign --phase1 predict --reps 3 \
+  --journal "$PREDICTDIR/guarded.jsonl" | grep -q 'reps executed 0'
+rm -rf "$PREDICTDIR"
 
 echo "== tier 2: ASan+UBSan build + full test suite =="
 cmake -B build-asan -S . -DDLF_SANITIZE=address >/dev/null
@@ -58,10 +71,14 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" --timeout 90
 echo "== tier 2b: TSan build + runtime/scheduler suites =="
 cmake -B build-tsan -S . -DDLF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  runtime_test scheduler_test parallel_closure_test ring_test dlf-run
+  runtime_test scheduler_test parallel_closure_test ring_test predict_test \
+  dlf-run
 build-tsan/tests/runtime_test
 build-tsan/tests/scheduler_test
 build-tsan/tests/parallel_closure_test
+# The sharded verdict workers under TSan: the shared trace index is
+# read-only and the per-worker closure state must never alias.
+build-tsan/tests/predict_test
 # The lock-free ring writer/reader under TSan: the seqlock stamps, the
 # cached head/tail refreshes, and the cross-shard merge must be race-free.
 build-tsan/tests/ring_test
@@ -72,12 +89,15 @@ build-tsan/src/dlf-run condvar-hybrid --reps 3 --seed 1 >/dev/null
 
 echo "== tier 3: bench smoke (build + one short closure case) =="
 cmake --build build -j "$JOBS" --target \
-  micro_igoodlock micro_abstraction micro_scheduler micro_analysis
+  micro_igoodlock micro_abstraction micro_scheduler micro_analysis \
+  micro_predict
 build/bench/micro_igoodlock \
   --benchmark_filter='BM_ClosureParallelJobs/6/4' \
   --benchmark_min_time=0.02
 build/bench/micro_analysis \
   --benchmark_filter='BM_GuardPrune' --benchmark_min_time=0.02
+build/bench/micro_predict \
+  --benchmark_filter='BM_PredictLinear/256' --benchmark_min_time=0.02
 
 echo "== tier 4: telemetry smoke (campaign export formats) =="
 TELDIR="$(mktemp -d)"

@@ -4,7 +4,10 @@
 # Runs the .clang-tidy check set (bugprone-*, concurrency-*, performance-*,
 # narrowing conversions) over every translation unit in src/, using a
 # compile_commands.json exported into build-lint/. Findings are errors
-# (WarningsAsErrors: '*'), so a clean exit means a clean tree.
+# (WarningsAsErrors: '*'), so a clean exit means a clean tree. The find
+# below globs all of src/ recursively, so new subsystems (ring/, the
+# analysis/Predict engine, campaign/) are covered the moment they land —
+# no per-directory opt-in to forget.
 #
 # clang-tidy is optional tooling: when it is not installed (the pinned CI
 # image ships gcc only), the script says so and exits 0 so ci.sh still runs

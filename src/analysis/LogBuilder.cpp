@@ -98,6 +98,20 @@ void IncrementalLogBuilder::feedOne(const TraceEvent &E) {
     }
     break;
   }
+  case TraceEvent::Kind::Join: {
+    auto Joiner = Threads.find(E.A);
+    auto Target = Threads.find(E.B);
+    if (Joiner == Threads.end() || Target == Threads.end()) {
+      if (Warn)
+        *Warn << "warning: event " << EventNo
+              << ": join references unknown thread\n";
+      break;
+    }
+    // Join is a must-order edge: the whole joined thread happens-before
+    // the joiner's next step (strengthens the pruner's HBOrdered check).
+    vcJoin(Joiner->second.Record.Clock, Target->second.Record.Clock);
+    break;
+  }
   case TraceEvent::Kind::CondNotify: {
     auto ThreadIt = Threads.find(E.A);
     if (ThreadIt == Threads.end()) {
@@ -107,8 +121,12 @@ void IncrementalLogBuilder::feedOne(const TraceEvent &E) {
       break;
     }
     BuilderThread &T = ThreadIt->second;
-    vcTick(T.Record.Clock, T.Record.Id);
+    // Store-then-tick: the clock a waiter inherits must exclude the
+    // notifier's post-notify tick, or acquires the notifier performs after
+    // the notify would falsely order before the waiter's post-wake acquires
+    // and the hb filter could discharge a real cycle.
     CondNotify[E.B] = T.Record.Clock;
+    vcTick(T.Record.Clock, T.Record.Id);
     break;
   }
   case TraceEvent::Kind::CondWake: {

@@ -206,6 +206,14 @@ RaceAnalysis dlf::analysis::detectRaces(const TraceFile &Trace,
         vcJoin(T.Clock, It->second);
       break;
     }
+    case TraceEvent::Kind::Join: {
+      // pthread_join returned: everything the joined thread did is ordered
+      // before the joiner's next step. Without this edge, post-join reads
+      // of a worker's writes are false positives.
+      ThreadState &Joiner = Thread(E.A);
+      vcJoin(Joiner.Clock, Thread(E.B).Clock);
+      break;
+    }
     case TraceEvent::Kind::ObjectNew:
       Object(E.A).Abs = E.Text;
       break;

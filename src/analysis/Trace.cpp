@@ -118,6 +118,11 @@ TraceReadStatus dlf::analysis::readTrace(const std::string &Path,
       if (!parseId(Fields, E.A) || !parseId(Fields, E.B))
         return Malformed("malformed fork event");
       break;
+    case 'J':
+      E.K = TraceEvent::Kind::Join;
+      if (!parseId(Fields, E.A) || !parseId(Fields, E.B))
+        return Malformed("malformed join event");
+      break;
     case 'O':
       E.K = TraceEvent::Kind::ObjectNew;
       if (!parseId(Fields, E.A) || !parseText(Fields, E.Text))

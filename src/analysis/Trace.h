@@ -48,6 +48,9 @@ namespace analysis {
 ///   CondWake:      A = tid, B = cid (waiter resumed after a notify;
 ///                  happens-before sink)
 ///   Fork:          A = parent tid, B = child tid
+///   Join:          A = joiner tid, B = joined tid (pthread_join returned:
+///                  everything the joined thread did happens-before the
+///                  joiner's next step)
 ///   ObjectNew:     A = oid, Text = abstraction
 ///   Read/Write:    A = tid, B = oid, Text = access site
 struct TraceEvent {
@@ -62,6 +65,7 @@ struct TraceEvent {
     CondNotify,
     CondWake,
     Fork,
+    Join,
     ObjectNew,
     Read,
     Write

@@ -1,0 +1,89 @@
+//===- analysis/TraceRecorder.cpp - Runtime events to trace tee -------------===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TraceRecorder.h"
+
+namespace dlf {
+namespace analysis {
+
+void TraceRecorder::push(TraceEvent::Kind K, uint64_t A, uint64_t B,
+                         std::string Text) {
+  TraceEvent E;
+  E.K = K;
+  E.A = A;
+  E.B = B;
+  E.Text = std::move(Text);
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::onThreadCreated(const ThreadRecord &T) {
+  if (Inner)
+    Inner->onThreadCreated(T);
+  push(TraceEvent::Kind::ThreadNew, T.Id.Raw, 0,
+       T.Name.empty() ? "thread" + std::to_string(T.Id.Raw) : T.Name);
+}
+
+void TraceRecorder::onLockCreated(const LockRecord &L) {
+  if (Inner)
+    Inner->onLockCreated(L);
+  push(TraceEvent::Kind::LockNew, L.Id.Raw, 0,
+       L.Name.empty() ? "lock" + std::to_string(L.Id.Raw) : L.Name);
+}
+
+void TraceRecorder::onAcquireExecuted(
+    const ThreadRecord &T, const LockRecord &L,
+    const std::vector<LockStackEntry> &HeldBefore, Label Site, LockMode Mode) {
+  // Dependency-relation event only: the trace line waits for the grant.
+  if (Inner)
+    Inner->onAcquireExecuted(T, L, HeldBefore, Site, Mode);
+}
+
+void TraceRecorder::onLockGranted(const ThreadRecord &T, const LockRecord &L,
+                                  Label Site, LockMode Mode) {
+  if (Inner)
+    Inner->onLockGranted(T, L, Site, Mode);
+  push(Mode == LockMode::Shared ? TraceEvent::Kind::SharedAcquire
+                                : TraceEvent::Kind::Acquire,
+       T.Id.Raw, L.Id.Raw, Site.text());
+}
+
+void TraceRecorder::onReleaseExecuted(const ThreadRecord &T,
+                                      const LockRecord &L, LockMode Mode) {
+  if (Inner)
+    Inner->onReleaseExecuted(T, L, Mode);
+  push(Mode == LockMode::Shared ? TraceEvent::Kind::SharedRelease
+                                : TraceEvent::Kind::Release,
+       T.Id.Raw, L.Id.Raw, std::string());
+}
+
+void TraceRecorder::onCondNotify(const ThreadRecord &T, const CondRecord &CV) {
+  if (Inner)
+    Inner->onCondNotify(T, CV);
+  push(TraceEvent::Kind::CondNotify, T.Id.Raw, CV.Id, std::string());
+}
+
+void TraceRecorder::onCondWake(const ThreadRecord &T, const CondRecord &CV) {
+  if (Inner)
+    Inner->onCondWake(T, CV);
+  push(TraceEvent::Kind::CondWake, T.Id.Raw, CV.Id, std::string());
+}
+
+void TraceRecorder::onForkEdge(const ThreadRecord &Parent,
+                               const ThreadRecord &Child) {
+  if (Inner)
+    Inner->onForkEdge(Parent, Child);
+  push(TraceEvent::Kind::Fork, Parent.Id.Raw, Child.Id.Raw, std::string());
+}
+
+void TraceRecorder::onJoinExecuted(const ThreadRecord &T,
+                                   const ThreadRecord &Target) {
+  if (Inner)
+    Inner->onJoinExecuted(T, Target);
+  push(TraceEvent::Kind::Join, T.Id.Raw, Target.Id.Raw, std::string());
+}
+
+} // namespace analysis
+} // namespace dlf

@@ -1,0 +1,67 @@
+//===- analysis/TraceRecorder.h - Runtime events to trace tee ---*- C++ -*-===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A DependencyRecorder tee: forwards every notification to an inner
+/// recorder (typically the iGoodlock LockDependencyLog) while appending
+/// the equivalent TraceEvents to an in-memory trace — the same event
+/// stream the preload front end writes to disk. Campaigns use it to hand
+/// Phase I executions to the --predict engine without a trace file.
+///
+/// Acquire events are emitted at the *grant* (onLockGranted), not the
+/// attempt: the prediction soundness argument requires that conflicting
+/// critical sections never overlap in trace order, which only grant-order
+/// emission guarantees (see analysis/Predict.cpp).
+///
+/// Calls are externally synchronized by the runtime, like any recorder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLF_ANALYSIS_TRACERECORDER_H
+#define DLF_ANALYSIS_TRACERECORDER_H
+
+#include "analysis/Trace.h"
+#include "runtime/Recorder.h"
+
+#include <utility>
+#include <vector>
+
+namespace dlf {
+namespace analysis {
+
+class TraceRecorder : public DependencyRecorder {
+public:
+  /// \p Inner may be null (trace capture only).
+  explicit TraceRecorder(DependencyRecorder *Inner) : Inner(Inner) {}
+
+  void onThreadCreated(const ThreadRecord &T) override;
+  void onLockCreated(const LockRecord &L) override;
+  void onAcquireExecuted(const ThreadRecord &T, const LockRecord &L,
+                         const std::vector<LockStackEntry> &HeldBefore,
+                         Label Site, LockMode Mode) override;
+  void onLockGranted(const ThreadRecord &T, const LockRecord &L, Label Site,
+                     LockMode Mode) override;
+  void onReleaseExecuted(const ThreadRecord &T, const LockRecord &L,
+                         LockMode Mode) override;
+  void onCondNotify(const ThreadRecord &T, const CondRecord &CV) override;
+  void onCondWake(const ThreadRecord &T, const CondRecord &CV) override;
+  void onForkEdge(const ThreadRecord &Parent, const ThreadRecord &Child) override;
+  void onJoinExecuted(const ThreadRecord &T, const ThreadRecord &Target) override;
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  std::vector<TraceEvent> takeEvents() { return std::move(Events); }
+
+private:
+  void push(TraceEvent::Kind K, uint64_t A, uint64_t B, std::string Text);
+
+  DependencyRecorder *Inner = nullptr;
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace analysis
+} // namespace dlf
+
+#endif // DLF_ANALYSIS_TRACERECORDER_H

@@ -75,6 +75,30 @@ bool dlf::campaign::runClassIsTransient(RunClass C) {
   return false;
 }
 
+const char *dlf::campaign::phase1EngineName(Phase1Engine E) {
+  switch (E) {
+  case Phase1Engine::IGoodlock:
+    return "igoodlock";
+  case Phase1Engine::Predict:
+    return "predict";
+  case Phase1Engine::Both:
+    return "both";
+  }
+  return "unknown";
+}
+
+bool dlf::campaign::phase1EngineFromName(const std::string &Name,
+                                         Phase1Engine &Out) {
+  for (Phase1Engine E : {Phase1Engine::IGoodlock, Phase1Engine::Predict,
+                         Phase1Engine::Both}) {
+    if (Name == phase1EngineName(E)) {
+      Out = E;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string CycleCampaignStats::countsKey() const {
   std::ostringstream OS;
   OS << "reps=" << Reps << " repro=" << Reproduced << " other="
@@ -102,6 +126,12 @@ std::string CampaignReport::toString() const {
       OS << "  classification: " << S.Classification
          << (S.Skipped ? " (phase 2 skipped; rerun with --include-guarded)"
                        : "")
+         << "\n";
+    if (!S.Prediction.empty())
+      OS << "  prediction: " << S.Prediction
+         << (S.Skipped && S.Prediction.rfind("UNCONFIRMED", 0) == 0
+                 ? " (phase 2 skipped; rerun with --include-guarded)"
+                 : "")
          << "\n";
     if (S.Quarantined)
       OS << "  quarantined: " << S.QuarantineReason << "\n";
@@ -229,6 +259,69 @@ std::vector<analysis::CycleClassification> parsePrune(const std::string &Text,
   return Parsed;
 }
 
+/// Prediction reasons embed lock names and travel on one ';'-delimited
+/// protocol line; collapse the structural delimiters only (spaces are
+/// legal inside an item, unlike on the witness line).
+std::string sanitizeReason(std::string S) {
+  for (char &C : S)
+    if (C == ';' || C == '|' || C == '\n' || C == '\r')
+      C = '_';
+  return S;
+}
+
+/// ';'-joined "<verdict>|<witness-events>|<reason>" list, parallel to the
+/// cycle list — the prediction verdicts' wire/journal form.
+std::string
+serializePredict(const std::vector<analysis::CyclePrediction> &Preds) {
+  std::string Out;
+  for (size_t I = 0; I != Preds.size(); ++I) {
+    if (I)
+      Out += ';';
+    Out += analysis::predictVerdictName(Preds[I].Verdict);
+    Out += '|';
+    Out += std::to_string(Preds[I].WitnessEvents);
+    Out += '|';
+    Out += sanitizeReason(Preds[I].Reason);
+  }
+  return Out;
+}
+
+/// Parses serializePredict output. Anything unparseable (old journal,
+/// count mismatch, unknown verdict) yields an empty vector: with no
+/// verdicts the campaign neither reorders nor skips — the conservative
+/// reading that never drops a repetition it should have run.
+std::vector<analysis::CyclePrediction> parsePredict(const std::string &Text,
+                                                    size_t NumCycles) {
+  std::vector<analysis::CyclePrediction> Parsed;
+  if (Text.empty())
+    return Parsed;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find(';', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Item = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Bar1 = Item.find('|');
+    analysis::CyclePrediction P;
+    if (!analysis::predictVerdictFromName(Item.substr(0, Bar1), P.Verdict))
+      return {};
+    if (Bar1 != std::string::npos) {
+      size_t Bar2 = Item.find('|', Bar1 + 1);
+      P.WitnessEvents =
+          std::strtoull(Item.c_str() + Bar1 + 1, nullptr, 10);
+      if (Bar2 != std::string::npos)
+        P.Reason = Item.substr(Bar2 + 1);
+    }
+    Parsed.push_back(std::move(P));
+    if (End == Text.size())
+      break;
+  }
+  if (Parsed.size() != NumCycles)
+    return {};
+  return Parsed;
+}
+
 /// Campaign-level counters for one committed repetition, recorded at the
 /// in-order commit frontier so totals are identical for every Jobs value.
 /// (Wall/cpu histograms are informational — wall-clock is never claimed
@@ -306,6 +399,9 @@ JsonValue CampaignRunner::headerRecord() const {
   // IncludeGuarded changes which repetitions exist at all (skipped cycles
   // have none), so unlike Jobs it MUST fence journals apart.
   H.set("include_guarded", Config.IncludeGuarded);
+  // The Phase I engine changes the cycle order (sound-first reorder) and,
+  // in predict mode, which repetitions exist — it must fence too.
+  H.set("phase1", phase1EngineName(Config.Phase1));
   return H;
 }
 
@@ -383,6 +479,9 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
     // and *name* them; whether Phase II spends budget on them is the
     // IncludeGuarded policy decision, applied at dispatch time.
     TC.Goodlock.KeepGuardedCycles = true;
+    // Prediction needs the observation as an event trace, not just the
+    // dependency log.
+    TC.RecordTrace = Config.Phase1 != Phase1Engine::IGoodlock;
     std::string SidecarPath;
     if (!SidecarDirInUse.empty())
       SidecarPath =
@@ -406,6 +505,16 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
                << " exhausted=" << (P1.RetriesExhausted ? 1 : 0)
                << " seeds=" << P1.SeedsTried.size() << "\n";
           Head << "prune " << serializePrune(Classes) << "\n";
+          if (TC.RecordTrace) {
+            // Sync-preserving verdicts over the captured trace (serial:
+            // the child is already one process of a possibly parallel
+            // campaign, and verdicts are jobs-independent anyway).
+            analysis::TraceFile Trace;
+            Trace.Events = std::move(P1.Trace);
+            std::vector<analysis::CyclePrediction> Preds =
+                analysis::evaluateCycles(Trace, P1.Cycles);
+            Head << "predict " << serializePredict(Preds) << "\n";
+          }
           writeAll(Fd, Head.str());
           writeAll(Fd, serializeCycles(P1.Cycles));
           if (!SidecarPath.empty())
@@ -461,6 +570,18 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
         if (PruneLine.size() > 6)
           PruneText = PruneLine.substr(6);
       }
+      // Optional third protocol line: the prediction verdicts (--phase1
+      // predict/both). Same peel-before-the-document discipline.
+      std::string PredictText;
+      if (Doc.rfind("predict", 0) == 0) {
+        size_t PredNl = Doc.find('\n');
+        std::string PredLine =
+            Doc.substr(0, PredNl == std::string::npos ? Doc.size() : PredNl);
+        Doc = PredNl == std::string::npos ? std::string()
+                                          : Doc.substr(PredNl + 1);
+        if (PredLine.size() > 8)
+          PredictText = PredLine.substr(8);
+      }
       auto Kv = parseKvLine(Head);
       std::string ParseError;
       if (Kv.count("completed") == 0 ||
@@ -478,6 +599,32 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
       }
       Report.PhaseOneCompleted = Kv["completed"] == "1";
       Report.Classifications = parsePrune(PruneText, Report.Cycles.size());
+      Report.Predictions = parsePredict(PredictText, Report.Cycles.size());
+      // Sound-first stable reorder (predict/both): Phase II budget reaches
+      // the realizable cycles before any UNCONFIRMED one, and in predict
+      // mode the skipped suffix is contiguous. Applied BEFORE the journal
+      // record is built, so cycle indices mean the same thing on resume.
+      if (Config.Phase1 != Phase1Engine::IGoodlock &&
+          Report.Predictions.size() == Report.Cycles.size()) {
+        std::vector<size_t> Order(Report.Cycles.size());
+        for (size_t I = 0; I != Order.size(); ++I)
+          Order[I] = I;
+        std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+          return Report.Predictions[A].sound() > Report.Predictions[B].sound();
+        });
+        std::vector<AbstractCycle> Cycles;
+        std::vector<analysis::CycleClassification> Classes;
+        std::vector<analysis::CyclePrediction> Preds;
+        for (size_t I : Order) {
+          Cycles.push_back(std::move(Report.Cycles[I]));
+          if (I < Report.Classifications.size())
+            Classes.push_back(std::move(Report.Classifications[I]));
+          Preds.push_back(std::move(Report.Predictions[I]));
+        }
+        Report.Cycles = std::move(Cycles);
+        Report.Classifications = std::move(Classes);
+        Report.Predictions = std::move(Preds);
+      }
       MergePhaseOneSidecar();
       if (!SidecarPath.empty())
         unlink(SidecarPath.c_str());
@@ -492,6 +639,7 @@ bool CampaignRunner::runPhaseOneSandboxed(CampaignReport &Report,
       Record.set("seeds", std::move(Seeds));
       Record.set("cycles", serializeCycles(Report.Cycles));
       Record.set("prune", serializePrune(Report.Classifications));
+      Record.set("predict", serializePredict(Report.Predictions));
       return true;
     }
 
@@ -619,9 +767,17 @@ void CampaignRunner::runPhaseTwo(
   // Statically discharged cycles consume no repetition budget unless
   // IncludeGuarded overrides: their frontier starts fully committed, so the
   // commit walk, journal, and resume all agree the cycle has nothing to do.
+  // Under --phase1 predict, an UNCONFIRMED verdict discharges the same way
+  // (the engine is sound: a cycle with no witness in the observation gets
+  // no budget); --phase1 both keeps iGoodlock's budget policy and uses
+  // verdicts for ordering/reporting only.
   for (unsigned C = 0; C != NumCycles; ++C) {
-    if (!Config.IncludeGuarded && C < Report.Classifications.size() &&
-        !Report.Classifications[C].schedulable()) {
+    bool PrunerSkip = C < Report.Classifications.size() &&
+                      !Report.Classifications[C].schedulable();
+    bool PredictSkip = Config.Phase1 == Phase1Engine::Predict &&
+                       C < Report.Predictions.size() &&
+                       !Report.Predictions[C].sound();
+    if (!Config.IncludeGuarded && (PrunerSkip || PredictSkip)) {
       Progress[C].Frontier = Reps;
       Progress[C].NextDispatch = Reps;
       Report.PerCycle[C].Skipped = true;
@@ -1216,6 +1372,10 @@ CampaignReport CampaignRunner::run(bool Resume) {
     // Missing/garbled verdicts degrade to all-Schedulable (nothing skipped).
     Report.Classifications =
         parsePrune(Phase1Rec["prune"].asString(), Report.Cycles.size());
+    // Journaled cycles are already in sound-first order; only the verdicts
+    // themselves need restoring (garbled → empty → nothing skipped).
+    Report.Predictions =
+        parsePredict(Phase1Rec["predict"].asString(), Report.Cycles.size());
   } else {
     JsonValue Record;
     if (!runPhaseOneSandboxed(Report, Record))
@@ -1230,6 +1390,8 @@ CampaignReport CampaignRunner::run(bool Resume) {
   for (size_t I = 0; I != Report.Cycles.size(); ++I) {
     Report.PerCycle[I].Cycle = Report.Cycles[I];
     Report.PerCycle[I].Classification = Report.Classifications[I].label();
+    if (I < Report.Predictions.size())
+      Report.PerCycle[I].Prediction = Report.Predictions[I].label();
   }
 
   runPhaseTwo(Report, Replay, JournaledQuarantines, HaveDone);

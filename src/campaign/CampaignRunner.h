@@ -39,6 +39,7 @@
 #define DLF_CAMPAIGN_CAMPAIGNRUNNER_H
 
 #include "analysis/GuardPruner.h"
+#include "analysis/Predict.h"
 #include "campaign/Journal.h"
 #include "campaign/ProcessSandbox.h"
 #include "campaign/WorkerPool.h"
@@ -78,6 +79,30 @@ bool runClassFromName(const std::string &Name, RunClass &Out);
 /// True for process-level failures worth retrying with a fresh seed
 /// (hung / crashed / oom); false for in-protocol results.
 bool runClassIsTransient(RunClass C);
+
+/// Which engine grades Phase I's cycle candidates before Phase II spends
+/// repetitions on them.
+enum class Phase1Engine {
+  /// iGoodlock alone (the paper's Phase I): every enumerated cycle that the
+  /// guard pruner cannot discharge gets Phase II budget.
+  IGoodlock,
+  /// Sync-preserving prediction: the Phase I child also captures the
+  /// observation as an event trace and computes a sound verdict per cycle.
+  /// Phase II runs only PREDICTED-SOUND cycles (plus whatever
+  /// --include-guarded re-admits), sound-first.
+  Predict,
+  /// Both: verdicts are computed and reported, and sound cycles are
+  /// scheduled first, but no cycle is skipped on prediction grounds —
+  /// iGoodlock's budget policy with prediction's prioritization.
+  Both,
+};
+
+/// Stable short name ("igoodlock" / "predict" / "both") for the journal
+/// header and --phase1.
+const char *phase1EngineName(Phase1Engine E);
+
+/// Parses a phase1EngineName back; returns false for unknown names.
+bool phase1EngineFromName(const std::string &Name, Phase1Engine &Out);
 
 /// Campaign configuration. Sandbox and retry knobs default from
 /// Options::WatchdogMs / WatchdogGraceMs via the ActiveTesterConfig.
@@ -132,6 +157,12 @@ struct CampaignConfig {
   /// no repetition budget. Part of the journal fingerprint — skipping
   /// changes which repetitions exist.
   bool IncludeGuarded = false;
+
+  /// Phase I grading engine (--phase1). Predict/Both reorder the cycle
+  /// list sound-first and Predict skips UNCONFIRMED cycles, so the engine
+  /// is part of the journal fingerprint: it changes both the meaning of
+  /// cycle indices and which repetitions exist.
+  Phase1Engine Phase1 = Phase1Engine::IGoodlock;
 
   /// rlimit caps applied to every child; 0 inherits.
   uint64_t RlimitAsMb = 0;
@@ -205,8 +236,13 @@ struct CycleCampaignStats {
   /// Pruner verdict for this cycle ("schedulable", "guarded (guard lock:
   /// m)", ...); empty for journals/campaigns that predate the pruner.
   std::string Classification;
+  /// Prediction label ("PREDICTED-SOUND (witness: N events)" /
+  /// "UNCONFIRMED (<reason>)"); empty unless the campaign ran with
+  /// --phase1 predict or both.
+  std::string Prediction;
   /// True when Phase II spent no budget on this cycle because the pruner
-  /// discharged it (and IncludeGuarded was off).
+  /// discharged it (and IncludeGuarded was off) — or, under --phase1
+  /// predict, because the prediction engine left it UNCONFIRMED.
   bool Skipped = false;
 
   double probability() const {
@@ -226,6 +262,11 @@ struct CampaignReport {
   /// Guard-lock pruner verdict per cycle, parallel to Cycles (computed in
   /// the Phase I child, journaled, restored on resume).
   std::vector<analysis::CycleClassification> Classifications;
+  /// Sync-preserving prediction verdict per cycle, parallel to Cycles
+  /// (Phase1Engine::Predict / Both; empty otherwise, or when the wire /
+  /// journal form failed to parse — then nothing is skipped or reordered,
+  /// the conservative reading).
+  std::vector<analysis::CyclePrediction> Predictions;
   std::vector<CycleCampaignStats> PerCycle;
 
   /// Fresh child repetitions executed by this invocation.

@@ -2,6 +2,7 @@
 
 #include "fuzzer/ActiveTester.h"
 
+#include "analysis/TraceRecorder.h"
 #include "campaign/ProcessSandbox.h"
 #include "fuzzer/CycleSpec.h"
 #include "fuzzer/DeadlockFuzzerStrategy.h"
@@ -37,8 +38,13 @@ PhaseOneResult ActiveTester::runPhaseOne() {
     Options Opts = Config.Base;
     Opts.Mode = RunMode::Record;
     Opts.RecordDependencies = true;
-    Runtime RT(Opts, nullptr, &R.Log);
+    analysis::TraceRecorder Tee(&R.Log);
+    Runtime RT(Opts, nullptr,
+               Config.RecordTrace ? static_cast<DependencyRecorder *>(&Tee)
+                                  : &R.Log);
     R.Exec = RT.run(TheProgram);
+    if (Config.RecordTrace)
+      R.Trace = Tee.takeEvents();
     R.SeedsTried.push_back(Config.PhaseOneSeed);
     R.Cycles = runIGoodlock(R.Log, Config.Goodlock, &R.Stats);
     return R;
@@ -67,8 +73,13 @@ PhaseOneResult ActiveTester::runPhaseOne() {
     SeedsTried.push_back(Opts.Seed);
 
     SimpleRandomStrategy Random;
-    Runtime RT(Opts, &Random, &R.Log);
+    analysis::TraceRecorder Tee(&R.Log);
+    Runtime RT(Opts, &Random,
+               Config.RecordTrace ? static_cast<DependencyRecorder *>(&Tee)
+                                  : &R.Log);
     R.Exec = RT.run(TheProgram);
+    if (Config.RecordTrace)
+      R.Trace = Tee.takeEvents();
 
     if (R.Exec.Completed) {
       // A full observation: its own cycles are authoritative.

@@ -16,6 +16,7 @@
 #ifndef DLF_FUZZER_ACTIVETESTER_H
 #define DLF_FUZZER_ACTIVETESTER_H
 
+#include "analysis/Trace.h"
 #include "fuzzer/CycleSpec.h"
 #include "igoodlock/IGoodlock.h"
 #include "igoodlock/LockDependency.h"
@@ -58,6 +59,12 @@ struct ActiveTesterConfig {
   /// Base seed for Phase II; repetition r uses PhaseTwoSeedBase + r.
   uint64_t PhaseTwoSeedBase = 1000;
 
+  /// Capture the Phase I observation as an in-memory event trace
+  /// (PhaseOneResult::Trace) alongside the dependency log. Required for
+  /// sync-preserving prediction (--phase1 predict); off by default because
+  /// most callers only need the iGoodlock log.
+  bool RecordTrace = false;
+
   IGoodlockOptions Goodlock;
 };
 
@@ -67,6 +74,12 @@ struct PhaseOneResult {
   ExecutionResult Exec;
   std::vector<AbstractCycle> Cycles;
   IGoodlockStats Stats;
+
+  /// The observation as a grant-ordered event trace (empty unless
+  /// ActiveTesterConfig::RecordTrace). For a completed observation this is
+  /// that execution's trace; when every attempt stalled it is the first
+  /// attempt's partial trace.
+  std::vector<analysis::TraceEvent> Trace;
 
   /// The consecutive seeds the observation consumed, in order (one per
   /// attempt; more than one means earlier attempts deadlocked/stalled).

@@ -21,16 +21,28 @@
 // is byte-identical for every --analysis-jobs value; job/timing chatter
 // goes to stderr.
 //
-// Usage: dlf-analyze <trace-file> [--max-cycle-length N]
-//                    [--analysis-jobs N] [--races]
+// --predict runs the sound sync-preserving deadlock predictor instead
+// (analysis/Predict.h): the same iGoodlock enumeration, but every cycle
+// gets a PREDICTED-SOUND / UNCONFIRMED verdict backed by a witness search
+// over the trace. Same determinism contract: stdout is byte-identical for
+// every --analysis-jobs value.
 //
-// Exit codes: 0 analysis ran; 1 usage error; 2 unreadable/corrupt trace;
-// 3 trace carries no events (see analysis/Trace.h for the rationale).
+// Mode flags are mutually exclusive: --predict --races has no defined merge
+// semantics and is a usage error (exit 1).
+//
+// Usage: dlf-analyze <trace-file> [--max-cycle-length N]
+//                    [--analysis-jobs N] [--races | --predict]
+//
+// Exit codes (all modes, --predict included): 0 analysis ran; 1 usage
+// error; 2 unreadable/corrupt trace; 3 trace carries no events (see
+// analysis/Trace.h for the rationale). A PREDICTED-SOUND cycle does not
+// change the exit code — verdicts are report content, not process status.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/GuardPruner.h"
 #include "analysis/LogBuilder.h"
+#include "analysis/Predict.h"
 #include "analysis/RaceDetector.h"
 #include "analysis/Trace.h"
 #include "igoodlock/IGoodlock.h"
@@ -73,6 +85,22 @@ int runDeadlockAnalysis(const analysis::TraceFile &Trace,
   return 0;
 }
 
+int runPredictAnalysis(const analysis::TraceFile &Trace,
+                       const IGoodlockOptions &Opts) {
+  analysis::PredictAnalysis R = analysis::predictDeadlocks(Trace, Opts);
+
+  // Run-dependent chatter (jobs, timing, assignment counts) stays on
+  // stderr: stdout is byte-identical for every --analysis-jobs value.
+  std::cerr << "dlf-analyze: predict pass over " << R.Stats.EventsSeen
+            << " events, " << R.Stats.AcquiresIndexed << " acquires, "
+            << R.Stats.AssignmentsTried << " assignments, "
+            << R.Stats.ElapsedMicros << " us, jobs " << R.Stats.JobsUsed
+            << "\n";
+
+  analysis::printPredictReport(std::cout, "dlf-analyze", R);
+  return 0;
+}
+
 int runRaceAnalysis(const analysis::TraceFile &Trace, unsigned Jobs) {
   analysis::RaceDetectorOptions Opts;
   Opts.Jobs = Jobs;
@@ -94,15 +122,17 @@ int runRaceAnalysis(const analysis::TraceFile &Trace, unsigned Jobs) {
 
 int main(int Argc, char **Argv) {
   const char *Usage = "usage: dlf-analyze <trace-file> "
-                      "[--max-cycle-length N] [--analysis-jobs N] [--races]\n"
-                      "                   [--metrics-out FILE] "
-                      "[--metrics-format json|prom]\n";
+                      "[--max-cycle-length N] [--analysis-jobs N]\n"
+                      "                   [--races | --predict] "
+                      "[--metrics-out FILE]\n"
+                      "                   [--metrics-format json|prom]\n";
   if (Argc < 2) {
     std::cerr << Usage;
     return ExitUsage;
   }
   IGoodlockOptions Opts;
   bool Races = false;
+  bool Predict = false;
   std::string MetricsOut;
   bool MetricsProm = false;
   bool MetricsFormatGiven = false;
@@ -110,6 +140,10 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     if (Arg == "--races") {
       Races = true;
+      continue;
+    }
+    if (Arg == "--predict") {
+      Predict = true;
       continue;
     }
     if (Arg == "--metrics-out") {
@@ -160,6 +194,13 @@ int main(int Argc, char **Argv) {
       Opts.AnalysisJobs = static_cast<unsigned>(N);
     ++I;
   }
+  if (Races && Predict) {
+    // Contradictory mode flags: the passes print different report formats
+    // and there is no defined merge; refuse rather than silently pick one.
+    std::cerr << "error: --predict and --races are mutually exclusive\n"
+              << Usage;
+    return ExitUsage;
+  }
   if (MetricsFormatGiven && MetricsOut.empty()) {
     std::cerr << "error: --metrics-format only applies to --metrics-out\n"
               << Usage;
@@ -185,8 +226,9 @@ int main(int Argc, char **Argv) {
   for (const std::string &W : Trace.Warnings)
     std::cerr << "warning: " << W << "\n";
 
-  int Rc = Races ? runRaceAnalysis(Trace, Opts.AnalysisJobs)
-                 : runDeadlockAnalysis(Trace, Opts);
+  int Rc = Races     ? runRaceAnalysis(Trace, Opts.AnalysisJobs)
+           : Predict ? runPredictAnalysis(Trace, Opts)
+                     : runDeadlockAnalysis(Trace, Opts);
   if (Rc == 0 && !MetricsOut.empty()) {
     telemetry::MetricsSnapshot Snap =
         telemetry::Registry::global().snapshot();

@@ -81,6 +81,7 @@ using CondNotifyFn = int (*)(pthread_cond_t *);
 using RwlockOpFn = int (*)(pthread_rwlock_t *);
 using CreateFn = int (*)(pthread_t *, const pthread_attr_t *,
                          void *(*)(void *), void *);
+using JoinFn = int (*)(pthread_t, void **);
 
 MutexLockFn RealLock;
 MutexUnlockFn RealUnlock;
@@ -97,6 +98,7 @@ RwlockOpFn RealTryWrlock;
 RwlockOpFn RealRwUnlock;
 RwlockOpFn RealRwDestroy;
 CreateFn RealCreate;
+JoinFn RealJoin;
 
 void resolveReals() {
   // Called from the library constructor; dlsym(RTLD_NEXT) is safe by then.
@@ -129,6 +131,7 @@ void resolveReals() {
   RealRwDestroy = reinterpret_cast<RwlockOpFn>(
       dlsym(RTLD_NEXT, "pthread_rwlock_destroy"));
   RealCreate = reinterpret_cast<CreateFn>(dlsym(RTLD_NEXT, "pthread_create"));
+  RealJoin = reinterpret_cast<JoinFn>(dlsym(RTLD_NEXT, "pthread_join"));
 }
 
 // -- Site resolution -------------------------------------------------------------
@@ -226,6 +229,9 @@ struct GlobalState {
   std::unordered_map<pthread_cond_t *, uint64_t> Conds;
   std::unordered_map<const void *, ObjectInfo> Objects;
   std::vector<ThreadSlot *> Threads;
+  /// pthread_create handle -> our tid, consumed by the pthread_join
+  /// interposition to emit the J (join happens-before) edge.
+  std::unordered_map<pthread_t, uint64_t> JoinHandles;
   std::unordered_map<std::string, uint64_t> SiteCounts;
 
   void lock() { RealLock(&Mu); }
@@ -1504,7 +1510,37 @@ int pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,
     // The slot stays registered (its tid and trace lines are already out);
     // it just never goes live.
     delete Wrapped;
+  } else {
+    // The handle is only meaningful to callers once we return, so binding
+    // it after the real create cannot race a join on it.
+    State->lock();
+    State->JoinHandles[*Thread] = Slot->Tid;
+    State->unlock();
   }
+  return Rc;
+}
+
+int pthread_join(pthread_t Thread, void **Retval) {
+  if (!RealJoin)
+    RealJoin = reinterpret_cast<JoinFn>(dlsym(RTLD_NEXT, "pthread_join"));
+  int Rc = RealJoin(Thread, Retval);
+  if (Rc != 0 || !State || InInternal || analysisOff())
+    return Rc;
+  // A returned join is a happens-before edge: everything the joined thread
+  // did is ordered before the joiner's next step. Without the J line the
+  // race detector reports false positives on join-synchronized accesses.
+  ThreadSlot *T = selfSlot();
+  State->lock();
+  auto It = State->JoinHandles.find(Thread);
+  if (It != State->JoinHandles.end()) {
+    uint64_t Child = It->second;
+    State->JoinHandles.erase(It);
+    if (State->Trace)
+      fprintf(State->Trace, "J %" PRIu64 " %" PRIu64 "\n", T->Tid, Child);
+    if (State->Ring)
+      ringEmit(dlf::ring::RecordKind::Join, T->Tid, Child, 0);
+  }
+  State->unlock();
   return Rc;
 }
 

@@ -181,6 +181,11 @@ void Assembler::feed(const std::vector<Record> &Records,
       break;
     }
 
+    case RecordKind::Join:
+      // Addr carries the joined (child) tid, mirroring ThreadFork.
+      push(Out, K::Join, R.Tid, R.Addr);
+      break;
+
     case RecordKind::Invalid:
     default:
       ++UnknownKinds; // version skew: count, never crash the observer

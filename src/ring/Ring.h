@@ -115,6 +115,7 @@ enum class RecordKind : uint16_t {
   LockDestroy,   ///< mutex/rwlock destroyed: the address binding ends
   AccessRead,    ///< opt-in shared-memory read (Addr = object address)
   AccessWrite,   ///< opt-in shared-memory write
+  Join,          ///< pthread_join returned: Addr = joined (child) tid
 };
 
 /// One 24-byte event payload. Tid is the dense preload tid (threads beyond

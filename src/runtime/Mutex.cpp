@@ -77,9 +77,12 @@ void Mutex::lock(Label Site) {
       vcJoin(Self->Clock, Rec->Clock);
     if (RT->options().HappensBefore != HbMode::Off)
       vcTick(Self->Clock, Self->Id);
-    if (DependencyRecorder *Recorder = RT->recorder())
+    if (DependencyRecorder *Recorder = RT->recorder()) {
       Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site,
                                   LockMode::Exclusive);
+      // The real mutex is already held here, so grant order is record order.
+      Recorder->onLockGranted(*Self, *Rec, Site, LockMode::Exclusive);
+    }
     RT->noteRecordedAcquire();
     Self->LockStack.push_back({Rec->Id, Site});
     Rec->Owner = Self->Id;
@@ -129,9 +132,12 @@ bool Mutex::tryLock(Label Site) {
       vcJoin(Self->Clock, Rec->Clock);
     if (RT->options().HappensBefore != HbMode::Off)
       vcTick(Self->Clock, Self->Id);
-    if (DependencyRecorder *Recorder = RT->recorder())
+    if (DependencyRecorder *Recorder = RT->recorder()) {
       Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site,
                                   LockMode::Exclusive);
+      // The real mutex is already held here, so grant order is record order.
+      Recorder->onLockGranted(*Self, *Rec, Site, LockMode::Exclusive);
+    }
     RT->noteRecordedAcquire();
     Self->LockStack.push_back({Rec->Id, Site});
     Rec->Owner = Self->Id;
@@ -184,6 +190,8 @@ void Mutex::unlock() {
       vcTick(Self->Clock, Self->Id);
       Rec->Clock = Self->Clock;
     }
+    if (DependencyRecorder *Recorder = RT->recorder())
+      Recorder->onReleaseExecuted(*Self, *Rec, LockMode::Exclusive);
   }
   RealOwner.store(0, std::memory_order_relaxed);
   Real.unlock();

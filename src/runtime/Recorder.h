@@ -42,6 +42,35 @@ public:
   virtual void onAcquireExecuted(const ThreadRecord &T, const LockRecord &L,
                                  const std::vector<LockStackEntry> &HeldBefore,
                                  Label Site, LockMode Mode) {}
+
+  // Optional grant/release/condvar/fork/join notifications, default no-ops.
+  // onAcquireExecuted fires at the acquire *attempt* (the paper's dependency
+  // relation needs the request point); onLockGranted fires when the lock is
+  // actually held. Trace capture for --predict uses the grant, because its
+  // soundness argument needs conflicting critical sections to never overlap
+  // in emission order (see analysis/Predict.cpp).
+
+  /// Thread \p T now holds \p L in \p Mode (acquired at \p Site).
+  virtual void onLockGranted(const ThreadRecord &T, const LockRecord &L,
+                             Label Site, LockMode Mode) {}
+
+  /// Thread \p T released \p L (its hold was in \p Mode).
+  virtual void onReleaseExecuted(const ThreadRecord &T, const LockRecord &L,
+                                 LockMode Mode) {}
+
+  /// Thread \p T signaled or broadcast condvar \p CV.
+  virtual void onCondNotify(const ThreadRecord &T, const CondRecord &CV) {}
+
+  /// Thread \p T resumed from a wait on \p CV after a notify.
+  virtual void onCondWake(const ThreadRecord &T, const CondRecord &CV) {}
+
+  /// \p Parent created \p Child (fires after onThreadCreated(Child)).
+  virtual void onForkEdge(const ThreadRecord &Parent,
+                          const ThreadRecord &Child) {}
+
+  /// Thread \p T joined \p Target (the join returned).
+  virtual void onJoinExecuted(const ThreadRecord &T,
+                              const ThreadRecord &Target) {}
 };
 
 } // namespace dlf

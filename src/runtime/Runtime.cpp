@@ -116,8 +116,11 @@ ThreadRecord &Runtime::createThreadRecord(const std::string &Name,
     }
     vcTick(Rec.Clock, Rec.Id);
   }
-  if (Recorder)
+  if (Recorder) {
     Recorder->onThreadCreated(Rec);
+    if (Creator)
+      Recorder->onForkEdge(*Creator, Rec);
+  }
   return Rec;
 }
 

@@ -75,8 +75,11 @@ void RwLock::acquire(Label Site, bool Shared) {
     }
     if (RT->options().HappensBefore != HbMode::Off)
       vcTick(Self->Clock, Self->Id);
-    if (DependencyRecorder *Recorder = RT->recorder())
+    if (DependencyRecorder *Recorder = RT->recorder()) {
       Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site, Mode);
+      // The real rwlock is already held: grant order is record order.
+      Recorder->onLockGranted(*Self, *Rec, Site, Mode);
+    }
     RT->noteRecordedAcquire();
     Self->LockStack.push_back({Rec->Id, Site, Mode});
     if (Shared) {
@@ -118,8 +121,11 @@ bool RwLock::tryAcquire(Label Site, bool Shared) {
     }
     if (RT->options().HappensBefore != HbMode::Off)
       vcTick(Self->Clock, Self->Id);
-    if (DependencyRecorder *Recorder = RT->recorder())
+    if (DependencyRecorder *Recorder = RT->recorder()) {
       Recorder->onAcquireExecuted(*Self, *Rec, Self->LockStack, Site, Mode);
+      // The real rwlock is already held: grant order is record order.
+      Recorder->onLockGranted(*Self, *Rec, Site, Mode);
+    }
     RT->noteRecordedAcquire();
     Self->LockStack.push_back({Rec->Id, Site, Mode});
     if (Shared) {
@@ -183,6 +189,10 @@ void RwLock::releaseSide(bool Shared) {
         Rec->Clock = Self->Clock;
       }
     }
+    if (DependencyRecorder *Recorder = RT->recorder())
+      Recorder->onReleaseExecuted(*Self, *Rec,
+                                  Shared ? LockMode::Shared
+                                         : LockMode::Exclusive);
   }
   if (Shared)
     Real.unlock_shared();

@@ -191,8 +191,11 @@ bool Scheduler::tryAcquire(ThreadRecord &Self, LockRecord &L, Label Site,
   }
   if (Opts.HappensBefore != HbMode::Off)
     vcTick(Self.Clock, Self.Id);
-  if (Recorder)
+  if (Recorder) {
     Recorder->onAcquireExecuted(Self, L, Self.LockStack, Site, Mode);
+    // A successful trylock is granted at the same instant it is attempted.
+    Recorder->onLockGranted(Self, L, Site, Mode);
+  }
   ++Result.AcquireEvents;
   Self.LockStack.push_back({L.Id, Site, Mode});
   if (Mode == LockMode::Shared) {
@@ -566,6 +569,10 @@ bool Scheduler::commitOp(ThreadRecord &T) {
       L.Recursion = 1;
       L.ReadersClock = VectorClock();
     }
+    // The attempt already fired onAcquireExecuted; the blocked thread now
+    // actually holds the lock (trace capture is grant-ordered).
+    if (Recorder)
+      Recorder->onLockGranted(T, L, T.Pending.Site, T.Pending.Mode);
     giveToken(T);
     return true;
   }
@@ -604,6 +611,8 @@ bool Scheduler::commitOp(ThreadRecord &T) {
         L.Clock = T.Clock;
       }
     }
+    if (Recorder)
+      Recorder->onReleaseExecuted(T, L, Mode);
     // A release can clear avoidance conflicts: let deferred threads retry.
     for (ThreadRecord &U : RT.threadRecords())
       U.DeferredByAvoidance = false;
@@ -618,6 +627,8 @@ bool Scheduler::commitOp(ThreadRecord &T) {
            "join committed before target finished");
     if (Opts.HappensBefore != HbMode::Off)
       vcJoin(T.Clock, RT.threadById(T.Pending.JoinTarget).Clock);
+    if (Recorder)
+      Recorder->onJoinExecuted(T, RT.threadById(T.Pending.JoinTarget));
     giveToken(T);
     return true;
 
@@ -639,6 +650,10 @@ bool Scheduler::commitOp(ThreadRecord &T) {
       vcTick(T.Clock, T.Id);
       L.Clock = T.Clock;
     }
+    // wait() drops the mutex: an Exclusive release in the trace (the
+    // reacquire after wakeup re-enters as a fresh acquire).
+    if (Recorder)
+      Recorder->onReleaseExecuted(T, L, LockMode::Exclusive);
     for (ThreadRecord &U : RT.threadRecords())
       U.DeferredByAvoidance = false;
     T.State = ThreadState::Blocked;
@@ -684,9 +699,11 @@ bool Scheduler::commitOp(ThreadRecord &T) {
       vcJoin(T.Clock, L.Clock);
     if (Opts.HappensBefore != HbMode::Off)
       vcTick(T.Clock, T.Id);
-    if (Recorder)
+    if (Recorder) {
       Recorder->onAcquireExecuted(T, L, T.LockStack, T.Pending.Site,
                                   LockMode::Exclusive);
+      Recorder->onLockGranted(T, L, T.Pending.Site, LockMode::Exclusive);
+    }
     ++Result.AcquireEvents;
     T.LockStack.push_back({L.Id, T.Pending.Site, LockMode::Exclusive});
     L.Owner = T.Id;
@@ -706,6 +723,8 @@ bool Scheduler::commitOp(ThreadRecord &T) {
     // wait() returns (FullSync only — ForkJoin stays fork/join-edged).
     if (Opts.HappensBefore == HbMode::FullSync && WakeCount)
       vcTick(T.Clock, T.Id);
+    if (Recorder)
+      Recorder->onCondNotify(T, CV);
     for (size_t I = 0; I != WakeCount; ++I) {
       ThreadRecord &Waiter = RT.threadById(CV.Waiting[I]);
       assert(Waiter.Pending.K == PendingOp::Kind::CondBlocked &&
@@ -713,6 +732,8 @@ bool Scheduler::commitOp(ThreadRecord &T) {
       Waiter.Pending.K = PendingOp::Kind::ReacquireAfterWait;
       if (Opts.HappensBefore == HbMode::FullSync)
         vcJoin(Waiter.Clock, T.Clock);
+      if (Recorder)
+        Recorder->onCondWake(Waiter, CV);
     }
     CV.Waiting.erase(CV.Waiting.begin(),
                      CV.Waiting.begin() + static_cast<long>(WakeCount));
@@ -823,6 +844,10 @@ bool Scheduler::commitAcquireAttempt(ThreadRecord &T) {
       L.Recursion = 1;
       L.ReadersClock = VectorClock();
     }
+    // Immediate grant: attempt and grant coincide (the blocked path fires
+    // onLockGranted later, at CompleteAcquire commit).
+    if (Recorder)
+      Recorder->onLockGranted(T, L, Site, Mode);
     giveToken(T);
     return true;
   }

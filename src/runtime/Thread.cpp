@@ -3,6 +3,7 @@
 #include "runtime/Thread.h"
 
 #include "runtime/Abort.h"
+#include "runtime/Recorder.h"
 #include "runtime/Records.h"
 #include "runtime/Runtime.h"
 #include "runtime/Scheduler.h"
@@ -72,13 +73,15 @@ void Thread::join() {
   }
   Os.join();
   if (RT && Rec && RT == Runtime::current() &&
-      RT->mode() == RunMode::Record &&
-      RT->options().HappensBefore != HbMode::Off) {
+      RT->mode() == RunMode::Record) {
     // Join edge in Record mode (Active mode merges at the Join commit).
     ThreadRecord *Self = RT->selfRecord();
     if (Self) {
       std::lock_guard<std::mutex> Guard(RT->recordMu());
-      vcJoin(Self->Clock, Rec->Clock);
+      if (RT->options().HappensBefore != HbMode::Off)
+        vcJoin(Self->Clock, Rec->Clock);
+      if (DependencyRecorder *Recorder = RT->recorder())
+        Recorder->onJoinExecuted(*Self, *Rec);
     }
   }
 }

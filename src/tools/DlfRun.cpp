@@ -88,6 +88,13 @@ void printUsage() {
          "                         guard-lock pruner statically discharged\n"
          "                         (by default they are reported with their\n"
          "                         classification but consume no budget)\n"
+         "  --phase1 ENGINE        campaign phase 1 grading engine:\n"
+         "                         igoodlock (default) | predict (sound\n"
+         "                         sync-preserving prediction; only\n"
+         "                         PREDICTED-SOUND cycles get phase 2\n"
+         "                         budget, sound-first) | both (verdicts\n"
+         "                         reported and sound cycles scheduled\n"
+         "                         first, nothing skipped)\n"
          "  --faults PLAN          inject deterministic faults into the\n"
          "                         campaign runtime; PLAN is a `;`-separated\n"
          "                         list of site[:action]@trigger clauses,\n"
@@ -216,10 +223,21 @@ int runCampaign(const BenchmarkInfo &Bench, campaign::CampaignConfig Config,
                 << " quarantined: " << Report.PerCycle[I].QuarantineReason
                 << "\n";
   for (size_t I = 0; I != Report.PerCycle.size(); ++I)
-    if (Report.PerCycle[I].Skipped)
+    if (!Report.PerCycle[I].Prediction.empty())
+      std::cout << "cycle #" << I
+                << " prediction: " << Report.PerCycle[I].Prediction << "\n";
+  for (size_t I = 0; I != Report.PerCycle.size(); ++I)
+    if (Report.PerCycle[I].Skipped) {
+      // Name whichever engine discharged the cycle: the pruner verdict when
+      // it is non-schedulable, the prediction verdict otherwise (a cycle
+      // the pruner could not discharge but the predictor left UNCONFIRMED).
+      const campaign::CycleCampaignStats &S = Report.PerCycle[I];
+      bool PrunerDischarged =
+          !S.Classification.empty() && S.Classification != "schedulable";
       std::cout << "cycle #" << I << " statically discharged as "
-                << Report.PerCycle[I].Classification
+                << (PrunerDischarged ? S.Classification : S.Prediction)
                 << "; rerun with --include-guarded to spend reps on it\n";
+    }
   std::cout << "reps executed " << Report.RepsExecuted
             << ", replayed from journal " << Report.RepsReplayed << "\n";
   if (Report.RepsExecuted)
@@ -333,6 +351,8 @@ int main(int Argc, char **Argv) {
   bool JournalFlagGiven = false;
   bool JobsGiven = false;
   bool IncludeGuarded = false;
+  bool Phase1Given = false;
+  campaign::Phase1Engine Phase1 = campaign::Phase1Engine::IGoodlock;
   bool MetricsFormatGiven = false;
   TelemetryCli Telemetry;
   std::string JournalPath;
@@ -450,6 +470,13 @@ int main(int Argc, char **Argv) {
       JobsGiven = true;
     } else if (Arg == "--include-guarded") {
       IncludeGuarded = true;
+    } else if (Arg == "--phase1") {
+      std::string Engine = I + 1 < Argc ? Argv[++I] : "";
+      if (!campaign::phase1EngineFromName(Engine, Phase1)) {
+        std::cerr << "error: --phase1 must be igoodlock|predict|both\n";
+        return 1;
+      }
+      Phase1Given = true;
     } else if (Arg == "--faults") {
       if (I + 1 >= Argc) {
         std::cerr << "error: --faults expects a plan "
@@ -495,6 +522,10 @@ int main(int Argc, char **Argv) {
   if (IncludeGuarded && !Campaign) {
     std::cerr << "error: --include-guarded only applies to --campaign "
                  "(or --resume)\n";
+    return 1;
+  }
+  if (Phase1Given && !Campaign) {
+    std::cerr << "error: --phase1 only applies to --campaign (or --resume)\n";
     return 1;
   }
   if ((!FaultsSpec.empty() || ChaosGiven) && !Campaign) {
@@ -548,6 +579,7 @@ int main(int Argc, char **Argv) {
     CC.BudgetS = BudgetS;
     CC.Jobs = static_cast<unsigned>(Jobs);
     CC.IncludeGuarded = IncludeGuarded;
+    CC.Phase1 = Phase1;
     if (MaxRetries >= 0)
       CC.MaxRetries = static_cast<unsigned>(MaxRetries);
     CC.JournalPath = JournalPath.empty()

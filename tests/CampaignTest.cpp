@@ -847,4 +847,114 @@ TEST(Campaign, ResumeRejectsAMismatchedConfiguration) {
   EXPECT_NE(R.Error.find("does not match"), std::string::npos) << R.Error;
 }
 
+// -- Phase 1 engines ----------------------------------------------------------
+
+/// Gate-protected inversion: the cycle exists but a common guard lock makes
+/// it unrealizable (both engines must discharge it).
+void gateProgram() {
+  Mutex G("cg", DLF_SITE());
+  Mutex A("ca", DLF_SITE());
+  Mutex B("cb", DLF_SITE());
+  Thread T1([&] {
+    MutexGuard Gate(G, DLF_NAMED_SITE("camp:t1g"));
+    MutexGuard First(A, DLF_NAMED_SITE("camp:t1a"));
+    MutexGuard Second(B, DLF_NAMED_SITE("camp:t1b"));
+  });
+  Thread T2([&] {
+    MutexGuard Gate(G, DLF_NAMED_SITE("camp:t2g"));
+    MutexGuard First(B, DLF_NAMED_SITE("camp:t2b"));
+    MutexGuard Second(A, DLF_NAMED_SITE("camp:t2a"));
+  });
+  T1.join();
+  T2.join();
+}
+
+TEST(CampaignPhase1, PredictEngineCertifiesTheAbbaCycle) {
+  TempFile File("predict-abba.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.Phase1 = Phase1Engine::Predict;
+  CampaignReport R = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  ASSERT_EQ(R.PerCycle.size(), 1u);
+  EXPECT_EQ(R.PerCycle[0].Prediction.rfind("PREDICTED-SOUND", 0), 0u)
+      << R.PerCycle[0].Prediction;
+  EXPECT_FALSE(R.PerCycle[0].Skipped);
+  EXPECT_EQ(R.PerCycle[0].Reproduced, 4u) << R.toString();
+}
+
+TEST(CampaignPhase1, PredictEngineSkipsAGuardDischargedCycle) {
+  TempFile File("predict-gate.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.BenchmarkName = "campaign-test-gate";
+  CC.Entry = gateProgram;
+  CC.Phase1 = Phase1Engine::Predict;
+  CampaignReport R = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  ASSERT_EQ(R.PerCycle.size(), 1u);
+  EXPECT_TRUE(R.PerCycle[0].Skipped);
+  EXPECT_EQ(R.PerCycle[0].Reps, 0u) << "discharged cycles get no budget";
+  EXPECT_EQ(R.PerCycle[0].Prediction.rfind("UNCONFIRMED", 0), 0u)
+      << R.PerCycle[0].Prediction;
+  EXPECT_EQ(R.RepsExecuted, 0u);
+}
+
+TEST(CampaignPhase1, BothModeReportsVerdictsAndSpendsBudget) {
+  TempFile File("both-abba.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.Phase1 = Phase1Engine::Both;
+  CampaignReport R = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  ASSERT_EQ(R.PerCycle.size(), 1u);
+  EXPECT_FALSE(R.PerCycle[0].Prediction.empty());
+  EXPECT_EQ(R.PerCycle[0].Reproduced, 4u) << R.toString();
+}
+
+TEST(CampaignPhase1, ResumeReplaysPredictionsFromTheJournal) {
+  TempFile File("predict-resume.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.Phase1 = Phase1Engine::Predict;
+  auto Checks = std::make_shared<int>(0);
+  CC.ShouldStop = [Checks] { return ++*Checks > 2; };
+  CampaignReport Partial = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(Partial.Error.empty()) << Partial.Error;
+  ASSERT_TRUE(Partial.Interrupted);
+
+  CampaignConfig RC = baseConfig(File.path());
+  RC.Phase1 = Phase1Engine::Predict;
+  CampaignReport Resumed = CampaignRunner(std::move(RC)).run(/*Resume=*/true);
+  ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+  EXPECT_TRUE(Resumed.CampaignComplete);
+  ASSERT_EQ(Resumed.PerCycle.size(), 1u);
+  EXPECT_EQ(Resumed.PerCycle[0].Prediction.rfind("PREDICTED-SOUND", 0), 0u)
+      << "the prediction must survive the journal round trip: "
+      << Resumed.PerCycle[0].Prediction;
+  EXPECT_GT(Resumed.RepsReplayed, 0u);
+}
+
+TEST(CampaignPhase1, EngineIsPartOfTheJournalFingerprint) {
+  TempFile File("predict-fence.jsonl");
+  CampaignConfig CC = baseConfig(File.path());
+  CC.Phase1 = Phase1Engine::Predict;
+  CampaignReport First = CampaignRunner(std::move(CC)).run();
+  ASSERT_TRUE(First.Error.empty()) << First.Error;
+
+  CampaignConfig Changed = baseConfig(File.path()); // igoodlock default
+  CampaignReport R = CampaignRunner(std::move(Changed)).run(/*Resume=*/true);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_NE(R.Error.find("does not match"), std::string::npos) << R.Error;
+}
+
+TEST(CampaignPhase1, EngineNamesRoundTrip) {
+  for (Phase1Engine E : {Phase1Engine::IGoodlock, Phase1Engine::Predict,
+                         Phase1Engine::Both}) {
+    Phase1Engine Back = Phase1Engine::IGoodlock;
+    ASSERT_TRUE(phase1EngineFromName(phase1EngineName(E), Back))
+        << phase1EngineName(E);
+    EXPECT_EQ(Back, E);
+  }
+  Phase1Engine Out;
+  EXPECT_FALSE(phase1EngineFromName("bogus", Out));
+  EXPECT_FALSE(phase1EngineFromName("", Out));
+}
+
 } // namespace

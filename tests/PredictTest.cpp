@@ -1,0 +1,375 @@
+//===- tests/PredictTest.cpp - Sync-preserving deadlock prediction --------===//
+//
+// Unit and agreement tests for the --predict engine (analysis/Predict):
+// verdicts on hand-built traces covering every discharge reason, the
+// store-then-tick condvar clock discipline, the irregular-trace fallback,
+// byte-identical reports across job counts, and cross-engine agreement
+// with iGoodlock and the guard pruner on randomized traces.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LogBuilder.h"
+#include "analysis/Predict.h"
+#include "analysis/Trace.h"
+#include "igoodlock/IGoodlock.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace dlf;
+using namespace dlf::analysis;
+
+// -- Trace construction -------------------------------------------------------
+
+/// Builds trace events programmatically; mirrors interpose/TraceFormat.h.
+/// Events are appended in program order — the builder is the schedule.
+struct TB {
+  TraceFile Trace;
+
+  TB &thread(uint64_t Tid) {
+    return add(TraceEvent::Kind::ThreadNew, Tid, 0,
+               "thr#" + std::to_string(Tid));
+  }
+  TB &fork(uint64_t Parent, uint64_t Child) {
+    return add(TraceEvent::Kind::Fork, Parent, Child, "");
+  }
+  TB &join(uint64_t Joiner, uint64_t Target) {
+    return add(TraceEvent::Kind::Join, Joiner, Target, "");
+  }
+  TB &lock(uint64_t Lid, const std::string &Name) {
+    return add(TraceEvent::Kind::LockNew, Lid, 0, Name);
+  }
+  TB &acq(uint64_t Tid, uint64_t Lid) {
+    return add(TraceEvent::Kind::Acquire, Tid, Lid,
+               "t" + std::to_string(Tid) + "/acq" + std::to_string(Lid));
+  }
+  TB &rel(uint64_t Tid, uint64_t Lid) {
+    return add(TraceEvent::Kind::Release, Tid, Lid, "");
+  }
+  TB &notify(uint64_t Tid, uint64_t Cid) {
+    return add(TraceEvent::Kind::CondNotify, Tid, Cid, "");
+  }
+  TB &wake(uint64_t Tid, uint64_t Cid) {
+    return add(TraceEvent::Kind::CondWake, Tid, Cid, "");
+  }
+
+  TB &add(TraceEvent::Kind K, uint64_t A, uint64_t B, std::string Text) {
+    TraceEvent E;
+    E.K = K;
+    E.A = A;
+    E.B = B;
+    E.Text = std::move(Text);
+    Trace.Events.push_back(std::move(E));
+    return *this;
+  }
+};
+
+/// Two sibling workers inverting locks a/b, run back to back: never
+/// deadlocks as traced, but the inversion is realizable (classic ABBA).
+TB sequentialAbba() {
+  TB B;
+  B.thread(1).thread(2).thread(3).fork(1, 2).fork(1, 3);
+  B.lock(10, "a").lock(11, "b");
+  B.acq(2, 10).acq(2, 11).rel(2, 11).rel(2, 10);
+  B.acq(3, 11).acq(3, 10).rel(3, 10).rel(3, 11);
+  return B;
+}
+
+// -- Verdicts on hand-built traces -------------------------------------------
+
+TEST(Predict, SequentialAbbaIsPredictedSound) {
+  TB B = sequentialAbba();
+  PredictAnalysis R = predictDeadlocks(B.Trace);
+  ASSERT_EQ(R.Cycles.size(), 1u);
+  ASSERT_EQ(R.Predictions.size(), 1u);
+  EXPECT_TRUE(R.Predictions[0].sound()) << R.Predictions[0].label();
+  EXPECT_GT(R.Predictions[0].WitnessEvents, 0u);
+  EXPECT_EQ(R.soundCount(), 1u);
+}
+
+TEST(Predict, GateLockDischargesAsGuarded) {
+  TB B;
+  B.thread(1).thread(2).thread(3).fork(1, 2).fork(1, 3);
+  B.lock(9, "gate").lock(10, "a").lock(11, "b");
+  B.acq(2, 9).acq(2, 10).acq(2, 11).rel(2, 11).rel(2, 10).rel(2, 9);
+  B.acq(3, 9).acq(3, 11).acq(3, 10).rel(3, 10).rel(3, 11).rel(3, 9);
+  PredictAnalysis R = predictDeadlocks(B.Trace);
+  ASSERT_EQ(R.Predictions.size(), 1u);
+  EXPECT_FALSE(R.Predictions[0].sound());
+  EXPECT_EQ(R.Predictions[0].Reason.rfind("guarded", 0), 0u)
+      << R.Predictions[0].Reason;
+  EXPECT_NE(R.Predictions[0].Reason.find("gate"), std::string::npos)
+      << "the discharge must name the guard lock";
+
+  // Agreement with the pruner's own discharge: the default closure (no
+  // KeepGuardedCycles) drops the cycle entirely.
+  IncrementalLogBuilder Builder(nullptr);
+  Builder.feed(B.Trace.Events);
+  EXPECT_EQ(runIGoodlock(Builder.log()).size(), 0u);
+}
+
+TEST(Predict, ForkOrderDischargesAsHbOrdered) {
+  // The parent finishes its a->b section before forking the child that
+  // inverts: the fork edge is a must-order, so the cycle is infeasible.
+  TB B;
+  B.thread(1).lock(10, "a").lock(11, "b");
+  B.acq(1, 10).acq(1, 11).rel(1, 11).rel(1, 10);
+  B.thread(2).fork(1, 2);
+  B.acq(2, 11).acq(2, 10).rel(2, 10).rel(2, 11);
+  PredictAnalysis R = predictDeadlocks(B.Trace);
+  ASSERT_EQ(R.Predictions.size(), 1u);
+  EXPECT_FALSE(R.Predictions[0].sound());
+  EXPECT_EQ(R.Predictions[0].Reason, "hb-ordered");
+}
+
+TEST(Predict, JoinEdgeDischargesAsHbOrdered) {
+  // t2 only starts after joining t3: join is a must-order edge, so the
+  // sibling-style inversion is infeasible despite concurrent fork clocks.
+  TB B;
+  B.thread(1).thread(2).thread(3).fork(1, 2).fork(1, 3);
+  B.lock(10, "a").lock(11, "b");
+  B.acq(3, 11).acq(3, 10).rel(3, 10).rel(3, 11);
+  B.join(2, 3);
+  B.acq(2, 10).acq(2, 11).rel(2, 11).rel(2, 10);
+  PredictAnalysis R = predictDeadlocks(B.Trace);
+  ASSERT_EQ(R.Predictions.size(), 1u);
+  EXPECT_FALSE(R.Predictions[0].sound());
+  EXPECT_EQ(R.Predictions[0].Reason, "hb-ordered");
+}
+
+TEST(Predict, SameLockSectionOrderLimitsToSyncOrder) {
+  // dbcp shape: t3's complete a-section precedes its request but follows
+  // t2's a-acquire in trace order. Sync-preservation cannot close t2's
+  // section (t2 must keep holding a for the deadlock), so no witness
+  // exists from this trace — the engine's documented completeness limit.
+  TB B;
+  B.thread(1).thread(2).thread(3).fork(1, 2).fork(1, 3);
+  B.lock(10, "a").lock(11, "b");
+  B.acq(2, 10).acq(2, 11).rel(2, 11).rel(2, 10);
+  B.acq(3, 10).rel(3, 10).acq(3, 11).acq(3, 10).rel(3, 10).rel(3, 11);
+  PredictAnalysis R = predictDeadlocks(B.Trace);
+  ASSERT_EQ(R.Predictions.size(), 1u);
+  EXPECT_FALSE(R.Predictions[0].sound());
+  EXPECT_EQ(R.Predictions[0].Reason, "sync-order");
+}
+
+TEST(Predict, CondvarHandoffCycleStaysSound) {
+  // condvar-hybrid shape: the flusher's request side sits after a wakeup
+  // whose notify the producer issued BEFORE taking its own cycle locks.
+  // With the store-then-tick notify discipline the producer's post-notify
+  // acquires stay concurrent with the flusher's post-wake acquires and the
+  // cycle is realizable; tick-then-store would falsely discharge it as
+  // hb-ordered (the regression this test pins).
+  TB B;
+  B.thread(1).thread(2).thread(3).fork(1, 2).fork(1, 3);
+  B.lock(10, "state").lock(11, "journal");
+  B.acq(2, 10).rel(2, 10);               // flusher enters wait (releases)
+  B.acq(3, 10).notify(3, 7).rel(3, 10);  // producer signals under state
+  B.wake(2, 7);
+  B.acq(2, 10).acq(2, 11).rel(2, 11).rel(2, 10); // reacquire, then journal
+  B.acq(3, 11).acq(3, 10).rel(3, 10).rel(3, 11); // journal, then state
+  PredictAnalysis R = predictDeadlocks(B.Trace);
+  ASSERT_EQ(R.Predictions.size(), 1u);
+  EXPECT_TRUE(R.Predictions[0].sound()) << R.Predictions[0].label();
+  // The witness must carry the wakeup's cause: producer prefix through the
+  // notify plus both fork edges, not just the four cycle acquires.
+  EXPECT_GE(R.Predictions[0].WitnessEvents, 8u);
+}
+
+TEST(Predict, JoinRuleForcesJoinedThreadIntoWitness) {
+  // t2 joins helper t4 before requesting: the witness must absorb t4's
+  // whole event list (the closure's join rule), and the cycle stays sound.
+  TB B;
+  B.thread(1).thread(2).thread(3).thread(4);
+  B.fork(1, 2).fork(1, 3).fork(1, 4);
+  B.lock(10, "a").lock(11, "b").lock(12, "scratch");
+  B.acq(4, 12).rel(4, 12);
+  B.join(2, 4);
+  B.acq(2, 10).acq(2, 11).rel(2, 11).rel(2, 10);
+  B.acq(3, 11).acq(3, 10).rel(3, 10).rel(3, 11);
+  TB NoHelper = sequentialAbba();
+  PredictAnalysis R = predictDeadlocks(B.Trace);
+  PredictAnalysis Base = predictDeadlocks(NoHelper.Trace);
+  ASSERT_EQ(R.Predictions.size(), 1u);
+  ASSERT_EQ(Base.Predictions.size(), 1u);
+  EXPECT_TRUE(R.Predictions[0].sound()) << R.Predictions[0].label();
+  EXPECT_GT(R.Predictions[0].WitnessEvents, Base.Predictions[0].WitnessEvents)
+      << "joining t4 must pull its events into the witness";
+}
+
+TEST(Predict, OverlappingSectionsFallBackConservative) {
+  // Appending an (illegal) overlap of two a-sections marks the lock
+  // irregular: the grant-order invariant the witness replay relies on is
+  // gone, so the engine must refuse to certify, not guess.
+  TB B = sequentialAbba();
+  B.thread(4).thread(5).fork(1, 4).fork(1, 5);
+  B.acq(4, 10).acq(5, 10).rel(4, 10).rel(5, 10);
+  PredictAnalysis R = predictDeadlocks(B.Trace);
+  ASSERT_EQ(R.Predictions.size(), 1u);
+  EXPECT_FALSE(R.Predictions[0].sound())
+      << "irregular traces must stay unconfirmed: "
+      << R.Predictions[0].label();
+}
+
+TEST(Predict, VerdictNamesRoundTrip) {
+  for (PredictVerdict V : {PredictVerdict::Sound, PredictVerdict::Unconfirmed}) {
+    PredictVerdict Back = PredictVerdict::Sound;
+    ASSERT_TRUE(predictVerdictFromName(predictVerdictName(V), Back));
+    EXPECT_EQ(Back, V);
+  }
+  PredictVerdict Out;
+  EXPECT_FALSE(predictVerdictFromName("bogus", Out));
+  EXPECT_FALSE(predictVerdictFromName("", Out));
+}
+
+TEST(Predict, LabelsAreReportShaped) {
+  CyclePrediction P;
+  P.Verdict = PredictVerdict::Sound;
+  P.WitnessEvents = 6;
+  EXPECT_EQ(P.label(), "PREDICTED-SOUND (witness: 6 events)");
+  P.Verdict = PredictVerdict::Unconfirmed;
+  P.Reason = "sync-order";
+  EXPECT_EQ(P.label(), "UNCONFIRMED (sync-order)");
+  P.Reason.clear();
+  EXPECT_EQ(P.label(), "UNCONFIRMED (no-witness)");
+}
+
+// -- Determinism across job counts -------------------------------------------
+
+/// Several independent inversions so the cycle list is worth sharding.
+TB multiCycleTrace() {
+  TB B;
+  B.thread(1);
+  for (uint64_t T = 2; T <= 7; ++T)
+    B.thread(T).fork(1, T);
+  B.lock(10, "a").lock(11, "b").lock(20, "c").lock(21, "d").lock(19, "gate");
+  B.acq(2, 10).acq(2, 11).rel(2, 11).rel(2, 10);
+  B.acq(3, 11).acq(3, 10).rel(3, 10).rel(3, 11);
+  B.acq(4, 20).acq(4, 21).rel(4, 21).rel(4, 20);
+  B.acq(5, 21).acq(5, 20).rel(5, 20).rel(5, 21);
+  B.acq(6, 19).acq(6, 10).acq(6, 21).rel(6, 21).rel(6, 10).rel(6, 19);
+  B.acq(7, 19).acq(7, 21).acq(7, 10).rel(7, 10).rel(7, 21).rel(7, 19);
+  return B;
+}
+
+TEST(Predict, ReportIsByteIdenticalAcrossJobs) {
+  TB B = multiCycleTrace();
+  std::string Baseline;
+  for (unsigned Jobs : {1u, 2u, 4u, 0u}) {
+    IGoodlockOptions Closure;
+    Closure.AnalysisJobs = Jobs;
+    PredictOptions Opts;
+    Opts.Jobs = Jobs;
+    PredictAnalysis R = predictDeadlocks(B.Trace, Closure, Opts);
+    std::ostringstream OS;
+    printPredictReport(OS, "predict-test", R);
+    if (Baseline.empty()) {
+      Baseline = OS.str();
+      EXPECT_GT(R.Cycles.size(), 1u) << "want a shardable cycle list";
+    } else {
+      EXPECT_EQ(OS.str(), Baseline) << "jobs=" << Jobs;
+    }
+  }
+}
+
+// -- Cross-engine agreement on randomized traces -----------------------------
+
+struct Lcg {
+  uint64_t S;
+  explicit Lcg(uint64_t Seed) : S(Seed) {}
+  uint64_t next() { return S = S * 6364136223846793005ULL + 1442695040888963407ULL; }
+  uint64_t below(uint64_t N) { return (next() >> 33) % N; }
+};
+
+/// Random nested lock walks, one thread at a time (a legal serialized
+/// schedule, like the recorder's), over a small shared lock pool.
+TraceFile randomTrace(uint64_t Seed) {
+  Lcg R(Seed);
+  TB B;
+  const uint64_t Workers = 3 + R.below(3);
+  B.thread(1);
+  for (uint64_t T = 2; T < 2 + Workers; ++T)
+    B.thread(T).fork(1, T);
+  const uint64_t Locks = 4;
+  for (uint64_t L = 0; L != Locks; ++L)
+    B.lock(10 + L, "m" + std::to_string(L));
+  for (uint64_t T = 2; T < 2 + Workers; ++T) {
+    for (unsigned Session = 0; Session != 3; ++Session) {
+      std::vector<uint64_t> Held;
+      uint64_t Depth = 1 + R.below(3);
+      for (uint64_t D = 0; D != Depth && Held.size() != Locks; ++D) {
+        uint64_t L = 10 + R.below(Locks);
+        bool Dup = false;
+        for (uint64_t H : Held)
+          Dup |= H == L;
+        if (Dup)
+          continue;
+        B.acq(T, L);
+        Held.push_back(L);
+      }
+      while (!Held.empty()) {
+        B.rel(T, Held.back());
+        Held.pop_back();
+      }
+    }
+  }
+  return B.Trace;
+}
+
+TEST(Predict, AgreesWithIGoodlockAndPrunerOnRandomTraces) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    TraceFile Trace = randomTrace(Seed);
+    PredictAnalysis R = predictDeadlocks(Trace);
+    ASSERT_EQ(R.Predictions.size(), R.Cycles.size()) << "seed " << Seed;
+
+    IncrementalLogBuilder Builder(nullptr);
+    Builder.feed(Trace.Events);
+    IGoodlockOptions Keep;
+    Keep.KeepGuardedCycles = true;
+    std::set<std::string> Enumerated;
+    for (const AbstractCycle &C : runIGoodlock(Builder.log(), Keep))
+      Enumerated.insert(C.toString());
+    std::vector<CycleClassification> Pruned =
+        classifyCycles(Builder.log(), R.Cycles);
+    ASSERT_EQ(Pruned.size(), R.Cycles.size()) << "seed " << Seed;
+
+    for (size_t I = 0; I != R.Cycles.size(); ++I) {
+      // Sound cycles never escape the iGoodlock enumeration: prediction
+      // grades candidates, it cannot invent them.
+      if (R.Predictions[I].sound())
+        EXPECT_EQ(Enumerated.count(R.Cycles[I].toString()), 1u)
+            << "seed " << Seed << " cycle " << I;
+      // Prediction discharges at least what the pruner discharges: a
+      // pruner-infeasible cycle must never be certified sound.
+      if (!Pruned[I].schedulable())
+        EXPECT_FALSE(R.Predictions[I].sound())
+            << "seed " << Seed << " cycle " << I << ": pruner says "
+            << Pruned[I].label() << " but predict says "
+            << R.Predictions[I].label();
+      if (R.Predictions[I].sound())
+        EXPECT_GT(R.Predictions[I].WitnessEvents, 0u);
+      else
+        EXPECT_FALSE(R.Predictions[I].Reason.empty());
+    }
+
+    // Verdicts are a pure function of the trace: reports agree across an
+    // arbitrary worker count.
+    IGoodlockOptions Closure;
+    Closure.AnalysisJobs = 3;
+    PredictOptions Opts;
+    Opts.Jobs = 3;
+    PredictAnalysis R3 = predictDeadlocks(Trace, Closure, Opts);
+    std::ostringstream A, C;
+    printPredictReport(A, "predict-test", R);
+    printPredictReport(C, "predict-test", R3);
+    EXPECT_EQ(A.str(), C.str()) << "seed " << Seed;
+  }
+}
+
+} // namespace

@@ -116,7 +116,7 @@ TEST(Preload, RichFixtureTracesCorrectly) {
   std::ifstream TraceIn(Trace);
   ASSERT_TRUE(TraceIn.good());
   std::string Line;
-  unsigned Acquires = 0, Releases = 0, Threads = 0;
+  unsigned Acquires = 0, Releases = 0, Threads = 0, Joins = 0;
   while (std::getline(TraceIn, Line)) {
     if (Line.rfind("A ", 0) == 0)
       ++Acquires;
@@ -124,8 +124,11 @@ TEST(Preload, RichFixtureTracesCorrectly) {
       ++Releases;
     else if (Line.rfind("T ", 0) == 0)
       ++Threads;
+    else if (Line.rfind("J ", 0) == 0)
+      ++Joins;
   }
   EXPECT_GE(Threads, 4u) << "main + three workers";
+  EXPECT_GE(Joins, 3u) << "pthread_join must emit a J happens-before edge";
   EXPECT_GT(Acquires, 6u);
   EXPECT_EQ(Acquires, Releases)
       << "re-entrant pairs must collapse symmetrically";

@@ -388,6 +388,18 @@ struct TraceBuilder {
     add(TraceEvent::Kind::Write, Tid, Oid, Site);
     return *this;
   }
+  TraceBuilder &notify(uint64_t Tid, uint64_t Cid) {
+    add(TraceEvent::Kind::CondNotify, Tid, Cid, "");
+    return *this;
+  }
+  TraceBuilder &wake(uint64_t Tid, uint64_t Cid) {
+    add(TraceEvent::Kind::CondWake, Tid, Cid, "");
+    return *this;
+  }
+  TraceBuilder &join(uint64_t Joiner, uint64_t Target) {
+    add(TraceEvent::Kind::Join, Joiner, Target, "");
+    return *this;
+  }
 
 private:
   void add(TraceEvent::Kind K, uint64_t A, uint64_t B, std::string Text) {
@@ -462,6 +474,70 @@ TEST(RaceDetector, ForkEdgeOrdersAccesses) {
   B.write(2, 100, "child::store");
   RaceAnalysis R = detectRaces(B.Trace);
   EXPECT_EQ(R.RacyPairs, 0u);
+}
+
+TEST(RaceDetector, CondvarNotifyWakeOrdersHandoff) {
+  // Writer publishes data before notifying; the reader touches it only
+  // after waking from that notify. The N->V edge orders the pair.
+  TraceBuilder B;
+  B.threadNew(1).threadNew(2);
+  B.fork(1, 2);
+  B.objectNew(100).lockNew(50);
+  B.write(1, 100, "writer::init");
+  B.acquire(1, 50).notify(1, 7).release(1, 50);
+  B.wake(2, 7);
+  B.read(2, 100, "reader::consume");
+  RaceAnalysis R = detectRaces(B.Trace);
+  EXPECT_EQ(R.RacyPairs, 0u)
+      << "notify->wake must establish happens-before for the handoff";
+
+  // Same accesses with the condvar events removed race: the edge is what
+  // suppresses the report, not a lockset accident.
+  TraceBuilder NoCv;
+  NoCv.threadNew(1).threadNew(2);
+  NoCv.fork(1, 2);
+  NoCv.objectNew(100);
+  NoCv.write(1, 100, "writer::init");
+  NoCv.read(2, 100, "reader::consume");
+  EXPECT_EQ(detectRaces(NoCv.Trace).RacyPairs, 1u);
+}
+
+TEST(RaceDetector, PostNotifyWriteStillRacesWithWaiter) {
+  // The clock stored at notify must exclude the notifier's later steps:
+  // a write performed AFTER the notify is concurrent with the waker.
+  TraceBuilder B;
+  B.threadNew(1).threadNew(2);
+  B.fork(1, 2);
+  B.objectNew(100);
+  B.notify(1, 7);
+  B.write(1, 100, "writer::late-store");
+  B.wake(2, 7);
+  B.read(2, 100, "reader::consume");
+  RaceAnalysis R = detectRaces(B.Trace);
+  EXPECT_EQ(R.RacyPairs, 1u)
+      << "store-then-tick: post-notify accesses stay concurrent";
+}
+
+TEST(RaceDetector, JoinEdgeOrdersPostJoinReads) {
+  // Worker writes, main joins it, then reads: the J edge orders the pair.
+  TraceBuilder B;
+  B.threadNew(1).threadNew(2);
+  B.fork(1, 2);
+  B.objectNew(100);
+  B.write(2, 100, "worker::result");
+  B.join(1, 2);
+  B.read(1, 100, "main::collect");
+  RaceAnalysis R = detectRaces(B.Trace);
+  EXPECT_EQ(R.RacyPairs, 0u)
+      << "pthread_join must order the worker's writes before the joiner";
+
+  TraceBuilder NoJoin;
+  NoJoin.threadNew(1).threadNew(2);
+  NoJoin.fork(1, 2);
+  NoJoin.objectNew(100);
+  NoJoin.write(2, 100, "worker::result");
+  NoJoin.read(1, 100, "main::collect");
+  EXPECT_EQ(detectRaces(NoJoin.Trace).RacyPairs, 1u);
 }
 
 TEST(RaceDetector, ReleaseAcquireOrdersHandoff) {
