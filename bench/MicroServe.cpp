@@ -1,0 +1,108 @@
+//===- bench/MicroServe.cpp - Status-plane publish micro-benchmarks ---------===//
+//
+// Measures what the HTTP observability plane costs the analysis hot path.
+// The acceptance number is BM_StatusPublishNoServer: a campaign run
+// without --status-addr pays exactly one null-pointer test per publish
+// site, so the no-server path must be indistinguishable from free.
+// BM_StatusPublishLive prices the real publish (struct copy under a mutex
+// plus a self-pipe write) and BM_StatusJsonRender the scrape-time JSON
+// serialization, both off the critical path by design but worth watching.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/StatusServer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+using namespace dlf;
+using namespace dlf::serve;
+
+namespace {
+
+/// A representative mid-campaign snapshot: a handful of cycles, a few
+/// worker lanes — the shape BuildStatus produces for the paper benchmarks.
+CampaignStatus sampleStatus() {
+  CampaignStatus St;
+  St.Tool = "dlf-run";
+  St.Benchmark = "dbcp";
+  St.Phase = "phase2";
+  St.Jobs = 4;
+  St.CyclesFound = 6;
+  St.RepsTotal = 36;
+  St.RepsCommitted = 17;
+  St.RepsExecuted = 17;
+  for (unsigned C = 0; C < 6; ++C) {
+    CycleStatus Cy;
+    Cy.Index = C;
+    Cy.RepsTotal = 6;
+    Cy.RepsDone = (17 + C) % 7;
+    Cy.Reproduced = Cy.RepsDone / 2;
+    Cy.Classification = "schedulable";
+    St.PerCycle.push_back(Cy);
+  }
+  for (uint32_t L = 0; L < 4; ++L) {
+    WorkerStatus W;
+    W.Lane = L;
+    W.Busy = (L % 2) == 0;
+    W.Cycle = L;
+    W.Rep = L + 1;
+    St.Workers.push_back(W);
+  }
+  St.RepsPerSecond = 123.4;
+  St.EtaSeconds = 1.9;
+  return St;
+}
+
+/// The default campaign configuration: Status is null, every publish site
+/// reduces to one pointer test. This is the path every server-less run
+/// takes and the one the "zero measurable overhead" acceptance criterion
+/// is about.
+void BM_StatusPublishNoServer(benchmark::State &State) {
+  StatusSink *Sink = nullptr;
+  const CampaignStatus St = sampleStatus();
+  for (auto _ : State) {
+    if (Sink)
+      Sink->publishStatus(St);
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StatusPublishNoServer);
+
+/// A real publish against a live server with no connected scrapers: the
+/// struct copy under the mutex plus the one-byte wakeup write.
+void BM_StatusPublishLive(benchmark::State &State) {
+  ServerOptions Opts;
+  Opts.Tool = "bench";
+  std::string Err;
+  std::unique_ptr<StatusServer> Server =
+      StatusServer::start(std::move(Opts), &Err);
+  if (!Server) {
+    State.SkipWithError(Err.c_str());
+    return;
+  }
+  const CampaignStatus St = sampleStatus();
+  for (auto _ : State)
+    Server->publishStatus(St);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StatusPublishLive);
+
+/// Scrape-time serialization of /status — runs on the server thread per
+/// GET, never on the analysis thread.
+void BM_StatusJsonRender(benchmark::State &State) {
+  const CampaignStatus St = sampleStatus();
+  for (auto _ : State) {
+    std::string Json = St.toJson();
+    benchmark::DoNotOptimize(Json.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_StatusJsonRender);
+
+} // namespace
+
+BENCHMARK_MAIN();

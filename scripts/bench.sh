@@ -4,7 +4,8 @@
 # Builds the bench binaries and runs every micro-benchmark with
 # --benchmark_format=json, writing one baseline file per binary at the repo
 # root (BENCH_igoodlock.json, BENCH_abstraction.json, BENCH_scheduler.json,
-# BENCH_analysis.json, BENCH_predict.json, BENCH_ring.json).
+# BENCH_analysis.json, BENCH_predict.json, BENCH_ring.json,
+# BENCH_serve.json).
 # The JSON files are checked in so perf changes show up as reviewable
 # diffs; re-run this script after touching the closure, the abstraction
 # machinery, or the scheduler, and commit the new numbers alongside the
@@ -26,9 +27,9 @@ MIN_TIME="${1:-0.1}"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target \
   micro_igoodlock micro_abstraction micro_scheduler micro_analysis \
-  micro_predict micro_ring
+  micro_predict micro_ring micro_serve
 
-for NAME in igoodlock abstraction scheduler analysis predict ring; do
+for NAME in igoodlock abstraction scheduler analysis predict ring serve; do
   BIN="build/bench/micro_${NAME}"
   OUT="BENCH_${NAME}.json"
   echo "== ${BIN} -> ${OUT} =="
@@ -43,7 +44,7 @@ import json
 
 summary = {}
 for name in ["igoodlock", "abstraction", "scheduler", "analysis", "predict",
-             "ring"]:
+             "ring", "serve"]:
     with open(f"BENCH_{name}.json") as f:
         doc = json.load(f)
     for bench in doc.get("benchmarks", []):

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-#===- scripts/ci.sh - Seven-tier continuous integration --------------------===#
+#===- scripts/ci.sh - Multi-tier continuous integration --------------------===#
 #
 # Tier 0 (lint): the clang-tidy wall (scripts/lint.sh) — skips cleanly when
 # clang-tidy is not installed. Tier 1: the plain build and full test suite
@@ -28,6 +28,12 @@
 # asserting dlf-observe's cycle report is equivalent to dlf-analyze's,
 # that the dlf_ring_* telemetry flows through both ends, and that
 # dlf-observe's launch mode (memfd + DLF_RING=fd:<n>) works end to end.
+# Tier 7 (status server): a chaos-seeded campaign run with
+# --status-addr 127.0.0.1:0, scraping /healthz, /metrics, and /status
+# mid-run (curl, or python3 urllib when curl is absent), validating the
+# status JSON invariants, then asserting the final report and journal are
+# byte-identical to a server-less run of the same campaign (modulo the
+# run-dependent wall-clock fields).
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 #
@@ -72,7 +78,7 @@ echo "== tier 2b: TSan build + runtime/scheduler suites =="
 cmake -B build-tsan -S . -DDLF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   runtime_test scheduler_test parallel_closure_test ring_test predict_test \
-  dlf-run
+  status_server_test dlf-run
 build-tsan/tests/runtime_test
 build-tsan/tests/scheduler_test
 build-tsan/tests/parallel_closure_test
@@ -82,6 +88,9 @@ build-tsan/tests/predict_test
 # The lock-free ring writer/reader under TSan: the seqlock stamps, the
 # cached head/tail refreshes, and the cross-shard merge must be race-free.
 build-tsan/tests/ring_test
+# The status server under TSan: concurrent scrapes racing live publishes
+# across the publisher/server-thread seam.
+build-tsan/tests/status_server_test
 # The rwlock/condvar instrumentation paths under TSan: shared-mode
 # bookkeeping and the wakeup/reacquire handoff must be race-free.
 build-tsan/src/dlf-run rwlock-abba --reps 3 --seed 1 >/dev/null
@@ -187,5 +196,88 @@ build/src/dlf-observe --preload build/src/libdlf_preload.so \
   > "$RINGDIR/launch.out" 2>/dev/null
 grep -q '1 potential deadlock cycle(s)' "$RINGDIR/launch.out"
 echo "== ring: launch mode OK =="
+
+echo "== tier 7: status server (live scrape + server-less equivalence) =="
+SRVDIR="$(mktemp -d)"
+trap 'rm -rf "$TELDIR" "$RINGDIR" "$SRVDIR"' EXIT
+fetch() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -sSf --max-time 10 "$1"
+  else
+    python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(sys.argv[1], timeout=10).read().decode())' "$1"
+  fi
+}
+# Chaos seed 3 injects child crashes/hangs/spawn failures but no journal
+# faults, so the journal survives for the equivalence check below.
+CAMPAIGN=(build/src/dlf-run dbcp --campaign --chaos 3 --reps 60 --jobs 2
+          --run-timeout-ms 300)
+"${CAMPAIGN[@]}" --journal "$SRVDIR/ref.jsonl" \
+  --metrics-out "$SRVDIR/ref.metrics.json" > "$SRVDIR/ref.out"
+"${CAMPAIGN[@]}" --journal "$SRVDIR/live.jsonl" \
+  --metrics-out "$SRVDIR/live.metrics.json" \
+  --status-addr 127.0.0.1:0 \
+  > "$SRVDIR/live.out" 2> "$SRVDIR/live.err" &
+LIVE_PID=$!
+# Port 0 is ephemeral; the bound port is echoed on stderr before phase 1.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n \
+    's|^status server listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' \
+    "$SRVDIR/live.err")"
+  [ -n "$PORT" ] && break
+  sleep 0.05
+done
+[ -n "$PORT" ] || { echo "no status port echoed"; kill "$LIVE_PID"; exit 1; }
+fetch "http://127.0.0.1:$PORT/healthz" | grep -qx 'ok'
+fetch "http://127.0.0.1:$PORT/metrics" > "$SRVDIR/scrape.prom"
+fetch "http://127.0.0.1:$PORT/status" > "$SRVDIR/scrape.status.json"
+grep -q 'dlf_build_info{tool="dlf-run",benchmark="dbcp"} 1' \
+  "$SRVDIR/scrape.prom"
+python3 - "$SRVDIR/scrape.status.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    st = json.load(f)
+assert st["tool"] == "dlf-run", st
+assert st["benchmark"] == "dbcp", st
+assert st["phase"] in ("phase1", "phase2", "done", "interrupted"), st
+prog = st["progress"]
+done = sum(c["reps_done"] for c in st.get("cycles", []))
+assert done == prog["reps_committed"], (done, prog)
+assert prog["reps_committed"] <= prog["reps_total"] or \
+    prog["reps_total"] == 0, prog
+print(f"== status scrape OK: phase={st['phase']} "
+      f"committed={prog['reps_committed']} ==")
+EOF
+wait "$LIVE_PID"
+# The server must not perturb the campaign: the final report is identical
+# modulo the wall-clock throughput line (and the metrics confirmation
+# line, which embeds the differing output path), and the journals are
+# identical modulo per-rep timing fields (stripping them invalidates the
+# line CRC, so compare canonicalized JSON, not bytes).
+grep -vE '^(throughput: |metrics written to )' "$SRVDIR/ref.out" \
+  > "$SRVDIR/ref.counts"
+grep -vE '^(throughput: |metrics written to )' "$SRVDIR/live.out" \
+  > "$SRVDIR/live.counts"
+diff -u "$SRVDIR/ref.counts" "$SRVDIR/live.counts" \
+  || { echo "status server perturbed the campaign report"; exit 1; }
+python3 - "$SRVDIR/ref.jsonl" "$SRVDIR/live.jsonl" <<'EOF'
+import json, sys
+
+def canon(path):
+    out = []
+    for line in open(path):
+        doc = json.loads(line.split("\t")[0])
+        for key in ("wall_ms", "cpu_ms", "diag"):
+            doc.pop(key, None)
+        out.append(json.dumps(doc, sort_keys=True))
+    return out
+
+ref, live = canon(sys.argv[1]), canon(sys.argv[2])
+assert ref == live, "journals diverge between server-less and live runs"
+print(f"== journals equivalent ({len(ref)} records) ==")
+EOF
+echo "== status server: live scrape OK, server-less equivalence holds =="
 
 echo "== ci: all tiers passed =="

@@ -4,6 +4,7 @@
 
 #include "faultinject/FaultInject.h"
 #include "igoodlock/Serialize.h"
+#include "serve/CampaignStatus.h"
 #include "support/Debug.h"
 #include "support/Fs.h"
 #include "support/Retry.h"
@@ -438,7 +439,9 @@ std::string CampaignRunner::resolveSidecarDir() {
 void CampaignRunner::journalAppend(const JsonValue &Record) {
   if (!Writer.isOpen() || JournalDegraded)
     return; // journal-less campaigns are legal; degraded ones run in memory
-  if (!Writer.append(Record))
+  if (Writer.append(Record))
+    ++JournalRecords;
+  else
     degradeJournal(Writer.lastError());
 }
 
@@ -794,8 +797,12 @@ void CampaignRunner::runPhaseTwo(
   unsigned CommitCycle = 0;
 
   // Timeline worker lanes: each launch takes the smallest free slot, so
-  // the trace shows pool occupancy directly.
+  // the trace shows pool occupancy directly. The status plane reuses the
+  // same lane bookkeeping for its worker view, so lanes are tracked
+  // whenever either consumer is on.
+  const bool TrackLanes = Config.Telemetry || Config.Status != nullptr;
   std::vector<char> LaneBusy;
+  bool StatusDirty = Config.Status != nullptr;
   auto ElapsedUs = [&]() {
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
@@ -830,7 +837,7 @@ void CampaignRunner::runPhaseTwo(
                     std::to_string(R) + "_a" + std::to_string(Attempt) +
                     ".sidecar";
     uint32_t Lane = 0;
-    if (Config.Telemetry) {
+    if (TrackLanes) {
       while (Lane < LaneBusy.size() && LaneBusy[Lane])
         ++Lane;
       if (Lane == LaneBusy.size())
@@ -870,6 +877,7 @@ void CampaignRunner::runPhaseTwo(
         },
         childLimits());
     Flight[Ticket] = {C, R, Attempt, SidecarPath, ElapsedUs(), Lane};
+    StatusDirty = true;
   };
 
   auto Classify = [](const SandboxResult &SR, RepOutcome &O) {
@@ -926,8 +934,9 @@ void CampaignRunner::runPhaseTwo(
       return; // canceled speculative work
     FlightInfo FI = It->second;
     Flight.erase(It);
-    if (Config.Telemetry && FI.Lane < LaneBusy.size())
+    if (TrackLanes && FI.Lane < LaneBusy.size())
       LaneBusy[FI.Lane] = 0;
+    StatusDirty = true;
     Report.ChildCpuMs += PC.Result.CpuMs;
     if (Progress[FI.Cycle].Quarantined) {
       if (!FI.SidecarPath.empty())
@@ -989,7 +998,7 @@ void CampaignRunner::runPhaseTwo(
     for (auto It = Flight.begin(); It != Flight.end();) {
       if (It->second.Cycle == C) {
         Pool.cancel(It->first);
-        if (Config.Telemetry && It->second.Lane < LaneBusy.size())
+        if (TrackLanes && It->second.Lane < LaneBusy.size())
           LaneBusy[It->second.Lane] = 0;
         if (!It->second.SidecarPath.empty())
           unlink(It->second.SidecarPath.c_str());
@@ -1026,6 +1035,7 @@ void CampaignRunner::runPhaseTwo(
       PendingOutcome PO = std::move(It->second);
       Pending.erase(It);
       ++P.Frontier;
+      StatusDirty = true;
 
       const RepOutcome &O = PO.O;
       if (PO.Replayed) {
@@ -1053,6 +1063,10 @@ void CampaignRunner::runPhaseTwo(
           Writer.close();
           ::raise(SIGKILL);
         }
+        // The /events stream mirrors the journal: one "commit" per fresh
+        // frontier record, in the exact order the journal receives them.
+        if (Config.Status)
+          Config.Status->publishEvent("commit", Rec.dump());
       }
 
       accumulate(S, O);
@@ -1105,6 +1119,12 @@ void CampaignRunner::runPhaseTwo(
         if (Config.Telemetry)
           ++Report.Metrics.Counters["dlf_campaign_quarantines_total"];
         CancelCycle(CommitCycle);
+        if (Config.Status) {
+          JsonValue Ev = JsonValue::object();
+          Ev.set("cycle", CommitCycle);
+          Ev.set("reason", S.QuarantineReason);
+          Config.Status->publishEvent("quarantine", Ev.dump());
+        }
         if (!JournaledQuarantines.count(CommitCycle)) {
           JsonValue Rec = JsonValue::object();
           Rec.set("event", "quarantine");
@@ -1170,6 +1190,75 @@ void CampaignRunner::runPhaseTwo(
     return true;
   };
 
+  // Builds the /status snapshot. Every count is read at the commit
+  // frontier, so the snapshot a scraper sees at a given frontier position
+  // is byte-identical across --jobs values; worker occupancy and the
+  // throughput block describe this process only.
+  auto BuildStatus = [&](const char *Phase) {
+    serve::CampaignStatus St;
+    St.Tool = "dlf-run";
+    St.Benchmark = Config.BenchmarkName;
+    St.Phase = Phase;
+    St.Jobs = Report.JobsUsed;
+    St.CyclesFound = NumCycles;
+    St.RepsExecuted = Report.RepsExecuted;
+    St.RepsReplayed = Report.RepsReplayed;
+    St.JournalRecords = JournalRecords;
+    unsigned Remaining = 0;
+    for (unsigned C = 0; C != NumCycles; ++C) {
+      const CycleCampaignStats &S = Report.PerCycle[C];
+      serve::CycleStatus CS;
+      CS.Index = C;
+      CS.RepsTotal = S.Skipped ? 0 : Reps;
+      CS.RepsDone = S.Skipped ? 0 : Progress[C].Frontier;
+      CS.Reproduced = S.Reproduced;
+      CS.OtherDeadlocks = S.OtherDeadlocks;
+      CS.Stalls = S.Stalls;
+      CS.CleanRuns = S.CleanRuns;
+      CS.Hung = S.Hung;
+      CS.Crashed = S.CrashedSignal + S.CrashedExit;
+      CS.Oom = S.Oom;
+      CS.Retries = S.RetriesSpent;
+      CS.Quarantined = S.Quarantined;
+      CS.Skipped = S.Skipped;
+      CS.Classification = S.Classification;
+      CS.Prediction = S.Prediction;
+      St.RepsTotal += CS.RepsTotal;
+      St.RepsCommitted += CS.RepsDone;
+      St.RetriesSpent += S.RetriesSpent;
+      if (S.Quarantined)
+        ++St.Quarantines;
+      else
+        Remaining += CS.RepsTotal - CS.RepsDone;
+      St.PerCycle.push_back(std::move(CS));
+    }
+    St.Workers.resize(LaneBusy.size());
+    for (size_t L = 0; L != LaneBusy.size(); ++L) {
+      St.Workers[L].Lane = static_cast<uint32_t>(L);
+      St.Workers[L].Busy = LaneBusy[L] != 0;
+    }
+    for (const auto &KV : Flight) {
+      const FlightInfo &FI = KV.second;
+      if (FI.Lane < St.Workers.size()) {
+        serve::WorkerStatus &W = St.Workers[FI.Lane];
+        W.Cycle = FI.Cycle;
+        W.Rep = FI.Rep;
+        W.Attempt = FI.Attempt;
+      }
+    }
+    St.WallMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - Start)
+            .count();
+    St.RepsPerSecond = St.WallMs > 0.0
+                           ? Report.RepsExecuted / (St.WallMs / 1000.0)
+                           : 0.0;
+    if (St.RepsPerSecond > 0.0)
+      St.EtaSeconds = Remaining / St.RepsPerSecond;
+    St.Complete = Report.CampaignComplete;
+    St.Interrupted = Report.Interrupted;
+    return St;
+  };
+
   // -- Dispatch/collect loop.
   for (;;) {
     CommitReady();
@@ -1192,6 +1281,16 @@ void CampaignRunner::runPhaseTwo(
     std::vector<PoolCompletion> Done = Pool.poll(/*WaitMs=*/1);
     for (PoolCompletion &PC : Done)
       HandleCompletion(PC, /*AllowRetry=*/true);
+
+    // Publish at most once per loop iteration, and only when something
+    // changed: the sink copies under its own mutex and never does network
+    // I/O here, so the analysis loop cannot block on a slow scraper.
+    if (Config.Status && StatusDirty) {
+      StatusDirty = false;
+      Config.Status->publishStatus(BuildStatus("phase2"));
+      if (Config.Telemetry)
+        Config.Status->publishMetrics(Report.Metrics);
+    }
 
     // Nothing in flight and only unripe retries left: sleep toward the
     // earliest backoff expiry instead of spinning (SIGINT still wakes us
@@ -1260,6 +1359,20 @@ void CampaignRunner::runPhaseTwo(
     G = std::max(G, Peak);
     int64_t &J = Report.Metrics.Gauges["dlf_campaign_jobs"];
     J = std::max(J, static_cast<int64_t>(Report.JobsUsed));
+  }
+
+  if (Config.Status) {
+    Config.Status->publishStatus(BuildStatus(
+        Report.Interrupted ? "interrupted"
+                           : (Report.CampaignComplete ? "done" : "phase2")));
+    if (Config.Telemetry)
+      Config.Status->publishMetrics(Report.Metrics);
+    JsonValue Ev = JsonValue::object();
+    Ev.set("complete", Report.CampaignComplete);
+    Ev.set("interrupted", Report.Interrupted);
+    Ev.set("reps_executed", Report.RepsExecuted);
+    Ev.set("reps_replayed", Report.RepsReplayed);
+    Config.Status->publishEvent("campaign", Ev.dump());
   }
 }
 
@@ -1357,6 +1470,13 @@ CampaignReport CampaignRunner::run(bool Resume) {
   }
 
   // -- Phase I ---------------------------------------------------------------
+  if (Config.Status) {
+    serve::CampaignStatus St;
+    St.Tool = "dlf-run";
+    St.Benchmark = Config.BenchmarkName;
+    St.Phase = "phase1";
+    Config.Status->publishStatus(St);
+  }
   if (HavePhase1) {
     Report.PhaseOneCompleted = Phase1Rec["completed"].asBool();
     Report.PhaseOneAttempts =
@@ -1381,6 +1501,14 @@ CampaignReport CampaignRunner::run(bool Resume) {
     if (!runPhaseOneSandboxed(Report, Record))
       return Report; // Error is set; nothing journaled, resume retries.
     journalAppend(Record);
+  }
+
+  if (Config.Status) {
+    JsonValue Ev = JsonValue::object();
+    Ev.set("cycles", static_cast<unsigned>(Report.Cycles.size()));
+    Ev.set("completed", Report.PhaseOneCompleted);
+    Ev.set("replayed", HavePhase1);
+    Config.Status->publishEvent("phase1", Ev.dump());
   }
 
   // -- Phase II --------------------------------------------------------------

@@ -55,6 +55,11 @@
 #include <vector>
 
 namespace dlf {
+
+namespace serve {
+class StatusSink;
+} // namespace serve
+
 namespace campaign {
 
 /// Final classification of one repetition (after retries).
@@ -184,6 +189,13 @@ struct CampaignConfig {
   /// Checkpoint file (JSON Lines). Empty runs without a journal (no
   /// resume, but still fault-isolated).
   std::string JournalPath;
+
+  /// Optional live observability sink (serve::StatusServer), non-owning.
+  /// Snapshots are built at the in-order commit frontier — the one point
+  /// where counts are jobs-deterministic — and events mirror the journal
+  /// records. Null (the default) costs one pointer test per publish site,
+  /// so the no-server hot path is unchanged.
+  serve::StatusSink *Status = nullptr;
 
   /// Test hook: runs *in the child* before each Phase II repetition, so
   /// tests can inject hangs/crashes/allocation storms deterministically.
@@ -374,6 +386,8 @@ private:
 
   CampaignConfig Config;
   JournalWriter Writer;
+  /// Records successfully appended by this invocation (status reporting).
+  uint64_t JournalRecords = 0;
   bool JournalDegraded = false;
   std::string JournalDegradedWhy;
   std::string SidecarDirInUse;

@@ -47,11 +47,13 @@
 #include "analysis/Trace.h"
 #include "igoodlock/IGoodlock.h"
 #include "runtime/Records.h"
+#include "serve/StatusServer.h"
 #include "support/Env.h"
 #include "telemetry/Metrics.h"
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -125,7 +127,8 @@ int main(int Argc, char **Argv) {
                       "[--max-cycle-length N] [--analysis-jobs N]\n"
                       "                   [--races | --predict] "
                       "[--metrics-out FILE]\n"
-                      "                   [--metrics-format json|prom]\n";
+                      "                   [--metrics-format json|prom] "
+                      "[--status-addr ADDR]\n";
   if (Argc < 2) {
     std::cerr << Usage;
     return ExitUsage;
@@ -136,6 +139,7 @@ int main(int Argc, char **Argv) {
   std::string MetricsOut;
   bool MetricsProm = false;
   bool MetricsFormatGiven = false;
+  std::string StatusAddr;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--races") {
@@ -152,6 +156,14 @@ int main(int Argc, char **Argv) {
         return ExitUsage;
       }
       MetricsOut = Argv[++I];
+      continue;
+    }
+    if (Arg == "--status-addr") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: --status-addr expects a value\n" << Usage;
+        return ExitUsage;
+      }
+      StatusAddr = Argv[++I];
       continue;
     }
     if (Arg == "--metrics-format") {
@@ -208,8 +220,38 @@ int main(int Argc, char **Argv) {
   }
   // Enable before the passes run so the closure/pruner/race counters
   // (dlf_igoodlock_*, dlf_analysis_*) are recorded.
-  if (!MetricsOut.empty())
+  if (!MetricsOut.empty() || !StatusAddr.empty())
     telemetry::setEnabled(true);
+
+  std::unique_ptr<serve::StatusServer> Server;
+  if (!StatusAddr.empty()) {
+    serve::ServerOptions SO;
+    SO.Addr = StatusAddr;
+    SO.Tool = "dlf-analyze";
+    SO.BuildInfo["trace"] = Argv[1];
+    std::string SErr;
+    Server = serve::StatusServer::start(std::move(SO), &SErr);
+    if (!Server) {
+      std::cerr << "error: " << SErr << "\n";
+      return ExitUsage;
+    }
+    // The port echo is the contract for --status-addr 127.0.0.1:0:
+    // scripts parse this stderr line to find the ephemeral port.
+    std::cerr << "status server listening on http://" << Server->address()
+              << " (/metrics /status /events /healthz /buildinfo)\n";
+  }
+  auto PublishPhase = [&](const char *Phase, bool Complete) {
+    if (!Server)
+      return;
+    serve::CampaignStatus St;
+    St.Tool = "dlf-analyze";
+    St.Benchmark = Argv[1];
+    St.Phase = Phase;
+    St.Complete = Complete;
+    Server->publishStatus(St);
+    Server->publishMetrics(telemetry::Registry::global().snapshot());
+  };
+  PublishPhase("analyzing", false);
 
   analysis::TraceFile Trace;
   std::string Error;
@@ -229,6 +271,7 @@ int main(int Argc, char **Argv) {
   int Rc = Races     ? runRaceAnalysis(Trace, Opts.AnalysisJobs)
            : Predict ? runPredictAnalysis(Trace, Opts)
                      : runDeadlockAnalysis(Trace, Opts);
+  PublishPhase("done", Rc == 0);
   if (Rc == 0 && !MetricsOut.empty()) {
     telemetry::MetricsSnapshot Snap =
         telemetry::Registry::global().snapshot();

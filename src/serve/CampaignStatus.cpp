@@ -1,0 +1,92 @@
+//===- serve/CampaignStatus.cpp - Status snapshot JSON rendering ----------===//
+//
+// Part of the DeadlockFuzzer reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/CampaignStatus.h"
+
+#include "campaign/Json.h"
+
+namespace dlf {
+namespace serve {
+
+std::string CampaignStatus::toJson() const {
+  using campaign::JsonValue;
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("tool", Tool);
+  Doc.set("benchmark", Benchmark);
+  Doc.set("phase", Phase);
+  Doc.set("jobs", Jobs);
+
+  JsonValue Prog = JsonValue::object();
+  Prog.set("cycles_found", CyclesFound);
+  Prog.set("reps_total", RepsTotal);
+  Prog.set("reps_committed", RepsCommitted);
+  Prog.set("reps_executed", RepsExecuted);
+  Prog.set("reps_replayed", RepsReplayed);
+  Prog.set("quarantines", Quarantines);
+  Prog.set("retries_spent", RetriesSpent);
+  Prog.set("journal_records", JournalRecords);
+  Doc.set("progress", std::move(Prog));
+
+  JsonValue Cycles = JsonValue::array();
+  for (const CycleStatus &C : PerCycle) {
+    JsonValue CV = JsonValue::object();
+    CV.set("cycle", C.Index);
+    CV.set("reps_done", C.RepsDone);
+    CV.set("reps_total", C.RepsTotal);
+    CV.set("reps_remaining",
+           C.RepsTotal > C.RepsDone ? C.RepsTotal - C.RepsDone : 0U);
+    CV.set("reproduced", C.Reproduced);
+    CV.set("other_deadlocks", C.OtherDeadlocks);
+    CV.set("stalls", C.Stalls);
+    CV.set("clean_runs", C.CleanRuns);
+    CV.set("hung", C.Hung);
+    CV.set("crashed", C.Crashed);
+    CV.set("oom", C.Oom);
+    CV.set("retries", C.Retries);
+    CV.set("quarantined", C.Quarantined);
+    CV.set("skipped", C.Skipped);
+    if (!C.Classification.empty())
+      CV.set("classification", C.Classification);
+    if (!C.Prediction.empty())
+      CV.set("prediction", C.Prediction);
+    Cycles.push(std::move(CV));
+  }
+  Doc.set("cycles", std::move(Cycles));
+
+  JsonValue Lanes = JsonValue::array();
+  for (const WorkerStatus &W : Workers) {
+    JsonValue WV = JsonValue::object();
+    WV.set("lane", W.Lane);
+    WV.set("busy", W.Busy);
+    if (W.Busy) {
+      WV.set("cycle", W.Cycle);
+      WV.set("rep", W.Rep);
+      WV.set("attempt", W.Attempt);
+    }
+    Lanes.push(std::move(WV));
+  }
+  Doc.set("workers", std::move(Lanes));
+
+  JsonValue Obs = JsonValue::object();
+  Obs.set("epoch", Epoch);
+  Obs.set("events_seen", EventsSeen);
+  Doc.set("observer", std::move(Obs));
+
+  // Informational: describes this process, never the deterministic result.
+  JsonValue Rate = JsonValue::object();
+  Rate.set("wall_ms", WallMs);
+  Rate.set("reps_per_second", RepsPerSecond);
+  Rate.set("eta_seconds", EtaSeconds);
+  Doc.set("throughput", std::move(Rate));
+
+  Doc.set("complete", Complete);
+  Doc.set("interrupted", Interrupted);
+  return Doc.dump();
+}
+
+} // namespace serve
+} // namespace dlf

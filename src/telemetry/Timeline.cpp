@@ -6,6 +6,8 @@
 
 #include "telemetry/Timeline.h"
 
+#include "telemetry/Metrics.h"
+
 #include <chrono>
 #include <cstdio>
 
@@ -13,6 +15,16 @@ namespace dlf {
 namespace telemetry {
 
 namespace {
+
+/// A capped trace used to be visible only as a too-small output file;
+/// counting drops in the registry makes it visible at scrape time. The
+/// handle is interned once — the drop path is rare, but there is no
+/// reason to hammer the registry mutex from it either.
+void countDroppedEvent() {
+  static Counter DroppedTotal =
+      Registry::global().counter("dlf_timeline_dropped_total");
+  DroppedTotal.inc();
+}
 
 uint64_t monotonicNowNs() {
   return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -92,6 +104,7 @@ void Timeline::instant(const std::string &Name, uint32_t Tid) {
   std::lock_guard<std::mutex> Lk(Mu);
   if (Events.size() >= MaxEvents) {
     ++Dropped;
+    countDroppedEvent();
     return;
   }
   Events.push_back(TraceEvent{'i', 0, Tid, Ts, 0, Name});
@@ -106,6 +119,7 @@ void Timeline::complete(const std::string &Name, uint32_t Tid,
   std::lock_guard<std::mutex> Lk(Mu);
   if (Events.size() >= MaxEvents) {
     ++Dropped;
+    countDroppedEvent();
     return;
   }
   Events.push_back(TraceEvent{'X', 0, Tid, StartUs, EndUs - StartUs, Name});
@@ -121,6 +135,11 @@ void Timeline::nameThread(uint32_t Tid, const std::string &Name) {
 uint64_t Timeline::dropped() const {
   std::lock_guard<std::mutex> Lk(Mu);
   return Dropped;
+}
+
+void Timeline::setMaxEvents(size_t Cap) {
+  std::lock_guard<std::mutex> Lk(Mu);
+  MaxEvents = Cap;
 }
 
 void Timeline::reset() {

@@ -79,6 +79,11 @@ public:
 
   uint64_t dropped() const;
 
+  /// Overrides the buffered-event cap (tests exercise the drop path with
+  /// a tiny cap). Does not evict events already buffered past a smaller
+  /// cap.
+  void setMaxEvents(size_t Cap);
+
   /// Clears buffered events and re-arms the epoch (used by forked
   /// children and tests). Does not change enabled().
   void reset();

@@ -36,12 +36,15 @@
 #include "analysis/LogBuilder.h"
 #include "analysis/RaceDetector.h"
 #include "analysis/Trace.h"
+#include "campaign/Json.h"
 #include "igoodlock/IGoodlock.h"
 #include "ring/Assemble.h"
 #include "ring/Ring.h"
+#include "serve/StatusServer.h"
 #include "support/Env.h"
 #include "telemetry/Metrics.h"
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -50,6 +53,7 @@
 
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <sys/wait.h>
 #include <time.h>
@@ -68,7 +72,8 @@ const char *Usage =
     "       dlf-observe [options] -- <command> [args...]\n"
     "options: [--max-cycle-length N] [--analysis-jobs N] [--races]\n"
     "         [--metrics-out FILE] [--metrics-format json|prom]\n"
-    "         [--epoch-ms N] [--preload LIB (launch mode)]\n";
+    "         [--epoch-ms N] [--preload LIB (launch mode)]\n"
+    "         [--status-addr ADDR (loopback HTTP: /metrics /status /events)]\n";
 
 struct Options {
   std::string RingPath;          // attach mode
@@ -78,6 +83,7 @@ struct Options {
   bool Races = false;
   std::string MetricsOut;
   bool MetricsProm = false;
+  std::string StatusAddr;
   unsigned EpochMs = 50;
 };
 
@@ -95,13 +101,66 @@ bool processAlive(uint32_t Pid) {
   return kill(static_cast<pid_t>(Pid), 0) == 0 || errno != ESRCH;
 }
 
+/// Ring counters as a standalone snapshot of *absolute* totals taken from
+/// reader state. Never routed through Registry::inc — the export runs once
+/// per epoch now, and incrementing interned counters each epoch would
+/// compound the totals.
+telemetry::MetricsSnapshot ringMetricsSnapshot(const ring::RingReader &Reader,
+                                               const ring::Assembler &Asm) {
+  telemetry::MetricsSnapshot M;
+  const ring::DrainStats &S = Reader.stats();
+  M.Counters["dlf_ring_drained_total"] = S.Drained;
+  M.Counters["dlf_ring_torn_total"] = S.Torn;
+  M.Counters["dlf_ring_corrupt_total"] = S.Corrupt;
+  M.Counters["dlf_ring_half_written_total"] = S.HalfWritten;
+  M.Counters["dlf_ring_dropped_total"] = Reader.dropsTotal();
+  M.Counters["dlf_ring_drain_passes_total"] = S.Passes;
+  M.Counters["dlf_ring_stalled_passes_total"] = S.StalledPasses;
+  M.Counters["dlf_ring_unknown_kind_total"] = Asm.unknownKindRecords();
+  M.Gauges["dlf_ring_occupancy"] = static_cast<int64_t>(Reader.occupancy());
+  return M;
+}
+
+/// Everything a scrape or a --metrics-out reader should see: the live
+/// registry (closure/assembler counters) merged over the ring totals.
+telemetry::MetricsSnapshot observerMetrics(const ring::RingReader &Reader,
+                                           const ring::Assembler &Asm) {
+  telemetry::MetricsSnapshot Snap = ringMetricsSnapshot(Reader, Asm);
+  Snap.merge(telemetry::Registry::global().snapshot());
+  return Snap;
+}
+
+/// Write-temp + rename so a concurrent reader (or a post-mortem after the
+/// observer dies mid-epoch) always sees a complete document, never a
+/// truncated one.
+bool writeMetricsAtomic(const std::string &Path, bool Prom,
+                        const telemetry::MetricsSnapshot &Snap) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    OS << (Prom ? Snap.toPrometheus() : Snap.toJson());
+    OS.flush();
+    if (!OS)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 /// The observation loop shared by both modes: drain epochs until the
 /// writer marks the ring done or disappears, feeding the builder as
 /// events arrive. \p ChildPid is the launched target (0 in attach mode),
 /// reaped here so a wedged child cannot wedge the observer's exit.
+/// \p Status (may be null) receives a snapshot, an "epoch" event, and the
+/// ring metrics once per progress epoch, from this thread only.
 void observe(ring::RingReader &Reader, pid_t ChildPid, const Options &Opts,
              ring::Assembler &Asm, analysis::IncrementalLogBuilder &Builder,
-             std::vector<analysis::TraceEvent> &AllEvents) {
+             std::vector<analysis::TraceEvent> &AllEvents,
+             serve::StatusSink *Status, const std::string &Target) {
+  const auto Start = std::chrono::steady_clock::now();
   std::vector<ring::Record> Batch;
   std::vector<analysis::TraceEvent> Events;
   uint64_t Epoch = 0;
@@ -136,6 +195,32 @@ void observe(ring::RingReader &Reader, pid_t ChildPid, const Options &Opts,
                 << " record(s), " << Builder.eventsSeen() << " event(s), "
                 << Cycles.size() << " cycle(s), "
                 << Reader.stats().HeldBack << " held back\n";
+      if (Status) {
+        serve::CampaignStatus St;
+        St.Tool = "dlf-observe";
+        St.Benchmark = Target;
+        St.Phase = "observing";
+        St.Epoch = Epoch;
+        St.EventsSeen = Builder.eventsSeen();
+        St.CyclesFound = static_cast<unsigned>(Cycles.size());
+        St.WallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+        Status->publishStatus(St);
+        campaign::JsonValue Ev = campaign::JsonValue::object();
+        Ev.set("epoch", Epoch);
+        Ev.set("records", static_cast<uint64_t>(Batch.size()));
+        Ev.set("events", static_cast<uint64_t>(Builder.eventsSeen()));
+        Ev.set("cycles", static_cast<uint64_t>(Cycles.size()));
+        Status->publishEvent("epoch", Ev.dump());
+        Status->publishMetrics(ringMetricsSnapshot(Reader, Asm));
+      }
+      // Epoch-granular rewrite: the file stays complete and current at
+      // every instant, so an external scraper can tail a live observation
+      // instead of waiting for exit.
+      if (!Opts.MetricsOut.empty())
+        writeMetricsAtomic(Opts.MetricsOut, Opts.MetricsProm,
+                           observerMetrics(Reader, Asm));
     }
 
     if (Reader.writerDone())
@@ -192,22 +277,6 @@ void observe(ring::RingReader &Reader, pid_t ChildPid, const Options &Opts,
     waitpid(ChildPid, nullptr, 0);
 }
 
-void exportRingMetrics(const ring::RingReader &Reader,
-                       const ring::Assembler &Asm) {
-  auto &Reg = telemetry::Registry::global();
-  const ring::DrainStats &S = Reader.stats();
-  Reg.counter("dlf_ring_drained_total").inc(S.Drained);
-  Reg.counter("dlf_ring_torn_total").inc(S.Torn);
-  Reg.counter("dlf_ring_corrupt_total").inc(S.Corrupt);
-  Reg.counter("dlf_ring_half_written_total").inc(S.HalfWritten);
-  Reg.counter("dlf_ring_dropped_total").inc(Reader.dropsTotal());
-  Reg.counter("dlf_ring_drain_passes_total").inc(S.Passes);
-  Reg.counter("dlf_ring_stalled_passes_total").inc(S.StalledPasses);
-  Reg.counter("dlf_ring_unknown_kind_total").inc(Asm.unknownKindRecords());
-  Reg.gauge("dlf_ring_occupancy").set(
-      static_cast<int64_t>(Reader.occupancy()));
-}
-
 int parseArgs(int Argc, char **Argv, Options &Opts) {
   bool MetricsFormatGiven = false;
   int I = 1;
@@ -224,7 +293,8 @@ int parseArgs(int Argc, char **Argv, Options &Opts) {
     }
     if (Arg == "--metrics-out" || Arg == "--metrics-format" ||
         Arg == "--preload" || Arg == "--max-cycle-length" ||
-        Arg == "--analysis-jobs" || Arg == "--epoch-ms") {
+        Arg == "--analysis-jobs" || Arg == "--epoch-ms" ||
+        Arg == "--status-addr") {
       if (I + 1 >= Argc) {
         std::cerr << "error: " << Arg << " expects a value\n" << Usage;
         return ExitUsage;
@@ -234,6 +304,8 @@ int parseArgs(int Argc, char **Argv, Options &Opts) {
         Opts.MetricsOut = Val;
       } else if (Arg == "--preload") {
         Opts.Preload = Val;
+      } else if (Arg == "--status-addr") {
+        Opts.StatusAddr = Val;
       } else if (Arg == "--metrics-format") {
         MetricsFormatGiven = true;
         if (Val == "json") {
@@ -301,7 +373,7 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (int Rc = parseArgs(Argc, Argv, Opts))
     return Rc;
-  if (!Opts.MetricsOut.empty())
+  if (!Opts.MetricsOut.empty() || !Opts.StatusAddr.empty())
     telemetry::setEnabled(true);
 
   std::unique_ptr<ring::RingReader> Reader;
@@ -345,10 +417,34 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Start the status server only after the fork above: it owns a thread,
+  // and forking a multithreaded process risks the child inheriting a
+  // locked allocator when it still has setenv calls before exec.
+  const std::string Target =
+      Opts.RingPath.empty() ? Opts.Cmd[0] : Opts.RingPath;
+  std::unique_ptr<serve::StatusServer> Server;
+  if (!Opts.StatusAddr.empty()) {
+    serve::ServerOptions SO;
+    SO.Addr = Opts.StatusAddr;
+    SO.Tool = "dlf-observe";
+    SO.BuildInfo["target"] = Target;
+    std::string SErr;
+    Server = serve::StatusServer::start(std::move(SO), &SErr);
+    if (!Server) {
+      std::cerr << "error: " << SErr << "\n";
+      return ExitUsage;
+    }
+    // The port echo is the contract for --status-addr 127.0.0.1:0:
+    // scripts parse this stderr line to find the ephemeral port.
+    std::cerr << "status server listening on http://" << Server->address()
+              << " (/metrics /status /events /healthz /buildinfo)\n";
+  }
+
   ring::Assembler Asm(*Reader);
   analysis::IncrementalLogBuilder Builder(&std::cerr);
   std::vector<analysis::TraceEvent> AllEvents;
-  observe(*Reader, ChildPid, Opts, Asm, Builder, AllEvents);
+  observe(*Reader, ChildPid, Opts, Asm, Builder, AllEvents, Server.get(),
+          Target);
 
   const ring::DrainStats &S = Reader->stats();
   std::cerr << "dlf-observe: drained " << S.Drained << " record(s) in "
@@ -362,6 +458,7 @@ int main(int Argc, char **Argv) {
   }
 
   int Rc = 0;
+  unsigned FinalCycles = 0;
   if (Opts.Races) {
     analysis::TraceFile Trace;
     Trace.Events = AllEvents;
@@ -383,15 +480,24 @@ int main(int Argc, char **Argv) {
         analysis::classifyCycles(Builder.log(), Cycles);
     analysis::printCycleReport(std::cout, "dlf-observe", Builder.log(),
                                Cycles, Classes, Stats);
+    FinalCycles = static_cast<unsigned>(Cycles.size());
+  }
+
+  if (Server) {
+    serve::CampaignStatus St;
+    St.Tool = "dlf-observe";
+    St.Benchmark = Target;
+    St.Phase = "done";
+    St.EventsSeen = Builder.eventsSeen();
+    St.CyclesFound = FinalCycles;
+    St.Complete = true;
+    Server->publishStatus(St);
+    Server->publishMetrics(ringMetricsSnapshot(*Reader, Asm));
   }
 
   if (Rc == 0 && !Opts.MetricsOut.empty()) {
-    exportRingMetrics(*Reader, Asm);
-    telemetry::MetricsSnapshot Snap = telemetry::Registry::global().snapshot();
-    std::ofstream OS(Opts.MetricsOut, std::ios::binary | std::ios::trunc);
-    OS << (Opts.MetricsProm ? Snap.toPrometheus() : Snap.toJson());
-    OS.flush();
-    if (!OS) {
+    if (!writeMetricsAtomic(Opts.MetricsOut, Opts.MetricsProm,
+                            observerMetrics(*Reader, Asm))) {
       std::cerr << "error: cannot write " << Opts.MetricsOut << "\n";
       return ExitUsage;
     }

@@ -19,6 +19,7 @@
 
 #include "campaign/CampaignRunner.h"
 #include "faultinject/FaultInject.h"
+#include "serve/StatusServer.h"
 #include "fuzzer/ActiveTester.h"
 #include "igoodlock/Serialize.h"
 #include "substrates/BenchmarkRegistry.h"
@@ -113,7 +114,13 @@ void printUsage() {
          "                         exposition)\n"
          "  --timeline-out FILE    write a Chrome trace-event timeline to\n"
          "                         FILE (open in Perfetto or\n"
-         "                         about://tracing)\n";
+         "                         about://tracing)\n"
+         "  --status-addr ADDR     campaign mode: serve live observability\n"
+         "                         over HTTP on ADDR (loopback only, e.g.\n"
+         "                         127.0.0.1:0 for an ephemeral port echoed\n"
+         "                         on stderr): GET /metrics (Prometheus),\n"
+         "                         /status (JSON progress), /events (SSE),\n"
+         "                         /healthz, /buildinfo; implies telemetry\n";
 }
 
 /// CLI telemetry export options (--metrics-out / --timeline-out).
@@ -363,6 +370,7 @@ int main(int Argc, char **Argv) {
   std::string FaultsSpec;
   bool ChaosGiven = false;
   uint64_t ChaosSeed = 0;
+  std::string StatusAddr;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     // Every numeric option is validated strictly: a missing, negative,
@@ -508,6 +516,13 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--timeline-out") {
       if (I + 1 < Argc)
         Telemetry.TimelineOut = Argv[++I];
+    } else if (Arg == "--status-addr") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: --status-addr expects an address "
+                     "(e.g. 127.0.0.1:0)\n";
+        return 1;
+      }
+      StatusAddr = Argv[++I];
     } else {
       std::cerr << "error: unknown option '" << Arg << "'\n";
       printUsage();
@@ -540,6 +555,11 @@ int main(int Argc, char **Argv) {
   }
   if (MetricsFormatGiven && Telemetry.MetricsOut.empty()) {
     std::cerr << "error: --metrics-format only applies to --metrics-out\n";
+    return 1;
+  }
+  if (!StatusAddr.empty() && !Campaign) {
+    std::cerr << "error: --status-addr only applies to --campaign "
+                 "(or --resume)\n";
     return 1;
   }
 
@@ -586,6 +606,29 @@ int main(int Argc, char **Argv) {
                          ? std::string(Bench->Name) + ".campaign.jsonl"
                          : JournalPath;
     CC.Telemetry = Telemetry.any();
+
+    std::unique_ptr<serve::StatusServer> Server;
+    if (!StatusAddr.empty()) {
+      serve::ServerOptions SO;
+      SO.Addr = StatusAddr;
+      SO.Tool = "dlf-run";
+      SO.BuildInfo["benchmark"] = Bench->Name;
+      std::string Err;
+      Server = serve::StatusServer::start(std::move(SO), &Err);
+      if (!Server) {
+        std::cerr << "error: " << Err << "\n";
+        return 1;
+      }
+      // The port echo is the contract for --status-addr 127.0.0.1:0:
+      // scripts parse this stderr line to find the ephemeral port.
+      std::cerr << "status server listening on http://" << Server->address()
+                << " (/metrics /status /events /healthz /buildinfo)\n";
+      CC.Status = Server.get();
+      // /metrics serves the frontier-merged campaign aggregate; that
+      // aggregate only exists when campaign telemetry is on.
+      CC.Telemetry = true;
+      telemetry::setEnabled(true);
+    }
     return runCampaign(*Bench, std::move(CC), Resume, Telemetry);
   }
 

@@ -288,6 +288,27 @@ TEST(TelemetryTimeline, RecordsOnlyWhileEnabled) {
   EXPECT_EQ(Names.at(1), "w1");
 }
 
+TEST(TelemetryTimeline, DroppedEventsSurfaceAsRegistryCounter) {
+  ScopedTelemetry Arm;
+  Timeline TL;
+  TL.setEnabled(true);
+  TL.setMaxEvents(4);
+  for (int I = 0; I < 5; ++I)
+    TL.instant("ev" + std::to_string(I), 0);
+  TL.complete("late-span", 0, 0, 1);
+
+  // Two events hit the cap: one instant, one span. Both the local drop
+  // count and the scrape-visible counter must see them.
+  EXPECT_EQ(TL.dropped(), 2u);
+  MetricsSnapshot S = Registry::global().snapshot();
+  EXPECT_EQ(S.Counters.at("dlf_timeline_dropped_total"), 2u);
+
+  std::vector<TraceEvent> Events;
+  std::map<uint32_t, std::string> Names;
+  TL.take(Events, Names);
+  EXPECT_EQ(Events.size(), 4u);
+}
+
 TEST(TelemetryTimeline, RenderedChromeTraceIsWellFormedJson) {
   std::vector<TraceEvent> Events;
   TraceEvent Instant;
